@@ -1,0 +1,240 @@
+//! Criterion micro-benchmarks for the hot paths underlying the paper's
+//! tables: crypto primitives, STLS handshake and records, sealdb
+//! query execution, audit-log appends, and enclave transitions
+//! (synchronous vs asynchronous).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use libseal::log::{AuditLog, LogBacking, NoGuard};
+use libseal::{GitModule, ServiceModule};
+use libseal_crypto::aead::ChaCha20Poly1305;
+use libseal_crypto::ed25519::SigningKey;
+use libseal_crypto::sha2::Sha256;
+use libseal_crypto::x25519;
+use libseal_lthread::{AsyncRuntime, RuntimeConfig, WaitMode};
+use libseal_sealdb::{Database, Value};
+use libseal_sgxsim::cost::CostModel;
+use libseal_sgxsim::enclave::EnclaveBuilder;
+use libseal_tlsx::cert::CertificateAuthority;
+use libseal_tlsx::ssl::{ReadOutcome, Ssl, SslConfig};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xa5u8; 1024];
+    let data_16k = vec![0xa5u8; 16 * 1024];
+
+    g.throughput(Throughput::Bytes(16 * 1024));
+    g.bench_function("sha256_16k", |b| b.iter(|| Sha256::digest(&data_16k)));
+
+    let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+    g.throughput(Throughput::Bytes(16 * 1024));
+    g.bench_function("chacha20poly1305_seal_16k", |b| {
+        b.iter(|| aead.seal(&[1u8; 12], b"", &data_16k))
+    });
+
+    g.throughput(Throughput::Elements(1));
+    let key = SigningKey::from_seed(&[3u8; 32]);
+    g.bench_function("ed25519_sign_1k", |b| b.iter(|| key.sign(&data_1k)));
+    let sig = key.sign(&data_1k);
+    let vk = key.verifying_key();
+    g.bench_function("ed25519_verify_1k", |b| {
+        b.iter(|| vk.verify(&data_1k, &sig).unwrap())
+    });
+    g.bench_function("x25519_dh", |b| {
+        b.iter(|| x25519::shared_secret(&[5u8; 32], &x25519::public_key(&[6u8; 32])))
+    });
+    g.finish();
+}
+
+fn handshake_pair() -> (Ssl, Ssl) {
+    let ca = CertificateAuthority::new("BenchCA", &[0x42; 32]);
+    let (key, cert) = ca.issue_identity("bench", &[0x43; 32]);
+    let client_cfg = SslConfig::client(vec![ca.root_key()]);
+    let server_cfg = SslConfig::server(cert, key);
+    let mut client = Ssl::new(client_cfg, [1u8; 64]);
+    let mut server = Ssl::new(server_cfg, [2u8; 64]);
+    client.do_handshake().unwrap();
+    for _ in 0..8 {
+        let a = client.take_output();
+        if !a.is_empty() {
+            server.provide_input(&a);
+        }
+        let _ = server.do_handshake();
+        let b = server.take_output();
+        if !b.is_empty() {
+            client.provide_input(&b);
+        }
+        let _ = client.do_handshake();
+        if client.is_established() && server.is_established() {
+            break;
+        }
+    }
+    (client, server)
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stls");
+    g.bench_function("full_handshake", |b| {
+        b.iter(|| {
+            let (client, server) = handshake_pair();
+            assert!(client.is_established() && server.is_established());
+        })
+    });
+
+    let (mut client, mut server) = handshake_pair();
+    let payload = vec![0x5au8; 16 * 1024];
+    g.throughput(Throughput::Bytes(16 * 1024));
+    g.bench_function("record_roundtrip_16k", |b| {
+        b.iter(|| {
+            client.ssl_write(&payload).unwrap();
+            let wire = client.take_output();
+            server.provide_input(&wire);
+            let mut got = 0usize;
+            while got < payload.len() {
+                match server.ssl_read().unwrap() {
+                    ReadOutcome::Data(d) => got += d.len(),
+                    _ => break,
+                }
+            }
+            assert_eq!(got, payload.len());
+        })
+    });
+    g.finish();
+}
+
+fn bench_sealdb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sealdb");
+
+    g.bench_function("insert_row", |b| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t(a INTEGER, b TEXT, c TEXT)").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            db.execute_with(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[
+                    Value::Integer(i),
+                    Value::Text("branch".into()),
+                    Value::Text("0123456789abcdef0123".into()),
+                ],
+            )
+            .unwrap()
+        })
+    });
+
+    // The paper's Git soundness invariant over a trimmed-size log.
+    g.bench_function("git_soundness_query_50rows", |b| {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)",
+        )
+        .unwrap();
+        for i in 0..25i64 {
+            db.execute_with(
+                "INSERT INTO updates VALUES (?, 'r', ?, ?, 'update')",
+                &[
+                    Value::Integer(i * 2),
+                    Value::Text(format!("b{}", i % 4)),
+                    Value::Text(format!("c{i}")),
+                ],
+            )
+            .unwrap();
+            db.execute_with(
+                "INSERT INTO advertisements VALUES (?, 'r', ?, ?)",
+                &[
+                    Value::Integer(i * 2 + 1),
+                    Value::Text(format!("b{}", i % 4)),
+                    Value::Text(format!("c{i}")),
+                ],
+            )
+            .unwrap();
+        }
+        let q = "SELECT * FROM advertisements a WHERE cid != (
+            SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+            u.branch = a.branch AND u.time < a.time ORDER BY
+            u.time DESC LIMIT 1)";
+        b.iter(|| {
+            let r = db.query(q, &[]).unwrap();
+            assert!(r.is_empty());
+        })
+    });
+    g.finish();
+}
+
+fn bench_audit_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit_log");
+    g.bench_function("append_signed_entry", |b| {
+        let ssm = GitModule;
+        let mut log = AuditLog::open(
+            LogBacking::Memory,
+            [0u8; 32],
+            SigningKey::from_seed(&[1u8; 32]),
+            Box::new(NoGuard),
+            ssm.schema_sql(),
+            ssm.tables(),
+        )
+        .unwrap();
+        b.iter(|| {
+            let t = log.next_time() as i64;
+            log.append(
+                "updates",
+                &[
+                    Value::Integer(t),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(format!("{t:040x}")),
+                    Value::Text("update".into()),
+                ],
+            )
+            .unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enclave_transitions");
+    let enclave = Arc::new(
+        EnclaveBuilder::new(b"bench")
+            .cost_model(CostModel::default())
+            .tcs_count(8)
+            .build(|_| ()),
+    );
+    g.bench_function("sync_ecall_1_thread", |b| {
+        b.iter(|| enclave.ecall("noop", |_, _| ()).unwrap())
+    });
+
+    let rt = AsyncRuntime::start(
+        Arc::clone(&enclave),
+        RuntimeConfig {
+            sgx_threads: 1,
+            lthreads_per_thread: 4,
+            slots: 1,
+            stack_size: 128 * 1024,
+            wait_mode: WaitMode::BusyWait,
+        },
+    )
+    .unwrap();
+    g.bench_function("async_ecall_slot_handoff", |b| {
+        b.iter(|| rt.async_ecall(0, |_, _, _| ()))
+    });
+    rt.shutdown();
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_tls,
+    bench_sealdb,
+    bench_audit_log,
+    bench_transitions
+);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Ablation: what each layer of the audit-log design costs.
+//!
+//! DESIGN.md calls out the log's integrity stack — hash chain, head
+//! signature, rollback counter, sealed journal, per-pair fsync. This
+//! binary measures append cost as the layers accumulate, showing where
+//! the paper's "LibSEAL-mem vs LibSEAL-disk" gap comes from.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin ablation
+//! ```
+
+use std::time::{Duration, Instant};
+
+use libseal::log::{AuditLog, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard};
+use libseal::{GitModule, ServiceModule};
+use libseal_bench::*;
+use libseal_crypto::ed25519::SigningKey;
+use libseal_sealdb::{Database, Value};
+
+const N: u64 = 300;
+
+fn time_per_op(mut f: impl FnMut(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..N {
+        f(i);
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / N as f64
+}
+
+fn audit_log(backing: LogBacking, guard: Box<dyn RollbackGuard>) -> AuditLog {
+    let ssm = GitModule;
+    AuditLog::open(
+        backing,
+        [0u8; 32],
+        SigningKey::from_seed(&[1u8; 32]),
+        guard,
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+    .expect("log")
+}
+
+fn append(log: &mut AuditLog, i: u64) {
+    let t = log.next_time() as i64;
+    log.append(
+        "updates",
+        &[
+            Value::Integer(t),
+            Value::Text("repo".into()),
+            Value::Text("refs/heads/main".into()),
+            Value::Text(format!("{i:040x}")),
+            Value::Text("update".into()),
+        ],
+    )
+    .expect("append");
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // Layer 0: a bare relational insert (no audit machinery).
+    {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
+        )
+        .unwrap();
+        let us = time_per_op(|i| {
+            db.execute_with(
+                "INSERT INTO updates VALUES (?, 'repo', 'refs/heads/main', ?, 'update')",
+                &[Value::Integer(i as i64), Value::Text(format!("{i:040x}"))],
+            )
+            .unwrap();
+        });
+        rows.push(vec!["bare INSERT (sealdb)".into(), format!("{us:.1}")]);
+    }
+
+    // Layer 1: + hash chain + Ed25519 head signature (in-memory).
+    {
+        let mut log = audit_log(LogBacking::Memory, Box::new(NoGuard));
+        let us = time_per_op(|i| append(&mut log, i));
+        rows.push(vec![
+            "+ hash chain + signed head (mem)".into(),
+            format!("{us:.1}"),
+        ]);
+    }
+
+    // Layer 2: + ROTE rollback counter (f = 1 quorum, in-process).
+    {
+        let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
+        let mut log = audit_log(LogBacking::Memory, Box::new(RoteGuard(cluster)));
+        let us = time_per_op(|i| append(&mut log, i));
+        rows.push(vec!["+ ROTE quorum counter".into(), format!("{us:.1}")]);
+    }
+
+    // Layer 3: + sealed journal on disk, buffered (no fsync).
+    {
+        let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
+        let path = bench_log_path(BenchConfig::Disk);
+        let mut log = audit_log(
+            LogBacking::DiskNoSync(path.clone()),
+            Box::new(RoteGuard(cluster)),
+        );
+        let us = time_per_op(|i| append(&mut log, i));
+        rows.push(vec![
+            "+ sealed journal (buffered)".into(),
+            format!("{us:.1}"),
+        ]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Layer 4: + fsync per append (the paper's per-pair durability).
+    {
+        let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
+        let path = bench_log_path(BenchConfig::Disk);
+        let mut log = audit_log(
+            LogBacking::Disk(path.clone()),
+            Box::new(RoteGuard(cluster)),
+        );
+        let us = time_per_op(|i| {
+            append(&mut log, i);
+            log.flush().unwrap();
+        });
+        rows.push(vec!["+ fsync per append".into(), format!("{us:.1}")]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Alternative rollback guard: the raw SGX hardware counter, to show
+    // why the paper rejects it (§5.1).
+    {
+        let counter =
+            libseal_sgxsim::MonotonicCounter::with_properties(Duration::from_millis(100), 1 << 30);
+        let mut log = audit_log(LogBacking::Memory, Box::new(HwCounterGuard(counter)));
+        let t0 = Instant::now();
+        for i in 0..5 {
+            append(&mut log, i);
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / 5.0;
+        rows.push(vec![
+            "ALT: SGX hardware counter instead of ROTE".into(),
+            format!("{us:.0}"),
+        ]);
+    }
+
+    print_table(
+        "Ablation: audit-log append cost by design layer",
+        &["configuration", "us per append"],
+        &rows,
+    );
+    println!(
+        "\nreading: the chain+signature dominates the in-memory cost; the ROTE \
+         quorum is cheap (MACs); durable disk adds the fsync; the SGX hardware \
+         counter (~100 ms per increment) is why LibSEAL uses ROTE (§5.1)."
+    );
+    let _ = GitModule.name();
+}

@@ -1,0 +1,144 @@
+//! Fig. 7c: multi-core scalability — throughput of Apache and Squid
+//! (native and LibSEAL) as the number of server worker threads grows
+//! from 1 to 4.
+//!
+//! Paper shape: near-linear scaling for all four configurations.
+//!
+//! **Host caveat**: on a machine with fewer cores than workers the
+//! curve flattens — the binary prints the detected parallelism so the
+//! reader can judge (the paper itself stopped at 4 cores for the same
+//! reason).
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin fig7c
+//! ```
+
+use std::sync::Arc;
+
+use libseal_bench::*;
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::squid::{SquidConfig, SquidProxy};
+use libseal_services::{HttpsClient, LoadGenerator, StaticContentRouter, TlsMode};
+
+fn apache_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
+    let tls = if libseal {
+        TlsMode::LibSeal(libseal_instance(
+            id,
+            BenchConfig::Process,
+            None,
+            cores,
+            0,
+            false,
+        ))
+    } else {
+        TlsMode::Native {
+            cert: id.cert.clone(),
+            key: id.key.clone(),
+        }
+    };
+    let server = ApacheServer::start(ApacheConfig {
+        tls,
+        workers: cores,
+        router: Arc::new(StaticContentRouter),
+    })
+    .expect("server");
+    let client = HttpsClient::new(server.addr(), id.roots());
+    let stats = LoadGenerator {
+        clients: cores * 2,
+        duration: bench_secs(),
+        persistent: false,
+    }
+    .run(&client, |_, _| {
+        Request::new("GET", "/content/1024", Vec::new())
+    });
+    server.stop();
+    stats.throughput()
+}
+
+fn squid_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
+    let origin = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::Native {
+            cert: id.cert.clone(),
+            key: id.key.clone(),
+        },
+        workers: 2,
+        router: Arc::new(StaticContentRouter),
+    })
+    .expect("origin");
+    let tls = if libseal {
+        TlsMode::LibSeal(libseal_instance(
+            id,
+            BenchConfig::Process,
+            None,
+            cores,
+            0,
+            false,
+        ))
+    } else {
+        TlsMode::Native {
+            cert: id.cert.clone(),
+            key: id.key.clone(),
+        }
+    };
+    let proxy = SquidProxy::start(SquidConfig {
+        tls,
+        workers: cores,
+        upstream: origin.addr(),
+        upstream_roots: id.roots(),
+    })
+    .expect("proxy");
+    let client = HttpsClient::new(proxy.addr(), id.roots());
+    let stats = LoadGenerator {
+        clients: cores * 2,
+        duration: bench_secs(),
+        persistent: false,
+    }
+    .run(&client, |_, _| {
+        Request::new("GET", "/content/1024", Vec::new())
+    });
+    proxy.stop();
+    origin.stop();
+    stats.throughput()
+}
+
+fn main() {
+    let id = BenchIdentity::new();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {parallelism} hardware thread(s)");
+    if parallelism < 4 {
+        println!(
+            "NOTE: fewer cores than the paper's 4-core testbed — scaling \
+             flattens once workers exceed cores"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for cores in 1..=4usize {
+        let a_native = apache_point(&id, false, cores);
+        let a_libseal = apache_point(&id, true, cores);
+        let s_native = squid_point(&id, false, cores);
+        let s_libseal = squid_point(&id, true, cores);
+        rows.push(vec![
+            cores.to_string(),
+            rate(a_native),
+            rate(a_libseal),
+            rate(s_native),
+            rate(s_libseal),
+        ]);
+    }
+    print_table(
+        "Fig 7c: throughput (req/s) vs #cores (worker threads)",
+        &[
+            "#cores",
+            "Apache-LibreSSL",
+            "Apache-LibSEAL",
+            "Squid-LibreSSL",
+            "Squid-LibSEAL",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: near-linear growth for all four lines up to 4 cores");
+}

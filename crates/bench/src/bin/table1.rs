@@ -1,0 +1,116 @@
+//! Tab. 1: lines of code and enclave-interface size per module.
+//!
+//! The paper reports 344,900 LOC total (78.1% LibreSSL) with 209
+//! ecalls and 55 ocalls. This binary computes the same inventory for
+//! the reproduction by counting the workspace's Rust sources and the
+//! declared enclave interface.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin table1
+//! ```
+
+use libseal_bench::print_table;
+use std::path::{Path, PathBuf};
+
+fn count_loc(dir: &Path) -> u64 {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += count_loc(&path);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                total += text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+            }
+        }
+    }
+    total
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn main() {
+    let root = workspace_root();
+    // Module mapping to the paper's Tab. 1 rows.
+    let groups: &[(&str, &[&str], u64, u64)] = &[
+        // (paper row, crate dirs, ecalls, ocalls)
+        (
+            "TLS library (LibreSSL ~ tlsx+crypto)",
+            &["crates/tlsx/src", "crates/crypto/src"],
+            0,
+            0,
+        ),
+        (
+            "Enclave shim layer (termination/shadowing/callbacks)",
+            &["crates/core/src", "crates/sgxsim/src"],
+            11, // the declared LibSEAL enclave interface
+            5,  // bio_read, bio_write, malloc, log_flush, info_callback
+        ),
+        (
+            "Async transitions (lthread)",
+            &["crates/lthread/src"],
+            1,
+            1,
+        ),
+        (
+            "SQLite (sealdb)",
+            &["crates/sealdb/src"],
+            0,
+            0,
+        ),
+        (
+            "Audit logging + SSMs + services",
+            &["crates/httpx/src", "crates/rote/src", "crates/services/src"],
+            0,
+            0,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut total = 0u64;
+    let mut counts = Vec::new();
+    for (label, dirs, ecalls, ocalls) in groups {
+        let loc: u64 = dirs.iter().map(|d| count_loc(&root.join(d))).sum();
+        total += loc;
+        counts.push((label, loc, *ecalls, *ocalls));
+    }
+    for (label, loc, ecalls, ocalls) in &counts {
+        rows.push(vec![
+            label.to_string(),
+            loc.to_string(),
+            format!("{:.1}%", *loc as f64 / total as f64 * 100.0),
+            ecalls.to_string(),
+            ocalls.to_string(),
+        ]);
+    }
+    let ecalls_total: u64 = counts.iter().map(|c| c.2).sum();
+    let ocalls_total: u64 = counts.iter().map(|c| c.3).sum();
+    rows.push(vec![
+        "Total".to_string(),
+        total.to_string(),
+        "100%".to_string(),
+        ecalls_total.to_string(),
+        ocalls_total.to_string(),
+    ]);
+    print_table(
+        "Tab 1: lines of code and enclave interface of the reproduction",
+        &["module", "LOC", "share", "#ecalls", "#ocalls"],
+        &rows,
+    );
+    println!(
+        "\npaper: 344,900 LOC total (78.1% LibreSSL), 209 ecalls / 55 ocalls. \
+         The Rust reproduction is far smaller because the TLS stack is purpose-built \
+         and the interface is expressed as 11 coarse ecalls rather than the SDK's \
+         per-function wrappers."
+    );
+}

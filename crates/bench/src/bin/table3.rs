@@ -1,0 +1,67 @@
+//! Tab. 3: asynchronous enclave calls while varying the number of SGX
+//! worker threads (48 lthread tasks per thread, 1 KB content).
+//!
+//! Paper shape: throughput grows with SGX threads until the CPU
+//! saturates (3 threads on the paper's 4-core box), then declines from
+//! contention.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin table3
+//! ```
+
+use std::sync::Arc;
+
+use libseal_bench::*;
+use libseal_httpx::http::Request;
+use libseal_lthread::{RuntimeConfig, WaitMode};
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::{HttpsClient, LoadGenerator, StaticContentRouter, TlsMode};
+
+fn main() {
+    let id = BenchIdentity::new();
+    let workers = 4;
+    let mut rows = Vec::new();
+    for sgx_threads in [1usize, 2, 3, 4] {
+        let ls = libseal_instance_with_rt(
+            &id,
+            None,
+            RuntimeConfig {
+                sgx_threads,
+                lthreads_per_thread: 48,
+                slots: workers,
+                stack_size: 256 * 1024,
+                wait_mode: WaitMode::Poller,
+            },
+        );
+        let server = ApacheServer::start(ApacheConfig {
+            tls: TlsMode::LibSeal(ls),
+            workers,
+            router: Arc::new(StaticContentRouter),
+        })
+        .expect("server");
+        let client = HttpsClient::new(server.addr(), id.roots());
+        let (stats, cpu) = with_cpu_percent(|| {
+            LoadGenerator {
+                clients: workers * 2,
+                duration: bench_secs(),
+                persistent: false,
+            }
+            .run(&client, |_, _| {
+                Request::new("GET", "/content/1024", Vec::new())
+            })
+        });
+        server.stop();
+        rows.push(vec![
+            sgx_threads.to_string(),
+            rate(stats.throughput()),
+            ms(stats.mean_latency),
+            format!("{cpu:.0}"),
+        ]);
+    }
+    print_table(
+        "Tab 3: async enclave calls, varying #SGX threads (48 lthreads/thread, 1 KB)",
+        &["#SGX threads", "throughput (req/s)", "latency (ms)", "%CPU"],
+        &rows,
+    );
+    println!("\npaper shape: rises to a peak at ~3 threads (CPU saturation), then dips");
+}

@@ -1,0 +1,66 @@
+//! Tab. 4: asynchronous enclave calls while varying the number of
+//! lthread tasks per SGX thread (3 SGX threads, 1 KB content).
+//!
+//! Paper shape: throughput is flat (~1,700 req/s on their hardware);
+//! too few lthreads mainly hurts latency.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin table4
+//! ```
+
+use std::sync::Arc;
+
+use libseal_bench::*;
+use libseal_httpx::http::Request;
+use libseal_lthread::{RuntimeConfig, WaitMode};
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::{HttpsClient, LoadGenerator, StaticContentRouter, TlsMode};
+
+fn main() {
+    let id = BenchIdentity::new();
+    let workers = 4;
+    let mut rows = Vec::new();
+    for lthreads in [12usize, 24, 36, 48] {
+        let ls = libseal_instance_with_rt(
+            &id,
+            None,
+            RuntimeConfig {
+                sgx_threads: 3,
+                lthreads_per_thread: lthreads,
+                slots: workers,
+                stack_size: 256 * 1024,
+                wait_mode: WaitMode::Poller,
+            },
+        );
+        let server = ApacheServer::start(ApacheConfig {
+            tls: TlsMode::LibSeal(ls),
+            workers,
+            router: Arc::new(StaticContentRouter),
+        })
+        .expect("server");
+        let client = HttpsClient::new(server.addr(), id.roots());
+        let (stats, cpu) = with_cpu_percent(|| {
+            LoadGenerator {
+                clients: workers * 2,
+                duration: bench_secs(),
+                persistent: false,
+            }
+            .run(&client, |_, _| {
+                Request::new("GET", "/content/1024", Vec::new())
+            })
+        });
+        server.stop();
+        rows.push(vec![
+            lthreads.to_string(),
+            rate(stats.throughput()),
+            ms(stats.mean_latency),
+            format!("{cpu:.0}"),
+        ]);
+    }
+    print_table(
+        "Tab 4: async enclave calls, varying #lthread tasks per thread (3 SGX threads, 1 KB)",
+        &["#lthread tasks", "throughput (req/s)", "latency (ms)", "%CPU"],
+        &rows,
+    );
+    println!("\npaper shape: throughput roughly flat; latency worst with too few lthreads");
+}

@@ -1,0 +1,281 @@
+//! Invariant checking and trimming scheduler (§5.2, §6.5).
+
+use libseal_sealdb::Value;
+
+use crate::log::AuditLog;
+use crate::ssm::ServiceModule;
+use crate::Result;
+
+/// Result of running one invariant.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Invariant name.
+    pub invariant: String,
+    /// Number of violating log entries.
+    pub violations: usize,
+    /// Up to [`MAX_REPORT_ROWS`] violating rows as evidence.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Cap on evidence rows carried per report.
+pub const MAX_REPORT_ROWS: usize = 16;
+
+/// Aggregated outcome of one checking pass.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOutcome {
+    /// Logical time of the check.
+    pub at_time: u64,
+    /// Per-invariant reports.
+    pub reports: Vec<CheckReport>,
+}
+
+impl CheckOutcome {
+    /// Total violations across invariants.
+    pub fn total_violations(&self) -> usize {
+        self.reports.iter().map(|r| r.violations).sum()
+    }
+
+    /// Renders the `Libseal-Check-Result` header value (§5.2).
+    pub fn header_value(&self) -> String {
+        if self.total_violations() == 0 {
+            "ok".to_string()
+        } else {
+            let parts: Vec<String> = self
+                .reports
+                .iter()
+                .filter(|r| r.violations > 0)
+                .map(|r| format!("{}:{}", r.invariant, r.violations))
+                .collect();
+            format!("violations={};{}", self.total_violations(), parts.join(","))
+        }
+    }
+}
+
+/// Interval-based checking/trimming state with client-trigger rate
+/// limiting (§5.2, §6.3 DoS defence).
+pub struct Checker {
+    /// Pairs logged since the last automatic check.
+    pairs_since_check: usize,
+    /// Automatic check interval in request/response pairs (0 = off).
+    pub interval: usize,
+    /// Whether trimming runs together with checks.
+    pub trim: bool,
+    /// Remaining client-triggered check budget in the current window.
+    client_budget: usize,
+    /// Budget refills to this value every `interval` pairs.
+    pub client_rate_limit: usize,
+    /// The most recent outcome (served to clients in-band).
+    pub last_outcome: CheckOutcome,
+}
+
+impl Checker {
+    /// Creates a checker running every `interval` pairs.
+    pub fn new(interval: usize, trim: bool, client_rate_limit: usize) -> Checker {
+        Checker {
+            pairs_since_check: 0,
+            interval,
+            trim,
+            client_budget: client_rate_limit,
+            client_rate_limit,
+            last_outcome: CheckOutcome::default(),
+        }
+    }
+
+    /// Runs every invariant of `ssm` against `log`.
+    ///
+    /// # Errors
+    ///
+    /// Query failures.
+    pub fn run_checks(ssm: &dyn ServiceModule, log: &AuditLog) -> Result<CheckOutcome> {
+        let mut outcome = CheckOutcome {
+            at_time: log.now(),
+            reports: Vec::new(),
+        };
+        for inv in ssm.invariants() {
+            let r = log.query(inv.sql, &[])?;
+            outcome.reports.push(CheckReport {
+                invariant: inv.name.to_string(),
+                violations: r.rows.len(),
+                rows: r.rows.into_iter().take(MAX_REPORT_ROWS).collect(),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Notes one completed request/response pair; runs checking and
+    /// trimming when the interval elapses. Returns the fresh outcome
+    /// when a check ran.
+    ///
+    /// # Errors
+    ///
+    /// Check or trim failures.
+    pub fn on_pair(
+        &mut self,
+        ssm: &dyn ServiceModule,
+        log: &mut AuditLog,
+    ) -> Result<Option<CheckOutcome>> {
+        self.pairs_since_check += 1;
+        if self.interval == 0 || self.pairs_since_check < self.interval {
+            return Ok(None);
+        }
+        self.pairs_since_check = 0;
+        self.client_budget = self.client_rate_limit;
+        let outcome = Self::run_checks(ssm, log)?;
+        if self.trim && outcome.total_violations() == 0 {
+            // Trim only clean logs: violations must stay as evidence.
+            log.trim(ssm.trim_queries())?;
+        }
+        self.last_outcome = outcome.clone();
+        Ok(Some(outcome))
+    }
+
+    /// Handles a client-triggered check (`Libseal-Check` header).
+    /// Returns the outcome, or `None` when rate-limited (the client
+    /// then sees the cached `last_outcome`).
+    ///
+    /// # Errors
+    ///
+    /// Check failures.
+    pub fn client_check(
+        &mut self,
+        ssm: &dyn ServiceModule,
+        log: &AuditLog,
+    ) -> Result<Option<CheckOutcome>> {
+        if self.client_budget == 0 {
+            return Ok(None);
+        }
+        self.client_budget -= 1;
+        let outcome = Self::run_checks(ssm, log)?;
+        self.last_outcome = outcome.clone();
+        Ok(Some(outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{LogBacking, NoGuard};
+    use crate::ssm::GitModule;
+    use libseal_crypto::ed25519::SigningKey;
+
+    fn setup() -> (GitModule, AuditLog) {
+        let m = GitModule;
+        let log = AuditLog::open(
+            LogBacking::Memory,
+            [0u8; 32],
+            SigningKey::from_seed(&[1u8; 32]),
+            Box::new(NoGuard),
+            crate::ssm::git::GIT_SCHEMA,
+            vec![
+                crate::log::TableSpec {
+                    name: "updates",
+                    key_cols: &["time", "repo", "branch"],
+                },
+                crate::log::TableSpec {
+                    name: "advertisements",
+                    key_cols: &["time", "repo", "branch"],
+                },
+            ],
+        )
+        .unwrap();
+        (m, log)
+    }
+
+    #[test]
+    fn clean_log_reports_ok() {
+        let (m, log) = setup();
+        let outcome = Checker::run_checks(&m, &log).unwrap();
+        assert_eq!(outcome.total_violations(), 0);
+        assert_eq!(outcome.header_value(), "ok");
+    }
+
+    #[test]
+    fn violations_render_in_header() {
+        let (m, mut log) = setup();
+        let t1 = log.next_time() as i64;
+        log.append(
+            "updates",
+            &[
+                Value::Integer(t1),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("c1".into()),
+                Value::Text("update".into()),
+            ],
+        )
+        .unwrap();
+        let t2 = log.next_time() as i64;
+        log.append(
+            "advertisements",
+            &[
+                Value::Integer(t2),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("WRONG".into()),
+            ],
+        )
+        .unwrap();
+        let outcome = Checker::run_checks(&m, &log).unwrap();
+        assert_eq!(outcome.total_violations(), 1);
+        assert!(outcome.header_value().starts_with("violations=1;git-soundness:1"));
+    }
+
+    #[test]
+    fn interval_scheduling() {
+        let (m, mut log) = setup();
+        let mut checker = Checker::new(3, false, 1);
+        assert!(checker.on_pair(&m, &mut log).unwrap().is_none());
+        assert!(checker.on_pair(&m, &mut log).unwrap().is_none());
+        assert!(checker.on_pair(&m, &mut log).unwrap().is_some());
+        assert!(checker.on_pair(&m, &mut log).unwrap().is_none());
+    }
+
+    #[test]
+    fn client_rate_limit() {
+        let (m, mut log) = setup();
+        let mut checker = Checker::new(10, false, 2);
+        assert!(checker.client_check(&m, &log).unwrap().is_some());
+        assert!(checker.client_check(&m, &log).unwrap().is_some());
+        // Budget exhausted: served from cache.
+        assert!(checker.client_check(&m, &log).unwrap().is_none());
+        // Interval elapse refills.
+        for _ in 0..10 {
+            let _ = checker.on_pair(&m, &mut log).unwrap();
+        }
+        assert!(checker.client_check(&m, &log).unwrap().is_some());
+    }
+
+    #[test]
+    fn dirty_log_is_not_trimmed() {
+        let (m, mut log) = setup();
+        let t1 = log.next_time() as i64;
+        log.append(
+            "updates",
+            &[
+                Value::Integer(t1),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("c1".into()),
+                Value::Text("update".into()),
+            ],
+        )
+        .unwrap();
+        let t2 = log.next_time() as i64;
+        log.append(
+            "advertisements",
+            &[
+                Value::Integer(t2),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("WRONG".into()),
+            ],
+        )
+        .unwrap();
+        let mut checker = Checker::new(1, true, 1);
+        let outcome = checker.on_pair(&m, &mut log).unwrap().unwrap();
+        assert_eq!(outcome.total_violations(), 1);
+        // Evidence survives: the advertisement was not trimmed away.
+        let r = log.query("SELECT COUNT(*) FROM advertisements", &[]).unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
+    }
+}

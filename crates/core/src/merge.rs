@@ -1,0 +1,316 @@
+//! Multi-instance log merging (the §3.2 extension).
+//!
+//! When a service scales out behind a load balancer, one client's
+//! requests may be served by different LibSEAL instances, each logging
+//! a subset of the interactions. The paper sketches the fix: "each
+//! LibSEAL instance manages a local log and periodically combines logs
+//! from other instances for invariant checking". This module implements
+//! that combination:
+//!
+//! 1. each instance [`export`](export_log)s its audit tables together
+//!    with an Ed25519 signature over the serialized content, so the
+//!    collector can prove the partial logs are genuine;
+//! 2. [`merge_for_checking`] verifies every export, interleaves the
+//!    entries by `(time, instance)` into a single consistent timeline
+//!    (preserving each instance's internal order), and materialises a
+//!    database against which the SSM's invariants run unchanged.
+//!
+//! Ordering assumption: logical clocks are per-instance, so the merge
+//! can only interleave, not recover the true global order of events
+//! whose local timestamps tie. A deployment keeps instance clocks
+//! loosely synchronized — e.g. by deriving the logical time from the
+//! shared ROTE counter the instances already contact on every append —
+//! so that causally-later events carry larger timestamps.
+
+use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
+use libseal_sealdb::{Database, Value};
+
+use crate::log::AuditLog;
+use crate::ssm::ServiceModule;
+use crate::{LibSealError, Result};
+
+/// One instance's exported audit tables.
+pub struct LogExport {
+    /// Instance identifier (position in the fleet).
+    pub instance: u32,
+    /// `(table name, rows)` pairs.
+    pub tables: Vec<(String, Vec<Vec<Value>>)>,
+    /// Signature over the canonical serialization.
+    pub signature: [u8; 64],
+}
+
+fn canonical_bytes(instance: u32, tables: &[(String, Vec<Vec<Value>>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"libseal-export-v1:");
+    out.extend_from_slice(&instance.to_le_bytes());
+    for (name, rows) in tables {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0x1e);
+        for row in rows {
+            for v in row {
+                out.extend_from_slice(v.group_key().as_bytes());
+                out.push(0x1f);
+            }
+            out.push(0x1e);
+        }
+    }
+    out
+}
+
+/// Exports the audited tables of `log`, signed by the instance.
+///
+/// # Errors
+///
+/// Query failures.
+pub fn export_log(
+    log: &AuditLog,
+    ssm: &dyn ServiceModule,
+    instance: u32,
+    signer: &SigningKey,
+) -> Result<LogExport> {
+    let mut tables = Vec::new();
+    for spec in ssm.tables() {
+        let r = log.query(&format!("SELECT * FROM {}", spec.name), &[])?;
+        tables.push((spec.name.to_string(), r.rows));
+    }
+    let signature = signer.sign(&canonical_bytes(instance, &tables));
+    Ok(LogExport {
+        instance,
+        tables,
+        signature,
+    })
+}
+
+/// Verifies and merges partial logs into one database for checking.
+///
+/// `keys[i]` must verify `exports[i]`. Entries are interleaved by
+/// `(time, instance)` and re-timestamped densely so the SSM's
+/// invariants see a single consistent history.
+///
+/// # Errors
+///
+/// [`LibSealError::Tampered`] when an export fails verification;
+/// database errors otherwise.
+pub fn merge_for_checking(
+    ssm: &dyn ServiceModule,
+    exports: &[LogExport],
+    keys: &[VerifyingKey],
+) -> Result<Database> {
+    if exports.len() != keys.len() {
+        return Err(LibSealError::Log(
+            "one verification key per export required".into(),
+        ));
+    }
+    for (export, key) in exports.iter().zip(keys) {
+        let bytes = canonical_bytes(export.instance, &export.tables);
+        key.verify(&bytes, &export.signature).map_err(|_| {
+            LibSealError::Tampered(format!(
+                "export from instance {} failed verification",
+                export.instance
+            ))
+        })?;
+    }
+
+    let mut db = Database::new();
+    for stmt in ssm
+        .schema_sql()
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        db.execute(stmt).map_err(LibSealError::Db)?;
+    }
+
+    // Collect (orig_time, instance, table, row) across exports; the
+    // first column of every audited table is the logical time.
+    let mut entries: Vec<(i64, u32, String, Vec<Value>)> = Vec::new();
+    for export in exports {
+        for (table, rows) in &export.tables {
+            for row in rows {
+                let t = match row.first() {
+                    Some(Value::Integer(t)) => *t,
+                    _ => 0,
+                };
+                entries.push((t, export.instance, table.clone(), row.clone()));
+            }
+        }
+    }
+    entries.sort_by_key(|a| (a.0, a.1));
+
+    // Re-timestamp densely: equal (time, instance) pairs keep a shared
+    // timestamp (e.g. one advertisement's rows must stay grouped).
+    let mut new_time = 0i64;
+    let mut last_key: Option<(i64, u32)> = None;
+    for (t, inst, table, mut row) in entries {
+        if last_key != Some((t, inst)) {
+            new_time += 1;
+            last_key = Some((t, inst));
+        }
+        row[0] = Value::Integer(new_time);
+        let placeholders = vec!["?"; row.len()].join(", ");
+        db.execute_with(
+            &format!("INSERT INTO {table} VALUES ({placeholders})"),
+            &row,
+        )
+        .map_err(LibSealError::Db)?;
+    }
+    Ok(db)
+}
+
+/// Runs every invariant of `ssm` against a merged database.
+///
+/// # Errors
+///
+/// Query failures.
+pub fn check_merged(
+    ssm: &dyn ServiceModule,
+    db: &Database,
+) -> Result<Vec<(String, usize)>> {
+    let mut out = Vec::new();
+    for inv in ssm.invariants() {
+        let r = db.query(inv.sql, &[]).map_err(LibSealError::Db)?;
+        out.push((inv.name.to_string(), r.rows.len()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{LogBacking, NoGuard};
+    use crate::ssm::GitModule;
+    use libseal_httpx::http::{Request, Response};
+
+    fn instance_log() -> AuditLog {
+        let ssm = GitModule;
+        AuditLog::open(
+            LogBacking::Memory,
+            [0u8; 32],
+            SigningKey::from_seed(&[1u8; 32]),
+            Box::new(NoGuard),
+            ssm.schema_sql(),
+            ssm.tables(),
+        )
+        .unwrap()
+    }
+
+    fn push(log: &mut AuditLog, body: &str) {
+        let ssm = GitModule;
+        let req = Request::new("POST", "/repo/p/git-receive-pack", body.as_bytes().to_vec());
+        let rsp = Response::new(200, b"ok\n".to_vec());
+        ssm.log_pair(&req.to_bytes(), &rsp.to_bytes(), log).unwrap();
+    }
+
+    fn fetch(log: &mut AuditLog, advert: &str) {
+        let ssm = GitModule;
+        let req = Request::new(
+            "GET",
+            "/repo/p/info/refs?service=git-upload-pack",
+            Vec::new(),
+        );
+        let rsp = Response::new(200, advert.as_bytes().to_vec());
+        ssm.log_pair(&req.to_bytes(), &rsp.to_bytes(), log).unwrap();
+    }
+
+    #[test]
+    fn cross_instance_violation_detected() {
+        let ssm = GitModule;
+        // Instance A serves the pushes; instance B later serves a STALE
+        // fetch. B's clock has advanced past A's pushes (see the module
+        // docs on clock synchronization).
+        let mut log_a = instance_log();
+        push(&mut log_a, "0 c1 refs/heads/main\n");
+        push(&mut log_a, "c1 c2 refs/heads/main\n");
+        let mut log_b = instance_log();
+        push(&mut log_b, "0 z1 refs/heads/other\n"); // advances B's clock
+        push(&mut log_b, "z1 z2 refs/heads/other\n");
+        fetch(&mut log_b, "c1 refs/heads/main\nz2 refs/heads/other\n");
+
+        // Neither partial log alone shows the rollback.
+        let key_a = SigningKey::from_seed(&[2u8; 32]);
+        let key_b = SigningKey::from_seed(&[3u8; 32]);
+        let ex_a = export_log(&log_a, &ssm, 0, &key_a).unwrap();
+        let ex_b = export_log(&log_b, &ssm, 1, &key_b).unwrap();
+        let merged = merge_for_checking(
+            &ssm,
+            &[ex_a, ex_b],
+            &[key_a.verifying_key(), key_b.verifying_key()],
+        )
+        .unwrap();
+        let results = check_merged(&ssm, &merged).unwrap();
+        let soundness = results.iter().find(|(n, _)| n == "git-soundness").unwrap();
+        assert_eq!(soundness.1, 1, "{results:?}");
+    }
+
+    #[test]
+    fn honest_cross_instance_history_is_clean() {
+        let ssm = GitModule;
+        let mut log_a = instance_log();
+        push(&mut log_a, "0 c1 refs/heads/main\n");
+        let mut log_b = instance_log();
+        fetch(&mut log_b, "c1 refs/heads/main\n");
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let ex_a = export_log(&log_a, &ssm, 0, &key).unwrap();
+        let ex_b = export_log(&log_b, &ssm, 1, &key).unwrap();
+        let merged = merge_for_checking(
+            &ssm,
+            &[ex_a, ex_b],
+            &[key.verifying_key(), key.verifying_key()],
+        )
+        .unwrap();
+        let results = check_merged(&ssm, &merged).unwrap();
+        assert!(results.iter().all(|(_, v)| *v == 0), "{results:?}");
+    }
+
+    #[test]
+    fn forged_export_rejected() {
+        let ssm = GitModule;
+        let mut log = instance_log();
+        push(&mut log, "0 c1 refs/heads/main\n");
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let rogue = SigningKey::from_seed(&[9u8; 32]);
+        let export = export_log(&log, &ssm, 0, &rogue).unwrap();
+        let err = merge_for_checking(&ssm, &[export], &[key.verifying_key()]);
+        assert!(matches!(err, Err(LibSealError::Tampered(_))));
+    }
+
+    #[test]
+    fn tampered_export_rows_rejected() {
+        let ssm = GitModule;
+        let mut log = instance_log();
+        push(&mut log, "0 c1 refs/heads/main\n");
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let mut export = export_log(&log, &ssm, 0, &key).unwrap();
+        // Provider edits a row after exporting.
+        export.tables[0].1[0][3] = Value::Text("FORGED".into());
+        let err = merge_for_checking(&ssm, &[export], &[key.verifying_key()]);
+        assert!(matches!(err, Err(LibSealError::Tampered(_))));
+    }
+
+    #[test]
+    fn interleave_preserves_per_instance_order() {
+        let ssm = GitModule;
+        // Instance A logs two pushes (times 1, 2); instance B one push
+        // (time 1). Merged timeline must keep A's order.
+        let mut log_a = instance_log();
+        push(&mut log_a, "0 a1 refs/heads/x\n");
+        push(&mut log_a, "a1 a2 refs/heads/x\n");
+        let mut log_b = instance_log();
+        push(&mut log_b, "0 b1 refs/heads/y\n");
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let ex_a = export_log(&log_a, &ssm, 0, &key).unwrap();
+        let ex_b = export_log(&log_b, &ssm, 1, &key).unwrap();
+        let merged = merge_for_checking(
+            &ssm,
+            &[ex_a, ex_b],
+            &[key.verifying_key(), key.verifying_key()],
+        )
+        .unwrap();
+        let rows = merged
+            .query("SELECT time, cid FROM updates ORDER BY time", &[])
+            .unwrap();
+        let cids: Vec<String> = rows.rows.iter().map(|r| r[1].to_string()).collect();
+        let pos = |c: &str| cids.iter().position(|x| x == c).unwrap();
+        assert!(pos("a1") < pos("a2"), "{cids:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Attested certificate provisioning (§6.3, "Bypassing logging").
+//!
+//! The provider could link its service against a vanilla TLS library
+//! and silently skip auditing. LibSEAL's defence: the TLS certificate
+//! private key is only released to an enclave that proves — via remote
+//! attestation — that it runs genuine LibSEAL code. Clients then know
+//! that a connection presenting that certificate terminates inside an
+//! auditing enclave.
+
+use libseal_crypto::ed25519::SigningKey;
+use libseal_crypto::sha2::Sha256;
+use libseal_sgxsim::attest::{AttestationService, Quote};
+use libseal_tlsx::cert::Certificate;
+
+use crate::{LibSealError, Result};
+
+/// Holds a service's TLS identity and releases it only to attested
+/// LibSEAL enclaves.
+pub struct CertProvisioner {
+    cert: Certificate,
+    key_seed: [u8; 32],
+    expected_measurement: [u8; 32],
+    ias: AttestationService,
+}
+
+impl CertProvisioner {
+    /// Creates a provisioner for `cert` (with private-key seed
+    /// `key_seed`) that only trusts enclaves measuring
+    /// `expected_measurement`, verified through `ias`.
+    pub fn new(
+        cert: Certificate,
+        key_seed: [u8; 32],
+        expected_measurement: [u8; 32],
+        ias: AttestationService,
+    ) -> Self {
+        CertProvisioner {
+            cert,
+            key_seed,
+            expected_measurement,
+            ias,
+        }
+    }
+
+    /// Validates `quote` and, on success, releases the certificate and
+    /// its private key. The quote's report data must bind the
+    /// certificate public key (hash), proving the enclave requested
+    /// *this* identity.
+    ///
+    /// # Errors
+    ///
+    /// [`LibSealError::Attestation`] on any verification failure.
+    pub fn provision(&self, quote: &Quote) -> Result<(Certificate, SigningKey)> {
+        self.ias
+            .verify(quote, Some(&self.expected_measurement))
+            .map_err(|e| LibSealError::Attestation(e.to_string()))?;
+        let expected_report = Sha256::digest(&self.cert.pubkey);
+        if quote.report_data[..32] != expected_report {
+            return Err(LibSealError::Attestation(
+                "quote does not bind the requested certificate".into(),
+            ));
+        }
+        Ok((self.cert.clone(), SigningKey::from_seed(&self.key_seed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssm::GitModule;
+    use crate::termination::{LibSeal, LibSealConfig};
+    use libseal_sgxsim::attest::QuotingEnclave;
+    use libseal_sgxsim::cost::CostModel;
+    use libseal_tlsx::cert::CertificateAuthority;
+    use std::sync::Arc;
+
+    fn make_libseal(with_audit: bool) -> Arc<LibSeal> {
+        let ca = CertificateAuthority::new("CA", &[1u8; 32]);
+        let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+        let ssm: Option<Arc<dyn crate::ssm::ServiceModule>> = if with_audit {
+            Some(Arc::new(GitModule))
+        } else {
+            None
+        };
+        let mut cfg = LibSealConfig::new(cert, key, ssm);
+        cfg.cost_model = CostModel::free();
+        LibSeal::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn genuine_enclave_gets_the_key() {
+        let ls = make_libseal(true);
+        let qe = QuotingEnclave::new(&[7u8; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let prov = CertProvisioner::new(
+            ls.certificate().clone(),
+            [2u8; 32],
+            ls.measurement(),
+            ias,
+        );
+        let quote = ls.quote(&qe);
+        let (cert, _key) = prov.provision(&quote).unwrap();
+        assert_eq!(&cert, ls.certificate());
+    }
+
+    #[test]
+    fn different_code_is_rejected() {
+        // An enclave WITHOUT auditing has a different measurement; the
+        // provisioner keyed to the auditing build must reject it.
+        let audited = make_libseal(true);
+        let bypass = make_libseal(false);
+        assert_ne!(audited.measurement(), bypass.measurement());
+
+        let qe = QuotingEnclave::new(&[7u8; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let prov = CertProvisioner::new(
+            audited.certificate().clone(),
+            [2u8; 32],
+            audited.measurement(),
+            ias,
+        );
+        let quote = bypass.quote(&qe);
+        assert!(prov.provision(&quote).is_err());
+    }
+
+    #[test]
+    fn wrong_report_data_rejected() {
+        let ls = make_libseal(true);
+        let qe = QuotingEnclave::new(&[7u8; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        // Provisioner for a DIFFERENT certificate.
+        let ca = CertificateAuthority::new("CA", &[1u8; 32]);
+        let (_okey, other_cert) = ca.issue_identity("other.test", &[9u8; 32]);
+        let prov = CertProvisioner::new(other_cert, [9u8; 32], ls.measurement(), ias);
+        let quote = ls.quote(&qe);
+        assert!(prov.provision(&quote).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Service-specific modules (SSMs, §5.1).
+//!
+//! An SSM teaches LibSEAL one service's protocol: the relational
+//! schema of its audit log, how to extract loggable tuples from a
+//! request/response pair, the integrity invariants as SQL, and the
+//! trimming queries that keep the log bounded. The paper sizes these
+//! at 250-450 lines each; Git, ownCloud and Dropbox match its §6
+//! evaluation targets, and [`messaging`] adds the §2.2 instant-
+//! messaging scenario the paper motivates but does not evaluate.
+
+pub mod dropbox;
+pub mod git;
+pub mod messaging;
+pub mod owncloud;
+
+use crate::log::{AuditLog, TableSpec};
+use crate::Result;
+
+pub use dropbox::DropboxModule;
+pub use git::GitModule;
+pub use messaging::MessagingModule;
+pub use owncloud::OwnCloudModule;
+
+/// A named integrity invariant; the SQL selects *violations* (the
+/// query is the negation of the invariant, §5.2).
+#[derive(Clone, Copy, Debug)]
+pub struct Invariant {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Violation-selecting SQL.
+    pub sql: &'static str,
+}
+
+/// A service-specific module.
+pub trait ServiceModule: Send + Sync {
+    /// Module name (e.g. "git").
+    fn name(&self) -> &'static str;
+
+    /// `CREATE TABLE`/`CREATE VIEW` statements for the audit schema.
+    fn schema_sql(&self) -> &'static str;
+
+    /// Audited tables and their primary keys (for the hash chain).
+    fn tables(&self) -> Vec<TableSpec>;
+
+    /// The integrity invariants.
+    fn invariants(&self) -> &'static [Invariant];
+
+    /// Trimming queries removing entries no longer needed (§5.1).
+    fn trim_queries(&self) -> &'static [&'static str];
+
+    /// Parses one request/response pair and appends the pertinent
+    /// tuples; returns how many tuples were logged.
+    ///
+    /// # Errors
+    ///
+    /// Log append failures; malformed traffic is *not* an error (the
+    /// SSM simply logs nothing for messages it does not understand).
+    fn log_pair(&self, req: &[u8], rsp: &[u8], log: &mut AuditLog) -> Result<usize>;
+}

@@ -1,0 +1,886 @@
+//! The LibSEAL TLS termination shim (§3.1, §4).
+//!
+//! [`LibSeal`] is the drop-in replacement for a TLS library: services
+//! hand it ciphertext from the wire ([`LibSeal::provide_input`]), read
+//! decrypted requests ([`LibSeal::ssl_read`]), write responses
+//! ([`LibSeal::ssl_write`]) and send the produced ciphertext back out
+//! ([`LibSeal::take_output`]). The protocol state machine, session
+//! keys and the audit log live inside a simulated SGX enclave; the
+//! handle itself holds only *shadow* session structures with all
+//! sensitive fields removed (§4.1, "Shadowing"), the preallocated
+//! untrusted memory pool (§4.2) and the application's `ex_data`, which
+//! is deliberately kept outside to avoid ecalls (§4.2, optimisation 3).
+//!
+//! When auditing is enabled, every complete request/response pair is
+//! parsed by the configured service-specific module and appended to
+//! the audit log before the response is encrypted; a `Libseal-Check`
+//! request header triggers an invariant check whose outcome is
+//! returned in-band as a `Libseal-Check-Result` response header
+//! (§5.2).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
+use libseal_crypto::sha2::Sha256;
+use libseal_httpx::http;
+use libseal_lthread::{AsyncRuntime, RuntimeConfig};
+use libseal_sgxsim::attest::{Quote, QuotingEnclave};
+use libseal_sgxsim::cost::CostModel;
+use libseal_sgxsim::enclave::{Enclave, EnclaveBuilder, EnclaveServices};
+use libseal_sgxsim::pool::MemoryPool;
+use libseal_sgxsim::seal::SealingPolicy;
+use libseal_sgxsim::stats::StatsSnapshot;
+use libseal_tlsx::cert::Certificate;
+use libseal_tlsx::ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
+use parking_lot::{Mutex, RwLock};
+
+use crate::check::{CheckOutcome, Checker};
+use crate::log::{
+    AuditLog, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard, TableSpec,
+};
+use crate::ssm::ServiceModule;
+use crate::{LibSealError, Result};
+
+/// Default for [`LibSealConfig::max_message_buffer`]: generous enough
+/// for large Git pushes and file uploads, small enough to bound a
+/// malicious never-ending stream (interface hardening, §6.3).
+pub const MAX_MESSAGE_BUFFER: usize = 64 * 1024 * 1024;
+
+/// Returns true when `buf` can still be the start of an HTTP message
+/// (prefix-compatible with `HTTP/`-style responses). Used to detect
+/// non-HTTP streams early so they pass through instead of stalling in
+/// the audit buffer.
+fn could_be_http_response(buf: &[u8]) -> bool {
+    const P: &[u8] = b"HTTP/";
+    let n = buf.len().min(P.len());
+    buf[..n] == P[..n]
+}
+
+/// Rollback-protection choice.
+pub enum GuardConfig {
+    /// No rollback protection (baselines).
+    None,
+    /// The slow SGX hardware counter.
+    Hardware,
+    /// A ROTE quorum tolerating `f` faults with the given per-request
+    /// latency (§5.1; the paper's Git evaluation uses `f = 1`).
+    Rote {
+        /// Tolerated faults.
+        f: usize,
+        /// Simulated per-node request latency.
+        latency: Duration,
+    },
+}
+
+/// LibSEAL instance configuration.
+pub struct LibSealConfig {
+    /// The service's TLS certificate.
+    pub cert: Certificate,
+    /// The certificate's private key (provisioned via attestation in a
+    /// real deployment; see [`crate::provision`]).
+    pub key: SigningKey,
+    /// Trusted CA roots for client-certificate verification.
+    pub ca_roots: Vec<VerifyingKey>,
+    /// Require client certificates (§6.3, impersonation defence).
+    pub verify_clients: bool,
+    /// The service-specific module; `None` disables auditing (the
+    /// paper's "LibSEAL-process" configuration).
+    pub ssm: Option<Arc<dyn ServiceModule>>,
+    /// Log backing store.
+    pub backing: LogBacking,
+    /// Automatic check/trim interval in pairs (0 disables).
+    pub check_interval: usize,
+    /// Trim together with automatic checks.
+    pub trim_with_check: bool,
+    /// Client-triggered checks allowed per interval (DoS limit, §6.3).
+    pub client_check_rate: usize,
+    /// Rollback protection.
+    pub guard: GuardConfig,
+    /// SGX cost model.
+    pub cost_model: CostModel,
+    /// TCS slots in the enclave.
+    pub tcs_count: u64,
+    /// Seed for the log-signing key (derived from the sealing identity
+    /// when absent).
+    pub log_signer_seed: Option<[u8; 32]>,
+    /// Maximum bytes one session may buffer while waiting for a
+    /// message boundary (must exceed the largest audited message).
+    pub max_message_buffer: usize,
+}
+
+impl LibSealConfig {
+    /// A reasonable default configuration for `cert`/`key` with
+    /// auditing by `ssm`.
+    pub fn new(cert: Certificate, key: SigningKey, ssm: Option<Arc<dyn ServiceModule>>) -> Self {
+        LibSealConfig {
+            cert,
+            key,
+            ca_roots: Vec::new(),
+            verify_clients: false,
+            ssm,
+            backing: LogBacking::Memory,
+            check_interval: 25,
+            trim_with_check: true,
+            client_check_rate: 4,
+            guard: GuardConfig::Rote {
+                f: 1,
+                latency: Duration::ZERO,
+            },
+            cost_model: CostModel::default(),
+            tcs_count: 16,
+            log_signer_seed: None,
+            max_message_buffer: MAX_MESSAGE_BUFFER,
+        }
+    }
+}
+
+/// One in-enclave TLS session plus its audit buffers.
+struct Session {
+    ssl: Ssl,
+    /// Decrypted request bytes not yet cut into messages.
+    req_buf: Vec<u8>,
+    /// Complete requests awaiting their response: (raw bytes,
+    /// Libseal-Check requested?).
+    pending: VecDeque<(Vec<u8>, bool)>,
+    /// Plaintext response bytes not yet complete.
+    rsp_buf: Vec<u8>,
+}
+
+/// Audit state bundle.
+struct AuditState {
+    log: AuditLog,
+    ssm: Arc<dyn ServiceModule>,
+    checker: Checker,
+}
+
+/// The trusted (in-enclave) state of a LibSEAL instance.
+pub struct Trusted {
+    ssl_config: Arc<SslConfig>,
+    max_message_buffer: usize,
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_sid: AtomicU64,
+    audit: Option<Mutex<AuditState>>,
+    /// Outside info callback, reached through an ocall trampoline.
+    info_cb: RwLock<Option<Arc<dyn Fn(i32, i32) + Send + Sync>>>,
+}
+
+impl Trusted {
+    fn session(&self, sid: u64) -> Result<Arc<Mutex<Session>>> {
+        self.sessions
+            .read()
+            .get(&sid)
+            .cloned()
+            .ok_or(LibSealError::NoSuchSession(sid))
+    }
+}
+
+/// A LibSEAL instance: the untrusted-side handle.
+pub struct LibSeal {
+    enclave: Arc<Enclave<Trusted>>,
+    runtime: Option<AsyncRuntime<Trusted>>,
+    /// Sanitised session shadows (no key material by construction).
+    shadows: RwLock<HashMap<u64, ShadowSsl>>,
+    /// Whether an SSM is configured (cached to avoid probing ecalls).
+    audited: bool,
+    /// Preallocated untrusted memory pool for I/O staging buffers.
+    pool: Arc<MemoryPool>,
+    cert: Certificate,
+}
+
+/// The outside shadow of an in-enclave session (§4.1): handshake
+/// progress and application data only — session keys never appear
+/// here.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowSsl {
+    /// Last observed handshake state.
+    pub established: bool,
+    /// Whether the session is closed.
+    pub closed: bool,
+    /// Application-specific data (kept outside to avoid ecalls, §4.2
+    /// optimisation 3).
+    pub ex_data: HashMap<u32, Vec<u8>>,
+}
+
+/// How enclave code reaches the outside world for the current call:
+/// full synchronous ocalls, or cheap asynchronous slot handoffs
+/// (§4.3). LibSEAL's internal BIO traffic (the reads/writes and small
+/// allocations LibreSSL performs around every TLS record) is charged
+/// through this, which is exactly where the async mechanism saves its
+/// cost.
+pub enum CallCtx<'p> {
+    /// Synchronous ocalls: a full transition each.
+    Sync(&'p EnclaveServices),
+    /// Asynchronous ocalls through the caller's request slot.
+    Async(&'p libseal_lthread::OcallPort<'p, Trusted>),
+}
+
+impl CallCtx<'_> {
+    /// Performs one outside call under the current regime.
+    pub fn ocall<R: Send + 'static>(
+        &self,
+        name: &'static str,
+        f: impl FnOnce() -> R + Send,
+    ) -> R {
+        match self {
+            CallCtx::Sync(sv) => sv.ocall(name, f),
+            CallCtx::Async(port) => port.ocall(name, f),
+        }
+    }
+
+    /// Charges `n` modelled BIO interactions (no payload; the data
+    /// movement itself is handled by the caller).
+    pub fn bio_traffic(&self, name: &'static str, n: usize) {
+        for _ in 0..n {
+            self.ocall(name, || ());
+        }
+    }
+}
+
+impl LibSeal {
+    /// Builds a LibSEAL instance with synchronous enclave calls.
+    ///
+    /// # Errors
+    ///
+    /// Log initialisation failures.
+    pub fn new(config: LibSealConfig) -> Result<Arc<LibSeal>> {
+        Self::build(config, None)
+    }
+
+    /// Builds a LibSEAL instance served by the asynchronous enclave
+    /// call runtime of §4.3.
+    ///
+    /// # Errors
+    ///
+    /// Log or runtime initialisation failures.
+    pub fn with_async(config: LibSealConfig, rt: RuntimeConfig) -> Result<Arc<LibSeal>> {
+        Self::build(config, Some(rt))
+    }
+
+    fn build(config: LibSealConfig, rt: Option<RuntimeConfig>) -> Result<Arc<LibSeal>> {
+        let cert = config.cert.clone();
+        let ssm_name = config
+            .ssm
+            .as_ref()
+            .map(|s| s.name().to_string())
+            .unwrap_or_else(|| "none".to_string());
+        let identity = format!("libseal-v1 ssm={ssm_name}");
+        let mut builder = EnclaveBuilder::new(identity.as_bytes())
+            .cost_model(config.cost_model.clone())
+            .tcs_count(config.tcs_count);
+        for name in [
+            "new_session",
+            "provide_input",
+            "take_output",
+            "do_handshake",
+            "ssl_read",
+            "ssl_write",
+            "close_session",
+            "check_now",
+            "trim_now",
+            "verify_log",
+            "log_stats",
+        ] {
+            builder = builder.declare_interface(name);
+        }
+
+        // Build failures inside the init closure are carried out.
+        let mut init_err: Option<LibSealError> = None;
+        let enclave = builder.build(|services| {
+            let ssl_config = Arc::new(SslConfig {
+                role: Role::Server,
+                cert: Some(config.cert.clone()),
+                key: Some(config.key.clone()),
+                ca_roots: config.ca_roots.clone(),
+                verify_peer: config.verify_clients,
+                expected_subject: None,
+            });
+            let audit = match &config.ssm {
+                None => None,
+                Some(ssm) => {
+                    let guard: Box<dyn RollbackGuard> = match &config.guard {
+                        GuardConfig::None => Box::new(NoGuard),
+                        GuardConfig::Hardware => Box::new(HwCounterGuard(
+                            libseal_sgxsim::MonotonicCounter::hardware_realistic(),
+                        )),
+                        GuardConfig::Rote { f, latency } => {
+                            match libseal_rote::Cluster::new(*f, *latency, b"libseal-log") {
+                                Ok(c) => Box::new(RoteGuard(c)),
+                                Err(e) => {
+                                    init_err = Some(LibSealError::Log(e.to_string()));
+                                    Box::new(NoGuard)
+                                }
+                            }
+                        }
+                    };
+                    let seal_key = services.seal_key(SealingPolicy::MrSigner);
+                    let signer_seed = config.log_signer_seed.unwrap_or_else(|| {
+                        // Derive a deterministic signer from the seal
+                        // identity so restarts verify old logs.
+                        Sha256::digest(&seal_key)
+                    });
+                    match AuditLog::open(
+                        config.backing,
+                        seal_key,
+                        SigningKey::from_seed(&signer_seed),
+                        guard,
+                        ssm.schema_sql(),
+                        ssm.tables(),
+                    ) {
+                        Ok(log) => {
+                            services.epc_alloc(log.size_bytes() as u64 + 64 * 1024);
+                            Some(Mutex::new(AuditState {
+                                log,
+                                ssm: Arc::clone(ssm),
+                                checker: Checker::new(
+                                    config.check_interval,
+                                    config.trim_with_check,
+                                    config.client_check_rate,
+                                ),
+                            }))
+                        }
+                        Err(e) => {
+                            init_err = Some(e);
+                            None
+                        }
+                    }
+                }
+            };
+            Trusted {
+                ssl_config,
+                max_message_buffer: config.max_message_buffer,
+                sessions: RwLock::new(HashMap::new()),
+                next_sid: AtomicU64::new(1),
+                audit,
+                info_cb: RwLock::new(None),
+            }
+        });
+        if let Some(e) = init_err {
+            return Err(e);
+        }
+        let enclave = Arc::new(enclave);
+        let runtime = match rt {
+            Some(cfg) => Some(
+                AsyncRuntime::start(Arc::clone(&enclave), cfg)
+                    .map_err(|e| LibSealError::Log(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let audited = config.ssm.is_some();
+        Ok(Arc::new(LibSeal {
+            enclave,
+            runtime,
+            shadows: RwLock::new(HashMap::new()),
+            pool: MemoryPool::new(16 * 1024, 64),
+            cert,
+            audited,
+        }))
+    }
+
+    fn call<R: Send + 'static>(
+        &self,
+        slot: usize,
+        name: &'static str,
+        f: impl for<'p> FnOnce(&Trusted, &EnclaveServices, &CallCtx<'p>) -> R + Send,
+    ) -> Result<R> {
+        match &self.runtime {
+            Some(rt) => Ok(rt.async_ecall(slot, move |t, sv, port| {
+                f(t, sv, &CallCtx::Async(port))
+            })),
+            None => self
+                .enclave
+                .ecall(name, move |t, sv| f(t, sv, &CallCtx::Sync(sv)))
+                .map_err(|e| LibSealError::Log(e.to_string())),
+        }
+    }
+
+    /// Opens a new TLS session, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Enclave entry failures.
+    pub fn new_session(&self, slot: usize) -> Result<u64> {
+        let sid = self.call(slot, "new_session", |t, sv, _ctx| {
+            let mut entropy = [0u8; 64];
+            sv.fill_random(&mut entropy);
+            let mut ssl = Ssl::new(Arc::clone(&t.ssl_config), entropy);
+            // Install the secure-callback trampoline: the outside
+            // callback is reached only through an accounted ocall
+            // (§4.1, "Secure callbacks").
+            let cb_slot = t.info_cb.read().clone();
+            if let Some(outside_cb) = cb_slot {
+                let stats = sv.stats_arc();
+                let model = sv.model().clone();
+                ssl.set_info_callback(Arc::new(move |code, arg| {
+                    let threads = 1;
+                    let cycles = model.transition_cycles(threads);
+                    model.charge_cycles(cycles);
+                    stats.record_ocall("info_callback", cycles);
+                    outside_cb(code, arg);
+                }));
+            }
+            let sid = t.next_sid.fetch_add(1, Ordering::Relaxed);
+            sv.epc_alloc(8 * 1024);
+            t.sessions.write().insert(
+                sid,
+                Arc::new(Mutex::new(Session {
+                    ssl,
+                    req_buf: Vec::new(),
+                    pending: VecDeque::new(),
+                    rsp_buf: Vec::new(),
+                })),
+            );
+            sid
+        })?;
+        self.shadows.write().insert(sid, ShadowSsl::default());
+        Ok(sid)
+    }
+
+    /// Registers the application's info callback (invoked outside the
+    /// enclave through an ocall trampoline).
+    ///
+    /// # Errors
+    ///
+    /// Enclave entry failures.
+    pub fn set_info_callback(
+        &self,
+        slot: usize,
+        cb: Arc<dyn Fn(i32, i32) + Send + Sync>,
+    ) -> Result<()> {
+        self.call(slot, "new_session", move |t, _, _ctx| {
+            *t.info_cb.write() = Some(cb);
+        })
+    }
+
+    /// Feeds wire ciphertext into a session.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session or enclave failures.
+    pub fn provide_input(&self, slot: usize, sid: u64, data: &[u8]) -> Result<()> {
+        // Stage through the untrusted pool (the paper's BIO buffers).
+        let data = data.to_vec();
+        self.call(slot, "provide_input", move |t, sv, ctx| -> Result<()> {
+            sv.interface_check(data.len() <= 1 << 24, "oversized input chunk")
+                .map_err(|e| LibSealError::Log(e.to_string()))?;
+            // The enclave pulls the ciphertext from the outside BIO and
+            // stages it in a small buffer (LibreSSL: BIO_read + malloc).
+            // Charged BEFORE taking any lock: an async ocall suspends
+            // this lthread, and suspending while holding a lock would
+            // deadlock the worker thread.
+            ctx.bio_traffic("bio_read", 1 + data.len() / (16 * 1024));
+            let session = t.session(sid)?;
+            let mut s = session.lock();
+            s.ssl.provide_input(&data);
+            Ok(())
+        })?
+    }
+
+    /// Takes wire ciphertext that must be sent to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session or enclave failures.
+    pub fn take_output(&self, slot: usize, sid: u64) -> Result<Vec<u8>> {
+        self.call(slot, "take_output", move |t, _, ctx| -> Result<Vec<u8>> {
+            let session = t.session(sid)?;
+            let out = {
+                let mut s = session.lock();
+                s.ssl.take_output()
+            };
+            // Push records to the outside BIO (LibreSSL: BIO_write);
+            // charged after the lock is released (lock-across-ocall
+            // would deadlock the lthread scheduler).
+            if !out.is_empty() {
+                ctx.bio_traffic("bio_write", 1 + out.len() / (16 * 1024));
+            }
+            Ok(out)
+        })?
+    }
+
+    /// Progresses the handshake; `true` once established.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures (fatal for the session).
+    pub fn do_handshake(&self, slot: usize, sid: u64) -> Result<bool> {
+        let done = self.call(slot, "do_handshake", move |t, _, ctx| -> Result<bool> {
+            // Handshake processing walks BIOs and allocates buffers for
+            // each flight (LibreSSL: several BIO/malloc round trips).
+            // Charged before locking (no ocalls under locks).
+            ctx.bio_traffic("bio_handshake", 2);
+            let session = t.session(sid)?;
+            let mut s = session.lock();
+            s.ssl.do_handshake().map_err(LibSealError::Tls)
+        })??;
+        if done {
+            if let Some(shadow) = self.shadows.write().get_mut(&sid) {
+                shadow.established = true;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Reads decrypted application data (requests). Complete requests
+    /// are also queued for audit pairing.
+    ///
+    /// # Errors
+    ///
+    /// TLS failures; unknown session.
+    pub fn ssl_read(&self, slot: usize, sid: u64) -> Result<ReadOutcome> {
+        let audited = self.is_audited();
+        let out = self.call(slot, "ssl_read", move |t, sv, ctx| -> Result<ReadOutcome> {
+            // Record processing: BIO pull plus a scratch allocation per
+            // call (LibreSSL instrumentation, §4.2). Charged before
+            // locking (no ocalls under locks).
+            ctx.bio_traffic("bio_read", 1);
+            ctx.bio_traffic("malloc", 1);
+            let session = t.session(sid)?;
+            let mut s = session.lock();
+            let outcome = s.ssl.ssl_read().map_err(LibSealError::Tls)?;
+            if audited {
+                if let ReadOutcome::Data(data) = &outcome {
+                    sv.epc_touch(data.len() as u64);
+                    s.req_buf.extend_from_slice(data);
+                    // Cut complete requests out of the stream.
+                    loop {
+                        match http::parse_request(&s.req_buf) {
+                            Ok((req, used)) => {
+                                let check = req.headers.get("Libseal-Check").is_some();
+                                let raw: Vec<u8> = s.req_buf.drain(..used).collect();
+                                s.pending.push_back((raw, check));
+                            }
+                            Err(libseal_httpx::ParseError::Incomplete) => break,
+                            Err(_) => {
+                                // Provably not HTTP: these bytes can
+                                // never become a message. Drop them so
+                                // unauditable traffic does not poison
+                                // the session (the application already
+                                // received the plaintext).
+                                s.req_buf.clear();
+                                break;
+                            }
+                        }
+                    }
+                    // Interface hardening (§6.3): a peer streaming
+                    // bytes that never form a message must not grow
+                    // enclave memory without bound.
+                    if s.req_buf.len() > t.max_message_buffer {
+                        return Err(LibSealError::Log(
+                            "request stream exceeds the audit buffer limit".into(),
+                        ));
+                    }
+                }
+            }
+            Ok(outcome)
+        })??;
+        if matches!(out, ReadOutcome::Closed) {
+            if let Some(shadow) = self.shadows.write().get_mut(&sid) {
+                shadow.closed = true;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes response plaintext. With auditing enabled the response
+    /// is buffered until complete, logged against its request, and the
+    /// `Libseal-Check-Result` header is injected when requested.
+    ///
+    /// # Errors
+    ///
+    /// TLS or audit failures.
+    pub fn ssl_write(&self, slot: usize, sid: u64, data: &[u8]) -> Result<()> {
+        let audited = self.is_audited();
+        let data = data.to_vec();
+        self.call(slot, "ssl_write", move |t, sv, ctx| -> Result<()> {
+            // Record emission: scratch allocation plus BIO push per
+            // 16 KB record (LibreSSL instrumentation, §4.2). All
+            // modelled transitions are charged while no lock is held:
+            // an async ocall suspends this lthread, and a suspended
+            // lock holder deadlocks every other lthread on the same
+            // worker thread.
+            ctx.bio_traffic("malloc", 1);
+            ctx.bio_traffic("bio_write", 1 + data.len() / (16 * 1024));
+            let mut log_flushes = 0usize;
+            {
+                let session = t.session(sid)?;
+                let mut s = session.lock();
+                if !audited {
+                    s.ssl.ssl_write(&data).map_err(LibSealError::Tls)?;
+                    return Ok(());
+                }
+                s.rsp_buf.extend_from_slice(&data);
+                sv.epc_touch(data.len() as u64);
+                if s.rsp_buf.len() > t.max_message_buffer {
+                    return Err(LibSealError::Log(
+                        "response stream exceeds the audit buffer limit".into(),
+                    ));
+                }
+                // A stream that provably is not HTTP (wrong first
+                // bytes) can never be audited or header-injected;
+                // forward it verbatim instead of stalling the client.
+                if !could_be_http_response(&s.rsp_buf) {
+                    let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
+                    s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
+                    return Ok(());
+                }
+                loop {
+                    let (mut response, used) = match http::parse_response(&s.rsp_buf) {
+                        Ok(r) => r,
+                        Err(libseal_httpx::ParseError::Incomplete) => break,
+                        Err(_) => {
+                            // The service wrote something that can
+                            // never parse as HTTP; forward it verbatim
+                            // (unaudited) rather than stalling the
+                            // client forever.
+                            let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
+                            s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
+                            break;
+                        }
+                    };
+                    let raw_rsp: Vec<u8> = s.rsp_buf.drain(..used).collect();
+                    let (raw_req, check_requested) =
+                        s.pending.pop_front().unwrap_or((Vec::new(), false));
+                    let audit = t.audit.as_ref().expect("audited instances have state");
+                    let mut astate = audit.lock();
+                    let AuditState { log, ssm, checker } = &mut *astate;
+                    let logged = ssm.log_pair(&raw_req, &raw_rsp, log)?;
+                    if logged > 0 {
+                        // One durable flush per request/response pair
+                        // (§5.1); charged as an ocall below, after the
+                        // locks are released.
+                        log.flush()?;
+                        log_flushes += 1;
+                    }
+                    let _ = checker.on_pair(ssm.as_ref(), log)?;
+                    if check_requested {
+                        let outcome = checker.client_check(ssm.as_ref(), log)?;
+                        let value = match &outcome {
+                            Some(o) => o.header_value(),
+                            None => checker.last_outcome.header_value(),
+                        };
+                        response.headers.set("Libseal-Check-Result", value);
+                        drop(astate);
+                        s.ssl
+                            .ssl_write(&response.to_bytes())
+                            .map_err(LibSealError::Tls)?;
+                    } else {
+                        drop(astate);
+                        s.ssl.ssl_write(&raw_rsp).map_err(LibSealError::Tls)?;
+                    }
+                }
+            }
+            // Persisting the log crosses the boundary: the journal
+            // write + fsync happen outside the enclave (charged after
+            // all locks are released).
+            for _ in 0..log_flushes {
+                ctx.ocall("log_flush", || ());
+            }
+            Ok(())
+        })?
+    }
+
+    /// Closes a session (sends close_notify) and frees its state.
+    ///
+    /// # Errors
+    ///
+    /// Enclave entry failures.
+    pub fn close_session(&self, slot: usize, sid: u64) -> Result<()> {
+        self.call(slot, "close_session", move |t, sv, _ctx| {
+            if let Some(session) = t.sessions.write().remove(&sid) {
+                session.lock().ssl.send_close();
+                sv.epc_free(8 * 1024);
+            }
+        })?;
+        self.shadows.write().remove(&sid);
+        Ok(())
+    }
+
+    /// Final output of a closing session (the close_notify record).
+    ///
+    /// # Errors
+    ///
+    /// Enclave entry failures (unknown sessions yield empty output).
+    pub fn take_close_output(&self, slot: usize, sid: u64) -> Result<Vec<u8>> {
+        self.take_output(slot, sid).or(Ok(Vec::new()))
+    }
+
+    /// Runs all invariants now (the log analyser entry point, step 6
+    /// of Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Query failures; [`LibSealError::AuditingDisabled`] without an
+    /// SSM.
+    pub fn check_now(&self, slot: usize) -> Result<CheckOutcome> {
+        self.call(slot, "check_now", move |t, _, _ctx| -> Result<CheckOutcome> {
+            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+            let mut astate = audit.lock();
+            let AuditState { log, ssm, checker } = &mut *astate;
+            let outcome = Checker::run_checks(ssm.as_ref(), log)?;
+            checker.last_outcome = outcome.clone();
+            Ok(outcome)
+        })?
+    }
+
+    /// Trims the log now.
+    ///
+    /// # Errors
+    ///
+    /// As [`LibSeal::check_now`].
+    pub fn trim_now(&self, slot: usize) -> Result<()> {
+        self.call(slot, "trim_now", move |t, _, _ctx| -> Result<()> {
+            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+            let mut astate = audit.lock();
+            let AuditState { log, ssm, .. } = &mut *astate;
+            log.trim(ssm.trim_queries())
+        })?
+    }
+
+    /// Verifies the audit log's integrity (hash chain + signature +
+    /// data consistency).
+    ///
+    /// # Errors
+    ///
+    /// [`LibSealError::Tampered`] describing the inconsistency.
+    pub fn verify_log(&self, slot: usize) -> Result<()> {
+        self.call(slot, "verify_log", move |t, _, _ctx| -> Result<()> {
+            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+            let astate = audit.lock();
+            astate.log.verify()
+        })?
+    }
+
+    /// Log statistics: (entries, in-memory bytes, journal bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`LibSealError::AuditingDisabled`] without an SSM.
+    pub fn log_stats(&self, slot: usize) -> Result<(u64, usize, u64)> {
+        self.call(slot, "log_stats", move |t, _, _ctx| -> Result<(u64, usize, u64)> {
+            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+            let astate = audit.lock();
+            Ok((
+                astate.log.entries(),
+                astate.log.size_bytes(),
+                astate.log.journal_size_bytes(),
+            ))
+        })?
+    }
+
+    /// Runs `f` against the audit log (tests and tooling; queries the
+    /// same enclave-held database the checker uses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s failures and enclave entry failures.
+    pub fn with_log<R: Send + 'static>(
+        &self,
+        slot: usize,
+        f: impl FnOnce(&mut AuditLog) -> R + Send,
+    ) -> Result<R> {
+        self.call(slot, "check_now", move |t, _, _ctx| -> Result<R> {
+            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+            let mut astate = audit.lock();
+            Ok(f(&mut astate.log))
+        })?
+    }
+
+    /// Whether auditing is configured.
+    pub fn is_audited(&self) -> bool {
+        self.audited
+    }
+
+    /// The outside shadow of a session (no key material, §4.1).
+    pub fn shadow(&self, sid: u64) -> Option<ShadowSsl> {
+        self.shadows.read().get(&sid).cloned()
+    }
+
+    /// Stores application data on the shadow, outside the enclave
+    /// (§4.2 optimisation 3: no transition).
+    pub fn set_ex_data(&self, sid: u64, key: u32, value: Vec<u8>) {
+        if let Some(shadow) = self.shadows.write().get_mut(&sid) {
+            shadow.ex_data.insert(key, value);
+        }
+    }
+
+    /// Reads application data from the shadow (no transition).
+    pub fn get_ex_data(&self, sid: u64, key: u32) -> Option<Vec<u8>> {
+        self.shadows
+            .read()
+            .get(&sid)
+            .and_then(|s| s.ex_data.get(&key).cloned())
+    }
+
+    /// Transition statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.enclave.services().stats().snapshot()
+    }
+
+    /// Resets transition statistics (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.enclave.services().stats().reset();
+    }
+
+    /// The untrusted memory pool (exposed for §4.2 experiments).
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        &self.pool
+    }
+
+    /// The instance's TLS certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The enclave measurement.
+    pub fn measurement(&self) -> [u8; 32] {
+        *self.enclave.measurement()
+    }
+
+    /// Produces an attestation quote binding this enclave to its TLS
+    /// certificate (report data = SHA-256 of the certificate public
+    /// key), the §6.3 defence against log bypass.
+    pub fn quote(&self, qe: &QuotingEnclave) -> Quote {
+        let mut report = [0u8; 64];
+        report[..32].copy_from_slice(&Sha256::digest(&self.cert.pubkey));
+        qe.quote(self.enclave.services(), &report)
+    }
+
+    /// The underlying enclave (benchmarks and tests).
+    pub fn enclave(&self) -> &Arc<Enclave<Trusted>> {
+        &self.enclave
+    }
+
+    /// The table specs audited by the configured SSM.
+    pub fn audited_tables(&self) -> Vec<TableSpec> {
+        self.call(0, "log_stats", |t, _, _ctx| {
+            t.audit
+                .as_ref()
+                .map(|a| a.lock().ssm.tables())
+                .unwrap_or_default()
+        })
+        .unwrap_or_default()
+    }
+}
+
+impl Drop for LibSeal {
+    fn drop(&mut self) {
+        if let Some(rt) = self.runtime.take() {
+            rt.shutdown();
+        }
+    }
+}
+
+/// Convenience: the states a shadow can report (re-exported for
+/// applications that match on them).
+pub use libseal_tlsx::ssl::HandshakeState as SessionState;
+
+#[allow(unused)]
+fn _assert_traits() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<LibSeal>();
+    is_send_sync::<Trusted>();
+    let _ = HandshakeState::Established;
+}

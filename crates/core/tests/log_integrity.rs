@@ -1,0 +1,183 @@
+//! Direct tests of the audit log's integrity machinery: hash chain,
+//! signatures, rollback counters, sealed persistence.
+
+use libseal::log::{AuditLog, LogBacking, NoGuard, RollbackGuard};
+use libseal::{GitModule, LibSealError, ServiceModule};
+use libseal_crypto::ed25519::SigningKey;
+use libseal_sealdb::Value;
+
+fn open_log(backing: LogBacking, guard: Box<dyn RollbackGuard>) -> libseal::Result<AuditLog> {
+    let ssm = GitModule;
+    AuditLog::open(
+        backing,
+        [7u8; 32],
+        SigningKey::from_seed(&[1u8; 32]),
+        guard,
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+}
+
+fn append_n(log: &mut AuditLog, n: u64) {
+    for i in 0..n {
+        let t = log.next_time() as i64;
+        log.append(
+            "updates",
+            &[
+                Value::Integer(t),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text(format!("{i:040x}")),
+                Value::Text("update".into()),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+/// A guard standing in for an external (persistent) counter service
+/// that remembers more increments than the log being presented — the
+/// §5.1 rollback scenario.
+struct ExternalCounter {
+    value: std::sync::atomic::AtomicU64,
+}
+
+impl RollbackGuard for ExternalCounter {
+    fn increment(&self) -> libseal::Result<u64> {
+        Ok(self
+            .value
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1)
+    }
+    fn attested(&self) -> libseal::Result<u64> {
+        Ok(self.value.load(std::sync::atomic::Ordering::SeqCst))
+    }
+}
+
+#[test]
+fn rollback_across_restart_detected() {
+    let path = std::env::temp_dir().join(format!("libseal-rb-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Epoch 1: write 3 entries; snapshot the journal (the attacker's
+    // stale copy).
+    {
+        let guard = Box::new(ExternalCounter {
+            value: std::sync::atomic::AtomicU64::new(0),
+        });
+        let mut log = open_log(LogBacking::Disk(path.clone()), guard).unwrap();
+        append_n(&mut log, 3);
+        log.flush().unwrap();
+    }
+    let stale_copy = std::fs::read(&path).unwrap();
+
+    // Epoch 2: two more entries land (counter now attests 5).
+    {
+        let guard = Box::new(ExternalCounter {
+            value: std::sync::atomic::AtomicU64::new(3),
+        });
+        let mut log = open_log(LogBacking::Disk(path.clone()), guard).unwrap();
+        append_n(&mut log, 2);
+        log.flush().unwrap();
+    }
+
+    // The provider restores the stale journal and restarts: the
+    // external counter attests 5 > the 3 entries presented.
+    std::fs::write(&path, &stale_copy).unwrap();
+    let guard = Box::new(ExternalCounter {
+        value: std::sync::atomic::AtomicU64::new(5),
+    });
+    match open_log(LogBacking::Disk(path.clone()), guard) {
+        Err(LibSealError::Log(m)) => assert!(m.contains("rollback"), "{m}"),
+        other => panic!("rollback not detected: {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn verify_detects_reordered_chain() {
+    let mut log = open_log(LogBacking::Memory, Box::new(NoGuard)).unwrap();
+    append_n(&mut log, 3);
+    log.verify().unwrap();
+    // Swap two chain sequence numbers (a provider editing history).
+    log.db_mut()
+        .execute("UPDATE _libseal_chain SET seq = 99 WHERE seq = 1")
+        .unwrap();
+    assert!(log.verify().is_err());
+}
+
+#[test]
+fn verify_detects_payload_edit() {
+    let mut log = open_log(LogBacking::Memory, Box::new(NoGuard)).unwrap();
+    append_n(&mut log, 2);
+    log.db_mut()
+        .execute("UPDATE _libseal_chain SET payload = 'forged' WHERE seq = 2")
+        .unwrap();
+    assert!(log.verify().is_err());
+}
+
+#[test]
+fn verify_detects_meta_tampering() {
+    let mut log = open_log(LogBacking::Memory, Box::new(NoGuard)).unwrap();
+    append_n(&mut log, 2);
+    log.db_mut()
+        .execute("UPDATE _libseal_meta SET v = '00:2:2' WHERE k = 'head'")
+        .unwrap();
+    assert!(log.verify().is_err());
+}
+
+#[test]
+fn empty_log_verifies() {
+    let log = open_log(LogBacking::Memory, Box::new(NoGuard)).unwrap();
+    log.verify().unwrap();
+}
+
+#[test]
+fn logical_clock_is_monotonic_across_restart() {
+    let path = std::env::temp_dir().join(format!("libseal-clock-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let t1;
+    {
+        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        append_n(&mut log, 4);
+        t1 = log.now();
+    }
+    {
+        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let t2 = log.next_time();
+        assert!(t2 > t1, "clock went backwards: {t2} <= {t1}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn clock_survives_trim_and_restart() {
+    // Regression test: after trimming renumbers the chain, a restart
+    // must not reset the logical clock below surviving rows' times.
+    let ssm = GitModule;
+    let path = std::env::temp_dir().join(format!("libseal-trimclk-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut max_time_before;
+    {
+        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        append_n(&mut log, 50);
+        log.trim(ssm.trim_queries()).unwrap(); // chain renumbered to 1 entry
+        max_time_before = 0i64;
+        let r = log.query("SELECT MAX(time) FROM updates", &[]).unwrap();
+        if let Some(Value::Integer(t)) = r.scalar() {
+            max_time_before = *t;
+        }
+        assert!(max_time_before >= 50);
+        log.flush().unwrap();
+    }
+    {
+        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let next = log.next_time() as i64;
+        assert!(
+            next > max_time_before,
+            "clock regressed: next {next} <= surviving max {max_time_before}"
+        );
+        log.verify().unwrap();
+    }
+    let _ = std::fs::remove_file(&path);
+}

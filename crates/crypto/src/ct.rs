@@ -1,0 +1,80 @@
+//! Constant-time helpers.
+//!
+//! Comparisons of MACs, tags and key material must not leak the position
+//! of the first differing byte through timing. These helpers accumulate
+//! differences with bitwise ORs so the running time depends only on the
+//! input lengths.
+
+/// Compares two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately when the lengths differ; length is public
+/// information for all uses in this workspace.
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Map `diff == 0` to 1 without a data-dependent branch.
+    let diff = diff as u16;
+    let is_zero = (diff.wrapping_sub(1) >> 8) & 1;
+    is_zero == 1
+}
+
+/// Selects `a` when `choice` is 1 and `b` when `choice` is 0, branch-free.
+///
+/// # Panics
+///
+/// Debug-asserts that `choice` is 0 or 1.
+#[must_use]
+pub fn select_u64(choice: u64, a: u64, b: u64) -> u64 {
+    debug_assert!(choice == 0 || choice == 1);
+    let mask = choice.wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Conditionally swaps `a` and `b` when `choice` is 1, branch-free.
+pub fn swap_u64s(choice: u64, a: &mut [u64], b: &mut [u64]) {
+    debug_assert!(choice == 0 || choice == 1);
+    debug_assert_eq!(a.len(), b.len());
+    let mask = choice.wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = mask & (*x ^ *y);
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn select_works() {
+        assert_eq!(select_u64(1, 7, 9), 7);
+        assert_eq!(select_u64(0, 7, 9), 9);
+    }
+
+    #[test]
+    fn swap_works() {
+        let mut a = [1u64, 2, 3];
+        let mut b = [4u64, 5, 6];
+        swap_u64s(0, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3]);
+        swap_u64s(1, &mut a, &mut b);
+        assert_eq!(a, [4, 5, 6]);
+        assert_eq!(b, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limbs in `u32`s (five limbs), using `u64`
+//! intermediates — the classic "floodyberry"-style reference layout.
+
+/// Incremental Poly1305 MAC.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates an authenticator keyed with the 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // Clamp r per the spec.
+        let r0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let r1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let r2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let r3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+        let r = [
+            r0 & 0x3ffffff,
+            ((r0 >> 26) | (r1 << 6)) & 0x3ffff03,
+            ((r1 >> 20) | (r2 << 12)) & 0x3ffc0ff,
+            ((r2 >> 14) | (r3 << 18)) & 0x3f03fff,
+            (r3 >> 8) & 0x00fffff,
+        ];
+        let pad = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+        Poly1305 {
+            r,
+            h: [0; 5],
+            pad,
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        self.h[0] = self.h[0].wrapping_add(t0 & 0x3ffffff);
+        self.h[1] = self.h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x3ffffff);
+        self.h[2] = self.h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x3ffffff);
+        self.h[3] = self.h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x3ffffff);
+        self.h[4] = self.h[4].wrapping_add((t3 >> 8) | hibit);
+
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h.map(u64::from);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        let h0 = (d0 & 0x3ffffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        let h1 = (d1 & 0x3ffffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        let h2 = (d2 & 0x3ffffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        let h3 = (d3 & 0x3ffffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        let h4 = (d4 & 0x3ffffff) as u32;
+        d0 = u64::from(h0) + c * 5;
+        c = d0 >> 26;
+        let h0 = (d0 & 0x3ffffff) as u32;
+        let h1 = h1.wrapping_add(c as u32);
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Completes the MAC and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, true);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        // Full carry propagation.
+        let mut c: u32;
+        c = h1 >> 26;
+        h1 &= 0x3ffffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x3ffffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x3ffffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x3ffffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += c;
+
+        // Compute h + -p and select it if h >= p, in constant time.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x3ffffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x3ffffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x3ffffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x3ffffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        let mask = (g4 >> 31).wrapping_sub(1);
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & mask);
+
+        // Serialize h back to 128 bits.
+        let w0 = h0 | (h1 << 26);
+        let w1 = (h1 >> 6) | (h2 << 20);
+        let w2 = (h2 >> 12) | (h3 << 14);
+        let w3 = (h3 >> 18) | (h4 << 8);
+
+        // Add the pad (s) modulo 2^128.
+        let mut acc: u64;
+        acc = u64::from(w0) + u64::from(self.pad[0]);
+        let o0 = acc as u32;
+        acc = u64::from(w1) + u64::from(self.pad[1]) + (acc >> 32);
+        let o1 = acc as u32;
+        acc = u64::from(w2) + u64::from(self.pad[2]) + (acc >> 32);
+        let o2 = acc as u32;
+        acc = u64::from(w3) + u64::from(self.pad[3]) + (acc >> 32);
+        let o3 = acc as u32;
+
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&o0.to_le_bytes());
+        out[4..8].copy_from_slice(&o1.to_le_bytes());
+        out[8..12].copy_from_slice(&o2.to_le_bytes());
+        out[12..16].copy_from_slice(&o3.to_le_bytes());
+        out
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    pub fn mac(key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(
+            tag.to_vec(),
+            unhex("a8061dc1305136c6c22b8baf0c0127a9")
+        );
+    }
+
+    // RFC 8439 §A.3 test vector 2: all-zero key must give an all-zero tag.
+    #[test]
+    fn zero_key_zero_tag() {
+        let key = [0u8; 32];
+        let tag = Poly1305::mac(&key, &[0u8; 64]);
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    // Hand-computed cases with r = 2, s = 0: a zero 16-byte block has
+    // value 2^128, so h = 2^129 mod (2^130 - 5) = 2^129, and the tag is
+    // 2^129 mod 2^128 = 0. With a leading 0x01 byte the block value is
+    // 1 + 2^128, h = 2 + 2^129, tag = 2.
+    #[test]
+    fn hand_computed_r2() {
+        let mut key = [0u8; 32];
+        key[0] = 2; // r = 2 survives clamping
+        let tag = Poly1305::mac(&key, &[0u8; 16]);
+        assert_eq!(tag, [0u8; 16]);
+
+        let mut msg = [0u8; 16];
+        msg[0] = 1;
+        let tag = Poly1305::mac(&key, &msg);
+        let mut expected = [0u8; 16];
+        expected[0] = 2;
+        assert_eq!(tag, expected);
+    }
+
+    // The pad s is added modulo 2^128: r = 0 makes h = 0, so the tag
+    // equals s verbatim.
+    #[test]
+    fn tag_equals_pad_when_r_zero() {
+        let mut key = [0u8; 32];
+        for (i, b) in key[16..].iter_mut().enumerate() {
+            *b = i as u8 + 1;
+        }
+        let tag = Poly1305::mac(&key, b"arbitrary message content here!!");
+        assert_eq!(&tag[..], &key[16..]);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 3) as u8).collect();
+        for chunk in [1usize, 5, 15, 16, 17, 50] {
+            let mut p = Poly1305::new(&key);
+            for c in data.chunks(chunk) {
+                p.update(c);
+            }
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "chunk={chunk}");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! HTTP/1.1 request/response parsing and serialization.
+//!
+//! Supports `Content-Length` and chunked bodies, header iteration with
+//! case-insensitive lookup, and incremental parsing from a byte buffer
+//! (returning [`ParseError::Incomplete`] until a full message is
+//! available) — what a TLS-terminating audit shim needs to cut message
+//! boundaries out of a stream.
+
+use crate::{ParseError, Result};
+
+/// An ordered multimap of HTTP headers with case-insensitive lookup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a header.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Removes all values of `name`; returns whether any were present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before != self.entries.len()
+    }
+
+    /// Replaces any existing values of `name` with one `value`.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.insert(name.to_string(), value);
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Method (GET, POST, ...).
+    pub method: String,
+    /// Request target (path + query).
+    pub target: String,
+    /// Protocol version (e.g. "HTTP/1.1").
+    pub version: String,
+    /// Headers.
+    pub headers: HeaderMap,
+    /// Body bytes (already de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a request with a body, setting `Content-Length`.
+    pub fn new(method: &str, target: &str, body: Vec<u8>) -> Request {
+        let mut headers = HeaderMap::new();
+        headers.insert("Content-Length", body.len().to_string());
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: "HTTP/1.1".to_string(),
+            headers,
+            body,
+        }
+    }
+
+    /// Path portion of the target (before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Value of a query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let q = self.target.split_once('?')?.1;
+        q.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Serializes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("{} {} {}\r\n", self.method, self.target, self.version).as_bytes(),
+        );
+        for (n, v) in self.headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Protocol version.
+    pub version: String,
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers.
+    pub headers: HeaderMap,
+    /// Body bytes (already de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a response with a body, setting `Content-Length`.
+    pub fn new(status: u16, body: Vec<u8>) -> Response {
+        let mut headers = HeaderMap::new();
+        headers.insert("Content-Length", body.len().to_string());
+        Response {
+            version: "HTTP/1.1".to_string(),
+            status,
+            reason: reason_for(status).to_string(),
+            headers,
+            body,
+        }
+    }
+
+    /// Serializes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("{} {} {}\r\n", self.version, self.status, self.reason).as_bytes(),
+        );
+        for (n, v) in self.headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Attempts to parse one request from the front of `buf`; on success
+/// returns the request and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`ParseError::Incomplete`] until a full message is buffered;
+/// [`ParseError::Malformed`] when the bytes can never become one.
+pub fn parse_request(buf: &[u8]) -> Result<(Request, usize)> {
+    let (head_end, line, headers) = parse_head(buf)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/") {
+        return Err(ParseError::Malformed(format!("bad version: {version}")));
+    }
+    let (body, consumed) = parse_body(&headers, buf, head_end)?;
+    Ok((
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: version.to_string(),
+            headers,
+            body,
+        },
+        consumed,
+    ))
+}
+
+/// Attempts to parse one response from the front of `buf`.
+///
+/// # Errors
+///
+/// As [`parse_request`].
+pub fn parse_response(buf: &[u8]) -> Result<(Response, usize)> {
+    let (head_end, line, headers) = parse_head(buf)?;
+    let mut parts = line.splitn(3, ' ');
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing version".into()))?;
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError::Malformed("missing status".into()))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let (body, consumed) = parse_body(&headers, buf, head_end)?;
+    Ok((
+        Response {
+            version: version.to_string(),
+            status,
+            reason,
+            headers,
+            body,
+        },
+        consumed,
+    ))
+}
+
+/// Parses the head: returns (offset past CRLFCRLF, start line, headers).
+fn parse_head(buf: &[u8]) -> Result<(usize, String, HeaderMap)> {
+    let Some(head_end) = find_double_crlf(buf) else {
+        if buf.len() > 64 * 1024 {
+            return Err(ParseError::Malformed("header section too large".into()));
+        }
+        return Err(ParseError::Incomplete);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty head".into()))?
+        .to_string();
+    if start.is_empty() {
+        return Err(ParseError::Malformed("empty start line".into()));
+    }
+    let mut headers = HeaderMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header line: {line}")))?;
+        headers.insert(name.trim().to_string(), value.trim().to_string());
+    }
+    Ok((head_end + 4, start, headers))
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Extracts the body given the headers; returns (body, total consumed).
+fn parse_body(headers: &HeaderMap, buf: &[u8], body_start: usize) -> Result<(Vec<u8>, usize)> {
+    if headers
+        .get("Transfer-Encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        let (body, used) = decode_chunked(&buf[body_start..])?;
+        return Ok((body, body_start + used));
+    }
+    let len: usize = match headers.get("Content-Length") {
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::Malformed("bad Content-Length".into()))?,
+        None => 0,
+    };
+    if buf.len() < body_start + len {
+        return Err(ParseError::Incomplete);
+    }
+    Ok((
+        buf[body_start..body_start + len].to_vec(),
+        body_start + len,
+    ))
+}
+
+/// Decodes a chunked body; returns (bytes, consumed).
+fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let line_end = buf[i..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or(ParseError::Incomplete)?;
+        let size_line = std::str::from_utf8(&buf[i..i + line_end])
+            .map_err(|_| ParseError::Malformed("chunk size not UTF-8".into()))?;
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| ParseError::Malformed(format!("bad chunk size: {size_str}")))?;
+        i += line_end + 2;
+        if size == 0 {
+            // Trailer section: skip to final CRLF.
+            if buf.len() < i + 2 {
+                return Err(ParseError::Incomplete);
+            }
+            // Allow optional trailers ending with CRLF.
+            if &buf[i..i + 2] == b"\r\n" {
+                return Ok((out, i + 2));
+            }
+            let trailer_end = buf[i..]
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .ok_or(ParseError::Incomplete)?;
+            return Ok((out, i + trailer_end + 4));
+        }
+        if buf.len() < i + size + 2 {
+            return Err(ParseError::Incomplete);
+        }
+        out.extend_from_slice(&buf[i..i + size]);
+        if &buf[i + size..i + size + 2] != b"\r\n" {
+            return Err(ParseError::Malformed("chunk not CRLF-terminated".into()));
+        }
+        i += size + 2;
+    }
+}
+
+/// Encodes `body` with chunked transfer encoding (single chunk).
+pub fn encode_chunked(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(b"\r\n0\r\n\r\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::new("POST", "/upload?x=1", b"hello".to_vec());
+        req.headers.insert("Host", "example.com");
+        let bytes = req.to_bytes();
+        let (parsed, used) = parse_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path(), "/upload");
+        assert_eq!(parsed.query_param("x"), Some("1"));
+        assert_eq!(parsed.body, b"hello");
+        assert_eq!(parsed.headers.get("host"), Some("example.com"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut rsp = Response::new(404, b"gone".to_vec());
+        rsp.headers.insert("X-Test", "v");
+        let bytes = rsp.to_bytes();
+        let (parsed, used) = parse_response(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.reason, "Not Found");
+        assert_eq!(parsed.body, b"gone");
+    }
+
+    #[test]
+    fn incomplete_returns_incomplete() {
+        let req = Request::new("GET", "/", Vec::new()).to_bytes();
+        for cut in [1, 5, req.len() - 1] {
+            assert_eq!(
+                parse_request(&req[..cut]).unwrap_err(),
+                ParseError::Incomplete,
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn body_split_across_reads() {
+        let req = Request::new("POST", "/", vec![7u8; 100]).to_bytes();
+        let head_len = req.len() - 50;
+        assert_eq!(
+            parse_request(&req[..head_len]).unwrap_err(),
+            ParseError::Incomplete
+        );
+        let (parsed, _) = parse_request(&req).unwrap();
+        assert_eq!(parsed.body.len(), 100);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_correctly() {
+        let a = Request::new("GET", "/a", Vec::new()).to_bytes();
+        let b = Request::new("GET", "/b", Vec::new()).to_bytes();
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let (r1, used1) = parse_request(&buf).unwrap();
+        assert_eq!(r1.target, "/a");
+        let (r2, used2) = parse_request(&buf[used1..]).unwrap();
+        assert_eq!(r2.target, "/b");
+        assert_eq!(used1 + used2, buf.len());
+    }
+
+    #[test]
+    fn chunked_body_decodes() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let (rsp, used) = parse_response(raw).unwrap();
+        assert_eq!(rsp.body, b"Wikipedia");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunked_encode_decode_roundtrip() {
+        let body = b"some body content";
+        let encoded = encode_chunked(body);
+        let (decoded, used) = decode_chunked(&encoded).unwrap();
+        assert_eq!(decoded, body);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(matches!(
+            parse_request(b"NOT VALID\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let bad_len = b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+        assert!(matches!(
+            parse_request(bad_len),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn huge_headers_rejected() {
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', 70 * 1024));
+        assert!(matches!(
+            parse_request(&buf),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn header_set_replaces() {
+        let mut h = HeaderMap::new();
+        h.insert("A", "1");
+        h.insert("a", "2");
+        h.set("A", "3");
+        assert_eq!(h.get("a"), Some("3"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn no_body_without_length() {
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\nEXTRA";
+        let (req, used) = parse_request(raw).unwrap();
+        assert!(req.body.is_empty());
+        assert_eq!(&raw[used..], b"EXTRA");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! HTTP/1.1 parsing/serialization and a minimal JSON implementation.
+//!
+//! LibSEAL's service-specific modules parse the requests and responses
+//! flowing through the TLS termination point (§5.1): HTTP for all three
+//! evaluated services, with JSON bodies for ownCloud document sync and
+//! the Dropbox metadata protocol. This crate provides both parsers
+//! without external dependencies (JSON is implemented here rather than
+//! pulling `serde_json`, keeping the in-enclave code self-contained).
+
+pub mod http;
+pub mod json;
+
+pub use http::{parse_request, parse_response, HeaderMap, Request, Response};
+pub use json::Json;
+
+/// Errors from protocol parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// More bytes are needed before a full message can be parsed.
+    Incomplete,
+    /// The bytes cannot be a valid message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Incomplete => write!(f, "incomplete message"),
+            ParseError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for parser results.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,101 @@
+//! Property-based tests for HTTP and JSON parsing.
+
+use libseal_httpx::http::{parse_request, parse_response, Request, Response};
+use libseal_httpx::json::Json;
+use libseal_httpx::ParseError;
+use proptest::prelude::*;
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn request_roundtrips(
+        method in "(GET|POST|PUT|DELETE)",
+        path in "/[a-z0-9/]{0,20}",
+        headers in proptest::collection::vec((token(), "[ -~&&[^\r\n]]{0,20}"), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut req = Request::new(&method, &path, body.clone());
+        for (n, v) in &headers {
+            req.headers.insert(n.clone(), v.trim().to_string());
+        }
+        let bytes = req.to_bytes();
+        let (parsed, used) = parse_request(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed.method, method);
+        prop_assert_eq!(parsed.body, body);
+        for (n, v) in &headers {
+            prop_assert_eq!(parsed.headers.get(n).unwrap(), v.trim());
+        }
+    }
+
+    #[test]
+    fn response_roundtrips(
+        status in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let rsp = Response::new(status, body.clone());
+        let bytes = rsp.to_bytes();
+        let (parsed, used) = parse_response(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn truncation_is_incomplete_never_wrong(
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let req = Request::new("POST", "/x", body);
+        let bytes = req.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_ratio) as usize;
+        match parse_request(&bytes[..cut]) {
+            Err(ParseError::Incomplete) => {}
+            Ok((parsed, used)) => {
+                // A prefix that parses must be a strictly valid message
+                // (possible when the body is truncated at its declared
+                // length boundary — but then used <= cut).
+                prop_assert!(used <= cut);
+                prop_assert_eq!(parsed.method, "POST");
+            }
+            Err(ParseError::Malformed(_)) => prop_assert!(false, "prefix misparsed"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = parse_request(&bytes);
+        let _ = parse_response(&bytes);
+        let _ = Json::parse_bytes(&bytes);
+    }
+
+    #[test]
+    fn json_roundtrips_nested(
+        pairs in proptest::collection::btree_map(
+            "[a-z]{1,8}",
+            prop_oneof![
+                any::<i32>().prop_map(|n| Json::Number(n as f64)),
+                any::<bool>().prop_map(Json::Bool),
+                "[ -~&&[^\"\\\\]]{0,16}".prop_map(Json::String),
+                Just(Json::Null),
+            ],
+            0..8,
+        ),
+    ) {
+        let obj = Json::Object(pairs.into_iter().collect());
+        let text = obj.to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap(), obj);
+    }
+
+    #[test]
+    fn json_strings_with_any_unicode(s in "\\PC{0,40}") {
+        let j = Json::String(s.clone());
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+}

@@ -1,0 +1,453 @@
+//! The asynchronous enclave call runtime (§4.3, Fig. 3).
+//!
+//! `S` SGX worker threads permanently reside inside the enclave, each
+//! running `T` lthread tasks; `A` application threads communicate with
+//! them through per-thread request slots. Application threads either
+//! busy-wait on their slot or park and get woken by one dedicated
+//! polling thread (the paper found the dedicated poller faster; both
+//! are implemented so §6.8 can compare).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use libseal_sgxsim::enclave::{Enclave, EnclaveServices};
+use libseal_sgxsim::Result;
+
+use crate::coro::Coroutine;
+use crate::slots::{EcallFn, OcallPort, Slot};
+
+/// How application threads wait for async-call completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Every application thread spins on its own slot.
+    BusyWait,
+    /// Application threads park; a dedicated polling thread wakes them.
+    Poller,
+}
+
+/// Configuration of the async runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of SGX worker threads resident in the enclave (`S`).
+    pub sgx_threads: usize,
+    /// Number of lthread tasks per SGX thread (`T`).
+    pub lthreads_per_thread: usize,
+    /// Number of application slots (`A`, one per application thread).
+    pub slots: usize,
+    /// Stack size for each lthread task.
+    pub stack_size: usize,
+    /// Wait strategy for application threads.
+    pub wait_mode: WaitMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            sgx_threads: 3,
+            lthreads_per_thread: 48,
+            slots: 16,
+            stack_size: 256 * 1024,
+            wait_mode: WaitMode::Poller,
+        }
+    }
+}
+
+struct RuntimeInner<T: Send + Sync + 'static> {
+    enclave: Arc<Enclave<T>>,
+    slots: Vec<Slot<T>>,
+    shutdown: AtomicBool,
+    wait_mode: WaitMode,
+}
+
+/// The asynchronous enclave call runtime.
+pub struct AsyncRuntime<T: Send + Sync + 'static> {
+    inner: Arc<RuntimeInner<T>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    poller: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + Sync + 'static> AsyncRuntime<T> {
+    /// Starts worker threads (and the poller, if configured) for
+    /// `enclave`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the enclave cannot admit `sgx_threads` persistent
+    /// threads (TCS exhaustion).
+    pub fn start(enclave: Arc<Enclave<T>>, config: RuntimeConfig) -> Result<Self> {
+        let inner = Arc::new(RuntimeInner {
+            enclave,
+            slots: (0..config.slots).map(|_| Slot::default()).collect(),
+            shutdown: AtomicBool::new(false),
+            wait_mode: config.wait_mode,
+        });
+
+        let mut workers = Vec::with_capacity(config.sgx_threads);
+        for worker_idx in 0..config.sgx_threads {
+            let inner = Arc::clone(&inner);
+            let lthreads = config.lthreads_per_thread;
+            let stack = config.stack_size;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sgx-worker-{worker_idx}"))
+                    .spawn(move || worker_loop(inner, lthreads, stack))
+                    .expect("spawn sgx worker"),
+            );
+        }
+
+        let poller = if config.wait_mode == WaitMode::Poller {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("slot-poller".to_string())
+                    .spawn(move || poller_loop(inner))
+                    .expect("spawn poller"),
+            )
+        } else {
+            None
+        };
+
+        Ok(AsyncRuntime {
+            inner,
+            workers,
+            poller,
+        })
+    }
+
+    /// Executes `f` inside the enclave as an asynchronous ecall from
+    /// the application thread owning `slot_idx`.
+    ///
+    /// Any ocalls `f` performs through its [`OcallPort`] run on this
+    /// thread, per the paper's slot-affinity rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_idx` is out of range or concurrently used by
+    /// another application thread.
+    pub fn async_ecall<R: Send + 'static>(
+        &self,
+        slot_idx: usize,
+        f: impl for<'p> FnOnce(&T, &EnclaveServices, &OcallPort<'p, T>) -> R + Send,
+    ) -> R {
+        let slot = &self.inner.slots[slot_idx];
+        assert!(
+            slot.occupied
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+            "slot {slot_idx} already in use by another application thread"
+        );
+
+        let result: Arc<parking_lot::Mutex<Option<R>>> = Arc::new(parking_lot::Mutex::new(None));
+        let result2 = Arc::clone(&result);
+        let boxed: Box<dyn for<'p> FnOnce(&T, &EnclaveServices, &OcallPort<'p, T>) + Send> =
+            Box::new(move |state, sv, port| {
+                *result2.lock() = Some(f(state, sv, port));
+            });
+        // SAFETY: we block below until `ecall_done`, so the non-'static
+        // captures of `f` outlive the enclave's use of the closure.
+        let boxed: EcallFn<T> = unsafe { std::mem::transmute(boxed) };
+
+        *slot.ecall_req.lock() = Some(boxed);
+        slot.ecall_done.store(false, Ordering::Release);
+        slot.ecall_pending.store(true, Ordering::Release);
+
+        // Wait, serving our own ocalls as they appear.
+        loop {
+            if slot
+                .ocall_pending
+                .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let req = slot.ocall_req.lock().take();
+                if let Some(req) = req {
+                    req();
+                }
+                slot.ocall_done.store(true, Ordering::Release);
+                continue;
+            }
+            if slot.ecall_done.load(Ordering::Acquire) {
+                slot.ecall_done.store(false, Ordering::Release);
+                break;
+            }
+            match self.inner.wait_mode {
+                // Yield so enclave workers can run even on a single
+                // core; pure spinning would starve them for a whole
+                // scheduler timeslice.
+                WaitMode::BusyWait => std::thread::yield_now(),
+                WaitMode::Poller => {
+                    *slot.waiter.lock() = Some(std::thread::current());
+                    // Re-check to close the race with the poller.
+                    if !slot.needs_app_thread() {
+                        std::thread::park_timeout(std::time::Duration::from_micros(200));
+                    }
+                    slot.waiter.lock().take();
+                }
+            }
+        }
+
+        slot.occupied.store(false, Ordering::Release);
+        let out = result.lock().take();
+        out.expect("ecall result present after ecall_done")
+    }
+
+    /// Executes `f` as a classic synchronous ecall (full transition
+    /// cost); the "without async calls" baseline of Tab. 2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCS exhaustion from the enclave.
+    pub fn sync_ecall<R>(
+        &self,
+        name: &'static str,
+        f: impl FnOnce(&T, &EnclaveServices) -> R,
+    ) -> Result<R> {
+        self.inner.enclave.ecall(name, f)
+    }
+
+    /// The underlying enclave.
+    pub fn enclave(&self) -> &Arc<Enclave<T>> {
+        &self.inner.enclave
+    }
+
+    /// Number of application slots.
+    pub fn slot_count(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Stops workers and the poller, waiting for them to exit.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for AsyncRuntime<T> {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + Sync + 'static>(
+    inner: Arc<RuntimeInner<T>>,
+    lthreads: usize,
+    stack_size: usize,
+) {
+    // Enter the enclave once and stay: TCS slot held for the runtime's
+    // lifetime, so async calls pay no transitions.
+    let entry = match inner.enclave.enter_persistent() {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let _ = &entry;
+
+    let mut tasks: Vec<Coroutine> = (0..lthreads)
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            Coroutine::new(stack_size, move |yielder| {
+                // The lthread task: claim pending ecalls from any slot.
+                loop {
+                    if inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let mut did_work = false;
+                    for slot in inner.slots.iter() {
+                        if let Some(req) = slot.try_claim_ecall() {
+                            inner.enclave.async_call(|state, sv| {
+                                let port = OcallPort {
+                                    slot,
+                                    yielder,
+                                    services: sv,
+                                };
+                                req(state, sv, &port);
+                            });
+                            slot.ecall_done.store(true, Ordering::Release);
+                            if let Some(w) = slot.waiter.lock().take() {
+                                w.unpark();
+                            }
+                            did_work = true;
+                        }
+                    }
+                    if !did_work {
+                        yielder.yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Round-robin lthread scheduler.
+    loop {
+        let mut alive = false;
+        for task in tasks.iter_mut() {
+            if !task.is_finished() {
+                alive = true;
+                let _ = task.resume();
+            }
+        }
+        if !alive {
+            break;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            // Keep resuming until every task observes shutdown and
+            // finishes; they need resumes to exit their loops.
+            let all_done = tasks.iter().all(|t| t.is_finished());
+            if all_done {
+                break;
+            }
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    drop(tasks);
+    drop(entry);
+}
+
+fn poller_loop<T: Send + Sync + 'static>(inner: Arc<RuntimeInner<T>>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        for slot in inner.slots.iter() {
+            if slot.needs_app_thread() {
+                if let Some(w) = slot.waiter.lock().take() {
+                    w.unpark();
+                }
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libseal_sgxsim::cost::CostModel;
+    use libseal_sgxsim::enclave::EnclaveBuilder;
+    use parking_lot::Mutex;
+
+    fn runtime(mode: WaitMode) -> AsyncRuntime<Mutex<Vec<u64>>> {
+        let enclave = Arc::new(
+            EnclaveBuilder::new(b"rt-test")
+                .cost_model(CostModel::free())
+                .tcs_count(8)
+                .build(|_| Mutex::new(Vec::new())),
+        );
+        AsyncRuntime::start(
+            enclave,
+            RuntimeConfig {
+                sgx_threads: 2,
+                lthreads_per_thread: 4,
+                slots: 4,
+                stack_size: 128 * 1024,
+                wait_mode: mode,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn async_ecall_returns_result() {
+        for mode in [WaitMode::BusyWait, WaitMode::Poller] {
+            let rt = runtime(mode);
+            let out = rt.async_ecall(0, |state, _, _| {
+                state.lock().push(42);
+                "done".to_string()
+            });
+            assert_eq!(out, "done");
+            let len = rt.async_ecall(0, |state, _, _| state.lock().len());
+            assert_eq!(len, 1);
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn ocall_executes_on_app_thread() {
+        let rt = runtime(WaitMode::BusyWait);
+        let app_thread = std::thread::current().id();
+        let observed = rt.async_ecall(0, move |_, _, port| {
+            port.ocall("probe", move || std::thread::current().id())
+        });
+        assert_eq!(observed, app_thread);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_ocalls_roundtrip() {
+        let rt = runtime(WaitMode::BusyWait);
+        let sum = rt.async_ecall(1, |_, _, port| {
+            let a: u64 = port.ocall("read", || 10);
+            let b: u64 = port.ocall("read", || 32);
+            a + b
+        });
+        assert_eq!(sum, 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_app_threads() {
+        let rt = Arc::new(runtime(WaitMode::BusyWait));
+        let mut handles = Vec::new();
+        for slot in 0..4 {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let v = rt.async_ecall(slot, move |state, _, port| {
+                        state.lock().push(i);
+                        port.ocall("echo", move || i * 2)
+                    });
+                    assert_eq!(v, i * 2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = rt.async_ecall(0, |state, _, _| state.lock().len());
+        assert_eq!(total, 200);
+        match Arc::try_unwrap(rt) {
+            Ok(rt) => rt.shutdown(),
+            Err(_) => panic!("runtime still shared"),
+        }
+    }
+
+    #[test]
+    fn stats_record_async_calls() {
+        let rt = runtime(WaitMode::BusyWait);
+        rt.async_ecall(0, |_, _, port| {
+            port.ocall("x", || ());
+        });
+        let snap = rt.enclave().services().stats().snapshot();
+        assert_eq!(snap.async_ecalls, 1);
+        assert_eq!(snap.async_ocalls, 1);
+        assert_eq!(snap.ecalls, 0, "no sync transitions on the async path");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sync_path_still_available() {
+        let rt = runtime(WaitMode::BusyWait);
+        let n = rt.sync_ecall("probe", |state, _| state.lock().len()).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(rt.enclave().services().stats().snapshot().ecalls, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn borrowed_captures_work() {
+        // The ecall closure may borrow stack data of the app thread.
+        let rt = runtime(WaitMode::BusyWait);
+        let local = vec![1u64, 2, 3];
+        let local_ref = &local;
+        let sum = rt.async_ecall(0, move |_, _, _| local_ref.iter().sum::<u64>());
+        assert_eq!(sum, 6);
+        rt.shutdown();
+    }
+}

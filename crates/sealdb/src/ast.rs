@@ -1,0 +1,402 @@
+//! The SQL abstract syntax tree.
+
+use crate::value::Value;
+
+/// A full SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE [IF NOT EXISTS] name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// Suppress the error when the table exists.
+        if_not_exists: bool,
+    },
+    /// `CREATE VIEW name AS SELECT ...`
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Select,
+        /// Suppress the error when the view exists.
+        if_not_exists: bool,
+    },
+    /// `DROP TABLE [IF EXISTS] name`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Suppress the error when missing.
+        if_exists: bool,
+    },
+    /// `DROP VIEW [IF EXISTS] name`
+    DropView {
+        /// View name.
+        name: String,
+        /// Suppress the error when missing.
+        if_exists: bool,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row value expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DELETE FROM t [WHERE ...]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `UPDATE t SET c = e, ... [WHERE ...]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// A `SELECT` query.
+    Select(Select),
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type text (drives affinity), may be empty.
+    pub decl_type: String,
+    /// Whether declared `PRIMARY KEY`.
+    pub primary_key: bool,
+}
+
+/// A SELECT query (possibly with set-returning FROM and grouping).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Output expressions.
+    pub projections: Vec<SelectItem>,
+    /// FROM clause (None = scalar select like `SELECT 1`).
+    pub from: Option<FromClause>,
+    /// WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY terms.
+    pub order_by: Vec<OrderTerm>,
+    /// LIMIT count.
+    pub limit: Option<Expr>,
+    /// OFFSET count.
+    pub offset: Option<Expr>,
+}
+
+/// One item of the projection list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `t.*`
+    QualifiedStar(String),
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// The FROM clause: a first source plus joins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromClause {
+    /// First table/subquery.
+    pub first: TableRef,
+    /// Subsequent joins, applied left to right.
+    pub joins: Vec<Join>,
+}
+
+/// A join step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    /// Join flavour.
+    pub kind: JoinKind,
+    /// Right-hand source.
+    pub table: TableRef,
+    /// `ON` predicate (None for NATURAL and CROSS joins).
+    pub on: Option<Expr>,
+}
+
+/// Join flavours supported by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN ... ON`, or a comma (cross join when `on` absent).
+    Inner,
+    /// `LEFT [OUTER] JOIN ... ON`.
+    Left,
+    /// `NATURAL JOIN`: equality over shared column names, shared
+    /// columns merged.
+    Natural,
+}
+
+/// A table or subquery in FROM.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableRef {
+    /// A named table or view with an optional alias.
+    Named {
+        /// Table or view name.
+        name: String,
+        /// Alias (e.g. `advertisements a`).
+        alias: Option<String>,
+    },
+    /// A parenthesised subquery with an alias.
+    Subquery {
+        /// The inner query.
+        query: Box<Select>,
+        /// Alias naming the derived table.
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The name this source is referenced by in column qualifiers.
+    pub fn effective_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// An ORDER BY term.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderTerm {
+    /// Sort expression (or output-column reference / position).
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `||` string concatenation
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `NOT`
+    Not,
+}
+
+/// A scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// `?` parameter (0-based).
+    Param(usize),
+    /// Column reference, optionally qualified.
+    Column {
+        /// Table qualifier (`u` in `u.cid`).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call (including aggregates).
+    Function {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments; empty with `star=true` for `COUNT(*)`.
+        args: Vec<Expr>,
+        /// `COUNT(*)`-style star argument.
+        star: bool,
+        /// `COUNT(DISTINCT x)`.
+        distinct: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List items.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (first output column used).
+        query: Box<Select>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// The subquery.
+        query: Box<Select>,
+        /// `NOT EXISTS`?
+        negated: bool,
+    },
+    /// A scalar subquery `(SELECT ...)`.
+    Subquery(Box<Select>),
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// `NOT BETWEEN`?
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%` and `_` wildcards.
+        pattern: Box<Expr>,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Optional operand (simple CASE).
+        operand: Option<Box<Expr>>,
+        /// WHEN/THEN pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// ELSE expression.
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Whether this expression (recursively) contains an aggregate
+    /// function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args, .. } => {
+                matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "TOTAL"
+                    | "GROUP_CONCAT")
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            _ => false,
+        }
+    }
+
+    /// A human-readable rendering used for derived column names.
+    pub fn display_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Function { name, args, star, .. } => {
+                if *star {
+                    format!("{}(*)", name)
+                } else if let Some(first) = args.first() {
+                    format!("{}({})", name, first.display_name())
+                } else {
+                    format!("{}()", name)
+                }
+            }
+            Expr::Literal(v) => v.to_string(),
+            _ => "expr".to_string(),
+        }
+    }
+}

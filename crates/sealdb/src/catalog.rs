@@ -1,0 +1,182 @@
+//! Tables, views and their metadata.
+
+use std::collections::HashMap;
+
+use crate::ast::{ColumnDef, Select};
+use crate::value::{Affinity, Value};
+use crate::{DbError, Result};
+
+/// A column of a stored table.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (original case).
+    pub name: String,
+    /// Declared type.
+    pub decl_type: String,
+    /// Affinity derived from the declared type.
+    pub affinity: Affinity,
+    /// Declared PRIMARY KEY?
+    pub primary_key: bool,
+}
+
+/// A stored table: schema plus row data.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (original case).
+    pub name: String,
+    /// Column definitions.
+    pub columns: Vec<Column>,
+    /// Row data.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Index of column `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Approximate in-memory size in bytes (for EPC accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>() + 24)
+            .sum()
+    }
+}
+
+/// The database catalog: named tables and views.
+#[derive(Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, (String, Select)>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a table or view of that name exists and
+    /// `if_not_exists` is false.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDef],
+        if_not_exists: bool,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::schema(format!("table {name} already exists")));
+        }
+        let cols = columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.clone(),
+                decl_type: c.decl_type.clone(),
+                affinity: Affinity::from_decl(&c.decl_type),
+                primary_key: c.primary_key,
+            })
+            .collect();
+        self.tables.insert(
+            key,
+            Table {
+                name: name.to_string(),
+                columns: cols,
+                rows: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a view.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is taken and `if_not_exists` is false.
+    pub fn create_view(&mut self, name: &str, query: Select, if_not_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::schema(format!("view {name} already exists")));
+        }
+        self.views.insert(key, (name.to_string(), query));
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails when missing and `if_exists` is false.
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.remove(&key).is_none() && !if_exists {
+            return Err(DbError::schema(format!("no such table: {name}")));
+        }
+        Ok(())
+    }
+
+    /// Drops a view.
+    ///
+    /// # Errors
+    ///
+    /// Fails when missing and `if_exists` is false.
+    pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.views.remove(&key).is_none() && !if_exists {
+            return Err(DbError::schema(format!("no such view: {name}")));
+        }
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a view's defining query.
+    pub fn view(&self, name: &str) -> Option<&Select> {
+        self.views.get(&name.to_ascii_lowercase()).map(|(_, q)| q)
+    }
+
+    /// Iterates over tables in name order (for dumps).
+    pub fn tables_sorted(&self) -> Vec<&Table> {
+        let mut v: Vec<&Table> = self.tables.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Iterates over views in name order: `(name, query)`.
+    pub fn views_sorted(&self) -> Vec<(&str, &Select)> {
+        let mut v: Vec<(&str, &Select)> = self
+            .views
+            .values()
+            .map(|(n, q)| (n.as_str(), q))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Total approximate size of all table data in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tables.values().map(Table::size_bytes).sum()
+    }
+}

@@ -1,0 +1,784 @@
+//! The `Database` facade: parse, plan-free execute, journal, recover.
+
+use crate::ast::{Expr, SelectItem, Stmt};
+use crate::catalog::Catalog;
+use crate::exec::{exec_select, Ctx, Rows};
+use crate::journal::{Journal, JournalCodec, SyncPolicy};
+use crate::parser;
+use crate::value::Value;
+use crate::{DbError, Result};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted (DML only).
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First value of the first row, if any.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// An embedded relational database (the workspace's SQLite stand-in).
+pub struct Database {
+    catalog: Catalog,
+    journal: Option<Journal>,
+    /// Set while replaying so recovered statements are not re-journaled.
+    replaying: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an in-memory database.
+    pub fn new() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            journal: None,
+            replaying: false,
+        }
+    }
+
+    /// Opens a database persisted at `path`, replaying any existing
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if the journal is corrupt.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        codec: Box<dyn JournalCodec>,
+        sync: SyncPolicy,
+    ) -> Result<Database> {
+        let mut journal = Journal::open(path, codec, sync)?;
+        let entries = journal.replay()?;
+        let mut db = Database::new();
+        db.replaying = true;
+        for e in entries {
+            db.execute_with(&e.sql, &e.params)?;
+        }
+        db.replaying = false;
+        db.journal = Some(journal);
+        Ok(db)
+    }
+
+    /// Executes one or more `;`-separated statements without
+    /// parameters; returns the result of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Parse, schema and execution errors.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = parser::parse(sql)?;
+        if stmts.is_empty() {
+            return Err(DbError::parse("empty statement"));
+        }
+        let mut last = QueryResult::default();
+        for stmt in &stmts {
+            last = self.execute_stmt(stmt, &[], None)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes a single statement with bound `?` parameters.
+    ///
+    /// # Errors
+    ///
+    /// Parse, schema and execution errors.
+    pub fn execute_with(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = parser::parse_one(sql)?;
+        self.execute_stmt(&stmt, params, Some(sql))
+    }
+
+    /// Runs a read-only query (convenience wrapper).
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute_with`]; also fails if `sql` is not a
+    /// SELECT.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = parser::parse_one(sql)?;
+        let Stmt::Select(sel) = stmt else {
+            return Err(DbError::exec("query() requires a SELECT statement"));
+        };
+        let ctx = Ctx {
+            catalog: &self.catalog,
+            params,
+        };
+        let rows = exec_select(&ctx, &sel, None)?;
+        Ok(rows_to_result(rows))
+    }
+
+    fn execute_stmt(
+        &mut self,
+        stmt: &Stmt,
+        params: &[Value],
+        journal_sql: Option<&str>,
+    ) -> Result<QueryResult> {
+        let result = match stmt {
+            Stmt::Select(sel) => {
+                let ctx = Ctx {
+                    catalog: &self.catalog,
+                    params,
+                };
+                let rows = exec_select(&ctx, sel, None)?;
+                return Ok(rows_to_result(rows)); // No journaling for reads.
+            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                self.catalog.create_table(name, columns, *if_not_exists)?;
+                QueryResult::default()
+            }
+            Stmt::CreateView {
+                name,
+                query,
+                if_not_exists,
+            } => {
+                self.catalog
+                    .create_view(name, query.clone(), *if_not_exists)?;
+                QueryResult::default()
+            }
+            Stmt::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                QueryResult::default()
+            }
+            Stmt::DropView { name, if_exists } => {
+                self.catalog.drop_view(name, *if_exists)?;
+                QueryResult::default()
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => self.exec_insert(table, columns.as_deref(), rows, params)?,
+            Stmt::Delete { table, filter } => self.exec_delete(table, filter.as_ref(), params)?,
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => self.exec_update(table, sets, filter.as_ref(), params)?,
+        };
+        if !self.replaying && self.journal.is_some() {
+            // Journal the original text when we have it; otherwise a
+            // canonical re-rendering of the statement.
+            let rendered;
+            let sql = match journal_sql {
+                Some(s) => s,
+                None => {
+                    rendered = render_stmt(stmt);
+                    &rendered
+                }
+            };
+            if let Some(j) = self.journal.as_mut() {
+                j.append(sql, params)?;
+            }
+        }
+        Ok(result)
+    }
+
+    fn exec_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        // Evaluate all rows against the current catalog first.
+        let evaluated: Vec<Vec<Value>> = {
+            let ctx = Ctx {
+                catalog: &self.catalog,
+                params,
+            };
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval_standalone(&ctx, e)?);
+                }
+                out.push(vals);
+            }
+            out
+        };
+        let t = self
+            .catalog
+            .table_mut(table)
+            .ok_or_else(|| DbError::schema(format!("no such table: {table}")))?;
+        let col_indices: Vec<usize> = match columns {
+            None => (0..t.columns.len()).collect(),
+            Some(names) => {
+                let mut idx = Vec::with_capacity(names.len());
+                for n in names {
+                    idx.push(t.column_index(n).ok_or_else(|| {
+                        DbError::schema(format!("table {table} has no column {n}"))
+                    })?);
+                }
+                idx
+            }
+        };
+        let mut affected = 0;
+        for vals in evaluated {
+            if vals.len() != col_indices.len() {
+                return Err(DbError::exec(format!(
+                    "{} values for {} columns",
+                    vals.len(),
+                    col_indices.len()
+                )));
+            }
+            let mut row = vec![Value::Null; t.columns.len()];
+            for (v, &ci) in vals.into_iter().zip(col_indices.iter()) {
+                row[ci] = t.columns[ci].affinity.apply(v);
+            }
+            t.rows.push(row);
+            affected += 1;
+        }
+        Ok(QueryResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
+    }
+
+    fn exec_delete(
+        &mut self,
+        table: &str,
+        filter: Option<&Expr>,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let keep: Vec<bool> = {
+            let t = self
+                .catalog
+                .table(table)
+                .ok_or_else(|| DbError::schema(format!("no such table: {table}")))?;
+            let cols: Vec<crate::exec::ColMeta> = t
+                .columns
+                .iter()
+                .map(|c| crate::exec::ColMeta {
+                    table: Some(t.name.clone()),
+                    name: c.name.clone(),
+                })
+                .collect();
+            let ctx = Ctx {
+                catalog: &self.catalog,
+                params,
+            };
+            let mut keep = Vec::with_capacity(t.rows.len());
+            for row in &t.rows {
+                let matched = match filter {
+                    None => true,
+                    Some(f) => {
+                        let env = crate::exec::env_for(&cols, row);
+                        crate::exec::eval(&ctx, f, &env, None)?.to_bool() == Some(true)
+                    }
+                };
+                keep.push(!matched);
+            }
+            keep
+        };
+        let t = self.catalog.table_mut(table).expect("checked above");
+        let before = t.rows.len();
+        let mut it = keep.iter();
+        t.rows.retain(|_| *it.next().expect("keep mask matches rows"));
+        Ok(QueryResult {
+            rows_affected: before - t.rows.len(),
+            ..Default::default()
+        })
+    }
+
+    fn exec_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<&Expr>,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let updates: Vec<Option<Vec<(usize, Value)>>> = {
+            let t = self
+                .catalog
+                .table(table)
+                .ok_or_else(|| DbError::schema(format!("no such table: {table}")))?;
+            let cols: Vec<crate::exec::ColMeta> = t
+                .columns
+                .iter()
+                .map(|c| crate::exec::ColMeta {
+                    table: Some(t.name.clone()),
+                    name: c.name.clone(),
+                })
+                .collect();
+            let set_indices: Vec<usize> = sets
+                .iter()
+                .map(|(n, _)| {
+                    t.column_index(n).ok_or_else(|| {
+                        DbError::schema(format!("table {table} has no column {n}"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let ctx = Ctx {
+                catalog: &self.catalog,
+                params,
+            };
+            let mut out = Vec::with_capacity(t.rows.len());
+            for row in &t.rows {
+                let env = crate::exec::env_for(&cols, row);
+                let matched = match filter {
+                    None => true,
+                    Some(f) => crate::exec::eval(&ctx, f, &env, None)?.to_bool() == Some(true),
+                };
+                if matched {
+                    let mut assignments = Vec::with_capacity(sets.len());
+                    for ((_, e), &ci) in sets.iter().zip(set_indices.iter()) {
+                        let v = crate::exec::eval(&ctx, e, &env, None)?;
+                        assignments.push((ci, v));
+                    }
+                    out.push(Some(assignments));
+                } else {
+                    out.push(None);
+                }
+            }
+            out
+        };
+        let t = self.catalog.table_mut(table).expect("checked above");
+        let mut affected = 0;
+        for (row, upd) in t.rows.iter_mut().zip(updates) {
+            if let Some(assignments) = upd {
+                for (ci, v) in assignments {
+                    row[ci] = t.columns[ci].affinity.apply(v);
+                }
+                affected += 1;
+            }
+        }
+        Ok(QueryResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
+    }
+
+    /// Forces journalled records to stable storage (no-op in memory).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying fsync.
+    pub fn sync_journal(&mut self) -> Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync_now()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts persistent storage: truncates the journal and rewrites
+    /// it as a snapshot (schema + data dump).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors while rewriting the journal.
+    pub fn compact(&mut self) -> Result<()> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        journal.truncate()?;
+        for t in self.catalog.tables_sorted() {
+            let cols: Vec<String> = t
+                .columns
+                .iter()
+                .map(|c| {
+                    let mut s = format!("{} {}", c.name, c.decl_type);
+                    if c.primary_key {
+                        s.push_str(" PRIMARY KEY");
+                    }
+                    s
+                })
+                .collect();
+            journal.append(
+                &format!("CREATE TABLE {}({})", t.name, cols.join(", ")),
+                &[],
+            )?;
+            for row in &t.rows {
+                let placeholders = vec!["?"; row.len()].join(", ");
+                journal.append(
+                    &format!("INSERT INTO {} VALUES ({placeholders})", t.name),
+                    row,
+                )?;
+            }
+        }
+        for (name, query) in self.catalog.views_sorted() {
+            // Views are re-created from their stored AST via a dump of
+            // the original text; regenerate a canonical form.
+            journal.append(
+                &format!("CREATE VIEW {name} AS {}", render_select(query)),
+                &[],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Approximate size of all table data in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.catalog.size_bytes()
+    }
+
+    /// Size of the on-disk journal in bytes (0 for in-memory).
+    pub fn journal_size_bytes(&self) -> u64 {
+        self.journal.as_ref().map(|j| j.size_bytes()).unwrap_or(0)
+    }
+
+    /// Read access to the catalog (tests and tooling).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+fn rows_to_result(rows: Rows) -> QueryResult {
+    QueryResult {
+        columns: rows.cols.into_iter().map(|c| c.name).collect(),
+        rows: rows.data,
+        rows_affected: 0,
+    }
+}
+
+fn eval_standalone(ctx: &Ctx<'_>, e: &Expr) -> Result<Value> {
+    let cols: [crate::exec::ColMeta; 0] = [];
+    let row: [Value; 0] = [];
+    let env = crate::exec::env_for(&cols, &row);
+    crate::exec::eval(ctx, e, &env, None)
+}
+
+/// Renders any statement back to canonical SQL (for the journal).
+pub fn render_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Select(s) => render_select(s),
+        Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|c| {
+                    let mut s = c.name.clone();
+                    if !c.decl_type.is_empty() {
+                        s.push(' ');
+                        s.push_str(&c.decl_type);
+                    }
+                    if c.primary_key {
+                        s.push_str(" PRIMARY KEY");
+                    }
+                    s
+                })
+                .collect();
+            format!(
+                "CREATE TABLE {}{}({})",
+                if *if_not_exists { "IF NOT EXISTS " } else { "" },
+                name,
+                cols.join(", ")
+            )
+        }
+        Stmt::CreateView {
+            name,
+            query,
+            if_not_exists,
+        } => format!(
+            "CREATE VIEW {}{} AS {}",
+            if *if_not_exists { "IF NOT EXISTS " } else { "" },
+            name,
+            render_select(query)
+        ),
+        Stmt::DropTable { name, if_exists } => format!(
+            "DROP TABLE {}{}",
+            if *if_exists { "IF EXISTS " } else { "" },
+            name
+        ),
+        Stmt::DropView { name, if_exists } => format!(
+            "DROP VIEW {}{}",
+            if *if_exists { "IF EXISTS " } else { "" },
+            name
+        ),
+        Stmt::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let cols = match columns {
+                Some(c) => format!("({})", c.join(", ")),
+                None => String::new(),
+            };
+            let rendered: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let vals: Vec<String> = r.iter().map(render_expr).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            format!("INSERT INTO {table}{cols} VALUES {}", rendered.join(", "))
+        }
+        Stmt::Delete { table, filter } => match filter {
+            Some(f) => format!("DELETE FROM {table} WHERE {}", render_expr(f)),
+            None => format!("DELETE FROM {table}"),
+        },
+        Stmt::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            let assigns: Vec<String> = sets
+                .iter()
+                .map(|(c, e)| format!("{c} = {}", render_expr(e)))
+                .collect();
+            let mut s = format!("UPDATE {table} SET {}", assigns.join(", "));
+            if let Some(f) = filter {
+                s.push_str(&format!(" WHERE {}", render_expr(f)));
+            }
+            s
+        }
+    }
+}
+
+/// Renders a SELECT AST back to SQL (round-trip for view snapshots).
+pub fn render_select(sel: &crate::ast::Select) -> String {
+    let mut s = String::from("SELECT ");
+    if sel.distinct {
+        s.push_str("DISTINCT ");
+    }
+    let projs: Vec<String> = sel
+        .projections
+        .iter()
+        .map(|p| match p {
+            SelectItem::Star => "*".to_string(),
+            SelectItem::QualifiedStar(t) => format!("{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                let mut e = render_expr(expr);
+                if let Some(a) = alias {
+                    e.push_str(&format!(" AS {a}"));
+                }
+                e
+            }
+        })
+        .collect();
+    s.push_str(&projs.join(", "));
+    if let Some(from) = &sel.from {
+        s.push_str(" FROM ");
+        s.push_str(&render_table_ref(&from.first));
+        for j in &from.joins {
+            match j.kind {
+                crate::ast::JoinKind::Natural => {
+                    s.push_str(" NATURAL JOIN ");
+                    s.push_str(&render_table_ref(&j.table));
+                }
+                crate::ast::JoinKind::Left => {
+                    s.push_str(" LEFT JOIN ");
+                    s.push_str(&render_table_ref(&j.table));
+                    if let Some(on) = &j.on {
+                        s.push_str(" ON ");
+                        s.push_str(&render_expr(on));
+                    }
+                }
+                crate::ast::JoinKind::Inner => {
+                    s.push_str(" JOIN ");
+                    s.push_str(&render_table_ref(&j.table));
+                    if let Some(on) = &j.on {
+                        s.push_str(" ON ");
+                        s.push_str(&render_expr(on));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(f) = &sel.filter {
+        s.push_str(" WHERE ");
+        s.push_str(&render_expr(f));
+    }
+    if !sel.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        let gs: Vec<String> = sel.group_by.iter().map(render_expr).collect();
+        s.push_str(&gs.join(", "));
+    }
+    if let Some(h) = &sel.having {
+        s.push_str(" HAVING ");
+        s.push_str(&render_expr(h));
+    }
+    if !sel.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        let os: Vec<String> = sel
+            .order_by
+            .iter()
+            .map(|o| {
+                let mut e = render_expr(&o.expr);
+                if o.desc {
+                    e.push_str(" DESC");
+                }
+                e
+            })
+            .collect();
+        s.push_str(&os.join(", "));
+    }
+    if let Some(l) = &sel.limit {
+        s.push_str(" LIMIT ");
+        s.push_str(&render_expr(l));
+    }
+    if let Some(o) = &sel.offset {
+        s.push_str(" OFFSET ");
+        s.push_str(&render_expr(o));
+    }
+    s
+}
+
+fn render_table_ref(t: &crate::ast::TableRef) -> String {
+    match t {
+        crate::ast::TableRef::Named { name, alias } => match alias {
+            Some(a) => format!("{name} {a}"),
+            None => name.clone(),
+        },
+        crate::ast::TableRef::Subquery { query, alias } => {
+            let base = format!("({})", render_select(query));
+            match alias {
+                Some(a) => format!("{base} {a}"),
+                None => base,
+            }
+        }
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    use crate::ast::{BinOp, UnOp};
+    match e {
+        Expr::Literal(Value::Text(s)) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Literal(v) if v.is_null() => "NULL".to_string(),
+        Expr::Literal(v) => v.to_string(),
+        Expr::Param(i) => format!("?{}", i + 1),
+        Expr::Column { table, name } => match table {
+            Some(t) => format!("{t}.{name}"),
+            None => name.clone(),
+        },
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("-({})", render_expr(expr)),
+            UnOp::Not => format!("NOT ({})", render_expr(expr)),
+        },
+        Expr::Binary { op, left, right } => {
+            let o = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Concat => "||",
+            };
+            format!("({} {o} {})", render_expr(left), render_expr(right))
+        }
+        Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } => {
+            if *star {
+                format!("{name}(*)")
+            } else {
+                let a: Vec<String> = args.iter().map(render_expr).collect();
+                format!(
+                    "{name}({}{})",
+                    if *distinct { "DISTINCT " } else { "" },
+                    a.join(", ")
+                )
+            }
+        }
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let items: Vec<String> = list.iter().map(render_expr).collect();
+            format!(
+                "({} {}IN ({}))",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => format!(
+            "({} {}IN ({}))",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            render_select(query)
+        ),
+        Expr::Exists { query, negated } => format!(
+            "({}EXISTS ({}))",
+            if *negated { "NOT " } else { "" },
+            render_select(query)
+        ),
+        Expr::Subquery(q) => format!("({})", render_select(q)),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => format!(
+            "({} {}BETWEEN {} AND {})",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            render_expr(low),
+            render_expr(high)
+        ),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "({} {}LIKE {})",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            render_expr(pattern)
+        ),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let mut s = String::from("CASE");
+            if let Some(o) = operand {
+                s.push(' ');
+                s.push_str(&render_expr(o));
+            }
+            for (w, t) in branches {
+                s.push_str(&format!(" WHEN {} THEN {}", render_expr(w), render_expr(t)));
+            }
+            if let Some(e) = else_expr {
+                s.push_str(&format!(" ELSE {}", render_expr(e)));
+            }
+            s.push_str(" END");
+            s
+        }
+    }
+}

@@ -1,0 +1,1100 @@
+//! The query executor: a straightforward tuple-at-a-time interpreter
+//! with nested-loop joins, grouping, correlated subqueries and views —
+//! everything the paper's invariant and trimming queries need.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::catalog::Catalog;
+use crate::value::Value;
+use crate::{DbError, Result};
+
+/// Metadata for one column of an intermediate or final row set.
+#[derive(Clone, Debug)]
+pub struct ColMeta {
+    /// Source qualifier (table alias) if any.
+    pub table: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+/// A materialised row set.
+#[derive(Clone, Debug, Default)]
+pub struct Rows {
+    /// Column metadata.
+    pub cols: Vec<ColMeta>,
+    /// Row data.
+    pub data: Vec<Vec<Value>>,
+}
+
+/// An evaluation scope: the current row, plus outer scopes for
+/// correlated subqueries.
+pub struct Env<'a> {
+    cols: &'a [ColMeta],
+    row: &'a [Value],
+    parent: Option<&'a Env<'a>>,
+}
+
+impl<'a> Env<'a> {
+    fn lookup(&self, table: Option<&str>, name: &str) -> Option<&Value> {
+        let found = self.cols.iter().position(|c| {
+            c.name.eq_ignore_ascii_case(name)
+                && match (table, &c.table) {
+                    (Some(q), Some(t)) => q.eq_ignore_ascii_case(t),
+                    (Some(_), None) => false,
+                    (None, _) => true,
+                }
+        });
+        if let Some(i) = found {
+            return self.row.get(i);
+        }
+        self.parent.and_then(|p| p.lookup(table, name))
+    }
+}
+
+/// Builds a single-scope environment over `cols`/`row` (used by DML).
+pub fn env_for<'a>(cols: &'a [ColMeta], row: &'a [Value]) -> Env<'a> {
+    Env {
+        cols,
+        row,
+        parent: None,
+    }
+}
+
+/// Per-query execution context.
+pub struct Ctx<'a> {
+    /// The catalog to resolve tables and views against.
+    pub catalog: &'a Catalog,
+    /// Bound parameter values for `?` placeholders.
+    pub params: &'a [Value],
+}
+
+/// Executes a SELECT and materialises its result.
+pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Result<Rows> {
+    // 1. FROM: build the source row set.
+    let source = match &sel.from {
+        Some(from) => build_from(ctx, from, outer)?,
+        None => Rows {
+            cols: Vec::new(),
+            data: vec![Vec::new()],
+        },
+    };
+
+    // 2. WHERE.
+    let mut filtered: Vec<&Vec<Value>> = Vec::new();
+    for row in &source.data {
+        let keep = match &sel.filter {
+            None => true,
+            Some(f) => {
+                let env = Env {
+                    cols: &source.cols,
+                    row,
+                    parent: outer,
+                };
+                eval(ctx, f, &env, None)?.to_bool() == Some(true)
+            }
+        };
+        if keep {
+            filtered.push(row);
+        }
+    }
+
+    // 3. Grouping decision.
+    let has_aggregates = sel
+        .projections
+        .iter()
+        .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || sel
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate())
+        || sel
+            .order_by
+            .iter()
+            .any(|o| o.expr.contains_aggregate());
+    let grouped = !sel.group_by.is_empty() || has_aggregates;
+
+    // Output column names.
+    let out_cols = projection_columns(&sel.projections, &source.cols)?;
+
+    // Build (values, sort_keys) pairs.
+    let mut results: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+
+    if grouped {
+        // Bucket rows by GROUP BY keys (single group if none).
+        let mut groups: Vec<(String, Vec<&Vec<Value>>)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in &filtered {
+            let env = Env {
+                cols: &source.cols,
+                row,
+                parent: outer,
+            };
+            let mut key = String::new();
+            for g in &sel.group_by {
+                let v = eval(ctx, g, &env, None)?;
+                key.push_str(&v.group_key());
+                key.push('\x1f');
+            }
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        if groups.is_empty() && sel.group_by.is_empty() {
+            // Aggregates over an empty set still produce one row.
+            groups.push((String::new(), Vec::new()));
+        }
+        let null_row: Vec<Value> = vec![Value::Null; source.cols.len()];
+        for (_, group_rows) in &groups {
+            // Aggregates over an empty group still evaluate bare
+            // columns; give them an all-NULL row, as SQLite does.
+            let first_row: &[Value] = group_rows
+                .first()
+                .map(|r| r.as_slice())
+                .unwrap_or(&null_row);
+            let env = Env {
+                cols: &source.cols,
+                row: first_row,
+                parent: outer,
+            };
+            let agg = AggCtx {
+                cols: &source.cols,
+                rows: group_rows,
+                outer,
+            };
+            if let Some(h) = &sel.having {
+                if eval(ctx, h, &env, Some(&agg))?.to_bool() != Some(true) {
+                    continue;
+                }
+            }
+            let values = project(ctx, &sel.projections, &env, Some(&agg), &source.cols)?;
+            let keys = order_keys(ctx, sel, &env, Some(&agg), &values, &out_cols)?;
+            results.push((values, keys));
+        }
+    } else {
+        for row in &filtered {
+            let env = Env {
+                cols: &source.cols,
+                row,
+                parent: outer,
+            };
+            let values = project(ctx, &sel.projections, &env, None, &source.cols)?;
+            let keys = order_keys(ctx, sel, &env, None, &values, &out_cols)?;
+            results.push((values, keys));
+        }
+        if filtered.is_empty() {
+            // Surface column-resolution errors even for empty results
+            // (SQLite reports them at prepare time): evaluate the
+            // projections once against an all-NULL row and discard.
+            let null_row: Vec<Value> = vec![Value::Null; source.cols.len()];
+            let env = Env {
+                cols: &source.cols,
+                row: &null_row,
+                parent: outer,
+            };
+            let _ = project(ctx, &sel.projections, &env, None, &source.cols)?;
+        }
+    }
+
+    // 4. DISTINCT.
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        results.retain(|(vals, _)| {
+            let key: String = vals
+                .iter()
+                .map(|v| v.group_key() + "\x1f")
+                .collect();
+            seen.insert(key)
+        });
+    }
+
+    // 5. ORDER BY.
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|o| o.desc).collect();
+        results.sort_by(|a, b| {
+            for (i, desc) in descs.iter().enumerate() {
+                let va = &a.1[i];
+                let vb = &b.1[i];
+                let ord = va.total_cmp(vb);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // 6. OFFSET / LIMIT.
+    let offset = match &sel.offset {
+        Some(e) => eval_const(ctx, e, outer)?.as_f64().unwrap_or(0.0).max(0.0) as usize,
+        None => 0,
+    };
+    let limit = match &sel.limit {
+        Some(e) => {
+            let v = eval_const(ctx, e, outer)?;
+            match v.as_f64() {
+                Some(f) if f >= 0.0 => Some(f as usize),
+                _ => None,
+            }
+        }
+        None => None,
+    };
+    let mut data: Vec<Vec<Value>> = results.into_iter().map(|(v, _)| v).collect();
+    if offset > 0 {
+        data = data.split_off(offset.min(data.len()));
+    }
+    if let Some(l) = limit {
+        data.truncate(l);
+    }
+
+    Ok(Rows {
+        cols: out_cols,
+        data,
+    })
+}
+
+fn eval_const(ctx: &Ctx<'_>, e: &Expr, outer: Option<&Env<'_>>) -> Result<Value> {
+    let empty_cols: [ColMeta; 0] = [];
+    let empty_row: [Value; 0] = [];
+    let env = Env {
+        cols: &empty_cols,
+        row: &empty_row,
+        parent: outer,
+    };
+    eval(ctx, e, &env, None)
+}
+
+/// Computes the ORDER BY sort keys for one output row.
+fn order_keys(
+    ctx: &Ctx<'_>,
+    sel: &Select,
+    env: &Env<'_>,
+    agg: Option<&AggCtx<'_>>,
+    out_values: &[Value],
+    out_cols: &[ColMeta],
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(sel.order_by.len());
+    for term in &sel.order_by {
+        // Positional reference (`ORDER BY 2`).
+        if let Expr::Literal(Value::Integer(n)) = &term.expr {
+            let idx = *n as usize;
+            if idx >= 1 && idx <= out_values.len() {
+                keys.push(out_values[idx - 1].clone());
+                continue;
+            }
+        }
+        // Output alias reference.
+        if let Expr::Column { table: None, name } = &term.expr {
+            if let Some(i) = out_cols
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(name))
+            {
+                // Prefer the source column when one exists with the
+                // same name; otherwise use the output value.
+                if env.lookup(None, name).is_none() {
+                    keys.push(out_values[i].clone());
+                    continue;
+                }
+            }
+        }
+        keys.push(eval(ctx, &term.expr, env, agg)?);
+    }
+    Ok(keys)
+}
+
+/// Derives the output column metadata of a projection list.
+fn projection_columns(items: &[SelectItem], source: &[ColMeta]) -> Result<Vec<ColMeta>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Star => out.extend(source.iter().cloned()),
+            SelectItem::QualifiedStar(t) => {
+                let before = out.len();
+                out.extend(
+                    source
+                        .iter()
+                        .filter(|c| {
+                            c.table
+                                .as_deref()
+                                .is_some_and(|ct| ct.eq_ignore_ascii_case(t))
+                        })
+                        .cloned(),
+                );
+                if out.len() == before {
+                    return Err(DbError::schema(format!("no such table: {t}")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.display_name());
+                out.push(ColMeta { table: None, name });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates the projection list for one row/group.
+fn project(
+    ctx: &Ctx<'_>,
+    items: &[SelectItem],
+    env: &Env<'_>,
+    agg: Option<&AggCtx<'_>>,
+    source: &[ColMeta],
+) -> Result<Vec<Value>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Star => out.extend(env.row.iter().cloned()),
+            SelectItem::QualifiedStar(t) => {
+                for (i, c) in source.iter().enumerate() {
+                    if c.table
+                        .as_deref()
+                        .is_some_and(|ct| ct.eq_ignore_ascii_case(t))
+                    {
+                        out.push(env.row[i].clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => out.push(eval(ctx, expr, env, agg)?),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the FROM row set, applying joins left to right.
+fn build_from(ctx: &Ctx<'_>, from: &FromClause, outer: Option<&Env<'_>>) -> Result<Rows> {
+    let mut acc = resolve_table_ref(ctx, &from.first, outer)?;
+    for join in &from.joins {
+        let right = resolve_table_ref(ctx, &join.table, outer)?;
+        acc = match join.kind {
+            JoinKind::Natural => natural_join(&acc, &right)?,
+            JoinKind::Inner => inner_join(ctx, &acc, &right, join.on.as_ref(), outer, false)?,
+            JoinKind::Left => inner_join(ctx, &acc, &right, join.on.as_ref(), outer, true)?,
+        };
+    }
+    Ok(acc)
+}
+
+fn resolve_table_ref(
+    ctx: &Ctx<'_>,
+    tref: &TableRef,
+    outer: Option<&Env<'_>>,
+) -> Result<Rows> {
+    match tref {
+        TableRef::Named { name, alias } => {
+            let label = alias.clone().unwrap_or_else(|| name.clone());
+            if let Some(t) = ctx.catalog.table(name) {
+                Ok(Rows {
+                    cols: t
+                        .columns
+                        .iter()
+                        .map(|c| ColMeta {
+                            table: Some(label.clone()),
+                            name: c.name.clone(),
+                        })
+                        .collect(),
+                    data: t.rows.clone(),
+                })
+            } else if let Some(q) = ctx.catalog.view(name) {
+                let rows = exec_select(ctx, q, outer)?;
+                Ok(Rows {
+                    cols: rows
+                        .cols
+                        .into_iter()
+                        .map(|c| ColMeta {
+                            table: Some(label.clone()),
+                            name: c.name,
+                        })
+                        .collect(),
+                    data: rows.data,
+                })
+            } else {
+                Err(DbError::schema(format!("no such table: {name}")))
+            }
+        }
+        TableRef::Subquery { query, alias } => {
+            let rows = exec_select(ctx, query, outer)?;
+            let label = alias.clone();
+            Ok(Rows {
+                cols: rows
+                    .cols
+                    .into_iter()
+                    .map(|c| ColMeta {
+                        table: label.clone().or(c.table),
+                        name: c.name,
+                    })
+                    .collect(),
+                data: rows.data,
+            })
+        }
+    }
+}
+
+fn inner_join(
+    ctx: &Ctx<'_>,
+    left: &Rows,
+    right: &Rows,
+    on: Option<&Expr>,
+    outer: Option<&Env<'_>>,
+    left_outer: bool,
+) -> Result<Rows> {
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.iter().cloned());
+    let mut data = Vec::new();
+    for l in &left.data {
+        let mut matched = false;
+        for r in &right.data {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            let keep = match on {
+                None => true,
+                Some(cond) => {
+                    let env = Env {
+                        cols: &cols,
+                        row: &combined,
+                        parent: outer,
+                    };
+                    eval(ctx, cond, &env, None)?.to_bool() == Some(true)
+                }
+            };
+            if keep {
+                matched = true;
+                data.push(combined);
+            }
+        }
+        if left_outer && !matched {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_with(|| Value::Null).take(right.cols.len()));
+            data.push(combined);
+        }
+    }
+    Ok(Rows { cols, data })
+}
+
+fn natural_join(left: &Rows, right: &Rows) -> Result<Rows> {
+    // Columns shared by name join the sides; they appear once in the
+    // output (merged, unqualified).
+    let mut shared: Vec<(usize, usize)> = Vec::new();
+    for (li, lc) in left.cols.iter().enumerate() {
+        if let Some(ri) = right
+            .cols
+            .iter()
+            .position(|rc| rc.name.eq_ignore_ascii_case(&lc.name))
+        {
+            shared.push((li, ri));
+        }
+    }
+    let right_keep: Vec<usize> = (0..right.cols.len())
+        .filter(|ri| !shared.iter().any(|(_, r)| r == ri))
+        .collect();
+
+    let mut cols: Vec<ColMeta> = left
+        .cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if shared.iter().any(|(l, _)| *l == i) {
+                // Merged join column: reachable without qualifier.
+                ColMeta {
+                    table: None,
+                    name: c.name.clone(),
+                }
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    cols.extend(right_keep.iter().map(|&ri| right.cols[ri].clone()));
+
+    let mut data = Vec::new();
+    for l in &left.data {
+        for r in &right.data {
+            let all_match = shared
+                .iter()
+                .all(|(li, ri)| l[*li].sql_eq(&r[*ri]) == Some(true));
+            if all_match {
+                let mut combined = l.clone();
+                combined.extend(right_keep.iter().map(|&ri| r[ri].clone()));
+                data.push(combined);
+            }
+        }
+    }
+    Ok(Rows { cols, data })
+}
+
+/// Group context for aggregate evaluation.
+pub struct AggCtx<'a> {
+    cols: &'a [ColMeta],
+    rows: &'a [&'a Vec<Value>],
+    outer: Option<&'a Env<'a>>,
+}
+
+/// Evaluates `expr` in `env`; aggregates draw from `agg` when present.
+pub fn eval(
+    ctx: &Ctx<'_>,
+    expr: &Expr,
+    env: &Env<'_>,
+    agg: Option<&AggCtx<'_>>,
+) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => ctx
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| DbError::exec(format!("missing bind parameter {}", i + 1))),
+        Expr::Column { table, name } => env
+            .lookup(table.as_deref(), name)
+            .cloned()
+            .ok_or_else(|| {
+                DbError::schema(match table {
+                    Some(t) => format!("no such column: {t}.{name}"),
+                    None => format!("no such column: {name}"),
+                })
+            }),
+        Expr::Unary { op, expr } => {
+            let v = eval(ctx, expr, env, agg)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Integer(i) => Ok(Value::Integer(-i)),
+                    Value::Real(f) => Ok(Value::Real(-f)),
+                    other => Ok(Value::Real(-other.as_f64().unwrap_or(0.0))),
+                },
+                UnOp::Not => match v.to_bool() {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Integer(if b { 0 } else { 1 })),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(ctx, *op, left, right, env, agg),
+        Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } => eval_function(ctx, name, args, *star, *distinct, env, agg),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(ctx, expr, env, agg)?;
+            let is_null = v.is_null();
+            Ok(Value::Integer((is_null != *negated) as i64))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = eval(ctx, expr, env, agg)?;
+            if needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let v = eval(ctx, item, env, agg)?;
+                match needle.sql_eq(&v) {
+                    Some(true) => {
+                        return Ok(Value::Integer(if *negated { 0 } else { 1 }));
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Integer(if *negated { 1 } else { 0 }))
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            let needle = eval(ctx, expr, env, agg)?;
+            if needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let rows = exec_select(ctx, query, Some(env))?;
+            let mut saw_null = false;
+            for row in &rows.data {
+                let v = row.first().cloned().unwrap_or(Value::Null);
+                match needle.sql_eq(&v) {
+                    Some(true) => {
+                        return Ok(Value::Integer(if *negated { 0 } else { 1 }));
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Integer(if *negated { 1 } else { 0 }))
+            }
+        }
+        Expr::Exists { query, negated } => {
+            let rows = exec_select(ctx, query, Some(env))?;
+            let exists = !rows.data.is_empty();
+            Ok(Value::Integer((exists != *negated) as i64))
+        }
+        Expr::Subquery(query) => {
+            let rows = exec_select(ctx, query, Some(env))?;
+            Ok(rows
+                .data
+                .first()
+                .and_then(|r| r.first().cloned())
+                .unwrap_or(Value::Null))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(ctx, expr, env, agg)?;
+            let lo = eval(ctx, low, env, agg)?;
+            let hi = eval(ctx, high, env, agg)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Integer((inside != *negated) as i64))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(ctx, expr, env, agg)?;
+            let p = eval(ctx, pattern, env, agg)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let matched = like_match(&p.to_string(), &v.to_string());
+            Ok(Value::Integer((matched != *negated) as i64))
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            match operand {
+                Some(op) => {
+                    let base = eval(ctx, op, env, agg)?;
+                    for (when, then) in branches {
+                        let w = eval(ctx, when, env, agg)?;
+                        if base.sql_eq(&w) == Some(true) {
+                            return eval(ctx, then, env, agg);
+                        }
+                    }
+                }
+                None => {
+                    for (when, then) in branches {
+                        if eval(ctx, when, env, agg)?.to_bool() == Some(true) {
+                            return eval(ctx, then, env, agg);
+                        }
+                    }
+                }
+            }
+            match else_expr {
+                Some(e) => eval(ctx, e, env, agg),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    ctx: &Ctx<'_>,
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    env: &Env<'_>,
+    agg: Option<&AggCtx<'_>>,
+) -> Result<Value> {
+    // AND/OR need lazy-ish three-valued logic.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval(ctx, left, env, agg)?.to_bool();
+        // Short-circuit where the result is already decided.
+        match (op, l) {
+            (BinOp::And, Some(false)) => return Ok(Value::Integer(0)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Integer(1)),
+            _ => {}
+        }
+        let r = eval(ctx, right, env, agg)?.to_bool();
+        let out = match op {
+            BinOp::And => match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        };
+        return Ok(match out {
+            Some(b) => Value::Integer(b as i64),
+            None => Value::Null,
+        });
+    }
+
+    let l = eval(ctx, left, env, agg)?;
+    let r = eval(ctx, right, env, agg)?;
+    match op {
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let cmp = l.sql_cmp(&r);
+            Ok(match cmp {
+                None => Value::Null,
+                Some(ord) => {
+                    let b = match op {
+                        BinOp::Eq => ord == Ordering::Equal,
+                        BinOp::Ne => ord != Ordering::Equal,
+                        BinOp::Lt => ord == Ordering::Less,
+                        BinOp::Le => ord != Ordering::Greater,
+                        BinOp::Gt => ord == Ordering::Greater,
+                        BinOp::Ge => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    };
+                    Value::Integer(b as i64)
+                }
+            })
+        }
+        BinOp::Concat => {
+            if l.is_null() || r.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Text(format!("{l}{r}")))
+            }
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic when both sides are integers.
+            if let (Value::Integer(a), Value::Integer(b)) = (&l, &r) {
+                let (a, b) = (*a, *b);
+                return Ok(match op {
+                    BinOp::Add => a
+                        .checked_add(b)
+                        .map(Value::Integer)
+                        .unwrap_or(Value::Real(a as f64 + b as f64)),
+                    BinOp::Sub => a
+                        .checked_sub(b)
+                        .map(Value::Integer)
+                        .unwrap_or(Value::Real(a as f64 - b as f64)),
+                    BinOp::Mul => a
+                        .checked_mul(b)
+                        .map(Value::Integer)
+                        .unwrap_or(Value::Real(a as f64 * b as f64)),
+                    BinOp::Div => {
+                        if b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Integer(a.wrapping_div(b))
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Integer(a.wrapping_rem(b))
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+            }
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Ok(Value::Null);
+            };
+            Ok(match op {
+                BinOp::Add => Value::Real(a + b),
+                BinOp::Sub => Value::Real(a - b),
+                BinOp::Mul => Value::Real(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Real(a / b)
+                    }
+                }
+                BinOp::Rem => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Real(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!(),
+    }
+}
+
+const AGGREGATES: &[&str] = &["COUNT", "SUM", "TOTAL", "AVG", "MIN", "MAX", "GROUP_CONCAT"];
+
+fn eval_function(
+    ctx: &Ctx<'_>,
+    name: &str,
+    args: &[Expr],
+    star: bool,
+    distinct: bool,
+    env: &Env<'_>,
+    agg: Option<&AggCtx<'_>>,
+) -> Result<Value> {
+    if AGGREGATES.contains(&name) {
+        let Some(agg) = agg else {
+            return Err(DbError::exec(format!(
+                "misuse of aggregate function {name}()"
+            )));
+        };
+        return eval_aggregate(ctx, name, args, star, distinct, agg);
+    }
+    // Scalar functions.
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval(ctx, a, env, agg)?);
+    }
+    match name {
+        "ABS" => {
+            let v = vals.first().cloned().unwrap_or(Value::Null);
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Integer(i) => Value::Integer(i.abs()),
+                Value::Real(f) => Value::Real(f.abs()),
+                other => other
+                    .as_f64()
+                    .map(|f| Value::Real(f.abs()))
+                    .unwrap_or(Value::Null),
+            })
+        }
+        "LENGTH" => Ok(match vals.first() {
+            Some(Value::Text(s)) => Value::Integer(s.chars().count() as i64),
+            Some(Value::Blob(b)) => Value::Integer(b.len() as i64),
+            Some(Value::Null) | None => Value::Null,
+            Some(v) => Value::Integer(v.to_string().len() as i64),
+        }),
+        "LOWER" => Ok(match vals.first() {
+            Some(Value::Null) | None => Value::Null,
+            Some(v) => Value::Text(v.to_string().to_lowercase()),
+        }),
+        "UPPER" => Ok(match vals.first() {
+            Some(Value::Null) | None => Value::Null,
+            Some(v) => Value::Text(v.to_string().to_uppercase()),
+        }),
+        "SUBSTR" | "SUBSTRING" => {
+            let s = match vals.first() {
+                Some(Value::Null) | None => return Ok(Value::Null),
+                Some(v) => v.to_string(),
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let start = vals
+                .get(1)
+                .and_then(Value::as_f64)
+                .map(|f| f as i64)
+                .unwrap_or(1);
+            let len = vals.get(2).and_then(Value::as_f64).map(|f| f as i64);
+            // SQLite: 1-based; negative counts from the end.
+            let begin = if start > 0 {
+                (start - 1) as usize
+            } else if start < 0 {
+                chars.len().saturating_sub((-start) as usize)
+            } else {
+                0
+            };
+            let out: String = match len {
+                Some(l) if l >= 0 => chars.iter().skip(begin).take(l as usize).collect(),
+                Some(_) => String::new(),
+                None => chars.iter().skip(begin).collect(),
+            };
+            Ok(Value::Text(out))
+        }
+        "COALESCE" => {
+            for v in vals {
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "IFNULL" => {
+            let first = vals.first().cloned().unwrap_or(Value::Null);
+            if first.is_null() {
+                Ok(vals.get(1).cloned().unwrap_or(Value::Null))
+            } else {
+                Ok(first)
+            }
+        }
+        "NULLIF" => {
+            let a = vals.first().cloned().unwrap_or(Value::Null);
+            let b = vals.get(1).cloned().unwrap_or(Value::Null);
+            if a.sql_eq(&b) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(a)
+            }
+        }
+        "TYPEOF" => Ok(Value::Text(
+            match vals.first() {
+                Some(Value::Null) | None => "null",
+                Some(Value::Integer(_)) => "integer",
+                Some(Value::Real(_)) => "real",
+                Some(Value::Text(_)) => "text",
+                Some(Value::Blob(_)) => "blob",
+            }
+            .to_string(),
+        )),
+        "HEX" => Ok(match vals.first() {
+            Some(Value::Blob(b)) => {
+                Value::Text(b.iter().map(|x| format!("{x:02X}")).collect())
+            }
+            Some(Value::Null) | None => Value::Text(String::new()),
+            Some(v) => Value::Text(
+                v.to_string()
+                    .bytes()
+                    .map(|x| format!("{x:02X}"))
+                    .collect(),
+            ),
+        }),
+        _ => Err(DbError::exec(format!("no such function: {name}"))),
+    }
+}
+
+fn eval_aggregate(
+    ctx: &Ctx<'_>,
+    name: &str,
+    args: &[Expr],
+    star: bool,
+    distinct: bool,
+    agg: &AggCtx<'_>,
+) -> Result<Value> {
+    if name == "COUNT" && star {
+        return Ok(Value::Integer(agg.rows.len() as i64));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| DbError::exec(format!("{name}() requires an argument")))?;
+    // Evaluate the argument for every row of the group.
+    let mut vals = Vec::with_capacity(agg.rows.len());
+    for row in agg.rows {
+        let env = Env {
+            cols: agg.cols,
+            row,
+            parent: agg.outer,
+        };
+        vals.push(eval(ctx, arg, &env, None)?);
+    }
+    let mut non_null: Vec<Value> = vals.into_iter().filter(|v| !v.is_null()).collect();
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        non_null.retain(|v| seen.insert(v.group_key()));
+    }
+    match name {
+        "COUNT" => Ok(Value::Integer(non_null.len() as i64)),
+        "SUM" | "TOTAL" => {
+            if non_null.is_empty() {
+                return Ok(if name == "SUM" {
+                    Value::Null
+                } else {
+                    Value::Real(0.0)
+                });
+            }
+            let all_int = non_null.iter().all(|v| matches!(v, Value::Integer(_)));
+            if all_int && name == "SUM" {
+                let mut acc = 0i64;
+                for v in &non_null {
+                    if let Value::Integer(i) = v {
+                        acc = acc.wrapping_add(*i);
+                    }
+                }
+                Ok(Value::Integer(acc))
+            } else {
+                let s: f64 = non_null.iter().filter_map(Value::as_f64).sum();
+                Ok(Value::Real(s))
+            }
+        }
+        "AVG" => {
+            if non_null.is_empty() {
+                Ok(Value::Null)
+            } else {
+                let s: f64 = non_null.iter().filter_map(Value::as_f64).sum();
+                Ok(Value::Real(s / non_null.len() as f64))
+            }
+        }
+        "MIN" => Ok(non_null
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "MAX" => Ok(non_null
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "GROUP_CONCAT" => {
+            if non_null.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sep = ",".to_string();
+            Ok(Value::Text(
+                non_null
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(&sep),
+            ))
+        }
+        _ => Err(DbError::exec(format!("no such aggregate: {name}"))),
+    }
+}
+
+/// SQLite-style LIKE: case-insensitive ASCII, `%` any run, `_` one char.
+fn like_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                for skip in 0..=t.len() {
+                    if inner(&p[1..], &t[skip..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !t.is_empty() && inner(&p[1..], &t[1..]),
+            Some(c) => {
+                !t.is_empty()
+                    && t[0].eq_ignore_ascii_case(c)
+                    && inner(&p[1..], &t[1..])
+            }
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    inner(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("a%", "abc"));
+        assert!(like_match("%c", "abc"));
+        assert!(like_match("a_c", "abc"));
+        assert!(like_match("ABC", "abc"));
+        assert!(!like_match("a_c", "abcd"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+//! An embedded relational SQL database — the workspace's stand-in for
+//! the SQLite engine that LibSEAL runs inside its enclave (§3.1, §5).
+//!
+//! The engine supports the SQL dialect the paper's audit schemas,
+//! invariants and trimming queries require, verbatim: `CREATE
+//! TABLE`/`VIEW`, `INSERT`, `DELETE`, `UPDATE`, and `SELECT` with
+//! joins (including `NATURAL JOIN`), `GROUP BY`/`HAVING`, correlated
+//! scalar and `IN` subqueries, `DISTINCT`, `ORDER BY`/`LIMIT`,
+//! aggregates, and `?` bind parameters. Durability comes from a
+//! statement-granularity write-ahead journal with pluggable sealing
+//! ([`journal::JournalCodec`]) and snapshot compaction.
+//!
+//! # Examples
+//!
+//! ```
+//! use libseal_sealdb::Database;
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let r = db.query("SELECT COUNT(*) FROM t WHERE a > 1", &[]).unwrap();
+//! assert_eq!(r.scalar().unwrap().to_string(), "1");
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod db;
+pub mod exec;
+pub mod journal;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use db::{Database, QueryResult};
+pub use journal::{JournalCodec, PlainCodec, SyncPolicy};
+pub use value::Value;
+
+/// Errors produced by the database engine.
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL text failed to parse.
+    Parse(String),
+    /// Schema-level problem (missing table/column, duplicate name).
+    Schema(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl DbError {
+    pub(crate) fn parse(msg: impl Into<String>) -> DbError {
+        DbError::Parse(msg.into())
+    }
+    pub(crate) fn schema(msg: impl Into<String>) -> DbError {
+        DbError::Schema(msg.into())
+    }
+    pub(crate) fn exec(msg: impl Into<String>) -> DbError {
+        DbError::Exec(msg.into())
+    }
+    pub(crate) fn io(e: std::io::Error) -> DbError {
+        DbError::Io(e)
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Exec(m) => write!(f, "execution error: {m}"),
+            DbError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias for fallible database operations.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,505 @@
+//! End-to-end tests of the sealdb engine, centred on the exact SQL the
+//! LibSEAL paper runs: the Git audit schema, its soundness and
+//! completeness invariants, the `branchcnt` view, and the trimming
+//! queries (§1, §3.1, §5.1, §6.2) — all verbatim.
+
+use libseal_sealdb::{Database, Value};
+
+fn git_db() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)")
+        .unwrap();
+    // The paper's auxiliary view (§6.2), verbatim.
+    db.execute(
+        "CREATE VIEW branchcnt AS
+         SELECT DISTINCT a.time,a.repo,COUNT(u.branch) AS cnt
+         FROM advertisements a
+         JOIN updates u ON u.time < a.time AND u.repo = a.repo
+         WHERE u.type != 'delete' AND u.time = (SELECT MAX(time)
+            FROM updates WHERE branch = u.branch
+            AND repo = u.repo AND time < a.time) GROUP BY a.time,a.repo,a.branch",
+    )
+    .unwrap();
+    db
+}
+
+fn push(db: &mut Database, time: i64, repo: &str, branch: &str, cid: &str, kind: &str) {
+    db.execute_with(
+        "INSERT INTO updates VALUES (?, ?, ?, ?, ?)",
+        &[
+            Value::Integer(time),
+            Value::Text(repo.into()),
+            Value::Text(branch.into()),
+            Value::Text(cid.into()),
+            Value::Text(kind.into()),
+        ],
+    )
+    .unwrap();
+}
+
+fn advertise(db: &mut Database, time: i64, repo: &str, branch: &str, cid: &str) {
+    db.execute_with(
+        "INSERT INTO advertisements VALUES (?, ?, ?, ?)",
+        &[
+            Value::Integer(time),
+            Value::Text(repo.into()),
+            Value::Text(branch.into()),
+            Value::Text(cid.into()),
+        ],
+    )
+    .unwrap();
+}
+
+/// The paper's Git soundness invariant (§6.2), verbatim.
+const SOUNDNESS: &str = "SELECT * FROM advertisements a WHERE cid != (
+    SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+    u.branch = a.branch AND u.time < a.time ORDER BY
+    u.time DESC LIMIT 1)";
+
+/// The paper's Git completeness invariant (§1), verbatim.
+const COMPLETENESS: &str = "SELECT time, repo FROM advertisements
+    NATURAL JOIN branchcnt
+    GROUP BY time, repo, cnt HAVING COUNT(branch) != cnt";
+
+#[test]
+fn git_soundness_clean_history_passes() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    advertise(&mut db, 2, "r", "main", "c1");
+    push(&mut db, 3, "r", "main", "c2", "update");
+    advertise(&mut db, 4, "r", "main", "c2");
+    let r = db.query(SOUNDNESS, &[]).unwrap();
+    assert!(r.is_empty(), "no violations expected: {:?}", r.rows);
+}
+
+#[test]
+fn git_soundness_detects_rollback() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "main", "c2", "update");
+    // Rollback attack: the server advertises the OLD commit c1.
+    advertise(&mut db, 3, "r", "main", "c1");
+    let r = db.query(SOUNDNESS, &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn git_soundness_detects_teleport() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "dev", "d9", "update");
+    // Teleport attack: main advertised as pointing at dev's commit.
+    advertise(&mut db, 3, "r", "main", "d9");
+    advertise(&mut db, 4, "r", "dev", "d9");
+    let r = db.query(SOUNDNESS, &[]).unwrap();
+    assert_eq!(r.rows.len(), 1, "{:?}", r.rows);
+    assert_eq!(r.rows[0][2], Value::Text("main".into()));
+}
+
+#[test]
+fn git_completeness_detects_reference_deletion() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "dev", "d1", "update");
+    // The server only advertises main: dev was silently dropped.
+    advertise(&mut db, 3, "r", "main", "c1");
+    let r = db.query(COMPLETENESS, &[]).unwrap();
+    assert_eq!(r.rows.len(), 1, "{:?}", r.rows);
+    assert_eq!(r.rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn git_completeness_clean_advertisement_passes() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "dev", "d1", "update");
+    advertise(&mut db, 3, "r", "main", "c1");
+    advertise(&mut db, 3, "r", "dev", "d1");
+    let r = db.query(COMPLETENESS, &[]).unwrap();
+    assert!(r.is_empty(), "{:?}", r.rows);
+}
+
+#[test]
+fn git_completeness_ignores_deleted_branches() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "dev", "d1", "update");
+    push(&mut db, 3, "r", "dev", "d1", "delete");
+    // dev was legitimately deleted; advertising only main is fine.
+    advertise(&mut db, 4, "r", "main", "c1");
+    let r = db.query(COMPLETENESS, &[]).unwrap();
+    assert!(r.is_empty(), "{:?}", r.rows);
+}
+
+#[test]
+fn git_trimming_queries_work() {
+    let mut db = git_db();
+    push(&mut db, 1, "r", "main", "c1", "update");
+    push(&mut db, 2, "r", "main", "c2", "update");
+    push(&mut db, 3, "r", "dev", "d1", "update");
+    advertise(&mut db, 4, "r", "main", "c2");
+    advertise(&mut db, 4, "r", "dev", "d1");
+    // The paper's trimming queries (§5.1), verbatim.
+    db.execute("DELETE FROM advertisements").unwrap();
+    let r = db
+        .execute(
+            "DELETE FROM updates WHERE time NOT IN
+             (SELECT MAX(time) FROM updates GROUP BY repo, branch)",
+        )
+        .unwrap();
+    assert_eq!(r.rows_affected, 1); // Only (1, main, c1) removed.
+    let left = db.query("SELECT branch, cid FROM updates ORDER BY branch", &[]).unwrap();
+    assert_eq!(left.rows.len(), 2);
+    assert_eq!(left.rows[0][1], Value::Text("d1".into()));
+    assert_eq!(left.rows[1][1], Value::Text("c2".into()));
+    // Invariants still hold after trimming followed by new traffic.
+    advertise(&mut db, 5, "r", "main", "c2");
+    advertise(&mut db, 5, "r", "dev", "d1");
+    assert!(db.query(SOUNDNESS, &[]).unwrap().is_empty());
+    assert!(db.query(COMPLETENESS, &[]).unwrap().is_empty());
+}
+
+#[test]
+fn multi_repo_isolation() {
+    let mut db = git_db();
+    push(&mut db, 1, "r1", "main", "a1", "update");
+    push(&mut db, 2, "r2", "main", "b1", "update");
+    advertise(&mut db, 3, "r1", "main", "a1");
+    advertise(&mut db, 3, "r2", "main", "b1");
+    assert!(db.query(SOUNDNESS, &[]).unwrap().is_empty());
+    // Cross-repo confusion would be a violation.
+    advertise(&mut db, 4, "r1", "main", "b1");
+    assert_eq!(db.query(SOUNDNESS, &[]).unwrap().rows.len(), 1);
+}
+
+// ---- General engine behaviour -----------------------------------------
+
+#[test]
+fn aggregates_and_group_by() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE s(grp TEXT, v INTEGER)").unwrap();
+    db.execute(
+        "INSERT INTO s VALUES ('a', 1), ('a', 2), ('b', 5), ('b', NULL), ('c', 10)",
+    )
+    .unwrap();
+    let r = db
+        .query(
+            "SELECT grp, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v)
+             FROM s GROUP BY grp ORDER BY grp",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    // Group 'b': COUNT(*)=2, COUNT(v)=1 (NULL ignored), SUM=5.
+    assert_eq!(r.rows[1][1], Value::Integer(2));
+    assert_eq!(r.rows[1][2], Value::Integer(1));
+    assert_eq!(r.rows[1][3], Value::Integer(5));
+}
+
+#[test]
+fn count_distinct() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(x INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (1), (2), (NULL)").unwrap();
+    let r = db.query("SELECT COUNT(DISTINCT x) FROM t", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(2));
+}
+
+#[test]
+fn having_filters_groups() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(g TEXT, v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',1)").unwrap();
+    let r = db
+        .query("SELECT g FROM t GROUP BY g HAVING COUNT(*) > 1", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Text("a".into()));
+}
+
+#[test]
+fn order_by_desc_and_limit_offset() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (3),(1),(4),(1),(5),(9),(2),(6)").unwrap();
+    let r = db
+        .query("SELECT v FROM t ORDER BY v DESC LIMIT 3 OFFSET 1", &[])
+        .unwrap();
+    let vals: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Integer(i) => i,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(vals, vec![6, 5, 4]);
+}
+
+#[test]
+fn left_join_pads_nulls() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE l(id INTEGER, n TEXT)").unwrap();
+    db.execute("CREATE TABLE r(id INTEGER, m TEXT)").unwrap();
+    db.execute("INSERT INTO l VALUES (1,'a'),(2,'b')").unwrap();
+    db.execute("INSERT INTO r VALUES (1,'x')").unwrap();
+    let res = db
+        .query(
+            "SELECT l.n, r.m FROM l LEFT JOIN r ON l.id = r.id ORDER BY l.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(res.rows.len(), 2);
+    assert_eq!(res.rows[1][1], Value::Null);
+}
+
+#[test]
+fn exists_and_not_exists() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let r = db
+        .query("SELECT 'yes' WHERE EXISTS (SELECT 1 FROM t WHERE v = 1)", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = db
+        .query("SELECT 'yes' WHERE NOT EXISTS (SELECT 1 FROM t WHERE v = 2)", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn correlated_exists() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE a(x INTEGER)").unwrap();
+    db.execute("CREATE TABLE b(y INTEGER)").unwrap();
+    db.execute("INSERT INTO a VALUES (1),(2),(3)").unwrap();
+    db.execute("INSERT INTO b VALUES (2),(3),(4)").unwrap();
+    let r = db
+        .query(
+            "SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.y = a.x) ORDER BY x",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Integer(2));
+}
+
+#[test]
+fn null_three_valued_logic() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (NULL), (2)").unwrap();
+    // NULL != 1 is unknown, so the NULL row is not returned.
+    let r = db.query("SELECT v FROM t WHERE v != 1", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // IS NULL finds it.
+    let r = db.query("SELECT v FROM t WHERE v IS NULL", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // NOT IN with NULL in the subquery result yields no rows.
+    db.execute("CREATE TABLE u(w INTEGER)").unwrap();
+    db.execute("INSERT INTO u VALUES (1), (NULL)").unwrap();
+    let r = db.query("SELECT v FROM t WHERE v NOT IN (SELECT w FROM u)", &[]).unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn update_statement_applies() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(id INTEGER, v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    let r = db.execute("UPDATE t SET v = v + 1 WHERE id = 2").unwrap();
+    assert_eq!(r.rows_affected, 1);
+    let r = db.query("SELECT v FROM t WHERE id = 2", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(21));
+}
+
+#[test]
+fn scalar_functions() {
+    let mut db = Database::new();
+    let r = db
+        .query(
+            "SELECT ABS(-3), LENGTH('hello'), UPPER('ab'), LOWER('AB'),
+                    SUBSTR('hello', 2, 3), COALESCE(NULL, NULL, 7), IFNULL(NULL, 'd'),
+                    NULLIF(1, 1), TYPEOF(2.5)",
+            &[],
+        )
+        .unwrap();
+    let row = &r.rows[0];
+    assert_eq!(row[0], Value::Integer(3));
+    assert_eq!(row[1], Value::Integer(5));
+    assert_eq!(row[2], Value::Text("AB".into()));
+    assert_eq!(row[3], Value::Text("ab".into()));
+    assert_eq!(row[4], Value::Text("ell".into()));
+    assert_eq!(row[5], Value::Integer(7));
+    assert_eq!(row[6], Value::Text("d".into()));
+    assert_eq!(row[7], Value::Null);
+    assert_eq!(row[8], Value::Text("real".into()));
+}
+
+#[test]
+fn arithmetic_semantics() {
+    let mut db = Database::new();
+    let r = db
+        .query("SELECT 7 / 2, 7.0 / 2, 7 % 3, 1 / 0, 'a' || 'b' || 3", &[])
+        .unwrap();
+    let row = &r.rows[0];
+    assert_eq!(row[0], Value::Integer(3)); // integer division
+    assert_eq!(row[1], Value::Real(3.5));
+    assert_eq!(row[2], Value::Integer(1));
+    assert_eq!(row[3], Value::Null); // division by zero
+    assert_eq!(row[4], Value::Text("ab3".into()));
+}
+
+#[test]
+fn case_expressions() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (5), (NULL)").unwrap();
+    let r = db
+        .query(
+            "SELECT CASE WHEN v IS NULL THEN 'none'
+                         WHEN v > 3 THEN 'big' ELSE 'small' END FROM t",
+            &[],
+        )
+        .unwrap();
+    let texts: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert_eq!(texts, vec!["small", "big", "none"]);
+}
+
+#[test]
+fn subquery_in_from_clause() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(g TEXT, v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',7)").unwrap();
+    let r = db
+        .query(
+            "SELECT MAX(total) FROM (SELECT g, SUM(v) AS total FROM t GROUP BY g) sums",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
+}
+
+#[test]
+fn persistence_roundtrip() {
+    use libseal_sealdb::{PlainCodec, SyncPolicy};
+    let mut path = std::env::temp_dir();
+    path.push(format!("sealdb-e2e-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut db =
+            Database::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
+        db.execute("CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(1), Value::Text("one".into())],
+        )
+        .unwrap();
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(2), Value::Text("two".into())],
+        )
+        .unwrap();
+        db.execute("DELETE FROM t WHERE a = 1").unwrap();
+    }
+    let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
+    let r = db.query("SELECT a, b FROM t", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][1], Value::Text("two".into()));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn compaction_preserves_data_and_shrinks_journal() {
+    use libseal_sealdb::{PlainCodec, SyncPolicy};
+    let mut path = std::env::temp_dir();
+    path.push(format!("sealdb-compact-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+        db.execute("CREATE TABLE t(a INTEGER)").unwrap();
+        for i in 0..100 {
+            db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i)])
+                .unwrap();
+        }
+        db.execute("DELETE FROM t WHERE a < 90").unwrap();
+        let before = db.journal_size_bytes();
+        db.compact().unwrap();
+        assert!(db.journal_size_bytes() < before);
+    }
+    let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+    let r = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(10));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn view_over_view_queries() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1),(2),(3),(4)").unwrap();
+    db.execute("CREATE VIEW evens AS SELECT v FROM t WHERE v % 2 = 0").unwrap();
+    db.execute("CREATE VIEW big_evens AS SELECT v FROM evens WHERE v > 2").unwrap();
+    let r = db.query("SELECT v FROM big_evens", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Integer(4));
+}
+
+#[test]
+fn errors_are_reported() {
+    let mut db = Database::new();
+    assert!(db.query("SELECT * FROM missing", &[]).is_err());
+    db.execute("CREATE TABLE t(a INTEGER)").unwrap();
+    assert!(db.query("SELECT nope FROM t", &[]).is_err());
+    assert!(db.execute("CREATE TABLE t(a INTEGER)").is_err());
+    assert!(db.execute("CREATE TABLE IF NOT EXISTS t(a INTEGER)").is_ok());
+    assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err());
+    assert!(db.execute_with("INSERT INTO t VALUES (?)", &[]).is_err());
+}
+
+#[test]
+fn affinity_applied_on_insert() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('42', 7)").unwrap();
+    let r = db.query("SELECT TYPEOF(a), TYPEOF(b) FROM t", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Text("integer".into()));
+    assert_eq!(r.rows[0][1], Value::Text("text".into()));
+}
+
+#[test]
+fn distinct_dedupes() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(v INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1),(1),(2),(2),(2)").unwrap();
+    let r = db.query("SELECT DISTINCT v FROM t ORDER BY v", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn select_without_from() {
+    let mut db = Database::new();
+    let r = db.query("SELECT 1 + 2 AS three", &[]).unwrap();
+    assert_eq!(r.columns, vec!["three"]);
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(3));
+}
+
+#[test]
+fn like_patterns() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(s TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('refs/heads/main'), ('refs/tags/v1'), ('other')")
+        .unwrap();
+    let r = db
+        .query("SELECT s FROM t WHERE s LIKE 'refs/%' ORDER BY s", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let r = db.query("SELECT s FROM t WHERE s NOT LIKE 'refs/%'", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+}

@@ -1,0 +1,280 @@
+//! Edge-case coverage for the SQL engine: the behaviours the paper's
+//! queries rely on indirectly, plus classic NULL/aggregation corners.
+
+use libseal_sealdb::{Database, Value};
+
+fn db_with(sql: &str) -> Database {
+    let mut db = Database::new();
+    db.execute(sql).unwrap();
+    db
+}
+
+#[test]
+fn natural_join_multiple_shared_columns() {
+    let mut db = db_with(
+        "CREATE TABLE a(x INTEGER, y INTEGER, p TEXT);
+         CREATE TABLE b(x INTEGER, y INTEGER, q TEXT);",
+    );
+    db.execute("INSERT INTO a VALUES (1, 1, 'p11'), (1, 2, 'p12'), (2, 1, 'p21')")
+        .unwrap();
+    db.execute("INSERT INTO b VALUES (1, 1, 'q11'), (2, 1, 'q21'), (3, 3, 'q33')")
+        .unwrap();
+    let r = db
+        .query("SELECT x, y, p, q FROM a NATURAL JOIN b ORDER BY x", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][2], Value::Text("p11".into()));
+    assert_eq!(r.rows[0][3], Value::Text("q11".into()));
+    assert_eq!(r.rows[1][2], Value::Text("p21".into()));
+}
+
+#[test]
+fn natural_join_without_shared_columns_is_cross() {
+    let mut db = db_with("CREATE TABLE a(x INTEGER); CREATE TABLE b(y INTEGER);");
+    db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+    db.execute("INSERT INTO b VALUES (10), (20)").unwrap();
+    let r = db.query("SELECT x, y FROM a NATURAL JOIN b", &[]).unwrap();
+    assert_eq!(r.rows.len(), 4);
+}
+
+#[test]
+fn order_by_output_alias_and_position() {
+    let mut db = db_with("CREATE TABLE t(a INTEGER, b INTEGER);");
+    db.execute("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)").unwrap();
+    let r = db
+        .query("SELECT a, b AS bee FROM t ORDER BY bee", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(2));
+    let r = db.query("SELECT a, b FROM t ORDER BY 2 DESC", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(1));
+}
+
+#[test]
+fn order_by_column_not_in_projection() {
+    let mut db = db_with("CREATE TABLE t(a INTEGER, b INTEGER);");
+    db.execute("INSERT INTO t VALUES (1, 3), (2, 1), (3, 2)").unwrap();
+    let r = db.query("SELECT a FROM t ORDER BY b", &[]).unwrap();
+    let got: Vec<&Value> = r.rows.iter().map(|row| &row[0]).collect();
+    assert_eq!(
+        got,
+        vec![&Value::Integer(2), &Value::Integer(3), &Value::Integer(1)]
+    );
+}
+
+#[test]
+fn group_by_expression() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
+    let r = db
+        .query("SELECT v % 2, COUNT(*) FROM t GROUP BY v % 2 ORDER BY 1", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][1], Value::Integer(2)); // evens
+    assert_eq!(r.rows[1][1], Value::Integer(3)); // odds
+}
+
+#[test]
+fn aggregates_over_empty_table() {
+    let db = db_with("CREATE TABLE t(v INTEGER);");
+    let r = db
+        .query("SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Integer(0));
+    assert_eq!(r.rows[0][1], Value::Integer(0));
+    assert_eq!(r.rows[0][2], Value::Null);
+    assert_eq!(r.rows[0][3], Value::Null);
+    assert_eq!(r.rows[0][4], Value::Null);
+    assert_eq!(r.rows[0][5], Value::Null);
+}
+
+#[test]
+fn having_without_group_by() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let r = db.query("SELECT SUM(v) FROM t HAVING SUM(v) > 2", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = db.query("SELECT SUM(v) FROM t HAVING SUM(v) > 5", &[]).unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn between_and_not_between() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (1), (5), (10)").unwrap();
+    let r = db.query("SELECT v FROM t WHERE v BETWEEN 2 AND 9", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = db.query("SELECT v FROM t WHERE v NOT BETWEEN 2 AND 9 ORDER BY v", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2);
+    // Bounds are inclusive.
+    let r = db.query("SELECT v FROM t WHERE v BETWEEN 1 AND 5", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn in_list_with_expressions() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (2), (4), (6)").unwrap();
+    let r = db.query("SELECT v FROM t WHERE v IN (1 + 1, 10, 3 * 2) ORDER BY v", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn scalar_subquery_empty_is_null() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER); CREATE TABLE u(w INTEGER);");
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let r = db
+        .query("SELECT (SELECT w FROM u) IS NULL FROM t", &[])
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
+}
+
+#[test]
+fn nested_correlated_subqueries() {
+    // Two levels of correlation, as in the paper's branchcnt view.
+    let mut db = db_with(
+        "CREATE TABLE ev(t INTEGER, k TEXT, v INTEGER);",
+    );
+    for (t, k, v) in [(1, "a", 10), (2, "a", 20), (3, "b", 5), (4, "a", 30), (5, "b", 7)] {
+        db.execute_with(
+            "INSERT INTO ev VALUES (?, ?, ?)",
+            &[
+                Value::Integer(t),
+                Value::Text(k.into()),
+                Value::Integer(v),
+            ],
+        )
+        .unwrap();
+    }
+    // For each row: is it the latest event of its key?
+    let r = db
+        .query(
+            "SELECT t FROM ev e WHERE e.t = (SELECT MAX(t) FROM ev WHERE k = e.k) ORDER BY t",
+            &[],
+        )
+        .unwrap();
+    let got: Vec<&Value> = r.rows.iter().map(|row| &row[0]).collect();
+    assert_eq!(got, vec![&Value::Integer(4), &Value::Integer(5)]);
+}
+
+#[test]
+fn update_with_correlated_subquery_filter() {
+    let mut db = db_with("CREATE TABLE t(id INTEGER, v INTEGER); CREATE TABLE m(id INTEGER);");
+    db.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)").unwrap();
+    db.execute("INSERT INTO m VALUES (1), (3)").unwrap();
+    let r = db
+        .execute("UPDATE t SET v = 9 WHERE id IN (SELECT id FROM m)")
+        .unwrap();
+    assert_eq!(r.rows_affected, 2);
+    let r = db.query("SELECT SUM(v) FROM t", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(18));
+}
+
+#[test]
+fn delete_everything_and_reuse() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    assert_eq!(db.execute("DELETE FROM t").unwrap().rows_affected, 2);
+    db.execute("INSERT INTO t VALUES (7)").unwrap();
+    let r = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
+}
+
+#[test]
+fn text_comparison_and_concat_affinities() {
+    let mut db = db_with("CREATE TABLE t(s TEXT, n INTEGER);");
+    db.execute("INSERT INTO t VALUES ('abc', 5)").unwrap();
+    // TEXT vs INTEGER never compare equal (distinct type classes).
+    let r = db.query("SELECT COUNT(*) FROM t WHERE s = 5", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(0));
+    // Concat renders both as text.
+    let r = db.query("SELECT s || n FROM t", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Text("abc5".into()));
+}
+
+#[test]
+fn limit_zero_and_offset_beyond_end() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    assert!(db.query("SELECT v FROM t LIMIT 0", &[]).unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT v FROM t LIMIT 5 OFFSET 10", &[])
+        .unwrap()
+        .rows
+        .is_empty());
+    let r = db.query("SELECT v FROM t ORDER BY v LIMIT 1, 2", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2); // MySQL-style offset, count
+    assert_eq!(r.rows[0][0], Value::Integer(2));
+}
+
+#[test]
+fn distinct_with_nulls() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    db.execute("INSERT INTO t VALUES (NULL), (NULL), (1)").unwrap();
+    let r = db.query("SELECT DISTINCT v FROM t", &[]).unwrap();
+    assert_eq!(r.rows.len(), 2, "NULLs group together under DISTINCT");
+}
+
+#[test]
+fn case_without_else_yields_null() {
+    let db = db_with("CREATE TABLE t(v INTEGER);");
+    let _ = db;
+    let mut db = Database::new();
+    let r = db
+        .execute("SELECT CASE WHEN 1 = 2 THEN 'x' END")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Null);
+}
+
+#[test]
+fn quoted_identifiers_roundtrip() {
+    let mut db = Database::new();
+    db.execute(r#"CREATE TABLE "my table"("a col" INTEGER)"#).unwrap();
+    db.execute(r#"INSERT INTO "my table" VALUES (7)"#).unwrap();
+    let r = db.query(r#"SELECT "a col" FROM "my table""#, &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
+}
+
+#[test]
+fn view_columns_usable_in_predicates() {
+    let mut db = db_with("CREATE TABLE t(g TEXT, v INTEGER);");
+    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+    db.execute("CREATE VIEW sums AS SELECT g, SUM(v) AS total FROM t GROUP BY g")
+        .unwrap();
+    let r = db
+        .query("SELECT g FROM sums WHERE total > 2 ORDER BY g", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let mut db = db_with("CREATE TABLE t(id INTEGER, parent INTEGER);");
+    db.execute("INSERT INTO t VALUES (1, 0), (2, 1), (3, 1), (4, 2)").unwrap();
+    let r = db
+        .query(
+            "SELECT child.id, parent.id FROM t child JOIN t parent
+             ON child.parent = parent.id ORDER BY child.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[2][0], Value::Integer(4));
+    assert_eq!(r.rows[2][1], Value::Integer(2));
+}
+
+#[test]
+fn exists_short_circuits_with_limit() {
+    let mut db = db_with("CREATE TABLE t(v INTEGER);");
+    for i in 0..50 {
+        db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i)]).unwrap();
+    }
+    let r = db
+        .query(
+            "SELECT COUNT(*) FROM t a WHERE EXISTS
+               (SELECT 1 FROM t b WHERE b.v = a.v + 1 LIMIT 1)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(49));
+}

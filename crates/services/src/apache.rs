@@ -1,0 +1,321 @@
+//! An Apache-like threaded web server terminating STLS.
+//!
+//! A fixed pool of worker threads serves whole connections from an
+//! accept queue; each worker owns one async-ecall slot when the TLS
+//! mode is a LibSEAL instance with the §4.3 runtime. Routers plug the
+//! application in: static content for the TLS micro-benchmarks
+//! (Fig. 7a, Tabs 2-4), the Git/ownCloud backends for Fig. 5, or a
+//! reverse proxy (the paper's large-scale Git deployment, §6.4).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use libseal_httpx::http::{parse_request, Request, Response};
+use libseal_tlsx::ssl::ReadOutcome;
+
+use crate::tlsadapter::{TlsMode, TlsSession};
+use crate::Result;
+
+/// Application logic behind the server.
+pub trait Router: Send + Sync {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+/// Serves `GET /content/<n>` with an `n`-byte body (the paper's
+/// variable content-size workload).
+pub struct StaticContentRouter;
+
+impl Router for StaticContentRouter {
+    fn handle(&self, req: &Request) -> Response {
+        if let Some(size) = req.path().strip_prefix("/content/") {
+            if let Ok(n) = size.parse::<usize>() {
+                return Response::new(200, vec![b'x'; n]);
+            }
+        }
+        Response::new(404, b"not found".to_vec())
+    }
+}
+
+/// Wraps a router with a fixed application-processing delay, modelling
+/// backend work (the real git-http-backend, PHP engine, etc.) that the
+/// TLS layer under study is not responsible for.
+pub struct DelayRouter {
+    /// Simulated processing time per request.
+    pub delay: std::time::Duration,
+    /// Burn CPU (true) or sleep (false). CPU-bound work models a
+    /// saturated application core (the paper's Git backend); sleeping
+    /// models waiting on external resources.
+    pub busy: bool,
+    /// The wrapped application.
+    pub inner: Arc<dyn Router>,
+}
+
+impl Router for DelayRouter {
+    fn handle(&self, req: &Request) -> Response {
+        if !self.delay.is_zero() {
+            if self.busy {
+                libseal_sgxsim::cost::spin_for_nanos(self.delay.as_nanos() as u64);
+            } else {
+                std::thread::sleep(self.delay);
+            }
+        }
+        self.inner.handle(req)
+    }
+}
+
+/// Forwards every request to an upstream server over its own STLS
+/// connection — the paper's large-scale Git deployment (§6.4): Apache
+/// in reverse-proxy mode, linked against LibSEAL, logging all traffic
+/// and forwarding to backend servers.
+pub struct ReverseProxyRouter {
+    upstream: std::net::SocketAddr,
+    roots: Vec<libseal_crypto::ed25519::VerifyingKey>,
+}
+
+impl ReverseProxyRouter {
+    /// Creates a reverse proxy towards `upstream`, trusting `roots`.
+    pub fn new(
+        upstream: std::net::SocketAddr,
+        roots: Vec<libseal_crypto::ed25519::VerifyingKey>,
+    ) -> Self {
+        ReverseProxyRouter { upstream, roots }
+    }
+}
+
+impl Router for ReverseProxyRouter {
+    fn handle(&self, req: &Request) -> Response {
+        // One upstream connection per request keeps the router
+        // stateless; a production proxy would pool connections.
+        let client = crate::client::HttpsClient::new(self.upstream, self.roots.clone());
+        match client.request(req) {
+            Ok(rsp) => rsp,
+            Err(e) => Response::new(502, format!("upstream error: {e}").into_bytes()),
+        }
+    }
+}
+
+/// Router from a plain function.
+pub struct FnRouter<F: Fn(&Request) -> Response + Send + Sync>(pub F);
+
+impl<F: Fn(&Request) -> Response + Send + Sync> Router for FnRouter<F> {
+    fn handle(&self, req: &Request) -> Response {
+        self.0(req)
+    }
+}
+
+/// Server configuration.
+pub struct ApacheConfig {
+    /// TLS termination mode.
+    pub tls: TlsMode,
+    /// Worker threads (application threads `A` in §4.3 terms).
+    pub workers: usize,
+    /// The application.
+    pub router: Arc<dyn Router>,
+}
+
+/// A running server instance.
+pub struct ApacheServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl ApacheServer {
+    /// Starts the server on an ephemeral local port.
+    ///
+    /// # Errors
+    ///
+    /// Socket binding failures.
+    pub fn start(config: ApacheConfig) -> Result<ApacheServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let mut handles = Vec::new();
+
+        // Accept loop.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("apache-accept".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((sock, _)) => {
+                                    let _ = sock.set_nodelay(true);
+                                    if tx.send(sock).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        for worker in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let tls = config.tls.clone();
+            let router = Arc::clone(&config.router);
+            let shutdown = Arc::clone(&shutdown);
+            let served = Arc::clone(&requests_served);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("apache-worker-{worker}"))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                                Ok(sock) => {
+                                    let _ = serve_connection(
+                                        sock,
+                                        &tls,
+                                        worker,
+                                        router.as_ref(),
+                                        &served,
+                                    );
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        Ok(ApacheServer {
+            addr,
+            shutdown,
+            handles,
+            requests_served,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ApacheServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serves one connection until close/EOF.
+fn serve_connection(
+    mut sock: TcpStream,
+    tls: &TlsMode,
+    worker: usize,
+    router: &dyn Router,
+    served: &AtomicU64,
+) -> Result<()> {
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut session = tls.open_session(worker)?;
+    // Always release the (enclave) session state, whatever path exits
+    // the connection loop.
+    let result = serve_established(&mut session, &mut sock, router, served);
+    session.close();
+    let _ = flush(&mut session, &mut sock);
+    result
+}
+
+fn serve_established(
+    session: &mut TlsSession,
+    sock: &mut TcpStream,
+    router: &dyn Router,
+    served: &AtomicU64,
+) -> Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+
+    // Handshake.
+    loop {
+        flush(session, sock)?;
+        if session.do_handshake()? {
+            break;
+        }
+        flush(session, sock)?;
+        let n = sock.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        session.provide_input(&buf[..n])?;
+    }
+    flush(session, sock)?;
+
+    // Request loop (keep-alive).
+    let mut plain = Vec::new();
+    loop {
+        // Accumulate one full request.
+        let req = loop {
+            if let Ok((req, used)) = parse_request(&plain) {
+                plain.drain(..used);
+                break req;
+            }
+            match session.ssl_read()? {
+                ReadOutcome::Data(d) => plain.extend_from_slice(&d),
+                ReadOutcome::WantRead => {
+                    flush(session, sock)?;
+                    let n = match sock.read(&mut buf) {
+                        Ok(n) => n,
+                        Err(_) => return Ok(()),
+                    };
+                    if n == 0 {
+                        return Ok(());
+                    }
+                    session.provide_input(&buf[..n])?;
+                }
+                ReadOutcome::Closed => return Ok(()),
+            }
+        };
+        let close = req
+            .headers
+            .get("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let response = router.handle(&req);
+        session.ssl_write(&response.to_bytes())?;
+        flush(session, sock)?;
+        served.fetch_add(1, Ordering::Relaxed);
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+fn flush(session: &mut TlsSession, sock: &mut TcpStream) -> Result<()> {
+    let out = session.take_output()?;
+    if !out.is_empty() {
+        sock.write_all(&out)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,231 @@
+//! STLS HTTP clients and a closed-loop load generator.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use libseal_crypto::ed25519::VerifyingKey;
+use libseal_crypto::SystemRng;
+use libseal_httpx::http::{parse_response, Request, Response};
+use libseal_tlsx::ssl::SslConfig;
+use libseal_tlsx::stream::SslStream;
+use libseal_tlsx::TlsError;
+
+use crate::{Result, ServiceError};
+
+/// A client issuing HTTPS requests over STLS.
+pub struct HttpsClient {
+    addr: SocketAddr,
+    ca_roots: Vec<VerifyingKey>,
+}
+
+impl HttpsClient {
+    /// Creates a client for `addr` trusting `ca_roots`.
+    pub fn new(addr: SocketAddr, ca_roots: Vec<VerifyingKey>) -> Self {
+        HttpsClient { addr, ca_roots }
+    }
+
+    /// One-shot request on a fresh connection (the paper's
+    /// non-persistent worst case: every request pays a handshake).
+    ///
+    /// # Errors
+    ///
+    /// Connection, TLS, or protocol failures.
+    pub fn request(&self, req: &Request) -> Result<Response> {
+        let mut conn = self.connect()?;
+        let rsp = conn.request(req)?;
+        conn.close();
+        Ok(rsp)
+    }
+
+    /// Opens a persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(&self) -> Result<PersistentConnection> {
+        let sock = TcpStream::connect(self.addr)?;
+        sock.set_nodelay(true)?;
+        sock.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let cfg = SslConfig::client(self.ca_roots.clone());
+        let mut entropy = [0u8; 64];
+        SystemRng::new().fill(&mut entropy);
+        let tls = SslStream::handshake(cfg, entropy, sock)?;
+        Ok(PersistentConnection { tls })
+    }
+}
+
+/// A persistent (keep-alive) client connection.
+pub struct PersistentConnection {
+    tls: SslStream<TcpStream>,
+}
+
+impl PersistentConnection {
+    /// Sends `req` and reads one full response.
+    ///
+    /// # Errors
+    ///
+    /// TLS or protocol failures.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        self.tls.write_all(&req.to_bytes())?;
+        let mut buf = Vec::new();
+        loop {
+            match parse_response(&buf) {
+                Ok((rsp, _)) => return Ok(rsp),
+                Err(libseal_httpx::ParseError::Incomplete) => {}
+                Err(e) => return Err(ServiceError::Protocol(e.to_string())),
+            }
+            match self.tls.read_some() {
+                Ok(d) => buf.extend_from_slice(&d),
+                Err(TlsError::Closed) => {
+                    return Err(ServiceError::Protocol("closed mid-response".into()))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends close_notify.
+    pub fn close(&mut self) {
+        self.tls.close();
+    }
+}
+
+/// Latency and throughput statistics from one load run.
+#[derive(Clone, Debug)]
+pub struct LoadStats {
+    /// Total completed requests.
+    pub requests: u64,
+    /// Errors observed.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Mean latency.
+    pub mean_latency: Duration,
+    /// Median latency.
+    pub p50_latency: Duration,
+    /// 95th percentile latency.
+    pub p95_latency: Duration,
+}
+
+impl LoadStats {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Closed-loop load generator: `clients` threads each issue requests
+/// back-to-back for `duration`.
+pub struct LoadGenerator {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Run duration.
+    pub duration: Duration,
+    /// Reuse connections (persistent) or reconnect per request.
+    pub persistent: bool,
+}
+
+impl LoadGenerator {
+    /// Runs the load; `make_request` builds the i-th request of a
+    /// client thread.
+    pub fn run(
+        &self,
+        client: &HttpsClient,
+        make_request: impl Fn(usize, u64) -> Request + Send + Sync,
+    ) -> LoadStats {
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let make_request = &make_request;
+        let start = Instant::now();
+        let mut all_lat: Vec<Duration> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..self.clients {
+                let stop = Arc::clone(&stop);
+                let total = Arc::clone(&total);
+                let errors = Arc::clone(&errors);
+                handles.push(scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut i = 0u64;
+                    let mut conn = if self.persistent {
+                        client.connect().ok()
+                    } else {
+                        None
+                    };
+                    while !stop.load(Ordering::Acquire) {
+                        let req = make_request(c, i);
+                        let t0 = Instant::now();
+                        let ok = if self.persistent {
+                            match conn.as_mut() {
+                                Some(pc) => match pc.request(&req) {
+                                    Ok(_) => true,
+                                    Err(_) => {
+                                        conn = client.connect().ok();
+                                        false
+                                    }
+                                },
+                                None => {
+                                    conn = client.connect().ok();
+                                    false
+                                }
+                            }
+                        } else {
+                            client.request(&req).is_ok()
+                        };
+                        if ok {
+                            latencies.push(t0.elapsed());
+                            total.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i += 1;
+                    }
+                    if let Some(mut pc) = conn {
+                        pc.close();
+                    }
+                    latencies
+                }));
+            }
+            // Timer thread.
+            let duration = self.duration;
+            let stop2 = Arc::clone(&stop);
+            scope.spawn(move || {
+                std::thread::sleep(duration);
+                stop2.store(true, Ordering::Release);
+            });
+            for h in handles {
+                if let Ok(lat) = h.join() {
+                    all_lat.extend(lat);
+                }
+            }
+        });
+
+        let elapsed = start.elapsed();
+        all_lat.sort_unstable();
+        let pick = |q: f64| -> Duration {
+            if all_lat.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((all_lat.len() - 1) as f64 * q) as usize;
+                all_lat[idx]
+            }
+        };
+        let mean = if all_lat.is_empty() {
+            Duration::ZERO
+        } else {
+            all_lat.iter().sum::<Duration>() / all_lat.len() as u32
+        };
+        LoadStats {
+            requests: total.load(Ordering::Relaxed),
+            errors: errors.load(Ordering::Relaxed),
+            elapsed,
+            mean_latency: mean,
+            p50_latency: pick(0.5),
+            p95_latency: pick(0.95),
+        }
+    }
+}

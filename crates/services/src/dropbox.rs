@@ -1,0 +1,342 @@
+//! A Dropbox-like file-metadata service (§6.1): clients commit files
+//! as blocklists (`commit_batch`) and poll their file list (`list`).
+//! Since the real Dropbox cannot be instrumented, the paper routes
+//! traffic through a Squid proxy; here the origin is simulated, with a
+//! configurable WAN latency floor standing in for the measured 76 ms
+//! to Dropbox's servers (§6.4).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use libseal_httpx::http::{Request, Response};
+use libseal_httpx::json::Json;
+use parking_lot::Mutex;
+
+use crate::apache::Router;
+
+/// Integrity attacks the server can be told to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropboxAttack {
+    /// Serve faithfully.
+    None,
+    /// Serve a corrupted blocklist for one file.
+    CorruptBlocklist {
+        /// Account.
+        account: String,
+        /// File whose blocklist is corrupted.
+        file: String,
+    },
+    /// Omit one live file from listings.
+    HideFile {
+        /// Account.
+        account: String,
+        /// File to hide.
+        file: String,
+    },
+    /// List a file that was never committed.
+    PhantomFile {
+        /// Account.
+        account: String,
+        /// Invented file name.
+        file: String,
+    },
+}
+
+#[derive(Clone)]
+struct FileMeta {
+    blocks: Vec<String>,
+    size: i64,
+}
+
+/// The Dropbox metadata origin server.
+pub struct DropboxServer {
+    accounts: Mutex<BTreeMap<String, BTreeMap<String, FileMeta>>>,
+    attack: Mutex<DropboxAttack>,
+    /// Simulated WAN round-trip floor added to each request.
+    pub wan_latency: Duration,
+}
+
+impl Default for DropboxServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DropboxServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        DropboxServer {
+            accounts: Mutex::new(BTreeMap::new()),
+            attack: Mutex::new(DropboxAttack::None),
+            wan_latency: Duration::ZERO,
+        }
+    }
+
+    /// Creates a server with a WAN latency floor.
+    pub fn with_wan_latency(latency: Duration) -> Self {
+        DropboxServer {
+            wan_latency: latency,
+            ..Self::new()
+        }
+    }
+
+    /// Arms an attack.
+    pub fn set_attack(&self, attack: DropboxAttack) {
+        *self.attack.lock() = attack;
+    }
+
+    fn commit_batch(&self, account: &str, commits: &[Json]) -> Json {
+        let mut accounts = self.accounts.lock();
+        let files = accounts.entry(account.to_string()).or_default();
+        let mut accepted = 0;
+        for c in commits {
+            let Some(file) = c.get("file").and_then(Json::as_str) else {
+                continue;
+            };
+            let size = c.get("size").and_then(Json::as_i64).unwrap_or(0);
+            if size == -1 {
+                files.remove(file);
+            } else {
+                let blocks: Vec<String> = c
+                    .get("blocks")
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_str)
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                files.insert(file.to_string(), FileMeta { blocks, size });
+            }
+            accepted += 1;
+        }
+        Json::object([("ok", Json::Bool(true)), ("accepted", Json::num(accepted as f64))])
+    }
+
+    fn list(&self, account: &str) -> Json {
+        let accounts = self.accounts.lock();
+        let attack = self.attack.lock().clone();
+        let mut out = Vec::new();
+        if let Some(files) = accounts.get(account) {
+            for (name, meta) in files {
+                let mut blocks = meta.blocks.clone();
+                match &attack {
+                    DropboxAttack::HideFile { account: aa, file }
+                        if aa == account && file == name =>
+                    {
+                        continue;
+                    }
+                    DropboxAttack::CorruptBlocklist { account: aa, file }
+                        if aa == account && file == name =>
+                    {
+                        blocks = vec!["CORRUPTED".to_string()];
+                    }
+                    _ => {}
+                }
+                out.push(Json::object([
+                    ("file", Json::str(name.clone())),
+                    (
+                        "blocks",
+                        Json::Array(blocks.into_iter().map(Json::String).collect()),
+                    ),
+                    ("size", Json::num(meta.size as f64)),
+                ]));
+            }
+        }
+        if let DropboxAttack::PhantomFile { account: aa, file } = &attack {
+            if aa == account {
+                out.push(Json::object([
+                    ("file", Json::str(file.clone())),
+                    ("blocks", Json::Array(vec![Json::str("ffff")])),
+                    ("size", Json::num(1.0)),
+                ]));
+            }
+        }
+        Json::object([("files", Json::Array(out))])
+    }
+}
+
+impl Router for Arc<DropboxServer> {
+    fn handle(&self, req: &Request) -> Response {
+        if !self.wan_latency.is_zero() {
+            std::thread::sleep(self.wan_latency);
+        }
+        if req.method != "POST" {
+            return Response::new(405, b"POST only".to_vec());
+        }
+        let Ok(body) = Json::parse_bytes(&req.body) else {
+            return Response::new(400, b"bad json".to_vec());
+        };
+        let account = body.get("account").and_then(Json::as_str).unwrap_or("");
+        if account.is_empty() {
+            return Response::new(400, b"missing account".to_vec());
+        }
+        let out = match req.path() {
+            "/dropbox/commit_batch" => {
+                let empty: Vec<Json> = Vec::new();
+                let commits = body.get("commits").and_then(Json::as_array).unwrap_or(&empty);
+                self.commit_batch(account, commits)
+            }
+            "/dropbox/list" => self.list(account),
+            _ => return Response::new(404, b"unknown endpoint".to_vec()),
+        };
+        Response::new(200, out.to_string().into_bytes())
+    }
+}
+
+/// Builds the requests of the Drago et al. style benchmark: create and
+/// delete text/binary files in a folder (§6.4).
+pub struct FileWorkload {
+    account: String,
+    host: String,
+    counter: u64,
+}
+
+impl FileWorkload {
+    /// Creates a workload for `account` from `host`.
+    pub fn new(account: &str, host: &str) -> Self {
+        FileWorkload {
+            account: account.to_string(),
+            host: host.to_string(),
+            counter: 0,
+        }
+    }
+
+    fn block_hash(&self, n: u64) -> String {
+        let h = libseal_crypto::sha2::Sha256::digest(
+            format!("{}:{}", self.account, n).as_bytes(),
+        );
+        h.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// The next operation: mostly creates, some deletes, periodic
+    /// lists.
+    pub fn next_request(&mut self) -> Request {
+        self.counter += 1;
+        let n = self.counter;
+        if n.is_multiple_of(4) {
+            return Request::new(
+                "POST",
+                "/dropbox/list",
+                format!(
+                    r#"{{"account":"{}","host":"{}"}}"#,
+                    self.account, self.host
+                )
+                .into_bytes(),
+            );
+        }
+        let (file, size): (String, i64) = if n.is_multiple_of(7) && n > 7 {
+            (format!("file-{}.bin", n - 7), -1) // delete an older file
+        } else {
+            (format!("file-{n}.bin"), 4096 * (1 + (n % 4) as i64))
+        };
+        let blocks = if size >= 0 {
+            format!(r#"["{}"]"#, self.block_hash(n))
+        } else {
+            "[]".to_string()
+        };
+        Request::new(
+            "POST",
+            "/dropbox/commit_batch",
+            format!(
+                r#"{{"account":"{}","host":"{}","commits":[{{"file":"{}","blocks":{},"size":{}}}]}}"#,
+                self.account, self.host, file, blocks, size
+            )
+            .into_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(s: &Arc<DropboxServer>, path: &str, body: &str) -> Json {
+        let req = Request::new("POST", path, body.as_bytes().to_vec());
+        let rsp = s.handle(&req);
+        assert_eq!(rsp.status, 200, "{}", String::from_utf8_lossy(&rsp.body));
+        Json::parse_bytes(&rsp.body).unwrap()
+    }
+
+    #[test]
+    fn commit_and_list() {
+        let s = Arc::new(DropboxServer::new());
+        call(
+            &s,
+            "/dropbox/commit_batch",
+            r#"{"account":"a","host":"h","commits":[{"file":"x","blocks":["b1"],"size":10}]}"#,
+        );
+        let out = call(&s, "/dropbox/list", r#"{"account":"a","host":"h"}"#);
+        let files = out.get("files").unwrap().as_array().unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].get("file").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn delete_removes_file() {
+        let s = Arc::new(DropboxServer::new());
+        call(
+            &s,
+            "/dropbox/commit_batch",
+            r#"{"account":"a","host":"h","commits":[{"file":"x","blocks":["b1"],"size":10}]}"#,
+        );
+        call(
+            &s,
+            "/dropbox/commit_batch",
+            r#"{"account":"a","host":"h","commits":[{"file":"x","blocks":[],"size":-1}]}"#,
+        );
+        let out = call(&s, "/dropbox/list", r#"{"account":"a","host":"h"}"#);
+        assert!(out.get("files").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn attacks_change_listings() {
+        let s = Arc::new(DropboxServer::new());
+        call(
+            &s,
+            "/dropbox/commit_batch",
+            r#"{"account":"a","host":"h","commits":[{"file":"x","blocks":["b1"],"size":10}]}"#,
+        );
+        s.set_attack(DropboxAttack::CorruptBlocklist {
+            account: "a".into(),
+            file: "x".into(),
+        });
+        let out = call(&s, "/dropbox/list", r#"{"account":"a","host":"h"}"#);
+        let files = out.get("files").unwrap().as_array().unwrap();
+        assert_eq!(
+            files[0].get("blocks").unwrap().as_array().unwrap()[0].as_str(),
+            Some("CORRUPTED")
+        );
+        s.set_attack(DropboxAttack::HideFile {
+            account: "a".into(),
+            file: "x".into(),
+        });
+        let out = call(&s, "/dropbox/list", r#"{"account":"a","host":"h"}"#);
+        assert!(out.get("files").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn workload_generates_valid_requests() {
+        let s = Arc::new(DropboxServer::new());
+        let mut w = FileWorkload::new("a", "h");
+        for _ in 0..20 {
+            let req = w.next_request();
+            let rsp = s.handle(&req);
+            assert_eq!(rsp.status, 200);
+        }
+    }
+
+    #[test]
+    fn accounts_are_isolated() {
+        let s = Arc::new(DropboxServer::new());
+        call(
+            &s,
+            "/dropbox/commit_batch",
+            r#"{"account":"a","host":"h","commits":[{"file":"x","blocks":["b1"],"size":10}]}"#,
+        );
+        let out = call(&s, "/dropbox/list", r#"{"account":"b","host":"h"}"#);
+        assert!(out.get("files").unwrap().as_array().unwrap().is_empty());
+    }
+}

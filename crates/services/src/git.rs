@@ -1,0 +1,376 @@
+//! An in-memory Git backend speaking the smart-HTTP-like dialect the
+//! Git SSM audits, plus attack injection and a synthetic history
+//! generator standing in for the paper's six Apache-foundation
+//! repository replays (§6.4).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use libseal_crypto::sha2::Sha256;
+use libseal_httpx::http::{Request, Response};
+use parking_lot::Mutex;
+
+use crate::apache::Router;
+
+/// The all-zero commit id that deletes a ref.
+pub const ZERO_CID: &str = "0000000000000000000000000000000000000000";
+
+/// Integrity attacks the backend can be told to perform (§6.1: the
+/// violations Git's own hash chain does NOT prevent).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GitAttack {
+    /// Serve faithfully.
+    None,
+    /// Advertise an old commit for a branch (rollback).
+    Rollback {
+        /// Target repository.
+        repo: String,
+        /// Target branch.
+        branch: String,
+        /// The stale commit id to serve.
+        old_cid: String,
+    },
+    /// Advertise another branch's commit (teleport).
+    Teleport {
+        /// Target repository.
+        repo: String,
+        /// Branch whose pointer is teleported.
+        branch: String,
+        /// Branch whose commit is served instead.
+        from_branch: String,
+    },
+    /// Omit a branch from advertisements (reference deletion).
+    HideRef {
+        /// Target repository.
+        repo: String,
+        /// Branch to hide.
+        branch: String,
+    },
+}
+
+#[derive(Default)]
+struct Repo {
+    /// refname -> commit id.
+    refs: BTreeMap<String, String>,
+    /// Full history per branch (for rollback attacks).
+    history: BTreeMap<String, Vec<String>>,
+}
+
+/// The Git service backend.
+pub struct GitBackend {
+    repos: Mutex<BTreeMap<String, Repo>>,
+    attack: Mutex<GitAttack>,
+}
+
+impl Default for GitBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GitBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        GitBackend {
+            repos: Mutex::new(BTreeMap::new()),
+            attack: Mutex::new(GitAttack::None),
+        }
+    }
+
+    /// Arms an attack.
+    pub fn set_attack(&self, attack: GitAttack) {
+        *self.attack.lock() = attack;
+    }
+
+    /// Applies receive-pack commands; returns per-ref statuses.
+    pub fn receive_pack(&self, repo: &str, body: &str) -> String {
+        let mut repos = self.repos.lock();
+        let r = repos.entry(repo.to_string()).or_default();
+        let mut out = String::new();
+        for line in body.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(_old), Some(new), Some(refname)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            if new == ZERO_CID {
+                r.refs.remove(refname);
+                out.push_str(&format!("ok {refname} deleted\n"));
+            } else {
+                r.refs.insert(refname.to_string(), new.to_string());
+                r.history
+                    .entry(refname.to_string())
+                    .or_default()
+                    .push(new.to_string());
+                out.push_str(&format!("ok {refname}\n"));
+            }
+        }
+        out
+    }
+
+    /// Produces the ref advertisement for a fetch, applying any armed
+    /// attack.
+    pub fn advertise(&self, repo: &str) -> String {
+        let repos = self.repos.lock();
+        let Some(r) = repos.get(repo) else {
+            return String::new();
+        };
+        let attack = self.attack.lock().clone();
+        let mut out = String::new();
+        for (refname, cid) in &r.refs {
+            let mut cid = cid.clone();
+            let mut skip = false;
+            match &attack {
+                GitAttack::None => {}
+                GitAttack::Rollback {
+                    repo: ar,
+                    branch,
+                    old_cid,
+                } if ar == repo && branch == refname => {
+                    cid = old_cid.clone();
+                }
+                GitAttack::Teleport {
+                    repo: ar,
+                    branch,
+                    from_branch,
+                } if ar == repo && branch == refname => {
+                    if let Some(other) = r.refs.get(from_branch) {
+                        cid = other.clone();
+                    }
+                }
+                GitAttack::HideRef { repo: ar, branch } if ar == repo && branch == refname => {
+                    skip = true;
+                }
+                _ => {}
+            }
+            if !skip {
+                out.push_str(&format!("{cid} {refname}\n"));
+            }
+        }
+        out
+    }
+
+    /// Commit ids previously pushed to `branch` (oldest first).
+    pub fn branch_history(&self, repo: &str, branch: &str) -> Vec<String> {
+        self.repos
+            .lock()
+            .get(repo)
+            .and_then(|r| r.history.get(branch).cloned())
+            .unwrap_or_default()
+    }
+}
+
+impl Router for Arc<GitBackend> {
+    fn handle(&self, req: &Request) -> Response {
+        let path = req.path().to_string();
+        if req.method == "POST" {
+            if let Some(repo) = path
+                .strip_prefix("/repo/")
+                .and_then(|p| p.strip_suffix("/git-receive-pack"))
+            {
+                let body = String::from_utf8_lossy(&req.body).to_string();
+                let out = self.receive_pack(repo, &body);
+                return Response::new(200, out.into_bytes());
+            }
+        }
+        if req.method == "GET"
+            && path.starts_with("/repo/")
+            && path.ends_with("/info/refs")
+            && req.query_param("service") == Some("git-upload-pack")
+        {
+            let repo = path
+                .strip_prefix("/repo/")
+                .and_then(|p| p.strip_suffix("/info/refs"))
+                .unwrap_or("")
+                .trim_end_matches('/');
+            return Response::new(200, self.advertise(repo).into_bytes());
+        }
+        Response::new(404, b"not a git endpoint".to_vec())
+    }
+}
+
+/// A synthetic commit-history generator: deterministic pseudo-random
+/// pushes and fetches across branches, standing in for the paper's
+/// replay of real repositories [5-10].
+pub struct HistoryGenerator {
+    repo: String,
+    branches: Vec<String>,
+    counter: u64,
+    seed: u64,
+}
+
+/// One generated client operation.
+#[derive(Clone, Debug)]
+pub enum GitOp {
+    /// Push: receive-pack body.
+    Push {
+        /// Target repository.
+        repo: String,
+        /// Request body (command lines).
+        body: String,
+    },
+    /// Fetch: ref advertisement request.
+    Fetch {
+        /// Target repository.
+        repo: String,
+    },
+}
+
+impl HistoryGenerator {
+    /// Creates a generator for `repo` with `branch_count` branches.
+    pub fn new(repo: &str, branch_count: usize, seed: u64) -> Self {
+        let branches = (0..branch_count.max(1))
+            .map(|i| {
+                if i == 0 {
+                    "refs/heads/main".to_string()
+                } else {
+                    format!("refs/heads/branch-{i}")
+                }
+            })
+            .collect();
+        HistoryGenerator {
+            repo: repo.to_string(),
+            branches,
+            counter: 0,
+            seed,
+        }
+    }
+
+    fn cid(&self, n: u64) -> String {
+        let h = Sha256::digest(format!("{}:{}:{}", self.repo, self.seed, n).as_bytes());
+        h.iter().take(20).map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Produces the next operation: roughly 2 pushes per fetch, like a
+    /// commit-replay workload.
+    pub fn next_op(&mut self) -> GitOp {
+        self.counter += 1;
+        let n = self.counter;
+        if n.is_multiple_of(3) {
+            GitOp::Fetch {
+                repo: self.repo.clone(),
+            }
+        } else {
+            let branch = &self.branches[(n as usize) % self.branches.len()];
+            let old = if n > self.branches.len() as u64 {
+                self.cid(n - self.branches.len() as u64)
+            } else {
+                ZERO_CID.to_string()
+            };
+            GitOp::Push {
+                repo: self.repo.clone(),
+                body: format!("{old} {} {branch}\n", self.cid(n)),
+            }
+        }
+    }
+
+    /// Renders an op as an HTTP request.
+    pub fn to_request(op: &GitOp) -> Request {
+        match op {
+            GitOp::Push { repo, body } => Request::new(
+                "POST",
+                &format!("/repo/{repo}/git-receive-pack"),
+                body.clone().into_bytes(),
+            ),
+            GitOp::Fetch { repo } => Request::new(
+                "GET",
+                &format!("/repo/{repo}/info/refs?service=git-upload-pack"),
+                Vec::new(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_advertise() {
+        let g = GitBackend::new();
+        g.receive_pack("r", "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n");
+        let ad = g.advertise("r");
+        assert!(ad.contains("c1 refs/heads/main"));
+        assert!(ad.contains("d1 refs/heads/dev"));
+    }
+
+    #[test]
+    fn deletion_removes_ref() {
+        let g = GitBackend::new();
+        g.receive_pack("r", "0 c1 refs/heads/main\n");
+        g.receive_pack("r", &format!("c1 {ZERO_CID} refs/heads/main\n"));
+        assert!(g.advertise("r").is_empty());
+    }
+
+    #[test]
+    fn rollback_attack_changes_advertisement() {
+        let g = GitBackend::new();
+        g.receive_pack("r", "0 c1 refs/heads/main\n");
+        g.receive_pack("r", "c1 c2 refs/heads/main\n");
+        g.set_attack(GitAttack::Rollback {
+            repo: "r".into(),
+            branch: "refs/heads/main".into(),
+            old_cid: "c1".into(),
+        });
+        assert!(g.advertise("r").contains("c1 refs/heads/main"));
+    }
+
+    #[test]
+    fn teleport_attack_swaps_pointers() {
+        let g = GitBackend::new();
+        g.receive_pack("r", "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n");
+        g.set_attack(GitAttack::Teleport {
+            repo: "r".into(),
+            branch: "refs/heads/main".into(),
+            from_branch: "refs/heads/dev".into(),
+        });
+        assert!(g.advertise("r").contains("d1 refs/heads/main"));
+    }
+
+    #[test]
+    fn hide_ref_attack_omits_branch() {
+        let g = GitBackend::new();
+        g.receive_pack("r", "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n");
+        g.set_attack(GitAttack::HideRef {
+            repo: "r".into(),
+            branch: "refs/heads/dev".into(),
+        });
+        let ad = g.advertise("r");
+        assert!(ad.contains("main"));
+        assert!(!ad.contains("dev"));
+    }
+
+    #[test]
+    fn generator_produces_valid_ops() {
+        let mut g = HistoryGenerator::new("r", 3, 42);
+        let backend = GitBackend::new();
+        let mut pushes = 0;
+        let mut fetches = 0;
+        for _ in 0..30 {
+            match g.next_op() {
+                GitOp::Push { repo, body } => {
+                    backend.receive_pack(&repo, &body);
+                    pushes += 1;
+                }
+                GitOp::Fetch { repo } => {
+                    let _ = backend.advertise(&repo);
+                    fetches += 1;
+                }
+            }
+        }
+        assert!(pushes > fetches);
+        assert!(fetches > 0);
+        assert!(!backend.advertise("r").is_empty());
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = HistoryGenerator::new("r", 2, 7);
+        let mut b = HistoryGenerator::new("r", 2, 7);
+        for _ in 0..10 {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert_eq!(format!("{oa:?}"), format!("{ob:?}"));
+        }
+    }
+}

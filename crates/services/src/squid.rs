@@ -1,0 +1,235 @@
+//! A Squid-like TLS-terminating forward proxy.
+//!
+//! Two TLS legs, as in the paper's Dropbox deployment (§6.4, §6.6):
+//! clients connect to the proxy over STLS (terminated natively or via
+//! LibSEAL — the audit point), and the proxy opens its own STLS
+//! connection to the origin for each client connection. Every request
+//! is forwarded verbatim and every response relayed back, so the Squid
+//! figure's two-handshake overhead is reproduced.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use libseal_crypto::ed25519::VerifyingKey;
+use libseal_httpx::http::parse_request;
+use libseal_tlsx::ssl::ReadOutcome;
+
+use crate::client::HttpsClient;
+use crate::tlsadapter::{TlsMode, TlsSession};
+use crate::Result;
+
+/// Proxy configuration.
+pub struct SquidConfig {
+    /// TLS termination towards clients.
+    pub tls: TlsMode,
+    /// Worker threads.
+    pub workers: usize,
+    /// Origin server address.
+    pub upstream: SocketAddr,
+    /// CA roots trusted for the origin connection.
+    pub upstream_roots: Vec<VerifyingKey>,
+}
+
+/// A running proxy.
+pub struct SquidProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    requests_proxied: Arc<AtomicU64>,
+}
+
+impl SquidProxy {
+    /// Starts the proxy on an ephemeral local port.
+    ///
+    /// # Errors
+    ///
+    /// Socket binding failures.
+    pub fn start(config: SquidConfig) -> Result<SquidProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_proxied = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let mut handles = Vec::new();
+
+        {
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("squid-accept".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((sock, _)) => {
+                                    let _ = sock.set_nodelay(true);
+                                    if tx.send(sock).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn squid accept"),
+            );
+        }
+
+        for worker in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let tls = config.tls.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let proxied = Arc::clone(&requests_proxied);
+            let upstream = config.upstream;
+            let roots = config.upstream_roots.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("squid-worker-{worker}"))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                                Ok(sock) => {
+                                    let _ = proxy_connection(
+                                        sock, &tls, worker, upstream, &roots, &proxied,
+                                    );
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn squid worker"),
+            );
+        }
+
+        Ok(SquidProxy {
+            addr,
+            shutdown,
+            handles,
+            requests_proxied,
+        })
+    }
+
+    /// The proxy's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests proxied so far.
+    pub fn requests_proxied(&self) -> u64 {
+        self.requests_proxied.load(Ordering::Relaxed)
+    }
+
+    /// Stops the proxy.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SquidProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn proxy_connection(
+    mut sock: TcpStream,
+    tls: &TlsMode,
+    worker: usize,
+    upstream: SocketAddr,
+    roots: &[VerifyingKey],
+    proxied: &AtomicU64,
+) -> Result<()> {
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut session = tls.open_session(worker)?;
+    let result = proxy_established(&mut session, &mut sock, upstream, roots, proxied);
+    session.close();
+    let _ = flush(&mut session, &mut sock);
+    result
+}
+
+fn proxy_established(
+    session: &mut TlsSession,
+    sock: &mut TcpStream,
+    upstream: SocketAddr,
+    roots: &[VerifyingKey],
+    proxied: &AtomicU64,
+) -> Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+
+    // Client-side handshake.
+    loop {
+        flush(session, sock)?;
+        if session.do_handshake()? {
+            break;
+        }
+        flush(session, sock)?;
+        let n = sock.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        session.provide_input(&buf[..n])?;
+    }
+    flush(session, sock)?;
+
+    // The second TLS leg: one upstream connection per client
+    // connection (as Squid does for tunnelled traffic).
+    let origin = HttpsClient::new(upstream, roots.to_vec());
+    let mut origin_conn = origin.connect()?;
+
+    let mut plain = Vec::new();
+    loop {
+        let req = loop {
+            if let Ok((req, used)) = parse_request(&plain) {
+                plain.drain(..used);
+                break req;
+            }
+            match session.ssl_read()? {
+                ReadOutcome::Data(d) => plain.extend_from_slice(&d),
+                ReadOutcome::WantRead => {
+                    flush(session, sock)?;
+                    let n = match sock.read(&mut buf) {
+                        Ok(n) => n,
+                        Err(_) => return Ok(()),
+                    };
+                    if n == 0 {
+                        return Ok(());
+                    }
+                    session.provide_input(&buf[..n])?;
+                }
+                ReadOutcome::Closed => return Ok(()),
+            }
+        };
+        let close = req
+            .headers
+            .get("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let response = origin_conn.request(&req)?;
+        session.ssl_write(&response.to_bytes())?;
+        flush(session, sock)?;
+        proxied.fetch_add(1, Ordering::Relaxed);
+        if close {
+            origin_conn.close();
+            return Ok(());
+        }
+    }
+}
+
+fn flush(session: &mut TlsSession, sock: &mut TcpStream) -> Result<()> {
+    let out = session.take_output()?;
+    if !out.is_empty() {
+        sock.write_all(&out)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Remote attestation: quotes and their verification.
+//!
+//! On real SGX, a dedicated quoting enclave signs enclave measurements
+//! with a CPU-fused key, and Intel's attestation service vouches for
+//! the signature (§2.5). Here the [`QuotingEnclave`] holds an Ed25519
+//! key whose public half plays the role of the Intel root of trust;
+//! [`AttestationService`] is the verifier clients embed.
+//!
+//! LibSEAL uses attestation to provision the TLS certificate private
+//! key into a *genuine* LibSEAL enclave only, preventing the provider
+//! from terminating TLS with a vanilla library and bypassing the audit
+//! log (§6.3).
+
+use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
+
+use crate::enclave::EnclaveServices;
+use crate::{Result, SgxError};
+
+/// A signed statement that an enclave with the embedded measurement and
+/// signer is running on a genuine platform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// MRENCLAVE of the quoted enclave.
+    pub measurement: [u8; 32],
+    /// MRSIGNER (compressed public key) of the quoted enclave.
+    pub signer: [u8; 32],
+    /// Caller-chosen data bound into the quote (e.g. a TLS key hash).
+    pub report_data: [u8; 64],
+    /// Signature by the quoting enclave.
+    pub signature: [u8; 64],
+}
+
+impl Quote {
+    fn signed_payload(measurement: &[u8; 32], signer: &[u8; 32], report: &[u8; 64]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + 32 + 64 + 16);
+        buf.extend_from_slice(b"sgxsim-quote-v1:");
+        buf.extend_from_slice(measurement);
+        buf.extend_from_slice(signer);
+        buf.extend_from_slice(report);
+        buf
+    }
+}
+
+/// The platform's quoting enclave.
+pub struct QuotingEnclave {
+    key: SigningKey,
+}
+
+impl QuotingEnclave {
+    /// Creates a quoting enclave with the given provisioning seed
+    /// ("fused" at manufacture).
+    pub fn new(seed: &[u8; 32]) -> Self {
+        QuotingEnclave {
+            key: SigningKey::from_seed(seed),
+        }
+    }
+
+    /// The root-of-trust verification key to distribute to clients.
+    pub fn root_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Produces a quote over a local enclave's identity and
+    /// caller-chosen `report_data`.
+    pub fn quote(&self, services: &EnclaveServices, report_data: &[u8; 64]) -> Quote {
+        let measurement = *services.measurement();
+        let signer = *services.signer().as_bytes();
+        let payload = Quote::signed_payload(&measurement, &signer, report_data);
+        Quote {
+            measurement,
+            signer,
+            report_data: *report_data,
+            signature: self.key.sign(&payload),
+        }
+    }
+}
+
+/// Client-side verifier of quotes (the IAS analogue).
+pub struct AttestationService {
+    root: VerifyingKey,
+}
+
+impl AttestationService {
+    /// Creates a verifier trusting `root` (the quoting enclave's key).
+    pub fn new(root: VerifyingKey) -> Self {
+        AttestationService { root }
+    }
+
+    /// Verifies a quote's signature and, when `expected_measurement`
+    /// is provided, that it names that exact enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailure`] on any mismatch.
+    pub fn verify(&self, quote: &Quote, expected_measurement: Option<&[u8; 32]>) -> Result<()> {
+        let payload =
+            Quote::signed_payload(&quote.measurement, &quote.signer, &quote.report_data);
+        self.root
+            .verify(&payload, &quote.signature)
+            .map_err(|_| SgxError::AttestationFailure)?;
+        if let Some(m) = expected_measurement {
+            if m != &quote.measurement {
+                return Err(SgxError::AttestationFailure);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::enclave::EnclaveBuilder;
+
+    #[test]
+    fn quote_verifies() {
+        let e = EnclaveBuilder::new(b"libseal")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let report = [0x42u8; 64];
+        let quote = qe.quote(e.services(), &report);
+        ias.verify(&quote, Some(e.measurement())).unwrap();
+        ias.verify(&quote, None).unwrap();
+    }
+
+    #[test]
+    fn forged_quote_rejected() {
+        let e = EnclaveBuilder::new(b"libseal")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let rogue = QuotingEnclave::new(&[0x22; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let quote = rogue.quote(e.services(), &[0u8; 64]);
+        assert_eq!(
+            ias.verify(&quote, None),
+            Err(SgxError::AttestationFailure)
+        );
+    }
+
+    #[test]
+    fn tampered_measurement_rejected() {
+        let e = EnclaveBuilder::new(b"libseal")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let mut quote = qe.quote(e.services(), &[0u8; 64]);
+        quote.measurement[0] ^= 1;
+        assert!(ias.verify(&quote, None).is_err());
+    }
+
+    #[test]
+    fn wrong_expected_measurement_rejected() {
+        let e = EnclaveBuilder::new(b"real")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let other = EnclaveBuilder::new(b"other")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let quote = qe.quote(e.services(), &[0u8; 64]);
+        assert!(ias.verify(&quote, Some(other.measurement())).is_err());
+    }
+
+    #[test]
+    fn report_data_is_bound() {
+        let e = EnclaveBuilder::new(b"libseal")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let mut quote = qe.quote(e.services(), &[7u8; 64]);
+        quote.report_data[0] = 8;
+        assert!(ias.verify(&quote, None).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Enclave page cache (EPC) accounting.
+//!
+//! Real SGX enclaves that exceed the EPC limit page 4 KB chunks between
+//! protected memory and DRAM at high cost (§2.5). The simulator tracks
+//! how much "enclave memory" is live and charges the cost model for
+//! swaps whenever the working set exceeds the limit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cost::CostModel;
+use crate::stats::TransitionStats;
+
+const PAGE: u64 = 4096;
+
+/// Tracks simulated enclave memory pressure.
+#[derive(Default)]
+pub struct EpcState {
+    resident_bytes: AtomicU64,
+}
+
+impl EpcState {
+    /// Creates an empty EPC.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently resident in the simulated EPC.
+    pub fn resident(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Registers `bytes` of new enclave memory; charges paging costs if
+    /// the allocation pushes the working set past the EPC limit.
+    pub fn alloc(&self, bytes: u64, model: &CostModel, stats: &TransitionStats) {
+        let after = self.resident_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if after > model.epc_limit_bytes {
+            let overflow = after - model.epc_limit_bytes;
+            // Newly allocated pages beyond the limit each force an
+            // eviction + load pair.
+            let pages = overflow.min(bytes).div_ceil(PAGE);
+            stats.record_page_swaps(pages);
+            model.charge_cycles(pages * model.epc_page_swap_cycles);
+        }
+    }
+
+    /// Releases `bytes` of enclave memory.
+    pub fn free(&self, bytes: u64) {
+        let mut cur = self.resident_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.resident_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Charges the access cost for touching `bytes` of enclave memory:
+    /// free while the working set fits the EPC, paging otherwise.
+    pub fn touch(&self, bytes: u64, model: &CostModel, stats: &TransitionStats) {
+        let resident = self.resident();
+        if resident <= model.epc_limit_bytes {
+            return;
+        }
+        // Probability of a touched page being swapped out approximates
+        // the overflow fraction of the working set.
+        let overflow_fraction =
+            (resident - model.epc_limit_bytes) as f64 / resident.max(1) as f64;
+        let pages_touched = bytes.div_ceil(PAGE);
+        let swaps = (pages_touched as f64 * overflow_fraction).ceil() as u64;
+        if swaps > 0 {
+            stats.record_page_swaps(swaps);
+            model.charge_cycles(swaps * model.epc_page_swap_cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_resident() {
+        let epc = EpcState::new();
+        let model = CostModel::free();
+        let stats = TransitionStats::new();
+        epc.alloc(10_000, &model, &stats);
+        assert_eq!(epc.resident(), 10_000);
+        epc.free(4_000);
+        assert_eq!(epc.resident(), 6_000);
+        epc.free(100_000); // saturates at zero
+        assert_eq!(epc.resident(), 0);
+    }
+
+    #[test]
+    fn overflow_records_swaps() {
+        let epc = EpcState::new();
+        let model = CostModel {
+            enabled: false,
+            epc_limit_bytes: 8192,
+            ..CostModel::default()
+        };
+        let stats = TransitionStats::new();
+        epc.alloc(8192, &model, &stats);
+        assert_eq!(stats.snapshot().epc_page_swaps, 0);
+        epc.alloc(4096, &model, &stats);
+        assert_eq!(stats.snapshot().epc_page_swaps, 1);
+    }
+
+    #[test]
+    fn touch_below_limit_is_free() {
+        let epc = EpcState::new();
+        let model = CostModel {
+            enabled: false,
+            epc_limit_bytes: 1 << 20,
+            ..CostModel::default()
+        };
+        let stats = TransitionStats::new();
+        epc.alloc(4096, &model, &stats);
+        epc.touch(4096, &model, &stats);
+        assert_eq!(stats.snapshot().epc_page_swaps, 0);
+    }
+
+    #[test]
+    fn touch_above_limit_charges() {
+        let epc = EpcState::new();
+        let model = CostModel {
+            enabled: false,
+            epc_limit_bytes: 4096,
+            ..CostModel::default()
+        };
+        let stats = TransitionStats::new();
+        epc.alloc(40_960, &model, &stats);
+        let before = stats.snapshot().epc_page_swaps;
+        epc.touch(40_960, &model, &stats);
+        assert!(stats.snapshot().epc_page_swaps > before);
+    }
+}

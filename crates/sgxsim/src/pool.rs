@@ -1,0 +1,188 @@
+//! The preallocated untrusted memory pool (§4.2 optimisation 1).
+//!
+//! Enclave code that needs small, non-sensitive buffers outside the
+//! enclave (e.g. LibSEAL's BIO objects) would normally `malloc` them
+//! via an ocall — a full transition each way. LibSEAL preallocates a
+//! pool outside the enclave and hands out blocks with cheap
+//! enclave-internal bookkeeping instead. The §4.2 experiment toggles
+//! this pool; [`MemoryPool::alloc`] and the fallback path make both
+//! configurations measurable.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::enclave::EnclaveServices;
+
+/// A fixed-size-block pool living in untrusted memory.
+pub struct MemoryPool {
+    block_size: usize,
+    free: Mutex<Vec<Box<[u8]>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    enabled: bool,
+}
+
+/// A block handed out by the pool; returns itself on drop.
+pub struct PoolBlock {
+    data: Option<Box<[u8]>>,
+    pool: Arc<MemoryPool>,
+}
+
+impl PoolBlock {
+    /// The block's bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.data.as_mut().expect("block present until drop")
+    }
+
+    /// The block's bytes (shared).
+    pub fn as_slice(&self) -> &[u8] {
+        self.data.as_ref().expect("block present until drop")
+    }
+}
+
+impl Drop for PoolBlock {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            if self.pool.enabled {
+                self.pool.free.lock().push(data);
+            }
+            // When the pool is disabled the block is simply dropped;
+            // the ocall for `free` was already charged by `dealloc_cost`.
+        }
+    }
+}
+
+impl MemoryPool {
+    /// Creates a pool of `count` blocks of `block_size` bytes each.
+    pub fn new(block_size: usize, count: usize) -> Arc<Self> {
+        let free = (0..count)
+            .map(|_| vec![0u8; block_size].into_boxed_slice())
+            .collect();
+        Arc::new(MemoryPool {
+            block_size,
+            free: Mutex::new(free),
+            hits: Default::default(),
+            misses: Default::default(),
+            enabled: true,
+        })
+    }
+
+    /// Creates a disabled pool: every allocation takes the ocall path,
+    /// reproducing the paper's "no optimisation" configuration.
+    pub fn disabled(block_size: usize) -> Arc<Self> {
+        Arc::new(MemoryPool {
+            block_size,
+            free: Mutex::new(Vec::new()),
+            hits: Default::default(),
+            misses: Default::default(),
+            enabled: false,
+        })
+    }
+
+    /// Allocates one block. With the pool enabled this is a cheap
+    /// enclave-internal operation; otherwise it charges an ocall to
+    /// `malloc` through `services`.
+    pub fn alloc(self: &Arc<Self>, services: &EnclaveServices) -> PoolBlock {
+        if self.enabled {
+            if let Some(block) = self.free.lock().pop() {
+                self.hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return PoolBlock {
+                    data: Some(block),
+                    pool: Arc::clone(self),
+                };
+            }
+        }
+        // Pool exhausted or disabled: fall back to untrusted malloc
+        // (one ocall now, one for free later).
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let data = services.ocall("malloc", || vec![0u8; self.block_size].into_boxed_slice());
+        services.ocall("free_later", || ()); // The paired free transition.
+        PoolBlock {
+            data: Some(data),
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Pool hits (cheap allocations) so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Pool misses (ocall allocations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::enclave::EnclaveBuilder;
+
+    #[test]
+    fn pool_avoids_ocalls() {
+        let e = EnclaveBuilder::new(b"t")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let pool = MemoryPool::new(64, 4);
+        e.ecall("use_pool", |_, sv| {
+            let a = pool.alloc(sv);
+            let b = pool.alloc(sv);
+            drop(a);
+            drop(b);
+        })
+        .unwrap();
+        assert_eq!(pool.hits(), 2);
+        assert_eq!(pool.misses(), 0);
+        assert_eq!(e.services().stats().snapshot().ocalls, 0);
+    }
+
+    #[test]
+    fn disabled_pool_pays_ocalls() {
+        let e = EnclaveBuilder::new(b"t")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let pool = MemoryPool::disabled(64);
+        e.ecall("use_pool", |_, sv| {
+            let _a = pool.alloc(sv);
+        })
+        .unwrap();
+        assert_eq!(pool.misses(), 1);
+        assert!(e.services().stats().snapshot().ocalls >= 2);
+    }
+
+    #[test]
+    fn blocks_recycle() {
+        let e = EnclaveBuilder::new(b"t")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let pool = MemoryPool::new(16, 1);
+        e.ecall("recycle", |_, sv| {
+            for _ in 0..10 {
+                let mut b = pool.alloc(sv);
+                b.as_mut_slice()[0] = 7;
+            }
+        })
+        .unwrap();
+        assert_eq!(pool.hits(), 10);
+        assert_eq!(pool.misses(), 0);
+    }
+
+    #[test]
+    fn exhausted_pool_falls_back() {
+        let e = EnclaveBuilder::new(b"t")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let pool = MemoryPool::new(16, 1);
+        e.ecall("exhaust", |_, sv| {
+            let _a = pool.alloc(sv);
+            let _b = pool.alloc(sv); // Falls back to the ocall path.
+        })
+        .unwrap();
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+    }
+}

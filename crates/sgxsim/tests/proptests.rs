@@ -1,0 +1,66 @@
+//! Property-based tests for the TEE simulator's security mechanisms.
+
+use libseal_sgxsim::cost::CostModel;
+use libseal_sgxsim::enclave::EnclaveBuilder;
+use libseal_sgxsim::seal::{seal_with_key, unseal_with_key, SealingPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sealing_roundtrip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let sealed = seal_with_key(&key, &nonce, &aad, &data);
+        prop_assert_eq!(unseal_with_key(&key, &aad, &sealed).unwrap(), data);
+    }
+
+    #[test]
+    fn sealed_blobs_resist_tampering(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let mut sealed = seal_with_key(&key, &nonce, b"", &data);
+        let idx = flip.index(sealed.len());
+        sealed[idx] ^= 0x01;
+        prop_assert!(unseal_with_key(&key, b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn enclave_seal_policies_are_isolated(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let e = EnclaveBuilder::new(b"prop-enclave")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let (mr, signer) = e
+            .ecall("probe", |_, sv| {
+                (
+                    sv.seal_data(SealingPolicy::MrEnclave, b"", &data),
+                    sv.seal_data(SealingPolicy::MrSigner, b"", &data),
+                )
+            })
+            .unwrap();
+        // Cross-policy unsealing must fail; same-policy must succeed.
+        e.ecall("probe", |_, sv| {
+            assert!(sv.unseal_data(SealingPolicy::MrEnclave, b"", &mr).is_ok());
+            assert!(sv.unseal_data(SealingPolicy::MrSigner, b"", &signer).is_ok());
+            assert!(sv.unseal_data(SealingPolicy::MrSigner, b"", &mr).is_err());
+            assert!(sv.unseal_data(SealingPolicy::MrEnclave, b"", &signer).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn transition_pricing_is_monotonic(a in 1u64..64, b in 1u64..64) {
+        let m = CostModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.transition_cycles(lo) <= m.transition_cycles(hi));
+    }
+}

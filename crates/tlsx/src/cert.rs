@@ -1,0 +1,178 @@
+//! Certificates: Ed25519 identities signed by a certificate authority.
+//!
+//! Clients verify that the endpoint terminating STLS presents a
+//! certificate chaining to a CA they trust; LibSEAL additionally binds
+//! the certificate key to an attested enclave (§6.3, "Bypassing
+//! logging") — that binding lives in the `libseal` crate.
+
+use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
+
+use crate::{Result, TlsError};
+
+/// An STLS certificate: a subject name and Ed25519 key, signed by an
+/// issuer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject (e.g. host name).
+    pub subject: String,
+    /// The subject's public key.
+    pub pubkey: [u8; 32],
+    /// Issuer name.
+    pub issuer: String,
+    /// Issuer's signature over the TBS bytes.
+    pub signature: [u8; 64],
+}
+
+impl Certificate {
+    fn tbs(subject: &str, pubkey: &[u8; 32], issuer: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + subject.len() + issuer.len());
+        out.extend_from_slice(b"stls-cert-v1\0");
+        out.extend_from_slice(&(subject.len() as u32).to_le_bytes());
+        out.extend_from_slice(subject.as_bytes());
+        out.extend_from_slice(pubkey);
+        out.extend_from_slice(&(issuer.len() as u32).to_le_bytes());
+        out.extend_from_slice(issuer.as_bytes());
+        out
+    }
+
+    /// Verifies this certificate against a trusted CA key.
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Verification`] when the signature does not check
+    /// out under `ca`.
+    pub fn verify(&self, ca: &VerifyingKey) -> Result<()> {
+        let tbs = Self::tbs(&self.subject, &self.pubkey, &self.issuer);
+        ca.verify(&tbs, &self.signature)
+            .map_err(|_| TlsError::Verification(format!("bad certificate for {}", self.subject)))
+    }
+
+    /// Serializes to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.subject.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&self.pubkey);
+        out.extend_from_slice(&(self.issuer.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.issuer.as_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Protocol`] on malformed bytes.
+    pub fn decode(buf: &[u8]) -> Result<Certificate> {
+        let mut i = 0usize;
+        let take = |i: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = buf
+                .get(*i..*i + n)
+                .ok_or_else(|| TlsError::Protocol("certificate truncated".into()))?;
+            *i += n;
+            Ok(s)
+        };
+        let slen = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        if slen > 4096 {
+            return Err(TlsError::Protocol("subject too long".into()));
+        }
+        let subject = String::from_utf8(take(&mut i, slen)?.to_vec())
+            .map_err(|_| TlsError::Protocol("subject not UTF-8".into()))?;
+        let pubkey: [u8; 32] = take(&mut i, 32)?.try_into().unwrap();
+        let ilen = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        if ilen > 4096 {
+            return Err(TlsError::Protocol("issuer too long".into()));
+        }
+        let issuer = String::from_utf8(take(&mut i, ilen)?.to_vec())
+            .map_err(|_| TlsError::Protocol("issuer not UTF-8".into()))?;
+        let signature: [u8; 64] = take(&mut i, 64)?.try_into().unwrap();
+        if i != buf.len() {
+            return Err(TlsError::Protocol("trailing certificate bytes".into()));
+        }
+        Ok(Certificate {
+            subject,
+            pubkey,
+            issuer,
+            signature,
+        })
+    }
+}
+
+/// A certificate authority that issues STLS certificates.
+pub struct CertificateAuthority {
+    name: String,
+    key: SigningKey,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with a deterministic key from `seed`.
+    pub fn new(name: &str, seed: &[u8; 32]) -> Self {
+        CertificateAuthority {
+            name: name.to_string(),
+            key: SigningKey::from_seed(seed),
+        }
+    }
+
+    /// The CA's verification key, to be distributed to clients.
+    pub fn root_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Issues a certificate binding `subject` to `pubkey`.
+    pub fn issue(&self, subject: &str, pubkey: &[u8; 32]) -> Certificate {
+        let tbs = Certificate::tbs(subject, pubkey, &self.name);
+        Certificate {
+            subject: subject.to_string(),
+            pubkey: *pubkey,
+            issuer: self.name.clone(),
+            signature: self.key.sign(&tbs),
+        }
+    }
+
+    /// Issues an identity: a fresh signing key plus its certificate.
+    pub fn issue_identity(&self, subject: &str, seed: &[u8; 32]) -> (SigningKey, Certificate) {
+        let key = SigningKey::from_seed(seed);
+        let cert = self.issue(subject, key.verifying_key().as_bytes());
+        (key, cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = CertificateAuthority::new("TestCA", &[1u8; 32]);
+        let (key, cert) = ca.issue_identity("example.com", &[2u8; 32]);
+        cert.verify(&ca.root_key()).unwrap();
+        assert_eq!(&cert.pubkey, key.verifying_key().as_bytes());
+    }
+
+    #[test]
+    fn forged_cert_rejected() {
+        let ca = CertificateAuthority::new("TestCA", &[1u8; 32]);
+        let rogue = CertificateAuthority::new("TestCA", &[9u8; 32]);
+        let (_, cert) = rogue.issue_identity("example.com", &[2u8; 32]);
+        assert!(cert.verify(&ca.root_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let ca = CertificateAuthority::new("TestCA", &[1u8; 32]);
+        let (_, mut cert) = ca.issue_identity("example.com", &[2u8; 32]);
+        cert.subject = "evil.com".to_string();
+        assert!(cert.verify(&ca.root_key()).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ca = CertificateAuthority::new("TestCA", &[1u8; 32]);
+        let (_, cert) = ca.issue_identity("example.com", &[2u8; 32]);
+        let bytes = cert.encode();
+        let parsed = Certificate::decode(&bytes).unwrap();
+        assert_eq!(parsed, cert);
+        assert!(Certificate::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

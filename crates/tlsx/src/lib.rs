@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! STLS: a TLS-1.3-style secure transport with an OpenSSL-shaped API.
+//!
+//! The paper's LibSEAL ports LibreSSL into the enclave and terminates
+//! real TLS. This workspace substitutes STLS, a from-scratch protocol
+//! with the same moving parts (see DESIGN.md for the substitution
+//! argument):
+//!
+//! - X25519 ephemeral key exchange, Ed25519 certificates signed by a
+//!   CA, transcript-bound signatures (CertificateVerify) and Finished
+//!   MACs — so there are real long-term private keys and session keys
+//!   to protect inside the enclave;
+//! - a ChaCha20-Poly1305 record layer with per-direction sequence
+//!   nonces — so bulk data pays realistic AEAD costs;
+//! - a memory-BIO API ([`Ssl::provide_input`] / [`Ssl::take_output`])
+//!   mirroring OpenSSL's `SSL_set_bio` split, plus `ssl_read` /
+//!   `ssl_write` / `do_handshake` entry points, `ex_data` and an info
+//!   callback — the surface LibSEAL's shadowing and secure-callback
+//!   machinery (§4.1) needs to exist.
+//!
+//! [`stream::SslStream`] wraps a `TcpStream` (or any `Read + Write`)
+//! for ordinary blocking servers and clients.
+
+pub mod cert;
+pub mod record;
+pub mod ssl;
+pub mod stream;
+
+pub use cert::{Certificate, CertificateAuthority};
+pub use ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
+pub use stream::SslStream;
+
+/// Errors from the STLS protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// Peer data violated the protocol.
+    Protocol(String),
+    /// A certificate or signature failed verification.
+    Verification(String),
+    /// Record decryption failed (tampering or key mismatch).
+    Decrypt,
+    /// The connection was closed by the peer.
+    Closed,
+    /// Operation needs more input bytes (non-blocking would-block).
+    WantRead,
+    /// An underlying I/O error (blocking wrapper only).
+    Io(String),
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::Protocol(m) => write!(f, "protocol error: {m}"),
+            TlsError::Verification(m) => write!(f, "verification failure: {m}"),
+            TlsError::Decrypt => write!(f, "record decryption failed"),
+            TlsError::Closed => write!(f, "connection closed"),
+            TlsError::WantRead => write!(f, "need more input"),
+            TlsError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// Convenience alias for fallible TLS operations.
+pub type Result<T> = std::result::Result<T, TlsError>;

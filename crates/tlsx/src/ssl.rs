@@ -1,0 +1,850 @@
+//! The STLS connection state machine with a memory-BIO interface.
+//!
+//! Handshake (TLS-1.3-flavoured, one round trip):
+//!
+//! ```text
+//! C -> S  ClientHello   { random, X25519 share }
+//! S -> C  ServerHello   { random, X25519 share }          (plaintext)
+//!         --- both sides derive record keys here ---
+//! S -> C  Certificate, [CertificateRequest,] CertVerify, Finished
+//! C -> S  [Certificate, CertVerify,] Finished              (encrypted)
+//! ```
+//!
+//! CertVerify signs the running transcript hash; Finished is an HMAC
+//! over it, binding the handshake to the certificate keys end-to-end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
+use libseal_crypto::hmac::HmacSha256;
+use libseal_crypto::sha2::Sha256;
+use libseal_crypto::{hkdf, x25519};
+
+use crate::cert::Certificate;
+use crate::record::{self, ContentType, RecordKeys, MAX_RECORD};
+use crate::{Result, TlsError};
+
+/// Endpoint role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Initiates connections.
+    Client,
+    /// Accepts connections.
+    Server,
+}
+
+/// Shared configuration (the `SSL_CTX` analogue).
+pub struct SslConfig {
+    /// Endpoint role.
+    pub role: Role,
+    /// Our certificate (servers always; clients when doing client auth).
+    pub cert: Option<Certificate>,
+    /// Private key matching `cert`.
+    pub key: Option<SigningKey>,
+    /// Trusted CA roots for verifying the peer.
+    pub ca_roots: Vec<VerifyingKey>,
+    /// Whether to verify the peer's certificate. For servers this
+    /// requests and requires a client certificate (the paper's defence
+    /// against client impersonation, §6.3).
+    pub verify_peer: bool,
+    /// Expected peer subject (clients; None = accept any).
+    pub expected_subject: Option<String>,
+}
+
+impl SslConfig {
+    /// Plain client config trusting `ca_roots`.
+    pub fn client(ca_roots: Vec<VerifyingKey>) -> Arc<SslConfig> {
+        Arc::new(SslConfig {
+            role: Role::Client,
+            cert: None,
+            key: None,
+            ca_roots,
+            verify_peer: true,
+            expected_subject: None,
+        })
+    }
+
+    /// Server config with an identity.
+    pub fn server(cert: Certificate, key: SigningKey) -> Arc<SslConfig> {
+        Arc::new(SslConfig {
+            role: Role::Server,
+            cert: Some(cert),
+            key: Some(key),
+            ca_roots: Vec::new(),
+            verify_peer: false,
+            expected_subject: None,
+        })
+    }
+}
+
+/// Handshake progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeState {
+    /// Nothing sent yet.
+    Start,
+    /// Client: waiting for the server flight.
+    AwaitServerFlight,
+    /// Server: waiting for ClientHello.
+    AwaitClientHello,
+    /// Server: waiting for the client's Finished (and certificate).
+    AwaitClientFinished,
+    /// Handshake complete; application data flows.
+    Established,
+    /// Closed by close_notify.
+    Closed,
+    /// Fatal failure; connection unusable.
+    Failed,
+}
+
+/// Outcome of [`Ssl::ssl_read`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Decrypted application bytes.
+    Data(Vec<u8>),
+    /// No full record buffered; feed more input.
+    WantRead,
+    /// Peer sent close_notify.
+    Closed,
+}
+
+// Handshake message type codes.
+const MSG_CLIENT_HELLO: u8 = 1;
+const MSG_SERVER_HELLO: u8 = 2;
+const MSG_CERT: u8 = 11;
+const MSG_CERT_REQUEST: u8 = 13;
+const MSG_CERT_VERIFY: u8 = 15;
+const MSG_FINISHED: u8 = 20;
+
+/// Info-callback state codes (OpenSSL-flavoured).
+pub const INFO_HANDSHAKE_START: i32 = 0x10;
+/// Handshake-done code for the info callback.
+pub const INFO_HANDSHAKE_DONE: i32 = 0x20;
+
+/// Per-connection state (the `SSL` analogue).
+pub struct Ssl {
+    config: Arc<SslConfig>,
+    state: HandshakeState,
+    /// Ciphertext from the peer, not yet parsed.
+    in_buf: Vec<u8>,
+    /// Ciphertext for the peer, not yet taken.
+    out_buf: Vec<u8>,
+    /// Decrypted application bytes ready for `ssl_read`.
+    plain_in: Vec<u8>,
+    kx_priv: [u8; 32],
+    transcript: Vec<u8>,
+    write_keys: Option<RecordKeys>,
+    read_keys: Option<RecordKeys>,
+    fin_key_local: [u8; 32],
+    fin_key_peer: [u8; 32],
+    peer_cert: Option<Certificate>,
+    client_cert_requested: bool,
+    /// Application-specific storage (OpenSSL `ex_data`).
+    pub ex_data: HashMap<u32, Vec<u8>>,
+    info_callback: Option<Arc<dyn Fn(i32, i32) + Send + Sync>>,
+}
+
+impl Ssl {
+    /// Creates a connection; `entropy` supplies the ephemeral key and
+    /// hello randomness (64 bytes).
+    pub fn new(config: Arc<SslConfig>, entropy: [u8; 64]) -> Ssl {
+        let mut kx_priv = [0u8; 32];
+        kx_priv.copy_from_slice(&entropy[..32]);
+        let state = match config.role {
+            Role::Client => HandshakeState::Start,
+            Role::Server => HandshakeState::AwaitClientHello,
+        };
+        Ssl {
+            config,
+            state,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            plain_in: Vec::new(),
+            kx_priv,
+            transcript: Vec::new(),
+            write_keys: None,
+            read_keys: None,
+            fin_key_local: [0u8; 32],
+            fin_key_peer: [0u8; 32],
+            peer_cert: None,
+            client_cert_requested: false,
+            ex_data: HashMap::new(),
+            info_callback: None,
+        }
+    }
+
+    /// Registers an info callback, invoked on handshake transitions
+    /// (the LibSEAL secure-callback test surface, §4.1).
+    pub fn set_info_callback(&mut self, cb: Arc<dyn Fn(i32, i32) + Send + Sync>) {
+        self.info_callback = Some(cb);
+    }
+
+    fn info(&self, code: i32, arg: i32) {
+        if let Some(cb) = &self.info_callback {
+            cb(code, arg);
+        }
+    }
+
+    /// Current handshake state.
+    pub fn state(&self) -> HandshakeState {
+        self.state
+    }
+
+    /// Whether the handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.state == HandshakeState::Established
+    }
+
+    /// The peer's verified certificate, if any.
+    pub fn peer_certificate(&self) -> Option<&Certificate> {
+        self.peer_cert.as_ref()
+    }
+
+    /// Feeds ciphertext received from the wire.
+    pub fn provide_input(&mut self, data: &[u8]) {
+        self.in_buf.extend_from_slice(data);
+    }
+
+    /// Takes ciphertext that must be sent on the wire.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out_buf)
+    }
+
+    /// Whether output bytes are pending.
+    pub fn has_output(&self) -> bool {
+        !self.out_buf.is_empty()
+    }
+
+    /// Drives the handshake as far as the buffered input allows.
+    /// Returns `true` once established.
+    ///
+    /// # Errors
+    ///
+    /// Protocol and verification failures are fatal: the state moves
+    /// to [`HandshakeState::Failed`].
+    pub fn do_handshake(&mut self) -> Result<bool> {
+        let r = self.do_handshake_inner();
+        if r.is_err() {
+            self.state = HandshakeState::Failed;
+        }
+        r
+    }
+
+    fn do_handshake_inner(&mut self) -> Result<bool> {
+        if self.state == HandshakeState::Start && self.config.role == Role::Client {
+            self.info(INFO_HANDSHAKE_START, 0);
+            self.send_client_hello();
+            self.state = HandshakeState::AwaitServerFlight;
+        }
+        while self.state != HandshakeState::Established {
+            match self.next_handshake_message()? {
+                Some((t, body)) => self.process_handshake_message(t, &body)?,
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Encrypts and queues application data.
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Protocol`] before the handshake completes.
+    pub fn ssl_write(&mut self, data: &[u8]) -> Result<usize> {
+        if self.state != HandshakeState::Established {
+            return Err(TlsError::Protocol("ssl_write before handshake".into()));
+        }
+        for chunk in data.chunks(MAX_RECORD) {
+            let keys = self.write_keys.as_mut().expect("established has keys");
+            let sealed = keys.seal(ContentType::AppData, chunk);
+            self.out_buf
+                .extend_from_slice(&record::frame(ContentType::AppData, &sealed));
+        }
+        Ok(data.len())
+    }
+
+    /// Returns decrypted application data, draining buffered records.
+    ///
+    /// # Errors
+    ///
+    /// Decryption and protocol failures are fatal.
+    pub fn ssl_read(&mut self) -> Result<ReadOutcome> {
+        if self.state == HandshakeState::Closed {
+            return Ok(ReadOutcome::Closed);
+        }
+        if self.state != HandshakeState::Established {
+            // Still handshaking: make progress first.
+            self.do_handshake()?;
+            if self.state != HandshakeState::Established {
+                return Ok(ReadOutcome::WantRead);
+            }
+        }
+        loop {
+            if !self.plain_in.is_empty() {
+                return Ok(ReadOutcome::Data(std::mem::take(&mut self.plain_in)));
+            }
+            match record::parse(&self.in_buf)? {
+                None => return Ok(ReadOutcome::WantRead),
+                Some((rec, used)) => {
+                    self.in_buf.drain(..used);
+                    match rec.ctype {
+                        ContentType::AppData => {
+                            let keys =
+                                self.read_keys.as_mut().expect("established has keys");
+                            let plain = keys.open(ContentType::AppData, &rec.payload)?;
+                            self.plain_in.extend_from_slice(&plain);
+                        }
+                        ContentType::Alert => {
+                            let keys =
+                                self.read_keys.as_mut().expect("established has keys");
+                            let plain = keys.open(ContentType::Alert, &rec.payload)?;
+                            if plain.first() == Some(&0) {
+                                self.state = HandshakeState::Closed;
+                                return Ok(ReadOutcome::Closed);
+                            }
+                            return Err(TlsError::Protocol("fatal alert".into()));
+                        }
+                        ContentType::Handshake => {
+                            return Err(TlsError::Protocol(
+                                "unexpected handshake record".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queues a close_notify alert.
+    pub fn send_close(&mut self) {
+        if self.state == HandshakeState::Established {
+            if let Some(keys) = self.write_keys.as_mut() {
+                let sealed = keys.seal(ContentType::Alert, &[0]);
+                self.out_buf
+                    .extend_from_slice(&record::frame(ContentType::Alert, &sealed));
+            }
+            self.state = HandshakeState::Closed;
+        }
+    }
+
+    // --- handshake internals -------------------------------------------
+
+    fn transcript_hash(&self) -> [u8; 32] {
+        Sha256::digest(&self.transcript)
+    }
+
+    fn next_handshake_message(&mut self) -> Result<Option<(u8, Vec<u8>)>> {
+        let Some((rec, used)) = record::parse(&self.in_buf)? else {
+            return Ok(None);
+        };
+        if rec.ctype != ContentType::Handshake {
+            return Err(TlsError::Protocol(
+                "expected handshake record".into(),
+            ));
+        }
+        self.in_buf.drain(..used);
+        // Encrypted after keys are installed.
+        let encrypted = self.handshake_encrypted();
+        let payload = match self.read_keys.as_mut() {
+            Some(keys) if encrypted => keys.open(ContentType::Handshake, &rec.payload)?,
+            _ => rec.payload,
+        };
+        if payload.len() < 4 {
+            return Err(TlsError::Protocol("short handshake message".into()));
+        }
+        let t = payload[0];
+        let len = u32::from_be_bytes([0, payload[1], payload[2], payload[3]]) as usize;
+        if payload.len() != 4 + len {
+            return Err(TlsError::Protocol("handshake length mismatch".into()));
+        }
+        Ok(Some((t, payload[4..].to_vec())))
+    }
+
+    fn handshake_encrypted(&self) -> bool {
+        // Everything after ServerHello is encrypted; keys exist exactly
+        // then.
+        self.read_keys.is_some()
+    }
+
+    fn queue_handshake(&mut self, t: u8, body: &[u8]) {
+        let mut msg = Vec::with_capacity(4 + body.len());
+        msg.push(t);
+        let len = (body.len() as u32).to_be_bytes();
+        msg.extend_from_slice(&len[1..4]);
+        msg.extend_from_slice(body);
+        self.transcript.extend_from_slice(&msg);
+        let encrypted = self.write_keys.is_some() && t != MSG_CLIENT_HELLO && t != MSG_SERVER_HELLO;
+        if encrypted {
+            let keys = self.write_keys.as_mut().expect("checked");
+            let sealed = keys.seal(ContentType::Handshake, &msg);
+            self.out_buf
+                .extend_from_slice(&record::frame(ContentType::Handshake, &sealed));
+        } else {
+            self.out_buf
+                .extend_from_slice(&record::frame(ContentType::Handshake, &msg));
+        }
+    }
+
+    fn send_client_hello(&mut self) {
+        let mut body = Vec::with_capacity(64);
+        let pubkey = x25519::public_key(&self.kx_priv);
+        body.extend_from_slice(&pubkey);
+        self.queue_handshake(MSG_CLIENT_HELLO, &body);
+    }
+
+    fn derive_keys(&mut self, peer_share: &[u8; 32]) {
+        let shared = x25519::shared_secret(&self.kx_priv, peer_share);
+        let prk = hkdf::extract(b"stls v1", &shared);
+        let hs_hash = self.transcript_hash();
+
+        let derive = |label: &[u8]| -> ([u8; 32], [u8; 12]) {
+            let mut info = label.to_vec();
+            info.extend_from_slice(&hs_hash);
+            let mut out = [0u8; 44];
+            hkdf::expand(&prk, &info, &mut out);
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&out[..32]);
+            let mut iv = [0u8; 12];
+            iv.copy_from_slice(&out[32..]);
+            (key, iv)
+        };
+        let (c_key, c_iv) = derive(b"c ap");
+        let (s_key, s_iv) = derive(b"s ap");
+        let derive32 = |label: &[u8]| -> [u8; 32] {
+            let mut info = label.to_vec();
+            info.extend_from_slice(&hs_hash);
+            let mut out = [0u8; 32];
+            hkdf::expand(&prk, &info, &mut out);
+            out
+        };
+        let fin_c = derive32(b"fin c");
+        let fin_s = derive32(b"fin s");
+        match self.config.role {
+            Role::Client => {
+                self.write_keys = Some(RecordKeys::new(&c_key, &c_iv));
+                self.read_keys = Some(RecordKeys::new(&s_key, &s_iv));
+                self.fin_key_local = fin_c;
+                self.fin_key_peer = fin_s;
+            }
+            Role::Server => {
+                self.write_keys = Some(RecordKeys::new(&s_key, &s_iv));
+                self.read_keys = Some(RecordKeys::new(&c_key, &c_iv));
+                self.fin_key_local = fin_s;
+                self.fin_key_peer = fin_c;
+            }
+        }
+    }
+
+    fn cert_verify_payload(hash: &[u8; 32]) -> Vec<u8> {
+        let mut p = b"stls-certverify:".to_vec();
+        p.extend_from_slice(hash);
+        p
+    }
+
+    fn process_handshake_message(&mut self, t: u8, body: &[u8]) -> Result<()> {
+        match (self.config.role, self.state, t) {
+            (Role::Server, HandshakeState::AwaitClientHello, MSG_CLIENT_HELLO) => {
+                self.info(INFO_HANDSHAKE_START, 0);
+                if body.len() < 32 {
+                    return Err(TlsError::Protocol("short ClientHello".into()));
+                }
+                // Append the peer's message to the transcript exactly
+                // as received.
+                self.append_peer_transcript(t, body);
+                let peer_share: [u8; 32] = body[..32].try_into().unwrap();
+
+                // ServerHello with our share.
+                let my_share = x25519::public_key(&self.kx_priv);
+                self.queue_handshake(MSG_SERVER_HELLO, &my_share);
+                self.derive_keys(&peer_share);
+
+                // Certificate.
+                let cert = self
+                    .config
+                    .cert
+                    .clone()
+                    .ok_or_else(|| TlsError::Protocol("server has no certificate".into()))?;
+                self.queue_handshake(MSG_CERT, &cert.encode());
+                if self.config.verify_peer {
+                    self.queue_handshake(MSG_CERT_REQUEST, &[]);
+                }
+                // CertVerify over the transcript so far.
+                let key = self
+                    .config
+                    .key
+                    .clone()
+                    .ok_or_else(|| TlsError::Protocol("server has no key".into()))?;
+                let sig = key.sign(&Self::cert_verify_payload(&self.transcript_hash()));
+                self.queue_handshake(MSG_CERT_VERIFY, &sig);
+                // Finished.
+                let fin = HmacSha256::mac(&self.fin_key_local, &self.transcript_hash());
+                self.queue_handshake(MSG_FINISHED, &fin);
+                self.state = HandshakeState::AwaitClientFinished;
+                Ok(())
+            }
+            (Role::Client, HandshakeState::AwaitServerFlight, MSG_SERVER_HELLO) => {
+                if body.len() < 32 {
+                    return Err(TlsError::Protocol("short ServerHello".into()));
+                }
+                self.append_peer_transcript(t, body);
+                let peer_share: [u8; 32] = body[..32].try_into().unwrap();
+                self.derive_keys(&peer_share);
+                Ok(())
+            }
+            (Role::Client, HandshakeState::AwaitServerFlight, MSG_CERT) => {
+                self.append_peer_transcript(t, body);
+                let cert = Certificate::decode(body)?;
+                if self.config.verify_peer {
+                    let ok = self
+                        .config
+                        .ca_roots
+                        .iter()
+                        .any(|ca| cert.verify(ca).is_ok());
+                    if !ok {
+                        return Err(TlsError::Verification(
+                            "server certificate not signed by a trusted CA".into(),
+                        ));
+                    }
+                    if let Some(expected) = &self.config.expected_subject {
+                        if &cert.subject != expected {
+                            return Err(TlsError::Verification(format!(
+                                "subject mismatch: got {}, expected {expected}",
+                                cert.subject
+                            )));
+                        }
+                    }
+                }
+                self.peer_cert = Some(cert);
+                Ok(())
+            }
+            (Role::Client, HandshakeState::AwaitServerFlight, MSG_CERT_REQUEST) => {
+                self.append_peer_transcript(t, body);
+                self.client_cert_requested = true;
+                Ok(())
+            }
+            (Role::Client, HandshakeState::AwaitServerFlight, MSG_CERT_VERIFY) => {
+                // Verify over the transcript NOT including this message.
+                let hash = self.transcript_hash();
+                let cert = self
+                    .peer_cert
+                    .as_ref()
+                    .ok_or_else(|| TlsError::Protocol("CertVerify before Certificate".into()))?;
+                let sig: [u8; 64] = body
+                    .try_into()
+                    .map_err(|_| TlsError::Protocol("bad CertVerify length".into()))?;
+                VerifyingKey::from_bytes(&cert.pubkey)
+                    .verify(&Self::cert_verify_payload(&hash), &sig)
+                    .map_err(|_| TlsError::Verification("CertVerify failed".into()))?;
+                self.append_peer_transcript(t, body);
+                Ok(())
+            }
+            (Role::Client, HandshakeState::AwaitServerFlight, MSG_FINISHED) => {
+                let expected = HmacSha256::mac(&self.fin_key_peer, &self.transcript_hash());
+                if !libseal_crypto::ct::eq(&expected, body) {
+                    return Err(TlsError::Verification("server Finished mismatch".into()));
+                }
+                self.append_peer_transcript(t, body);
+                // Client flight: optional certificate, then Finished.
+                if self.client_cert_requested {
+                    let cert = self.config.cert.clone().ok_or_else(|| {
+                        TlsError::Protocol("client certificate required but not configured".into())
+                    })?;
+                    let key = self.config.key.clone().ok_or_else(|| {
+                        TlsError::Protocol("client key required but not configured".into())
+                    })?;
+                    self.queue_handshake(MSG_CERT, &cert.encode());
+                    let sig = key.sign(&Self::cert_verify_payload(&self.transcript_hash()));
+                    self.queue_handshake(MSG_CERT_VERIFY, &sig);
+                }
+                let fin = HmacSha256::mac(&self.fin_key_local, &self.transcript_hash());
+                self.queue_handshake(MSG_FINISHED, &fin);
+                self.state = HandshakeState::Established;
+                self.info(INFO_HANDSHAKE_DONE, 0);
+                Ok(())
+            }
+            (Role::Server, HandshakeState::AwaitClientFinished, MSG_CERT) => {
+                self.append_peer_transcript(t, body);
+                let cert = Certificate::decode(body)?;
+                let ok = self
+                    .config
+                    .ca_roots
+                    .iter()
+                    .any(|ca| cert.verify(ca).is_ok());
+                if !ok {
+                    return Err(TlsError::Verification(
+                        "client certificate not signed by a trusted CA".into(),
+                    ));
+                }
+                self.peer_cert = Some(cert);
+                Ok(())
+            }
+            (Role::Server, HandshakeState::AwaitClientFinished, MSG_CERT_VERIFY) => {
+                let hash = self.transcript_hash();
+                let cert = self
+                    .peer_cert
+                    .as_ref()
+                    .ok_or_else(|| TlsError::Protocol("CertVerify before Certificate".into()))?;
+                let sig: [u8; 64] = body
+                    .try_into()
+                    .map_err(|_| TlsError::Protocol("bad CertVerify length".into()))?;
+                VerifyingKey::from_bytes(&cert.pubkey)
+                    .verify(&Self::cert_verify_payload(&hash), &sig)
+                    .map_err(|_| TlsError::Verification("client CertVerify failed".into()))?;
+                self.append_peer_transcript(t, body);
+                Ok(())
+            }
+            (Role::Server, HandshakeState::AwaitClientFinished, MSG_FINISHED) => {
+                if self.config.verify_peer && self.peer_cert.is_none() {
+                    return Err(TlsError::Verification(
+                        "client certificate required but not presented".into(),
+                    ));
+                }
+                let expected = HmacSha256::mac(&self.fin_key_peer, &self.transcript_hash());
+                if !libseal_crypto::ct::eq(&expected, body) {
+                    return Err(TlsError::Verification("client Finished mismatch".into()));
+                }
+                self.append_peer_transcript(t, body);
+                self.state = HandshakeState::Established;
+                self.info(INFO_HANDSHAKE_DONE, 0);
+                Ok(())
+            }
+            (_, state, t) => Err(TlsError::Protocol(format!(
+                "unexpected handshake message {t} in state {state:?}"
+            ))),
+        }
+    }
+
+    fn append_peer_transcript(&mut self, t: u8, body: &[u8]) {
+        let mut msg = Vec::with_capacity(4 + body.len());
+        msg.push(t);
+        let len = (body.len() as u32).to_be_bytes();
+        msg.extend_from_slice(&len[1..4]);
+        msg.extend_from_slice(body);
+        self.transcript.extend_from_slice(&msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+
+    fn pump(a: &mut Ssl, b: &mut Ssl) {
+        // Move bytes between the two endpoints until both go quiet.
+        for _ in 0..20 {
+            let out_a = a.take_output();
+            if !out_a.is_empty() {
+                b.provide_input(&out_a);
+            }
+            let _ = b.do_handshake();
+            let out_b = b.take_output();
+            if !out_b.is_empty() {
+                a.provide_input(&out_b);
+            }
+            let _ = a.do_handshake();
+            if !a.has_output() && !b.has_output() {
+                break;
+            }
+        }
+    }
+
+    fn handshake_pair(client_cfg: Arc<SslConfig>, server_cfg: Arc<SslConfig>) -> (Ssl, Ssl) {
+        let mut client = Ssl::new(client_cfg, [1u8; 64]);
+        let mut server = Ssl::new(server_cfg, [2u8; 64]);
+        client.do_handshake().unwrap();
+        pump(&mut client, &mut server);
+        (client, server)
+    }
+
+    fn test_ca() -> CertificateAuthority {
+        CertificateAuthority::new("RootCA", &[0x33; 32])
+    }
+
+    #[test]
+    fn full_handshake_and_data() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (mut client, mut server) =
+            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        assert!(client.is_established());
+        assert!(server.is_established());
+
+        client.ssl_write(b"hello from client").unwrap();
+        let wire = client.take_output();
+        server.provide_input(&wire);
+        match server.ssl_read().unwrap() {
+            ReadOutcome::Data(d) => assert_eq!(d, b"hello from client"),
+            other => panic!("{other:?}"),
+        }
+
+        server.ssl_write(b"hello from server").unwrap();
+        let wire = server.take_output();
+        client.provide_input(&wire);
+        match client.ssl_read().unwrap() {
+            ReadOutcome::Data(d) => assert_eq!(d, b"hello from server"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrusted_server_cert_rejected() {
+        let ca = test_ca();
+        let rogue = CertificateAuthority::new("RogueCA", &[0x44; 32]);
+        let (key, cert) = rogue.issue_identity("server.test", &[4u8; 32]);
+        let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+        let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
+        client.do_handshake().unwrap();
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(), HandshakeState::Failed);
+    }
+
+    #[test]
+    fn subject_mismatch_rejected() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("other.test", &[4u8; 32]);
+        let cfg = Arc::new(SslConfig {
+            role: Role::Client,
+            cert: None,
+            key: None,
+            ca_roots: vec![ca.root_key()],
+            verify_peer: true,
+            expected_subject: Some("server.test".into()),
+        });
+        let mut client = Ssl::new(cfg, [1u8; 64]);
+        let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
+        client.do_handshake().unwrap();
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(), HandshakeState::Failed);
+    }
+
+    #[test]
+    fn client_auth_roundtrip() {
+        let ca = test_ca();
+        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]);
+        let server_cfg = Arc::new(SslConfig {
+            role: Role::Server,
+            cert: Some(scert),
+            key: Some(skey),
+            ca_roots: vec![ca.root_key()],
+            verify_peer: true,
+            expected_subject: None,
+        });
+        let client_cfg = Arc::new(SslConfig {
+            role: Role::Client,
+            cert: Some(ccert),
+            key: Some(ckey),
+            ca_roots: vec![ca.root_key()],
+            verify_peer: true,
+            expected_subject: None,
+        });
+        let (client, server) = handshake_pair(client_cfg, server_cfg);
+        assert!(client.is_established());
+        assert!(server.is_established());
+        assert_eq!(server.peer_certificate().unwrap().subject, "alice");
+    }
+
+    #[test]
+    fn client_auth_missing_cert_fails() {
+        let ca = test_ca();
+        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let server_cfg = Arc::new(SslConfig {
+            role: Role::Server,
+            cert: Some(scert),
+            key: Some(skey),
+            ca_roots: vec![ca.root_key()],
+            verify_peer: true,
+            expected_subject: None,
+        });
+        let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+        let mut server = Ssl::new(server_cfg, [2u8; 64]);
+        client.do_handshake().unwrap();
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(), HandshakeState::Failed);
+    }
+
+    #[test]
+    fn tampered_record_fails() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (mut client, mut server) =
+            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        client.ssl_write(b"sensitive").unwrap();
+        let mut wire = client.take_output();
+        let n = wire.len();
+        wire[n - 1] ^= 0x01;
+        server.provide_input(&wire);
+        assert_eq!(server.ssl_read(), Err(TlsError::Decrypt));
+    }
+
+    #[test]
+    fn close_notify_roundtrip() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (mut client, mut server) =
+            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        client.send_close();
+        let wire = client.take_output();
+        server.provide_input(&wire);
+        assert_eq!(server.ssl_read().unwrap(), ReadOutcome::Closed);
+    }
+
+    #[test]
+    fn large_transfer_chunks_records() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (mut client, mut server) =
+            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let big: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+        client.ssl_write(&big).unwrap();
+        let wire = client.take_output();
+        server.provide_input(&wire);
+        let mut got = Vec::new();
+        loop {
+            match server.ssl_read().unwrap() {
+                ReadOutcome::Data(d) => got.extend_from_slice(&d),
+                ReadOutcome::WantRead => break,
+                ReadOutcome::Closed => panic!("closed"),
+            }
+            if got.len() >= big.len() {
+                break;
+            }
+        }
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn info_callback_fires() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+        client.set_info_callback(Arc::new(move |_code, _arg| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
+        client.do_handshake().unwrap();
+        pump(&mut client, &mut server);
+        assert!(client.is_established());
+        assert!(hits.load(Ordering::SeqCst) >= 2); // start + done
+    }
+
+    #[test]
+    fn ex_data_storage() {
+        let ca = test_ca();
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (mut client, _server) =
+            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        client.ex_data.insert(1, b"request-ptr".to_vec());
+        assert_eq!(client.ex_data.get(&1).unwrap(), b"request-ptr");
+    }
+
+    #[test]
+    fn write_before_handshake_errors() {
+        let ca = test_ca();
+        let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+        assert!(client.ssl_write(b"early").is_err());
+    }
+}

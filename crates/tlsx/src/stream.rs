@@ -1,0 +1,185 @@
+//! Blocking stream wrapper: STLS over any `Read + Write` transport.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use crate::ssl::{ReadOutcome, Ssl, SslConfig};
+use crate::{Result, TlsError};
+
+/// A blocking STLS connection over `S` (typically a `TcpStream`).
+pub struct SslStream<S: Read + Write> {
+    ssl: Ssl,
+    stream: S,
+}
+
+impl<S: Read + Write> SslStream<S> {
+    /// Performs a full handshake over `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures and transport I/O errors.
+    pub fn handshake(config: Arc<SslConfig>, entropy: [u8; 64], mut stream: S) -> Result<Self> {
+        let mut ssl = Ssl::new(config, entropy);
+        loop {
+            if ssl.do_handshake()? {
+                break;
+            }
+            flush_output(&mut ssl, &mut stream)?;
+            if ssl.is_established() {
+                break;
+            }
+            read_some(&mut ssl, &mut stream)?;
+        }
+        // Send any trailing flight (e.g. the client Finished).
+        flush_output(&mut ssl, &mut stream)?;
+        Ok(SslStream { ssl, stream })
+    }
+
+    /// Encrypts and sends `data`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn write_all(&mut self, data: &[u8]) -> Result<()> {
+        self.ssl.ssl_write(data)?;
+        flush_output(&mut self.ssl, &mut self.stream)
+    }
+
+    /// Receives and decrypts the next chunk of application data.
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Closed`] on clean close; other variants on failure.
+    pub fn read_some(&mut self) -> Result<Vec<u8>> {
+        loop {
+            match self.ssl.ssl_read()? {
+                ReadOutcome::Data(d) => return Ok(d),
+                ReadOutcome::Closed => return Err(TlsError::Closed),
+                ReadOutcome::WantRead => {
+                    flush_output(&mut self.ssl, &mut self.stream)?;
+                    read_some(&mut self.ssl, &mut self.stream)?;
+                }
+            }
+        }
+    }
+
+    /// Reads until `pred` says the accumulated buffer is complete.
+    ///
+    /// # Errors
+    ///
+    /// As [`SslStream::read_some`].
+    pub fn read_until(&mut self, buf: &mut Vec<u8>, mut pred: impl FnMut(&[u8]) -> bool) -> Result<()> {
+        while !pred(buf) {
+            let chunk = self.read_some()?;
+            buf.extend_from_slice(&chunk);
+        }
+        Ok(())
+    }
+
+    /// Sends close_notify and flushes.
+    pub fn close(&mut self) {
+        self.ssl.send_close();
+        let _ = flush_output(&mut self.ssl, &mut self.stream);
+    }
+
+    /// The inner protocol state.
+    pub fn ssl(&self) -> &Ssl {
+        &self.ssl
+    }
+
+    /// The inner protocol state, mutably.
+    pub fn ssl_mut(&mut self) -> &mut Ssl {
+        &mut self.ssl
+    }
+
+    /// The underlying transport.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+}
+
+fn flush_output<S: Read + Write>(ssl: &mut Ssl, stream: &mut S) -> Result<()> {
+    let out = ssl.take_output();
+    if !out.is_empty() {
+        stream
+            .write_all(&out)
+            .map_err(|e| TlsError::Io(e.to_string()))?;
+        stream.flush().map_err(|e| TlsError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+fn read_some<S: Read + Write>(ssl: &mut Ssl, stream: &mut S) -> Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    let n = stream
+        .read(&mut buf)
+        .map_err(|e| TlsError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(TlsError::Closed);
+    }
+    ssl.provide_input(&buf[..n]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server_cfg = SslConfig::server(cert, key);
+        let handle = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut tls = SslStream::handshake(server_cfg, [9u8; 64], sock).unwrap();
+            let data = tls.read_some().unwrap();
+            tls.write_all(&data).unwrap();
+        });
+
+        let client_cfg = SslConfig::client(vec![ca.root_key()]);
+        let sock = TcpStream::connect(addr).unwrap();
+        let mut tls = SslStream::handshake(client_cfg, [7u8; 64], sock).unwrap();
+        tls.write_all(b"ping over tcp").unwrap();
+        let echoed = tls.read_some().unwrap();
+        assert_eq!(echoed, b"ping over tcp");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn large_payload_over_tcp() {
+        let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+
+        let server_cfg = SslConfig::server(cert, key);
+        let handle = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut tls = SslStream::handshake(server_cfg, [9u8; 64], sock).unwrap();
+            tls.write_all(&payload).unwrap();
+            tls.close();
+        });
+
+        let client_cfg = SslConfig::client(vec![ca.root_key()]);
+        let sock = TcpStream::connect(addr).unwrap();
+        let mut tls = SslStream::handshake(client_cfg, [7u8; 64], sock).unwrap();
+        let mut got = Vec::new();
+        loop {
+            match tls.read_some() {
+                Ok(d) => got.extend_from_slice(&d),
+                Err(TlsError::Closed) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(got, expected);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Dropbox auditing through a proxy: since the origin cannot be
+//! instrumented, client traffic is routed through a Squid-like proxy
+//! that terminates TLS via LibSEAL (§6.4). The origin then corrupts a
+//! blocklist and hides a file — both violations surface in the audit
+//! log.
+//!
+//! ```sh
+//! cargo run --example dropbox_audit
+//! ```
+
+use std::sync::Arc;
+
+use libseal::{DropboxModule, LibSeal, LibSealConfig};
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::dropbox::{DropboxAttack, DropboxServer};
+use libseal_services::squid::{SquidConfig, SquidProxy};
+use libseal_services::{HttpsClient, TlsMode};
+use libseal_sgxsim::cost::CostModel;
+use libseal_tlsx::cert::CertificateAuthority;
+
+fn main() {
+    let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
+
+    // The (uninstrumentable) Dropbox origin.
+    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[3u8; 32]);
+    let origin = Arc::new(DropboxServer::new());
+    let origin_server = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::Native { cert: ocert, key: okey },
+        workers: 2,
+        router: Arc::new(Arc::clone(&origin)),
+    })
+    .expect("origin");
+
+    // The audited proxy in front of it.
+    let (pkey, pcert) = ca.issue_identity("localhost", &[2u8; 32]);
+    let mut config = LibSealConfig::new(pcert, pkey, Some(Arc::new(DropboxModule)));
+    config.cost_model = CostModel::free();
+    config.check_interval = 0;
+    let libseal = LibSeal::new(config).expect("libseal");
+    let proxy = SquidProxy::start(SquidConfig {
+        tls: TlsMode::LibSeal(Arc::clone(&libseal)),
+        workers: 2,
+        upstream: origin_server.addr(),
+        upstream_roots: vec![ca.root_key()],
+    })
+    .expect("proxy");
+    println!("dropbox origin on https://{}", origin_server.addr());
+    println!("audited proxy  on https://{}", proxy.addr());
+
+    let client = HttpsClient::new(proxy.addr(), vec![ca.root_key()]);
+    let mut conn = client.connect().expect("connect");
+    let mut post = |path: &str, body: &str| {
+        conn.request(&Request::new("POST", path, body.as_bytes().to_vec()))
+            .expect("request")
+    };
+
+    // Upload two files, then list them.
+    post(
+        "/dropbox/commit_batch",
+        r#"{"account":"alice","host":"laptop","commits":[
+            {"file":"thesis.pdf","blocks":["aa11","bb22"],"size":8192},
+            {"file":"notes.txt","blocks":["cc33"],"size":512}]}"#,
+    );
+    let rsp = post("/dropbox/list", r#"{"account":"alice","host":"laptop"}"#);
+    println!("honest listing: {}", String::from_utf8_lossy(&rsp.body));
+
+    let outcome = libseal.check_now(0).expect("check");
+    assert_eq!(outcome.total_violations(), 0);
+    println!("invariants after honest listing: all hold\n");
+
+    // Attack 1: the origin corrupts thesis.pdf's blocklist.
+    origin.set_attack(DropboxAttack::CorruptBlocklist {
+        account: "alice".into(),
+        file: "thesis.pdf".into(),
+    });
+    post("/dropbox/list", r#"{"account":"alice","host":"laptop"}"#);
+
+    // Attack 2: notes.txt silently vanishes.
+    origin.set_attack(DropboxAttack::HideFile {
+        account: "alice".into(),
+        file: "notes.txt".into(),
+    });
+    post("/dropbox/list", r#"{"account":"alice","host":"laptop"}"#);
+
+    let outcome = libseal.check_now(0).expect("check");
+    println!("invariant check after attacks:");
+    for report in &outcome.reports {
+        println!("  {:<30} violations: {}", report.invariant, report.violations);
+    }
+    assert!(outcome
+        .reports
+        .iter()
+        .any(|r| r.invariant == "dropbox-blocklist-soundness" && r.violations > 0));
+    assert!(outcome
+        .reports
+        .iter()
+        .any(|r| r.invariant == "dropbox-list-completeness" && r.violations > 0));
+
+    libseal.verify_log(0).expect("log intact");
+    println!("\nblocklist corruption and hidden file both detected; log verified");
+    proxy.stop();
+    origin_server.stop();
+}

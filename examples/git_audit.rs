@@ -1,0 +1,104 @@
+//! Full-stack Git auditing over real sockets: an Apache-like server
+//! terminates TLS through LibSEAL in front of a Git backend; a client
+//! pushes and fetches; the provider then mounts teleport, rollback and
+//! reference-deletion attacks (§6.1) — each is detected and reported
+//! in-band through the `Libseal-Check-Result` header.
+//!
+//! ```sh
+//! cargo run --example git_audit
+//! ```
+
+use std::sync::Arc;
+
+use libseal::{GitModule, LibSeal, LibSealConfig};
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::git::{GitAttack, GitBackend};
+use libseal_services::{HttpsClient, TlsMode};
+use libseal_sgxsim::cost::CostModel;
+use libseal_tlsx::cert::CertificateAuthority;
+
+fn main() {
+    let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]);
+    let mut config = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
+    config.cost_model = CostModel::free();
+    config.check_interval = 0;
+    let libseal = LibSeal::new(config).expect("libseal");
+
+    let backend = Arc::new(GitBackend::new());
+    let server = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::LibSeal(Arc::clone(&libseal)),
+        workers: 2,
+        router: Arc::new(Arc::clone(&backend)),
+    })
+    .expect("server");
+    println!("git service (audited by LibSEAL) on https://{}", server.addr());
+
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let push = |body: &str| {
+        let req = Request::new("POST", "/repo/demo/git-receive-pack", body.as_bytes().to_vec());
+        client.request(&req).expect("push")
+    };
+    let fetch_checked = || {
+        let mut req = Request::new(
+            "GET",
+            "/repo/demo/info/refs?service=git-upload-pack",
+            Vec::new(),
+        );
+        req.headers.insert("Libseal-Check", "1");
+        client.request(&req).expect("fetch")
+    };
+
+    // Honest operation.
+    push("0 1111111111111111111111111111111111111111 refs/heads/main\n\
+          0 2222222222222222222222222222222222222222 refs/heads/dev\n");
+    push("1111111111111111111111111111111111111111 \
+          3333333333333333333333333333333333333333 refs/heads/main\n");
+    let rsp = fetch_checked();
+    println!(
+        "honest fetch        -> Libseal-Check-Result: {}",
+        rsp.headers.get("Libseal-Check-Result").unwrap()
+    );
+
+    // Attack 1: rollback main to the old commit.
+    backend.set_attack(GitAttack::Rollback {
+        repo: "demo".into(),
+        branch: "refs/heads/main".into(),
+        old_cid: "1111111111111111111111111111111111111111".into(),
+    });
+    let rsp = fetch_checked();
+    println!(
+        "rollback attack     -> Libseal-Check-Result: {}",
+        rsp.headers.get("Libseal-Check-Result").unwrap()
+    );
+
+    // Attack 2: teleport main to dev's commit.
+    backend.set_attack(GitAttack::Teleport {
+        repo: "demo".into(),
+        branch: "refs/heads/main".into(),
+        from_branch: "refs/heads/dev".into(),
+    });
+    let rsp = fetch_checked();
+    println!(
+        "teleport attack     -> Libseal-Check-Result: {}",
+        rsp.headers.get("Libseal-Check-Result").unwrap()
+    );
+
+    // Attack 3: hide the dev branch entirely.
+    backend.set_attack(GitAttack::HideRef {
+        repo: "demo".into(),
+        branch: "refs/heads/dev".into(),
+    });
+    let rsp = fetch_checked();
+    println!(
+        "ref-deletion attack -> Libseal-Check-Result: {}",
+        rsp.headers.get("Libseal-Check-Result").unwrap()
+    );
+
+    // The evidence is non-repudiable: the log verifies.
+    libseal.verify_log(0).expect("log intact");
+    let (entries, bytes, _) = libseal.log_stats(0).unwrap();
+    println!("\naudit log intact: {entries} entries (~{bytes} bytes), signed hash chain verified");
+    server.stop();
+}

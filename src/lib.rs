@@ -1,0 +1,1 @@
+//! Umbrella crate for the LibSEAL reproduction; see the member crates.

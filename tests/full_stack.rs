@@ -1,0 +1,162 @@
+//! Workspace-level integration tests spanning every crate: crypto →
+//! TEE → TLS → audit log → services, exercised together the way a
+//! deployment would.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use libseal::{GitModule, LibSeal, LibSealConfig, LogBacking};
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::git::{GitBackend, HistoryGenerator};
+use libseal_services::{HttpsClient, LoadGenerator, TlsMode};
+use libseal_sgxsim::cost::CostModel;
+use libseal_tlsx::cert::CertificateAuthority;
+
+fn ca() -> CertificateAuthority {
+    CertificateAuthority::new("WorkspaceCA", &[0x55; 32])
+}
+
+#[test]
+fn sealed_persistent_log_full_cycle() {
+    let ca = ca();
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let path = std::env::temp_dir().join(format!("fullstack-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Phase 1: serve real traffic, persist the log.
+    {
+        let mut cfg = LibSealConfig::new(
+            cert.clone(),
+            key.clone(),
+            Some(Arc::new(GitModule)),
+        );
+        cfg.cost_model = CostModel::free();
+        cfg.backing = LogBacking::Disk(path.clone());
+        cfg.check_interval = 0;
+        let ls = LibSeal::new(cfg).unwrap();
+        let backend = Arc::new(GitBackend::new());
+        let server = ApacheServer::start(ApacheConfig {
+            tls: TlsMode::LibSeal(Arc::clone(&ls)),
+            workers: 2,
+            router: Arc::new(Arc::clone(&backend)),
+        })
+        .unwrap();
+        let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+        let mut generator = HistoryGenerator::new("repo", 3, 5);
+        let mut conn = client.connect().unwrap();
+        for _ in 0..30 {
+            let req = HistoryGenerator::to_request(&generator.next_op());
+            conn.request(&req).unwrap();
+        }
+        conn.close();
+        assert_eq!(ls.check_now(0).unwrap().total_violations(), 0);
+        ls.verify_log(0).unwrap();
+        server.stop();
+    }
+
+    // Phase 2: restart over the sealed journal; history verifies.
+    {
+        let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
+        cfg.cost_model = CostModel::free();
+        cfg.backing = LogBacking::Disk(path.clone());
+        cfg.check_interval = 0;
+        let ls = LibSeal::new(cfg).unwrap();
+        let (entries, _, journal) = ls.log_stats(0).unwrap();
+        assert!(entries > 0);
+        assert!(journal > 0);
+        ls.verify_log(0).unwrap();
+        assert_eq!(ls.check_now(0).unwrap().total_violations(), 0);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn load_generator_measures_throughput() {
+    let ca = ca();
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let mut cfg = LibSealConfig::new(cert, key, None);
+    cfg.cost_model = CostModel::free();
+    let ls = LibSeal::new(cfg).unwrap();
+    let server = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::LibSeal(ls),
+        workers: 4,
+        router: Arc::new(libseal_services::StaticContentRouter),
+    })
+    .unwrap();
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let stats = LoadGenerator {
+        clients: 4,
+        duration: Duration::from_millis(800),
+        persistent: true,
+    }
+    .run(&client, |_, _| Request::new("GET", "/content/64", Vec::new()));
+    assert!(stats.requests > 0, "no requests completed");
+    assert!(stats.throughput() > 1.0);
+    assert!(stats.p50_latency <= stats.p95_latency);
+    server.stop();
+}
+
+#[test]
+fn cost_model_imposes_real_overhead() {
+    // The same tiny workload with and without the SGX cost model; the
+    // modelled configuration must be measurably slower.
+    let ca = ca();
+    let run = |model: CostModel| -> Duration {
+        let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+        let mut cfg = LibSealConfig::new(cert, key, None);
+        cfg.cost_model = model;
+        let ls = LibSeal::new(cfg).unwrap();
+        let server = ApacheServer::start(ApacheConfig {
+            tls: TlsMode::LibSeal(ls),
+            workers: 1,
+            router: Arc::new(libseal_services::StaticContentRouter),
+        })
+        .unwrap();
+        let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+        let t0 = std::time::Instant::now();
+        let mut conn = client.connect().unwrap();
+        for _ in 0..20 {
+            conn.request(&Request::new("GET", "/content/16", Vec::new()))
+                .unwrap();
+        }
+        conn.close();
+        let dt = t0.elapsed();
+        server.stop();
+        dt
+    };
+    let free = run(CostModel::free());
+    let taxed = run(CostModel {
+        enabled: true,
+        sync_transition_cycles: 200_000, // exaggerated for test stability
+        ..CostModel::default()
+    });
+    assert!(
+        taxed > free,
+        "cost model had no effect: taxed {taxed:?} vs free {free:?}"
+    );
+}
+
+#[test]
+fn transitions_are_observable_end_to_end() {
+    let ca = ca();
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let mut cfg = LibSealConfig::new(cert, key, None);
+    cfg.cost_model = CostModel::free();
+    let ls = LibSeal::new(cfg).unwrap();
+    let server = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::LibSeal(Arc::clone(&ls)),
+        workers: 1,
+        router: Arc::new(libseal_services::StaticContentRouter),
+    })
+    .unwrap();
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    client
+        .request(&Request::new("GET", "/content/32", Vec::new()))
+        .unwrap();
+    let snap = ls.stats();
+    assert!(snap.ecalls > 0, "TLS termination must cross the boundary");
+    assert!(snap.by_name.contains_key("ssl_read"));
+    assert!(snap.by_name.contains_key("ssl_write"));
+    server.stop();
+}
