@@ -1,0 +1,12 @@
+#!/bin/sh
+# Hermetic CI gate: everything must build, test, and lint cleanly
+# without touching the network or a crates.io registry. The workspace
+# has no external dependencies (see tests/hermetic.rs), so an offline
+# build failing means a regression.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

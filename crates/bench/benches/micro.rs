@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks for the hot paths underlying the paper's
-//! tables: crypto primitives, STLS handshake and records, sealdb
-//! query execution, audit-log appends, and enclave transitions
-//! (synchronous vs asynchronous).
+//! Micro-benchmarks for the hot paths underlying the paper's tables:
+//! crypto primitives, STLS handshake and records, sealdb query
+//! execution, audit-log appends, and enclave transitions (synchronous
+//! vs asynchronous).
+//!
+//! Criterion-free: each benchmark warms up briefly, then runs batches
+//! until a wall-clock budget (`LIBSEAL_BENCH_SECS`, default 2 s per
+//! benchmark) is spent, and reports mean time per iteration plus
+//! derived throughput. Run with `cargo bench -p libseal-bench`.
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use libseal::log::{AuditLog, LogBacking, NoGuard};
 use libseal::{GitModule, ServiceModule};
@@ -20,32 +24,86 @@ use libseal_sgxsim::enclave::EnclaveBuilder;
 use libseal_tlsx::cert::CertificateAuthority;
 use libseal_tlsx::ssl::{ReadOutcome, Ssl, SslConfig};
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+/// Per-iteration throughput unit, mirroring criterion's `Throughput`.
+enum Throughput {
+    None,
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn bench_budget() -> Duration {
+    let secs: f64 = std::env::var("LIBSEAL_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    Duration::from_secs_f64(secs.clamp(0.05, 120.0))
+}
+
+/// Times `f` until the budget is spent and prints one result line.
+fn bench(group: &str, name: &str, throughput: Throughput, mut f: impl FnMut()) {
+    let budget = bench_budget();
+    // Warm-up: a fixed slice of the budget, also used to size batches
+    // so the timing loop checks the clock ~100x per run.
+    let warmup_end = Instant::now() + budget / 10;
+    let mut warmup_iters = 0u64;
+    while Instant::now() < warmup_end {
+        f();
+        warmup_iters += 1;
+    }
+    let batch = (warmup_iters / 10).max(1);
+
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        for _ in 0..batch {
+            f();
+        }
+        iters += batch;
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Throughput::None => String::new(),
+        Throughput::Bytes(b) => {
+            format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 / per_iter),
+    };
+    println!(
+        "{group}/{name:<32} {:>12.3} us/iter{rate}   ({iters} iters)",
+        per_iter * 1e6
+    );
+}
+
+fn bench_crypto() {
     let data_1k = vec![0xa5u8; 1024];
     let data_16k = vec![0xa5u8; 16 * 1024];
 
-    g.throughput(Throughput::Bytes(16 * 1024));
-    g.bench_function("sha256_16k", |b| b.iter(|| Sha256::digest(&data_16k)));
+    bench("crypto", "sha256_16k", Throughput::Bytes(16 * 1024), || {
+        Sha256::digest(&data_16k);
+    });
 
     let aead = ChaCha20Poly1305::new(&[7u8; 32]);
-    g.throughput(Throughput::Bytes(16 * 1024));
-    g.bench_function("chacha20poly1305_seal_16k", |b| {
-        b.iter(|| aead.seal(&[1u8; 12], b"", &data_16k))
-    });
+    bench(
+        "crypto",
+        "chacha20poly1305_seal_16k",
+        Throughput::Bytes(16 * 1024),
+        || {
+            aead.seal(&[1u8; 12], b"", &data_16k);
+        },
+    );
 
-    g.throughput(Throughput::Elements(1));
     let key = SigningKey::from_seed(&[3u8; 32]);
-    g.bench_function("ed25519_sign_1k", |b| b.iter(|| key.sign(&data_1k)));
+    bench("crypto", "ed25519_sign_1k", Throughput::Elements(1), || {
+        key.sign(&data_1k);
+    });
     let sig = key.sign(&data_1k);
     let vk = key.verifying_key();
-    g.bench_function("ed25519_verify_1k", |b| {
-        b.iter(|| vk.verify(&data_1k, &sig).unwrap())
+    bench("crypto", "ed25519_verify_1k", Throughput::Elements(1), || {
+        vk.verify(&data_1k, &sig).unwrap();
     });
-    g.bench_function("x25519_dh", |b| {
-        b.iter(|| x25519::shared_secret(&[5u8; 32], &x25519::public_key(&[6u8; 32])))
+    bench("crypto", "x25519_dh", Throughput::Elements(1), || {
+        let _ = x25519::shared_secret(&[5u8; 32], &x25519::public_key(&[6u8; 32]));
     });
-    g.finish();
 }
 
 fn handshake_pair() -> (Ssl, Ssl) {
@@ -74,20 +132,19 @@ fn handshake_pair() -> (Ssl, Ssl) {
     (client, server)
 }
 
-fn bench_tls(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stls");
-    g.bench_function("full_handshake", |b| {
-        b.iter(|| {
-            let (client, server) = handshake_pair();
-            assert!(client.is_established() && server.is_established());
-        })
+fn bench_tls() {
+    bench("stls", "full_handshake", Throughput::None, || {
+        let (client, server) = handshake_pair();
+        assert!(client.is_established() && server.is_established());
     });
 
     let (mut client, mut server) = handshake_pair();
     let payload = vec![0x5au8; 16 * 1024];
-    g.throughput(Throughput::Bytes(16 * 1024));
-    g.bench_function("record_roundtrip_16k", |b| {
-        b.iter(|| {
+    bench(
+        "stls",
+        "record_roundtrip_16k",
+        Throughput::Bytes(16 * 1024),
+        || {
             client.ssl_write(&payload).unwrap();
             let wire = client.take_output();
             server.provide_input(&wire);
@@ -99,19 +156,16 @@ fn bench_tls(c: &mut Criterion) {
                 }
             }
             assert_eq!(got, payload.len());
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_sealdb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sealdb");
-
-    g.bench_function("insert_row", |b| {
+fn bench_sealdb() {
+    {
         let mut db = Database::new();
         db.execute("CREATE TABLE t(a INTEGER, b TEXT, c TEXT)").unwrap();
         let mut i = 0i64;
-        b.iter(|| {
+        bench("sealdb", "insert_row", Throughput::None, || {
             i += 1;
             db.execute_with(
                 "INSERT INTO t VALUES (?, ?, ?)",
@@ -121,12 +175,12 @@ fn bench_sealdb(c: &mut Criterion) {
                     Value::Text("0123456789abcdef0123".into()),
                 ],
             )
-            .unwrap()
-        })
-    });
+            .unwrap();
+        });
+    }
 
     // The paper's Git soundness invariant over a trimmed-size log.
-    g.bench_function("git_soundness_query_50rows", |b| {
+    {
         let mut db = Database::new();
         db.execute(
             "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
@@ -160,56 +214,55 @@ fn bench_sealdb(c: &mut Criterion) {
             SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
             u.branch = a.branch AND u.time < a.time ORDER BY
             u.time DESC LIMIT 1)";
-        b.iter(|| {
+        bench("sealdb", "git_soundness_query_50rows", Throughput::None, || {
             let r = db.query(q, &[]).unwrap();
             assert!(r.is_empty());
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_audit_log(c: &mut Criterion) {
-    let mut g = c.benchmark_group("audit_log");
-    g.bench_function("append_signed_entry", |b| {
-        let ssm = GitModule;
-        let mut log = AuditLog::open(
-            LogBacking::Memory,
-            [0u8; 32],
-            SigningKey::from_seed(&[1u8; 32]),
-            Box::new(NoGuard),
-            ssm.schema_sql(),
-            ssm.tables(),
+fn bench_audit_log() {
+    let ssm = GitModule;
+    let mut log = AuditLog::open(
+        LogBacking::Memory,
+        [0u8; 32],
+        SigningKey::from_seed(&[1u8; 32]),
+        Box::new(NoGuard),
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+    .unwrap();
+    bench("audit_log", "append_signed_entry", Throughput::None, || {
+        let t = log.next_time() as i64;
+        log.append(
+            "updates",
+            &[
+                Value::Integer(t),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text(format!("{t:040x}")),
+                Value::Text("update".into()),
+            ],
         )
         .unwrap();
-        b.iter(|| {
-            let t = log.next_time() as i64;
-            log.append(
-                "updates",
-                &[
-                    Value::Integer(t),
-                    Value::Text("r".into()),
-                    Value::Text("main".into()),
-                    Value::Text(format!("{t:040x}")),
-                    Value::Text("update".into()),
-                ],
-            )
-            .unwrap();
-        });
     });
-    g.finish();
 }
 
-fn bench_transitions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("enclave_transitions");
+fn bench_transitions() {
     let enclave = Arc::new(
         EnclaveBuilder::new(b"bench")
             .cost_model(CostModel::default())
             .tcs_count(8)
             .build(|_| ()),
     );
-    g.bench_function("sync_ecall_1_thread", |b| {
-        b.iter(|| enclave.ecall("noop", |_, _| ()).unwrap())
-    });
+    bench(
+        "enclave_transitions",
+        "sync_ecall_1_thread",
+        Throughput::None,
+        || {
+            enclave.ecall("noop", |_, _| ()).unwrap();
+        },
+    );
 
     let rt = AsyncRuntime::start(
         Arc::clone(&enclave),
@@ -222,19 +275,31 @@ fn bench_transitions(c: &mut Criterion) {
         },
     )
     .unwrap();
-    g.bench_function("async_ecall_slot_handoff", |b| {
-        b.iter(|| rt.async_ecall(0, |_, _, _| ()))
-    });
+    bench(
+        "enclave_transitions",
+        "async_ecall_slot_handoff",
+        Throughput::None,
+        || {
+            rt.async_ecall(0, |_, _, _| ());
+        },
+    );
     rt.shutdown();
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_tls,
-    bench_sealdb,
-    bench_audit_log,
-    bench_transitions
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo test`/`cargo bench` pass harness flags like --bench or
+    // filter strings; honour the no-run probe and ignore the rest.
+    if std::env::args().any(|a| a == "--list") {
+        println!("micro: bench");
+        return;
+    }
+    println!(
+        "micro benchmarks ({}s budget per benchmark; set LIBSEAL_BENCH_SECS to adjust)",
+        bench_budget().as_secs_f64()
+    );
+    bench_crypto();
+    bench_tls();
+    bench_sealdb();
+    bench_audit_log();
+    bench_transitions();
+}

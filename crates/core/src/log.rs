@@ -127,8 +127,7 @@ impl JournalCodec for SealingCodec {
         // Randomize the tail so nonce reuse across restarts is
         // cryptographically unlikely.
         let mut tail = [0u8; 4];
-        use rand::RngCore;
-        rand::rngs::OsRng.fill_bytes(&mut tail);
+        plat::entropy::fill(&mut tail);
         nonce[8..].copy_from_slice(&tail);
         let mut out = nonce.to_vec();
         out.extend_from_slice(&self.aead.seal(&nonce, b"libseal-journal", plain));

@@ -35,7 +35,7 @@ use libseal_sgxsim::seal::SealingPolicy;
 use libseal_sgxsim::stats::StatsSnapshot;
 use libseal_tlsx::cert::Certificate;
 use libseal_tlsx::ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
-use parking_lot::{Mutex, RwLock};
+use plat::sync::{Mutex, RwLock};
 
 use crate::check::{CheckOutcome, Checker};
 use crate::log::{
@@ -149,6 +149,10 @@ struct Session {
     rsp_buf: Vec<u8>,
 }
 
+/// The application's info callback (§4.1, "Secure callbacks"): lives
+/// outside the enclave, reached through an ocall trampoline.
+type InfoCallback = Arc<dyn Fn(i32, i32) + Send + Sync>;
+
 /// Audit state bundle.
 struct AuditState {
     log: AuditLog,
@@ -164,7 +168,7 @@ pub struct Trusted {
     next_sid: AtomicU64,
     audit: Option<Mutex<AuditState>>,
     /// Outside info callback, reached through an ocall trampoline.
-    info_cb: RwLock<Option<Arc<dyn Fn(i32, i32) + Send + Sync>>>,
+    info_cb: RwLock<Option<InfoCallback>>,
 }
 
 impl Trusted {

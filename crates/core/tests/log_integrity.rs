@@ -56,8 +56,7 @@ impl RollbackGuard for ExternalCounter {
 
 #[test]
 fn rollback_across_restart_detected() {
-    let path = std::env::temp_dir().join(format!("libseal-rb-{}.log", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("libseal-rb", "log");
 
     // Epoch 1: write 3 entries; snapshot the journal (the attacker's
     // stale copy).
@@ -65,7 +64,7 @@ fn rollback_across_restart_detected() {
         let guard = Box::new(ExternalCounter {
             value: std::sync::atomic::AtomicU64::new(0),
         });
-        let mut log = open_log(LogBacking::Disk(path.clone()), guard).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), guard).unwrap();
         append_n(&mut log, 3);
         log.flush().unwrap();
     }
@@ -76,7 +75,7 @@ fn rollback_across_restart_detected() {
         let guard = Box::new(ExternalCounter {
             value: std::sync::atomic::AtomicU64::new(3),
         });
-        let mut log = open_log(LogBacking::Disk(path.clone()), guard).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), guard).unwrap();
         append_n(&mut log, 2);
         log.flush().unwrap();
     }
@@ -87,11 +86,10 @@ fn rollback_across_restart_detected() {
     let guard = Box::new(ExternalCounter {
         value: std::sync::atomic::AtomicU64::new(5),
     });
-    match open_log(LogBacking::Disk(path.clone()), guard) {
+    match open_log(LogBacking::Disk(path.to_path_buf()), guard) {
         Err(LibSealError::Log(m)) => assert!(m.contains("rollback"), "{m}"),
         other => panic!("rollback not detected: {:?}", other.map(|_| ())),
     }
-    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -134,20 +132,18 @@ fn empty_log_verifies() {
 
 #[test]
 fn logical_clock_is_monotonic_across_restart() {
-    let path = std::env::temp_dir().join(format!("libseal-clock-{}.log", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("libseal-clock", "log");
     let t1;
     {
-        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
         append_n(&mut log, 4);
         t1 = log.now();
     }
     {
-        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
         let t2 = log.next_time();
         assert!(t2 > t1, "clock went backwards: {t2} <= {t1}");
     }
-    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -155,11 +151,10 @@ fn clock_survives_trim_and_restart() {
     // Regression test: after trimming renumbers the chain, a restart
     // must not reset the logical clock below surviving rows' times.
     let ssm = GitModule;
-    let path = std::env::temp_dir().join(format!("libseal-trimclk-{}.log", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("libseal-trimclk", "log");
     let mut max_time_before;
     {
-        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
         append_n(&mut log, 50);
         log.trim(ssm.trim_queries()).unwrap(); // chain renumbered to 1 entry
         max_time_before = 0i64;
@@ -171,7 +166,7 @@ fn clock_survives_trim_and_restart() {
         log.flush().unwrap();
     }
     {
-        let mut log = open_log(LogBacking::Disk(path.clone()), Box::new(NoGuard)).unwrap();
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
         let next = log.next_time() as i64;
         assert!(
             next > max_time_before,
@@ -179,5 +174,4 @@ fn clock_survives_trim_and_restart() {
         );
         log.verify().unwrap();
     }
-    let _ = std::fs::remove_file(&path);
 }

@@ -257,8 +257,7 @@ fn shadow_has_no_key_material() {
 
 #[test]
 fn persistent_log_survives_restart_and_verifies() {
-    let dir = std::env::temp_dir().join(format!("libseal-e2e-{}", std::process::id()));
-    let _ = std::fs::remove_file(&dir);
+    let dir = plat::tmp::TempPath::new("libseal-e2e", "log");
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
     {
@@ -268,7 +267,7 @@ fn persistent_log_survives_restart_and_verifies() {
             Some(Arc::new(GitModule)),
         );
         cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(dir.clone());
+        cfg.backing = LogBacking::Disk(dir.to_path_buf());
         cfg.check_interval = 0;
         let ls = LibSeal::new(cfg).unwrap();
         ls.with_log(0, |log| {
@@ -292,7 +291,7 @@ fn persistent_log_survives_restart_and_verifies() {
     {
         let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
         cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(dir.clone());
+        cfg.backing = LogBacking::Disk(dir.to_path_buf());
         cfg.check_interval = 0;
         let ls = LibSeal::new(cfg).unwrap();
         let (entries, _, _) = ls.log_stats(0).unwrap();
@@ -304,7 +303,6 @@ fn persistent_log_survives_restart_and_verifies() {
     let as_text = String::from_utf8_lossy(&raw);
     assert!(!as_text.contains("INSERT"), "journal leaked plaintext SQL");
     assert!(!as_text.contains("main"), "journal leaked data");
-    std::fs::remove_file(&dir).unwrap();
 }
 
 #[test]

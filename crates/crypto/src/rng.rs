@@ -3,11 +3,11 @@
 //! Inside the simulated enclave there is no OS entropy source (system
 //! calls would be ocalls), mirroring the real LibSEAL design point of
 //! using the SGX SDK's in-enclave generator instead of `/dev/urandom`
-//! (§4.2 optimisation 2). [`SystemRng`] seeds itself from the host
-//! `rand` crate once at construction and then runs forward on its own.
+//! (§4.2 optimisation 2). [`SystemRng`] seeds itself once at
+//! construction from [`plat::entropy`] (the OS entropy shim) and then
+//! runs forward on its own.
 
 use crate::chacha20::ChaCha20;
-use rand::RngCore;
 
 /// A fast-key-erasure ChaCha20 DRBG.
 pub struct ChaChaRng {
@@ -91,8 +91,7 @@ impl Default for SystemRng {
 impl SystemRng {
     /// Creates a generator seeded from OS entropy.
     pub fn new() -> Self {
-        let mut seed = [0u8; 32];
-        rand::rngs::OsRng.fill_bytes(&mut seed);
+        let seed = plat::entropy::seed32();
         SystemRng {
             inner: ChaChaRng::from_seed(seed),
         }

@@ -1,125 +1,103 @@
-//! Property-based tests for the crypto primitives.
+//! Property-based tests for the crypto primitives (deterministic
+//! `plat::check` harness; same properties and case counts as the
+//! original proptest suite).
 
 use libseal_crypto::aead::ChaCha20Poly1305;
 use libseal_crypto::chacha20::ChaCha20;
 use libseal_crypto::ed25519::SigningKey;
 use libseal_crypto::sha2::{Sha256, Sha512};
 use libseal_crypto::{hkdf, x25519};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+plat::prop! {
+    #![cases(32)]
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2000),
-        split in 0usize..2000,
-    ) {
-        let split = split.min(data.len());
+    fn sha256_incremental_equals_oneshot(g) {
+        let data = g.bytes(0..2000);
+        let split = g.usize_in(0..2000).min(data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
 
-    #[test]
-    fn sha512_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2000),
-        split in 0usize..2000,
-    ) {
-        let split = split.min(data.len());
+    fn sha512_incremental_equals_oneshot(g) {
+        let data = g.bytes(0..2000);
+        let split = g.usize_in(0..2000).min(data.len());
         let mut h = Sha512::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize().to_vec(), Sha512::digest(&data).to_vec());
+        assert_eq!(h.finalize().to_vec(), Sha512::digest(&data).to_vec());
     }
 
-    #[test]
-    fn chacha20_is_an_involution(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        counter in any::<u32>(),
-        mut data in proptest::collection::vec(any::<u8>(), 0..500),
-    ) {
+    fn chacha20_is_an_involution(g) {
+        let key = g.byte_array::<32>();
+        let nonce = g.byte_array::<12>();
+        let counter = g.u32();
+        let mut data = g.bytes(0..500);
         let orig = data.clone();
         let cipher = ChaCha20::new(&key, &nonce);
         cipher.apply_keystream(counter, &mut data);
         cipher.apply_keystream(counter, &mut data);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig);
     }
 
-    #[test]
-    fn aead_roundtrip(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        plaintext in proptest::collection::vec(any::<u8>(), 0..500),
-    ) {
+    fn aead_roundtrip(g) {
+        let key = g.byte_array::<32>();
+        let nonce = g.byte_array::<12>();
+        let aad = g.bytes(0..64);
+        let plaintext = g.bytes(0..500);
         let aead = ChaCha20Poly1305::new(&key);
         let sealed = aead.seal(&nonce, &aad, &plaintext);
-        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+        assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), plaintext);
     }
 
-    #[test]
-    fn aead_detects_any_single_bitflip(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        plaintext in proptest::collection::vec(any::<u8>(), 1..200),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+    fn aead_detects_any_single_bitflip(g) {
+        let key = g.byte_array::<32>();
+        let nonce = g.byte_array::<12>();
+        let plaintext = g.bytes(1..200);
         let aead = ChaCha20Poly1305::new(&key);
         let mut sealed = aead.seal(&nonce, b"aad", &plaintext);
-        let idx = flip_byte.index(sealed.len());
-        sealed[idx] ^= 1 << flip_bit;
-        prop_assert!(aead.open(&nonce, b"aad", &sealed).is_err());
+        let idx = g.index(sealed.len());
+        sealed[idx] ^= 1 << g.usize_in(0..8);
+        assert!(aead.open(&nonce, b"aad", &sealed).is_err());
     }
 
-    #[test]
-    fn hkdf_is_deterministic_and_prefix_stable(
-        salt in proptest::collection::vec(any::<u8>(), 0..32),
-        ikm in proptest::collection::vec(any::<u8>(), 1..64),
-        info in proptest::collection::vec(any::<u8>(), 0..32),
-        len in 1usize..100,
-    ) {
+    fn hkdf_is_deterministic_and_prefix_stable(g) {
+        let salt = g.bytes(0..32);
+        let ikm = g.bytes(1..64);
+        let info = g.bytes(0..32);
+        let len = g.usize_in(1..100);
         let a = hkdf::derive(&salt, &ikm, &info, len);
         let b = hkdf::derive(&salt, &ikm, &info, len);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         let longer = hkdf::derive(&salt, &ikm, &info, len + 13);
-        prop_assert_eq!(&longer[..len], &a[..]);
+        assert_eq!(&longer[..len], &a[..]);
     }
 
-    #[test]
-    fn ed25519_sign_verify_roundtrip(
-        seed in any::<[u8; 32]>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+    fn ed25519_sign_verify_roundtrip(g) {
+        let seed = g.byte_array::<32>();
+        let msg = g.bytes(0..300);
         let key = SigningKey::from_seed(&seed);
         let sig = key.sign(&msg);
-        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+        assert!(key.verifying_key().verify(&msg, &sig).is_ok());
     }
 
-    #[test]
-    fn ed25519_rejects_modified_message(
-        seed in any::<[u8; 32]>(),
-        msg in proptest::collection::vec(any::<u8>(), 1..300),
-        flip in any::<prop::sample::Index>(),
-    ) {
+    fn ed25519_rejects_modified_message(g) {
+        let seed = g.byte_array::<32>();
+        let msg = g.bytes(1..300);
         let key = SigningKey::from_seed(&seed);
         let sig = key.sign(&msg);
         let mut bad = msg.clone();
-        let idx = flip.index(bad.len());
+        let idx = g.index(bad.len());
         bad[idx] ^= 0x01;
-        prop_assert!(key.verifying_key().verify(&bad, &sig).is_err());
+        assert!(key.verifying_key().verify(&bad, &sig).is_err());
     }
 
-    #[test]
-    fn x25519_diffie_hellman_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+    fn x25519_diffie_hellman_commutes(g) {
+        let a = g.byte_array::<32>();
+        let b = g.byte_array::<32>();
         let pa = x25519::public_key(&a);
         let pb = x25519::public_key(&b);
-        prop_assert_eq!(
-            x25519::shared_secret(&a, &pb),
-            x25519::shared_secret(&b, &pa)
-        );
+        assert_eq!(x25519::shared_secret(&a, &pb), x25519::shared_secret(&b, &pa));
     }
 }

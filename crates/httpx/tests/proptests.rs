@@ -1,56 +1,70 @@
-//! Property-based tests for HTTP and JSON parsing.
+//! Property-based tests for HTTP and JSON parsing (deterministic
+//! `plat::check` harness; same properties and case counts as the
+//! original proptest suite).
 
 use libseal_httpx::http::{parse_request, parse_response, Request, Response};
 use libseal_httpx::json::Json;
 use libseal_httpx::ParseError;
-use proptest::prelude::*;
+use plat::check::Gen;
 
-fn token() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,12}"
+/// An HTTP header token: `[A-Za-z][A-Za-z0-9-]{0,12}`.
+fn token(g: &mut Gen) -> String {
+    let first: Vec<u8> = (b'A'..=b'Z').chain(b'a'..=b'z').collect();
+    let rest: Vec<u8> = (b'A'..=b'Z')
+        .chain(b'a'..=b'z')
+        .chain(b'0'..=b'9')
+        .chain([b'-'])
+        .collect();
+    let mut s = String::new();
+    s.push(*g.pick(&first) as char);
+    s.push_str(&g.ascii_string(&rest, 0..13));
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+plat::prop! {
+    #![cases(48)]
 
-    #[test]
-    fn request_roundtrips(
-        method in "(GET|POST|PUT|DELETE)",
-        path in "/[a-z0-9/]{0,20}",
-        headers in proptest::collection::vec((token(), "[ -~&&[^\r\n]]{0,20}"), 0..6),
-        body in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+    fn request_roundtrips(g) {
+        let method = g.pick(&["GET", "POST", "PUT", "DELETE"]).to_string();
+        let path = {
+            let charset: Vec<u8> = (b'a'..=b'z').chain(b'0'..=b'9').chain([b'/']).collect();
+            format!("/{}", g.ascii_string(&charset, 0..21))
+        };
+        let headers: Vec<(String, String)> = (0..g.usize_in(0..6))
+            .map(|_| {
+                let v = g.printable_ascii_except(b"\r\n", 0..21);
+                (token(g), v)
+            })
+            .collect();
+        let body = g.bytes(0..300);
         let mut req = Request::new(&method, &path, body.clone());
         for (n, v) in &headers {
             req.headers.insert(n.clone(), v.trim().to_string());
         }
         let bytes = req.to_bytes();
         let (parsed, used) = parse_request(&bytes).unwrap();
-        prop_assert_eq!(used, bytes.len());
-        prop_assert_eq!(parsed.method, method);
-        prop_assert_eq!(parsed.body, body);
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.method, method);
+        assert_eq!(parsed.body, body);
         for (n, v) in &headers {
-            prop_assert_eq!(parsed.headers.get(n).unwrap(), v.trim());
+            assert_eq!(parsed.headers.get(n).unwrap(), v.trim());
         }
     }
 
-    #[test]
-    fn response_roundtrips(
-        status in 100u16..600,
-        body in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+    fn response_roundtrips(g) {
+        let status = g.u16_in(100..600);
+        let body = g.bytes(0..300);
         let rsp = Response::new(status, body.clone());
         let bytes = rsp.to_bytes();
         let (parsed, used) = parse_response(&bytes).unwrap();
-        prop_assert_eq!(used, bytes.len());
-        prop_assert_eq!(parsed.status, status);
-        prop_assert_eq!(parsed.body, body);
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed.status, status);
+        assert_eq!(parsed.body, body);
     }
 
-    #[test]
-    fn truncation_is_incomplete_never_wrong(
-        body in proptest::collection::vec(any::<u8>(), 0..200),
-        cut_ratio in 0.0f64..1.0,
-    ) {
+    fn truncation_is_incomplete_never_wrong(g) {
+        let body = g.bytes(0..200);
+        let cut_ratio = g.f64_in(0.0, 1.0);
         let req = Request::new("POST", "/x", body);
         let bytes = req.to_bytes();
         let cut = ((bytes.len() - 1) as f64 * cut_ratio) as usize;
@@ -60,42 +74,42 @@ proptest! {
                 // A prefix that parses must be a strictly valid message
                 // (possible when the body is truncated at its declared
                 // length boundary — but then used <= cut).
-                prop_assert!(used <= cut);
-                prop_assert_eq!(parsed.method, "POST");
+                assert!(used <= cut);
+                assert_eq!(parsed.method, "POST");
             }
-            Err(ParseError::Malformed(_)) => prop_assert!(false, "prefix misparsed"),
+            Err(ParseError::Malformed(_)) => panic!("prefix misparsed"),
         }
     }
 
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+    fn arbitrary_bytes_never_panic(g) {
+        let bytes = g.bytes(0..400);
         let _ = parse_request(&bytes);
         let _ = parse_response(&bytes);
         let _ = Json::parse_bytes(&bytes);
     }
 
-    #[test]
-    fn json_roundtrips_nested(
-        pairs in proptest::collection::btree_map(
-            "[a-z]{1,8}",
-            prop_oneof![
-                any::<i32>().prop_map(|n| Json::Number(n as f64)),
-                any::<bool>().prop_map(Json::Bool),
-                "[ -~&&[^\"\\\\]]{0,16}".prop_map(Json::String),
-                Just(Json::Null),
-            ],
-            0..8,
-        ),
-    ) {
+    fn json_roundtrips_nested(g) {
+        let pairs: std::collections::BTreeMap<String, Json> = (0..g.usize_in(0..8))
+            .map(|_| {
+                let key = g.lowercase(1..9);
+                let value = match g.usize_in(0..4) {
+                    0 => Json::Number(g.u32() as i32 as f64),
+                    1 => Json::Bool(g.bool()),
+                    2 => Json::String(g.printable_ascii_except(b"\"\\", 0..17)),
+                    _ => Json::Null,
+                };
+                (key, value)
+            })
+            .collect();
         let obj = Json::Object(pairs.into_iter().collect());
         let text = obj.to_string();
-        prop_assert_eq!(Json::parse(&text).unwrap(), obj);
+        assert_eq!(Json::parse(&text).unwrap(), obj);
     }
 
-    #[test]
-    fn json_strings_with_any_unicode(s in "\\PC{0,40}") {
+    fn json_strings_with_any_unicode(g) {
+        let s = g.unicode_string(0..41);
         let j = Json::String(s.clone());
         let parsed = Json::parse(&j.to_string()).unwrap();
-        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+        assert_eq!(parsed.as_str(), Some(s.as_str()));
     }
 }

@@ -317,9 +317,7 @@ mod tests {
         while finished < N {
             finished = 0;
             for c in coros.iter_mut() {
-                if c.is_finished() {
-                    finished += 1;
-                } else if c.resume() == Resume::Finished {
+                if c.is_finished() || c.resume() == Resume::Finished {
                     finished += 1;
                 }
             }

@@ -137,8 +137,11 @@ impl<T: Send + Sync + 'static> AsyncRuntime<T> {
             "slot {slot_idx} already in use by another application thread"
         );
 
-        let result: Arc<parking_lot::Mutex<Option<R>>> = Arc::new(parking_lot::Mutex::new(None));
+        let result: Arc<plat::sync::Mutex<Option<R>>> = Arc::new(plat::sync::Mutex::new(None));
         let result2 = Arc::clone(&result);
+        // Spelled out (not the `EcallFn` alias) to pin down the exact
+        // pre-transmute type the SAFETY argument below relies on.
+        #[allow(clippy::type_complexity)]
         let boxed: Box<dyn for<'p> FnOnce(&T, &EnclaveServices, &OcallPort<'p, T>) + Send> =
             Box::new(move |state, sv, port| {
                 *result2.lock() = Some(f(state, sv, port));
@@ -331,7 +334,7 @@ mod tests {
     use super::*;
     use libseal_sgxsim::cost::CostModel;
     use libseal_sgxsim::enclave::EnclaveBuilder;
-    use parking_lot::Mutex;
+    use plat::sync::Mutex;
 
     fn runtime(mode: WaitMode) -> AsyncRuntime<Mutex<Vec<u64>>> {
         let enclave = Arc::new(

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread::Thread;
 
 use libseal_sgxsim::enclave::EnclaveServices;
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 /// An enclave-bound request: runs against the trusted state with an
 /// [`OcallPort`] for calling back out.

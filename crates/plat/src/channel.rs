@@ -1,0 +1,147 @@
+//! An unbounded channel with cloneable receivers (the
+//! `crossbeam::channel` surface the servers use).
+//!
+//! Built on `std::sync::mpsc` with the receiver behind a shared lock
+//! so several worker threads can compete for items (MPMC consumption).
+//! `recv_timeout` polls `try_recv` instead of blocking under the lock,
+//! so a waiting worker never starves its siblings for a whole timeout.
+
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sync::Mutex;
+
+/// How long a blocked receiver sleeps between `try_recv` polls.
+const POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Why a receive with a deadline returned without an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the channel still empty.
+    Timeout,
+    /// Every sender is gone and the channel is drained.
+    Disconnected,
+}
+
+/// Creates an unbounded channel; both halves are cloneable.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+/// The sending half; cloneable across threads.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends an item; fails only when every receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the channel is disconnected.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        self.0.send(value).map_err(|e| e.0)
+    }
+}
+
+/// The receiving half; cloneable — clones compete for items.
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives an item, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] when all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.0.lock().try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Receives an item if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`Receiver::recv_timeout`] with a zero deadline.
+    pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+        match self.0.lock().try_recv() {
+            Ok(v) => Ok(v),
+            Err(TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+            Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_fan_out_to_competing_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(v) => got.push(v),
+                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => break,
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let (tx, rx) = unbounded::<u32>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! OS entropy without the `rand` crate.
+//!
+//! The workspace's only real randomness need is seeding the ChaCha20
+//! DRBG in `libseal-crypto` (everything downstream runs forward from
+//! that seed, mirroring the paper's §4.2 in-enclave generator). This
+//! module reads `/dev/urandom` and, when that is unavailable (e.g. a
+//! minimal chroot), falls back to the `getrandom(2)` syscall invoked
+//! directly — no libc binding required.
+
+use std::io::Read;
+
+/// Fills `buf` with operating-system entropy.
+///
+/// # Panics
+///
+/// Panics when no OS entropy source works; seeding a DRBG from a
+/// predictable value would silently void every security property, so
+/// failing loudly is the only safe behaviour.
+pub fn fill(buf: &mut [u8]) {
+    if fill_from_urandom(buf).is_ok() {
+        return;
+    }
+    if fill_from_syscall(buf).is_ok() {
+        return;
+    }
+    panic!("no OS entropy source available (/dev/urandom and getrandom both failed)");
+}
+
+/// Returns 32 bytes of OS entropy (the DRBG seed shape).
+pub fn seed32() -> [u8; 32] {
+    let mut seed = [0u8; 32];
+    fill(&mut seed);
+    seed
+}
+
+fn fill_from_urandom(buf: &mut [u8]) -> std::io::Result<()> {
+    std::fs::File::open("/dev/urandom")?.read_exact(buf)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn fill_from_syscall(buf: &mut [u8]) -> Result<(), ()> {
+    // getrandom(buf, len, 0); syscall 318 on x86_64.
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let ret: isize;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 318isize => ret,
+                in("rdi") buf[filled..].as_mut_ptr(),
+                in("rsi") buf.len() - filled,
+                in("rdx") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if ret <= 0 {
+            return Err(());
+        }
+        filled += ret as usize;
+    }
+    Ok(())
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn fill_from_syscall(buf: &mut [u8]) -> Result<(), ()> {
+    // getrandom(buf, len, 0); syscall 278 on aarch64.
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let ret: isize;
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 278usize,
+                inlateout("x0") buf[filled..].as_mut_ptr() as usize => ret,
+                in("x1") buf.len() - filled,
+                in("x2") 0usize,
+                options(nostack),
+            );
+        }
+        if ret <= 0 {
+            return Err(());
+        }
+        filled += ret as usize;
+    }
+    Ok(())
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+fn fill_from_syscall(_buf: &mut [u8]) -> Result<(), ()> {
+    Err(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_produces_distinct_draws() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        fill(&mut a);
+        fill(&mut b);
+        assert_ne!(a, b, "two 256-bit OS draws must not collide");
+        assert_ne!(a, [0u8; 32]);
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn syscall_path_works() {
+        let mut a = [0u8; 64];
+        fill_from_syscall(&mut a).expect("getrandom syscall");
+        assert_ne!(a, [0u8; 64]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Platform shims keeping the workspace free of external crates.
+//!
+//! LibSEAL's trust argument rests on a small, fully-auditable TCB
+//! (§4: the paper ports LibreSSL and SQLite into the enclave rather
+//! than trusting opaque binaries). This crate applies the same policy
+//! to the reproduction itself: every capability the workspace used to
+//! pull from crates.io lives here as a thin, std-backed shim, so a
+//! clean checkout builds with `CARGO_NET_OFFLINE=true` and an empty
+//! registry cache.
+//!
+//! - [`sync`] — poison-transparent `Mutex`/`RwLock` (the `parking_lot`
+//!   surface the workspace used).
+//! - [`channel`] — cloneable MPMC channel with `recv_timeout` (the
+//!   `crossbeam::channel` surface).
+//! - [`entropy`] — OS randomness: `/dev/urandom`, falling back to the
+//!   `getrandom` syscall (the `rand::rngs::OsRng` surface).
+//! - [`tmp`] — RAII temp-path guard for disk-backed tests.
+//! - [`check`] — seeded, shrink-free property-testing harness (the
+//!   `proptest` surface, deterministic by construction).
+
+pub mod channel;
+pub mod check;
+pub mod entropy;
+pub mod sync;
+pub mod tmp;

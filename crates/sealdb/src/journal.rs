@@ -287,11 +287,8 @@ fn decode_record(buf: &[u8]) -> Result<JournalEntry> {
 mod tests {
     use super::*;
 
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("sealdb-journal-{name}-{}", std::process::id()));
-        let _ = std::fs::remove_file(&p);
-        p
+    fn tmp(name: &str) -> plat::tmp::TempPath {
+        plat::tmp::TempPath::new(&format!("sealdb-journal-{name}"), "log")
     }
 
     #[test]
@@ -305,7 +302,6 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].params[1], Value::Text("x".into()));
         assert_eq!(entries[1].sql, "DELETE FROM t");
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -318,7 +314,6 @@ mod tests {
         let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
         let entries = j.replay().unwrap();
         assert_eq!(entries.len(), 1);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -330,7 +325,6 @@ mod tests {
         assert!(j.replay().unwrap().is_empty());
         j.append("Y", &[]).unwrap();
         assert_eq!(j.replay().unwrap().len(), 1);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -346,7 +340,6 @@ mod tests {
         ];
         j.append("S", &params).unwrap();
         assert_eq!(j.replay().unwrap()[0].params, params);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -361,6 +354,5 @@ mod tests {
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
         let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
         assert!(j.replay().is_err());
-        std::fs::remove_file(&path).unwrap();
     }
 }

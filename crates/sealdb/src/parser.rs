@@ -344,10 +344,8 @@ impl Parser {
                 projections.push(SelectItem::QualifiedStar(t));
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else if matches!(self.peek(), Some(Token::Word(w))
-                    if !is_reserved(w))
+                let alias = if self.eat_kw("AS")
+                    || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w))
                 {
                     Some(self.ident()?)
                 } else {
@@ -498,9 +496,9 @@ impl Parser {
         if self.eat_symbol("(") {
             let query = self.parse_select()?;
             self.expect_symbol(")")?;
-            let alias = if self.eat_kw("AS") {
-                Some(self.ident()?)
-            } else if matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w)) {
+            let alias = if self.eat_kw("AS")
+                || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w))
+            {
                 Some(self.ident()?)
             } else {
                 None
@@ -511,9 +509,9 @@ impl Parser {
             });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w)) {
+        let alias = if self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w))
+        {
             Some(self.ident()?)
         } else {
             None

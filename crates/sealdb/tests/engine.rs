@@ -321,7 +321,7 @@ fn update_statement_applies() {
 
 #[test]
 fn scalar_functions() {
-    let mut db = Database::new();
+    let db = Database::new();
     let r = db
         .query(
             "SELECT ABS(-3), LENGTH('hello'), UPPER('ab'), LOWER('AB'),
@@ -344,7 +344,7 @@ fn scalar_functions() {
 
 #[test]
 fn arithmetic_semantics() {
-    let mut db = Database::new();
+    let db = Database::new();
     let r = db
         .query("SELECT 7 / 2, 7.0 / 2, 7 % 3, 1 / 0, 'a' || 'b' || 3", &[])
         .unwrap();
@@ -389,9 +389,7 @@ fn subquery_in_from_clause() {
 #[test]
 fn persistence_roundtrip() {
     use libseal_sealdb::{PlainCodec, SyncPolicy};
-    let mut path = std::env::temp_dir();
-    path.push(format!("sealdb-e2e-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("sealdb-e2e", "db");
     {
         let mut db =
             Database::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
@@ -412,15 +410,12 @@ fn persistence_roundtrip() {
     let r = db.query("SELECT a, b FROM t", &[]).unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][1], Value::Text("two".into()));
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn compaction_preserves_data_and_shrinks_journal() {
     use libseal_sealdb::{PlainCodec, SyncPolicy};
-    let mut path = std::env::temp_dir();
-    path.push(format!("sealdb-compact-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("sealdb-compact", "db");
     {
         let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
         db.execute("CREATE TABLE t(a INTEGER)").unwrap();
@@ -436,7 +431,6 @@ fn compaction_preserves_data_and_shrinks_journal() {
     let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
     let r = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Integer(10));
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -484,7 +478,7 @@ fn distinct_dedupes() {
 
 #[test]
 fn select_without_from() {
-    let mut db = Database::new();
+    let db = Database::new();
     let r = db.query("SELECT 1 + 2 AS three", &[]).unwrap();
     assert_eq!(r.columns, vec!["three"]);
     assert_eq!(r.scalar().unwrap(), &Value::Integer(3));

@@ -1,61 +1,60 @@
-//! Property-based tests for the sealdb engine invariants.
+//! Property-based tests for the sealdb engine invariants
+//! (deterministic `plat::check` harness; same properties and case
+//! counts as the original proptest suite).
 
 use libseal_sealdb::{Database, PlainCodec, SyncPolicy, Value};
-use proptest::prelude::*;
+use plat::check::Gen;
+use plat::tmp::TempPath;
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Integer),
-        (-1e12f64..1e12).prop_map(Value::Real),
-        "[a-z]{0,12}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Blob),
-    ]
+fn value(g: &mut Gen) -> Value {
+    match g.usize_in(0..5) {
+        0 => Value::Null,
+        1 => Value::Integer(g.i64()),
+        2 => Value::Real(g.f64_in(-1e12, 1e12)),
+        3 => Value::Text(g.lowercase(0..13)),
+        _ => Value::Blob(g.bytes(0..16)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+plat::prop! {
+    #![cases(64)]
 
-    #[test]
-    fn total_cmp_is_a_total_order(
-        a in value_strategy(),
-        b in value_strategy(),
-        c in value_strategy(),
-    ) {
+    fn total_cmp_is_a_total_order(g) {
         use std::cmp::Ordering;
+        let (a, b, c) = (value(g), value(g), value(g));
         // Antisymmetry.
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
         // Transitivity.
         if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+            assert_ne!(a.total_cmp(&c), Ordering::Greater);
         }
         // Reflexivity.
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
     }
 
-    #[test]
-    fn group_key_agrees_with_equality(a in value_strategy(), b in value_strategy()) {
+    fn group_key_agrees_with_equality(g) {
         use std::cmp::Ordering;
+        let (a, b) = (value(g), value(g));
         if a.total_cmp(&b) == Ordering::Equal {
-            prop_assert_eq!(a.group_key(), b.group_key());
+            assert_eq!(a.group_key(), b.group_key());
         } else {
-            prop_assert_ne!(a.group_key(), b.group_key());
+            assert_ne!(a.group_key(), b.group_key());
         }
     }
 
-    #[test]
-    fn count_matches_inserted(values in proptest::collection::vec(any::<i64>(), 0..40)) {
+    fn count_matches_inserted(g) {
+        let values: Vec<i64> = (0..g.usize_in(0..40)).map(|_| g.i64()).collect();
         let mut db = Database::new();
         db.execute("CREATE TABLE t(v INTEGER)").unwrap();
         for v in &values {
             db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(*v)]).unwrap();
         }
         let r = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
-        prop_assert_eq!(r.scalar().unwrap(), &Value::Integer(values.len() as i64));
+        assert_eq!(r.scalar().unwrap(), &Value::Integer(values.len() as i64));
     }
 
-    #[test]
-    fn order_by_sorts(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+    fn order_by_sorts(g) {
+        let values: Vec<i64> = (0..g.usize_in(1..40)).map(|_| g.i64_in(-1000..1000)).collect();
         let mut db = Database::new();
         db.execute("CREATE TABLE t(v INTEGER)").unwrap();
         for v in &values {
@@ -68,11 +67,11 @@ proptest! {
         }).collect();
         let mut expected = values.clone();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 
-    #[test]
-    fn distinct_matches_set(values in proptest::collection::vec(0i64..20, 0..60)) {
+    fn distinct_matches_set(g) {
+        let values: Vec<i64> = (0..g.usize_in(0..60)).map(|_| g.i64_in(0..20)).collect();
         let mut db = Database::new();
         db.execute("CREATE TABLE t(v INTEGER)").unwrap();
         for v in &values {
@@ -80,28 +79,25 @@ proptest! {
         }
         let r = db.query("SELECT DISTINCT v FROM t", &[]).unwrap();
         let set: std::collections::HashSet<i64> = values.iter().copied().collect();
-        prop_assert_eq!(r.rows.len(), set.len());
+        assert_eq!(r.rows.len(), set.len());
     }
 
-    #[test]
-    fn sum_matches(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+    fn sum_matches(g) {
+        let values: Vec<i64> = (0..g.usize_in(1..40)).map(|_| g.i64_in(-1000..1000)).collect();
         let mut db = Database::new();
         db.execute("CREATE TABLE t(v INTEGER)").unwrap();
         for v in &values {
             db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(*v)]).unwrap();
         }
         let r = db.query("SELECT SUM(v) FROM t", &[]).unwrap();
-        prop_assert_eq!(r.scalar().unwrap(), &Value::Integer(values.iter().sum()));
+        assert_eq!(r.scalar().unwrap(), &Value::Integer(values.iter().sum()));
     }
 
-    #[test]
-    fn journal_replay_reproduces_state(
-        ops in proptest::collection::vec((0i64..50, any::<bool>()), 1..40),
-        seed in any::<u32>(),
-    ) {
-        let mut path = std::env::temp_dir();
-        path.push(format!("sealdb-prop-{}-{seed}.db", std::process::id()));
-        let _ = std::fs::remove_file(&path);
+    fn journal_replay_reproduces_state(g) {
+        let ops: Vec<(i64, bool)> = (0..g.usize_in(1..40))
+            .map(|_| (g.i64_in(0..50), g.bool()))
+            .collect();
+        let path = TempPath::new("sealdb-prop", "db");
         let live_rows = {
             let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
             db.execute("CREATE TABLE t(v INTEGER)").unwrap();
@@ -116,16 +112,15 @@ proptest! {
         };
         let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
         let replayed = db.query("SELECT v FROM t ORDER BY v", &[]).unwrap().rows;
-        std::fs::remove_file(&path).unwrap();
-        prop_assert_eq!(live_rows, replayed);
+        assert_eq!(live_rows, replayed);
     }
 
-    #[test]
-    fn text_values_roundtrip_through_params(s in "\\PC{0,30}") {
+    fn text_values_roundtrip_through_params(g) {
+        let s = g.unicode_string(0..31);
         let mut db = Database::new();
         db.execute("CREATE TABLE t(s TEXT)").unwrap();
         db.execute_with("INSERT INTO t VALUES (?)", &[Value::Text(s.clone())]).unwrap();
         let r = db.query("SELECT s FROM t", &[]).unwrap();
-        prop_assert_eq!(r.scalar().unwrap(), &Value::Text(s));
+        assert_eq!(r.scalar().unwrap(), &Value::Text(s));
     }
 }

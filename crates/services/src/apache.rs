@@ -137,7 +137,7 @@ impl ApacheServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
 
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
 
         // Accept loop.
@@ -187,7 +187,7 @@ impl ApacheServer {
                                         &served,
                                     );
                                 }
-                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(plat::channel::RecvTimeoutError::Timeout) => {}
                                 Err(_) => break,
                             }
                         }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use libseal_httpx::http::{Request, Response};
 use libseal_httpx::json::Json;
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 use crate::apache::Router;
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use libseal_crypto::sha2::Sha256;
 use libseal_httpx::http::{Request, Response};
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 use crate::apache::Router;
 

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use libseal_httpx::http::{Request, Response};
 use libseal_httpx::json::Json;
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 use crate::apache::Router;
 

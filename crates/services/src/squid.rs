@@ -52,7 +52,7 @@ impl SquidProxy {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_proxied = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
 
         {
@@ -98,7 +98,7 @@ impl SquidProxy {
                                         sock, &tls, worker, upstream, &roots, &proxied,
                                     );
                                 }
-                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(plat::channel::RecvTimeoutError::Timeout) => {}
                                 Err(_) => break,
                             }
                         }

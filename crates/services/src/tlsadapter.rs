@@ -13,6 +13,11 @@ use libseal_tlsx::ssl::{ReadOutcome, Role, Ssl, SslConfig};
 use crate::Result;
 
 /// How a server terminates TLS.
+//
+// The variant size gap (inline certificate vs `Arc`) is irrelevant:
+// one value exists per server and it is cloned per worker thread, so
+// boxing `Native` would only complicate every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum TlsMode {
     /// Directly with the STLS library (native baseline).

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
 use libseal_crypto::rng::ChaChaRng;
 use libseal_crypto::sha2::Sha256;
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 use crate::cost::CostModel;
 use crate::epc::EpcState;
@@ -287,9 +287,8 @@ impl EnclaveBuilder {
 fn seed_mix(mut seed: [u8; 32]) -> [u8; 32] {
     // Mix in process entropy so two enclaves with equal measurement do
     // not share an RNG stream.
-    use rand::RngCore;
     let mut noise = [0u8; 32];
-    rand::rngs::OsRng.fill_bytes(&mut noise);
+    plat::entropy::fill(&mut noise);
     for (s, n) in seed.iter_mut().zip(noise.iter()) {
         *s ^= n;
     }
@@ -299,12 +298,7 @@ fn seed_mix(mut seed: [u8; 32]) -> [u8; 32] {
 fn process_platform_secret() -> [u8; 32] {
     use std::sync::OnceLock;
     static SECRET: OnceLock<[u8; 32]> = OnceLock::new();
-    *SECRET.get_or_init(|| {
-        use rand::RngCore;
-        let mut s = [0u8; 32];
-        rand::rngs::OsRng.fill_bytes(&mut s);
-        s
-    })
+    *SECRET.get_or_init(plat::entropy::seed32)
 }
 
 /// A simulated SGX enclave holding trusted state `T`.

@@ -8,7 +8,7 @@
 //! this pool; [`MemoryPool::alloc`] and the fallback path make both
 //! configurations measurable.
 
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 use std::sync::Arc;
 
 use crate::enclave::EnclaveServices;

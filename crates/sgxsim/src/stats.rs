@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use plat::sync::Mutex;
 
 /// Shared counters for one enclave's transitions.
 #[derive(Default)]

@@ -1,41 +1,35 @@
-//! Property-based tests for the TEE simulator's security mechanisms.
+//! Property-based tests for the TEE simulator's security mechanisms
+//! (deterministic `plat::check` harness; same properties and case
+//! counts as the original proptest suite).
 
 use libseal_sgxsim::cost::CostModel;
 use libseal_sgxsim::enclave::EnclaveBuilder;
 use libseal_sgxsim::seal::{seal_with_key, unseal_with_key, SealingPolicy};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+plat::prop! {
+    #![cases(32)]
 
-    #[test]
-    fn sealing_roundtrip(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..32),
-        data in proptest::collection::vec(any::<u8>(), 0..600),
-    ) {
+    fn sealing_roundtrip(g) {
+        let key = g.byte_array::<32>();
+        let nonce = g.byte_array::<12>();
+        let aad = g.bytes(0..32);
+        let data = g.bytes(0..600);
         let sealed = seal_with_key(&key, &nonce, &aad, &data);
-        prop_assert_eq!(unseal_with_key(&key, &aad, &sealed).unwrap(), data);
+        assert_eq!(unseal_with_key(&key, &aad, &sealed).unwrap(), data);
     }
 
-    #[test]
-    fn sealed_blobs_resist_tampering(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        data in proptest::collection::vec(any::<u8>(), 1..300),
-        flip in any::<prop::sample::Index>(),
-    ) {
+    fn sealed_blobs_resist_tampering(g) {
+        let key = g.byte_array::<32>();
+        let nonce = g.byte_array::<12>();
+        let data = g.bytes(1..300);
         let mut sealed = seal_with_key(&key, &nonce, b"", &data);
-        let idx = flip.index(sealed.len());
+        let idx = g.index(sealed.len());
         sealed[idx] ^= 0x01;
-        prop_assert!(unseal_with_key(&key, b"", &sealed).is_none());
+        assert!(unseal_with_key(&key, b"", &sealed).is_none());
     }
 
-    #[test]
-    fn enclave_seal_policies_are_isolated(
-        data in proptest::collection::vec(any::<u8>(), 0..200),
-    ) {
+    fn enclave_seal_policies_are_isolated(g) {
+        let data = g.bytes(0..200);
         let e = EnclaveBuilder::new(b"prop-enclave")
             .cost_model(CostModel::free())
             .build(|_| ());
@@ -57,10 +51,11 @@ proptest! {
         .unwrap();
     }
 
-    #[test]
-    fn transition_pricing_is_monotonic(a in 1u64..64, b in 1u64..64) {
+    fn transition_pricing_is_monotonic(g) {
+        let a = g.u64() % 63 + 1;
+        let b = g.u64() % 63 + 1;
         let m = CostModel::default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.transition_cycles(lo) <= m.transition_cycles(hi));
+        assert!(m.transition_cycles(lo) <= m.transition_cycles(hi));
     }
 }

@@ -1,11 +1,10 @@
-//! Property-based tests for the STLS transport.
-
-use std::sync::Arc;
+//! Property-based tests for the STLS transport (deterministic
+//! `plat::check` harness; same properties and case counts as the
+//! original proptest suite).
 
 use libseal_tlsx::cert::CertificateAuthority;
 use libseal_tlsx::record::{frame, parse, ContentType, RecordKeys};
 use libseal_tlsx::ssl::{ReadOutcome, Ssl, SslConfig};
-use proptest::prelude::*;
 
 fn pump(a: &mut Ssl, b: &mut Ssl) {
     for _ in 0..12 {
@@ -25,45 +24,40 @@ fn pump(a: &mut Ssl, b: &mut Ssl) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+plat::prop! {
+    #![cases(24)]
 
-    #[test]
-    fn record_frame_parse_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..4000)) {
+    fn record_frame_parse_roundtrip(g) {
+        let payload = g.bytes(0..4000);
         let framed = frame(ContentType::AppData, &payload);
         let (rec, used) = parse(&framed).unwrap().unwrap();
-        prop_assert_eq!(used, framed.len());
-        prop_assert_eq!(rec.payload, payload);
+        assert_eq!(used, framed.len());
+        assert_eq!(rec.payload, payload);
     }
 
-    #[test]
-    fn record_keys_roundtrip_sequences(
-        key in any::<[u8; 32]>(),
-        iv in any::<[u8; 12]>(),
-        messages in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..200), 1..8),
-    ) {
+    fn record_keys_roundtrip_sequences(g) {
+        let key = g.byte_array::<32>();
+        let iv = g.byte_array::<12>();
+        let messages: Vec<Vec<u8>> = (0..g.usize_in(1..8)).map(|_| g.bytes(0..200)).collect();
         let mut tx = RecordKeys::new(&key, &iv);
         let mut rx = RecordKeys::new(&key, &iv);
         for m in &messages {
             let sealed = tx.seal(ContentType::AppData, m);
-            prop_assert_eq!(&rx.open(ContentType::AppData, &sealed).unwrap(), m);
+            assert_eq!(&rx.open(ContentType::AppData, &sealed).unwrap(), m);
         }
     }
 
-    #[test]
-    fn data_transfer_any_sizes(
-        entropy_c in any::<[u8; 64]>(),
-        entropy_s in any::<[u8; 64]>(),
-        payload in proptest::collection::vec(any::<u8>(), 1..60_000),
-    ) {
+    fn data_transfer_any_sizes(g) {
+        let entropy_c = g.byte_array::<64>();
+        let entropy_s = g.byte_array::<64>();
+        let payload = g.bytes(1..60_000);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
         let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), entropy_c);
         let mut server = Ssl::new(SslConfig::server(cert, key), entropy_s);
         client.do_handshake().unwrap();
         pump(&mut client, &mut server);
-        prop_assert!(client.is_established() && server.is_established());
+        assert!(client.is_established() && server.is_established());
 
         client.ssl_write(&payload).unwrap();
         server.provide_input(&client.take_output());
@@ -71,17 +65,15 @@ proptest! {
         while got.len() < payload.len() {
             match server.ssl_read().unwrap() {
                 ReadOutcome::Data(d) => got.extend_from_slice(&d),
-                other => prop_assert!(false, "unexpected {other:?}"),
+                other => panic!("unexpected {other:?}"),
             }
         }
-        prop_assert_eq!(got, payload);
+        assert_eq!(got, payload);
     }
 
-    #[test]
-    fn fragmented_delivery_reassembles(
-        chunk in 1usize..97,
-        payload in proptest::collection::vec(any::<u8>(), 1..3000),
-    ) {
+    fn fragmented_delivery_reassembles(g) {
+        let chunk = g.usize_in(1..97);
+        let payload = g.bytes(1..3000);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
         let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
@@ -100,19 +92,15 @@ proptest! {
                 match server.ssl_read().unwrap() {
                     ReadOutcome::Data(d) => got.extend_from_slice(&d),
                     ReadOutcome::WantRead => break,
-                    ReadOutcome::Closed => prop_assert!(false, "closed"),
+                    ReadOutcome::Closed => panic!("closed"),
                 }
             }
         }
-        prop_assert_eq!(got, payload);
+        assert_eq!(got, payload);
     }
 
-    #[test]
-    fn corrupted_wire_never_yields_wrong_plaintext(
-        payload in proptest::collection::vec(any::<u8>(), 1..500),
-        flip_at in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+    fn corrupted_wire_never_yields_wrong_plaintext(g) {
+        let payload = g.bytes(1..500);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
         let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
@@ -122,19 +110,14 @@ proptest! {
 
         client.ssl_write(&payload).unwrap();
         let mut wire = client.take_output();
-        let idx = flip_at.index(wire.len());
-        wire[idx] ^= 1 << flip_bit;
+        let idx = g.index(wire.len());
+        wire[idx] ^= 1 << g.usize_in(0..8);
         server.provide_input(&wire);
         // Whatever happens, it must not be acceptance of wrong bytes:
         // either a decrypt/protocol error or (header-length damage) a
         // starved WantRead — never Data != payload.
-        match server.ssl_read() {
-            Ok(ReadOutcome::Data(d)) => prop_assert_eq!(d, payload),
-            Ok(_) | Err(_) => {}
+        if let Ok(ReadOutcome::Data(d)) = server.ssl_read() {
+            assert_eq!(d, payload);
         }
     }
 }
-
-/// Arc import is used by SslConfig constructors in non-prop tests.
-#[allow(unused)]
-fn _keep_arc_used(_: Arc<()>) {}

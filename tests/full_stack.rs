@@ -21,8 +21,7 @@ fn ca() -> CertificateAuthority {
 fn sealed_persistent_log_full_cycle() {
     let ca = ca();
     let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
-    let path = std::env::temp_dir().join(format!("fullstack-{}.log", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let path = plat::tmp::TempPath::new("fullstack", "log");
 
     // Phase 1: serve real traffic, persist the log.
     {
@@ -32,7 +31,7 @@ fn sealed_persistent_log_full_cycle() {
             Some(Arc::new(GitModule)),
         );
         cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(path.clone());
+        cfg.backing = LogBacking::Disk(path.to_path_buf());
         cfg.check_interval = 0;
         let ls = LibSeal::new(cfg).unwrap();
         let backend = Arc::new(GitBackend::new());
@@ -59,7 +58,7 @@ fn sealed_persistent_log_full_cycle() {
     {
         let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
         cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(path.clone());
+        cfg.backing = LogBacking::Disk(path.to_path_buf());
         cfg.check_interval = 0;
         let ls = LibSeal::new(cfg).unwrap();
         let (entries, _, journal) = ls.log_stats(0).unwrap();
@@ -68,7 +67,6 @@ fn sealed_persistent_log_full_cycle() {
         ls.verify_log(0).unwrap();
         assert_eq!(ls.check_now(0).unwrap().total_violations(), 0);
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

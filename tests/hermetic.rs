@@ -1,0 +1,99 @@
+//! Workspace hermeticity: the build must work offline with an empty
+//! cargo registry, so no manifest may declare a registry (or git)
+//! dependency. A crates.io dependency silently reintroduced anywhere
+//! breaks `CARGO_NET_OFFLINE=true cargo build` from a clean checkout —
+//! this test turns that into an immediate, attributable failure.
+
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files in the workspace (root + crates/*).
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut found = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ dir") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            found.push(manifest);
+        }
+    }
+    assert!(found.len() >= 11, "expected every crate manifest, got {found:?}");
+    found
+}
+
+/// Returns the `[section]` headers that introduce dependency entries.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(|c| c == '[' || c == ']');
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.ends_with(".dependencies")
+        || h.ends_with(".dev-dependencies")
+        || h.ends_with(".build-dependencies")
+}
+
+/// A dependency entry is hermetic when it resolves inside the repo:
+/// either an inline table with a `path` key, or `foo.workspace = true`
+/// (whose workspace-level entry this test also checks).
+fn entry_is_hermetic(line: &str) -> bool {
+    let Some((_name, spec)) = line.split_once('=') else {
+        return false;
+    };
+    let spec = spec.trim();
+    // `foo = { path = "..." }` possibly with version/features keys, or
+    // `foo.workspace = true` / `foo = { workspace = true }`.
+    if spec.contains("path") && spec.contains('{') {
+        return !spec.contains("git =") && !spec.contains("version =");
+    }
+    if line.contains(".workspace") || spec.contains("workspace = true") {
+        return true;
+    }
+    false
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dep_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_dep_section = is_dependency_section(line);
+                continue;
+            }
+            if in_dep_section && !entry_is_hermetic(line) {
+                violations.push(format!(
+                    "{}:{}: `{}` is not a path dependency",
+                    manifest.display(),
+                    lineno + 1,
+                    line
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "registry/git dependencies would break the offline build:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn lockfile_is_committed_and_local_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let lock = std::fs::read_to_string(root.join("Cargo.lock"))
+        .expect("Cargo.lock must be committed for reproducible resolution");
+    assert!(
+        !lock.contains("source = "),
+        "Cargo.lock references an external source (registry or git):\n{}",
+        lock.lines()
+            .filter(|l| l.contains("source = "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
