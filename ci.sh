@@ -10,3 +10,8 @@ export CARGO_NET_OFFLINE=true
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Invariant checking must stay near-linear in log size (2k vs 20k
+# entries, one soundness invariant per service); exits non-zero if a
+# 10x log costs more than 20x the time.
+cargo run --release -p libseal-bench --bin scaling_gate

@@ -219,6 +219,66 @@ fn bench_sealdb() {
             assert!(r.is_empty());
         });
     }
+
+    // The same invariant at 200 log rows, planner on vs off: the
+    // indexed/memoized executor vs the naive nested-loop interpreter.
+    {
+        let build = |planner: bool| {
+            let mut db = Database::new();
+            db.set_planner_enabled(planner);
+            db.execute(
+                "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
+            )
+            .unwrap();
+            db.execute(
+                "CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)",
+            )
+            .unwrap();
+            for col in ["time", "repo", "branch"] {
+                db.execute(&format!("CREATE INDEX ix_u_{col} ON updates({col})"))
+                    .unwrap();
+                db.execute(&format!("CREATE INDEX ix_a_{col} ON advertisements({col})"))
+                    .unwrap();
+            }
+            for i in 0..100i64 {
+                db.execute_with(
+                    "INSERT INTO updates VALUES (?, ?, ?, ?, 'update')",
+                    &[
+                        Value::Integer(i * 2),
+                        Value::Text(format!("r{}", i % 10)),
+                        Value::Text(format!("b{}", i % 4)),
+                        Value::Text(format!("c{i}")),
+                    ],
+                )
+                .unwrap();
+                db.execute_with(
+                    "INSERT INTO advertisements VALUES (?, ?, ?, ?)",
+                    &[
+                        Value::Integer(i * 2 + 1),
+                        Value::Text(format!("r{}", i % 10)),
+                        Value::Text(format!("b{}", i % 4)),
+                        Value::Text(format!("c{i}")),
+                    ],
+                )
+                .unwrap();
+            }
+            db
+        };
+        let q = "SELECT * FROM advertisements a WHERE cid != (
+            SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+            u.branch = a.branch AND u.time < a.time ORDER BY
+            u.time DESC LIMIT 1)";
+        let db = build(true);
+        bench("sealdb", "git_soundness_200rows_planner_on", Throughput::None, || {
+            let r = db.query(q, &[]).unwrap();
+            assert!(r.is_empty());
+        });
+        let db = build(false);
+        bench("sealdb", "git_soundness_200rows_planner_off", Throughput::None, || {
+            let r = db.query(q, &[]).unwrap();
+            assert!(r.is_empty());
+        });
+    }
 }
 
 fn bench_audit_log() {

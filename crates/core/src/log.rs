@@ -219,6 +219,20 @@ impl AuditLog {
                 Err(e) => return Err(LibSealError::Db(e)),
             }
         }
+        // Index every audited table on its key columns: invariant
+        // queries correlate on them (`u.repo = a.repo`, `s.doc =
+        // d.doc`, ...) and chain verification looks rows up by them,
+        // so these indexes are what keeps per-pair checking and
+        // verify()/trim() near-linear in the log size.
+        for spec in &tables {
+            for col in spec.key_cols {
+                db.execute(&format!(
+                    "CREATE INDEX IF NOT EXISTS libseal_idx_{}_{col} ON {}({col})",
+                    spec.name, spec.name
+                ))
+                .map_err(LibSealError::Db)?;
+            }
+        }
         let mut log = AuditLog {
             db,
             signer,
@@ -516,21 +530,38 @@ impl AuditLog {
         if key_vals.len() != spec.key_cols.len() {
             return Err(LibSealError::Tampered("chain key malformed".into()));
         }
-        // Compare textually (`'' || col` renders any type as text) so
-        // one rendering works for INTEGER and TEXT key columns alike.
-        let preds: Vec<String> = spec
-            .key_cols
-            .iter()
-            .map(|c| format!("('' || {c}) = ?"))
-            .collect();
+        // Typed equality (`col = ?` with the key text coerced through
+        // the column's affinity) so the predicate is index-probeable.
+        // Keys render via `Value::to_string`, which round-trips through
+        // affinity coercion for everything except BLOB columns — those
+        // keep the textual `'' || col` comparison.
+        let t = self
+            .db
+            .catalog()
+            .table(tbl)
+            .ok_or_else(|| LibSealError::Tampered(format!("chain names unknown table {tbl}")))?;
+        let mut preds = Vec::with_capacity(spec.key_cols.len());
+        let mut params = Vec::with_capacity(spec.key_cols.len());
+        for (c, raw) in spec.key_cols.iter().zip(&key_vals) {
+            let affinity = t
+                .column_index(c)
+                .map(|i| t.columns[i].affinity)
+                .ok_or_else(|| {
+                    LibSealError::Tampered(format!("{tbl} lost key column {c}"))
+                })?;
+            let text = Value::Text((*raw).to_string());
+            if matches!(affinity, libseal_sealdb::value::Affinity::Blob) {
+                preds.push(format!("('' || {c}) = ?"));
+                params.push(text);
+            } else {
+                preds.push(format!("{c} = ?"));
+                params.push(affinity.apply(text));
+            }
+        }
         let sql = format!(
             "SELECT * FROM {tbl} WHERE {}",
             preds.join(" AND ")
         );
-        let params: Vec<Value> = key_vals
-            .iter()
-            .map(|v| Value::Text((*v).to_string()))
-            .collect();
         let rows = self.db.query(&sql, &params).map_err(LibSealError::Db)?;
         for row in &rows.rows {
             if render_payload(tbl, row) == payload {

@@ -301,13 +301,16 @@ fn parse_body(headers: &HeaderMap, buf: &[u8], body_start: usize) -> Result<(Vec
             .map_err(|_| ParseError::Malformed("bad Content-Length".into()))?,
         None => 0,
     };
-    if buf.len() < body_start + len {
+    // `body_start + len` wraps for attacker-supplied lengths near
+    // usize::MAX, which would turn the bounds check below into a
+    // panic on slicing.
+    let body_end = body_start
+        .checked_add(len)
+        .ok_or_else(|| ParseError::Malformed("Content-Length overflows".into()))?;
+    if buf.len() < body_end {
         return Err(ParseError::Incomplete);
     }
-    Ok((
-        buf[body_start..body_start + len].to_vec(),
-        body_start + len,
-    ))
+    Ok((buf[body_start..body_end].to_vec(), body_end))
 }
 
 /// Decodes a chunked body; returns (bytes, consumed).
@@ -340,14 +343,24 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
                 .ok_or(ParseError::Incomplete)?;
             return Ok((out, i + trailer_end + 4));
         }
-        if buf.len() < i + size + 2 {
+        // `i + size + 2` wraps for hex chunk sizes near usize::MAX —
+        // a wrapped bound passes the length check and then panics on
+        // slicing. Such a chunk can never be satisfied, so it is
+        // malformed rather than incomplete.
+        let data_end = i
+            .checked_add(size)
+            .and_then(|e| e.checked_add(2))
+            .ok_or_else(|| {
+                ParseError::Malformed(format!("chunk size overflows: {size_str}"))
+            })?;
+        if buf.len() < data_end {
             return Err(ParseError::Incomplete);
         }
-        out.extend_from_slice(&buf[i..i + size]);
-        if &buf[i + size..i + size + 2] != b"\r\n" {
+        out.extend_from_slice(&buf[i..data_end - 2]);
+        if &buf[data_end - 2..data_end] != b"\r\n" {
             return Err(ParseError::Malformed("chunk not CRLF-terminated".into()));
         }
-        i += size + 2;
+        i = data_end;
     }
 }
 
@@ -434,6 +447,40 @@ mod tests {
         let (rsp, used) = parse_response(raw).unwrap();
         assert_eq!(rsp.body, b"Wikipedia");
         assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunk_size_overflow_is_malformed() {
+        // usize::MAX as a hex chunk size: `i + size + 2` would wrap to a
+        // small in-bounds offset and mis-frame the stream.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+ffffffffffffffff\r\nxx";
+        assert!(matches!(
+            parse_response(raw).unwrap_err(),
+            ParseError::Malformed(_)
+        ));
+        // Near-overflow sizes that survive the size parse must also be
+        // rejected rather than wrapping at the `+ 2` trailer.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+fffffffffffffffe\r\nxx";
+        assert!(matches!(
+            parse_response(raw).unwrap_err(),
+            ParseError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn content_length_overflow_is_malformed() {
+        // 2^64 - 1 parses into a usize but `body_start + len` overflows.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\nx";
+        assert!(matches!(
+            parse_request(raw).unwrap_err(),
+            ParseError::Malformed(_)
+        ));
+        // A huge-but-addable length is not an overflow: the buffer is just
+        // short, so the caller should keep reading.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\nx";
+        assert_eq!(parse_request(raw).unwrap_err(), ParseError::Incomplete);
     }
 
     #[test]

@@ -23,6 +23,24 @@ pub enum Stmt {
         /// Suppress the error when the view exists.
         if_not_exists: bool,
     },
+    /// `CREATE INDEX [IF NOT EXISTS] name ON table (column)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// Suppress the error when the index exists.
+        if_not_exists: bool,
+    },
+    /// `DROP INDEX [IF EXISTS] name`
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Suppress the error when missing.
+        if_exists: bool,
+    },
     /// `DROP TABLE [IF EXISTS] name`
     DropTable {
         /// Table name.

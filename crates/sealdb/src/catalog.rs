@@ -19,6 +19,50 @@ pub struct Column {
     pub primary_key: bool,
 }
 
+/// A hash index over one column of a table: `group_key` of the value
+/// maps to the row positions holding it, in scan order.
+#[derive(Clone, Debug)]
+pub struct Index {
+    /// Index name (original case).
+    pub name: String,
+    /// Indexed column position.
+    pub column: usize,
+    /// `group_key` → row positions, ascending.
+    map: HashMap<String, Vec<usize>>,
+    /// Set when the column holds a NaN real. `group_key` separates
+    /// NaN bit patterns while SQL comparison treats NaN loosely, so a
+    /// poisoned index must not be probed.
+    poisoned: bool,
+}
+
+impl Index {
+    fn add(&mut self, row: &[Value], pos: usize) {
+        let v = &row[self.column];
+        if matches!(v, Value::Real(f) if f.is_nan()) {
+            self.poisoned = true;
+        }
+        self.map.entry(v.group_key()).or_default().push(pos);
+    }
+
+    fn rebuild(&mut self, rows: &[Vec<Value>]) {
+        self.map.clear();
+        self.poisoned = false;
+        for (pos, row) in rows.iter().enumerate() {
+            self.add(row, pos);
+        }
+    }
+
+    /// Row positions whose indexed value shares `key`'s equality
+    /// class. `None` when the index cannot be trusted (poisoned or a
+    /// NaN probe key); an empty slice is a definitive miss.
+    pub fn probe(&self, key: &Value) -> Option<&[usize]> {
+        if self.poisoned || matches!(key, Value::Real(f) if f.is_nan()) {
+            return None;
+        }
+        Some(self.map.get(&key.group_key()).map_or(&[], |v| v.as_slice()))
+    }
+}
+
 /// A stored table: schema plus row data.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -28,6 +72,8 @@ pub struct Table {
     pub columns: Vec<Column>,
     /// Row data.
     pub rows: Vec<Vec<Value>>,
+    /// Hash indexes, kept in sync with `rows` by the engine.
+    indexes: Vec<Index>,
 }
 
 impl Table {
@@ -44,6 +90,57 @@ impl Table {
             .iter()
             .map(|r| r.iter().map(Value::size_bytes).sum::<usize>() + 24)
             .sum()
+    }
+
+    /// The index covering column `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.column == column)
+    }
+
+    /// Names of the indexes on this table, in creation order.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.iter().map(|ix| ix.name.as_str()).collect()
+    }
+
+    /// Indexes in creation order: `(name, column name)`.
+    pub fn indexes_sorted(&self) -> Vec<(&str, &str)> {
+        self.indexes
+            .iter()
+            .map(|ix| (ix.name.as_str(), self.columns[ix.column].name.as_str()))
+            .collect()
+    }
+
+    /// Registers the most recently pushed row with every index
+    /// (incremental INSERT maintenance).
+    pub fn index_appended_row(&mut self) {
+        let Some(row) = self.rows.last() else { return };
+        let pos = self.rows.len() - 1;
+        for ix in &mut self.indexes {
+            ix.add(row, pos);
+        }
+    }
+
+    /// Rebuilds every index from scratch (after DELETE/UPDATE, which
+    /// shift row positions).
+    pub fn rebuild_indexes(&mut self) {
+        for ix in &mut self.indexes {
+            ix.rebuild(&self.rows);
+        }
+    }
+
+    /// Whether every index exactly matches a fresh rebuild over the
+    /// current rows (test hook for maintenance bugs).
+    pub fn indexes_consistent(&self) -> bool {
+        self.indexes.iter().all(|ix| {
+            let mut fresh = Index {
+                name: ix.name.clone(),
+                column: ix.column,
+                map: HashMap::new(),
+                poisoned: false,
+            };
+            fresh.rebuild(&self.rows);
+            fresh.map == ix.map && fresh.poisoned == ix.poisoned
+        })
     }
 }
 
@@ -94,9 +191,77 @@ impl Catalog {
                 name: name.to_string(),
                 columns: cols,
                 rows: Vec::new(),
+                indexes: Vec::new(),
             },
         );
         Ok(())
+    }
+
+    /// Creates a hash index over `table(column)` and builds it from
+    /// the current rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table or column is missing, or when an index of
+    /// that name exists and `if_not_exists` is false.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        if_not_exists: bool,
+    ) -> Result<()> {
+        if self.index_exists(name) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::schema(format!("index {name} already exists")));
+        }
+        let Some(t) = self.tables.get_mut(&table.to_ascii_lowercase()) else {
+            return Err(DbError::schema(format!("no such table: {table}")));
+        };
+        let Some(col) = t.column_index(column) else {
+            return Err(DbError::schema(format!("no such column: {column}")));
+        };
+        let mut ix = Index {
+            name: name.to_string(),
+            column: col,
+            map: HashMap::new(),
+            poisoned: false,
+        };
+        ix.rebuild(&t.rows);
+        t.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drops an index by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when missing and `if_exists` is false.
+    pub fn drop_index(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        for t in self.tables.values_mut() {
+            if let Some(pos) = t
+                .indexes
+                .iter()
+                .position(|ix| ix.name.eq_ignore_ascii_case(name))
+            {
+                t.indexes.remove(pos);
+                return Ok(());
+            }
+        }
+        if if_exists {
+            Ok(())
+        } else {
+            Err(DbError::schema(format!("no such index: {name}")))
+        }
+    }
+
+    /// Whether an index with this name exists on any table.
+    pub fn index_exists(&self, name: &str) -> bool {
+        self.tables
+            .values()
+            .any(|t| t.indexes.iter().any(|ix| ix.name.eq_ignore_ascii_case(name)))
     }
 
     /// Creates a view.

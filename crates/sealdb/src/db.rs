@@ -37,6 +37,10 @@ pub struct Database {
     journal: Option<Journal>,
     /// Set while replaying so recovered statements are not re-journaled.
     replaying: bool,
+    /// Use the optimizing executor (hash joins, index probes, subquery
+    /// memoization). On by default; turned off to get the reference
+    /// nested-loop executor for equivalence testing and benchmarks.
+    planner: bool,
 }
 
 impl Default for Database {
@@ -52,7 +56,20 @@ impl Database {
             catalog: Catalog::new(),
             journal: None,
             replaying: false,
+            planner: true,
         }
+    }
+
+    /// Enables or disables the optimizing executor. With it off every
+    /// query runs on the naive nested-loop paths; results must be
+    /// identical either way.
+    pub fn set_planner_enabled(&mut self, enabled: bool) {
+        self.planner = enabled;
+    }
+
+    /// Whether the optimizing executor is enabled.
+    pub fn planner_enabled(&self) -> bool {
+        self.planner
     }
 
     /// Opens a database persisted at `path`, replaying any existing
@@ -117,10 +134,7 @@ impl Database {
         let Stmt::Select(sel) = stmt else {
             return Err(DbError::exec("query() requires a SELECT statement"));
         };
-        let ctx = Ctx {
-            catalog: &self.catalog,
-            params,
-        };
+        let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
         let rows = exec_select(&ctx, &sel, None)?;
         Ok(rows_to_result(rows))
     }
@@ -133,10 +147,7 @@ impl Database {
     ) -> Result<QueryResult> {
         let result = match stmt {
             Stmt::Select(sel) => {
-                let ctx = Ctx {
-                    catalog: &self.catalog,
-                    params,
-                };
+                let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
                 let rows = exec_select(&ctx, sel, None)?;
                 return Ok(rows_to_result(rows)); // No journaling for reads.
             }
@@ -163,6 +174,20 @@ impl Database {
             }
             Stmt::DropView { name, if_exists } => {
                 self.catalog.drop_view(name, *if_exists)?;
+                QueryResult::default()
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                if_not_exists,
+            } => {
+                self.catalog
+                    .create_index(name, table, column, *if_not_exists)?;
+                QueryResult::default()
+            }
+            Stmt::DropIndex { name, if_exists } => {
+                self.catalog.drop_index(name, *if_exists)?;
                 QueryResult::default()
             }
             Stmt::Insert {
@@ -204,10 +229,7 @@ impl Database {
     ) -> Result<QueryResult> {
         // Evaluate all rows against the current catalog first.
         let evaluated: Vec<Vec<Value>> = {
-            let ctx = Ctx {
-                catalog: &self.catalog,
-                params,
-            };
+            let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 let mut vals = Vec::with_capacity(row.len());
@@ -248,6 +270,7 @@ impl Database {
                 row[ci] = t.columns[ci].affinity.apply(v);
             }
             t.rows.push(row);
+            t.index_appended_row();
             affected += 1;
         }
         Ok(QueryResult {
@@ -275,10 +298,7 @@ impl Database {
                     name: c.name.clone(),
                 })
                 .collect();
-            let ctx = Ctx {
-                catalog: &self.catalog,
-                params,
-            };
+            let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
             let mut keep = Vec::with_capacity(t.rows.len());
             for row in &t.rows {
                 let matched = match filter {
@@ -296,8 +316,13 @@ impl Database {
         let before = t.rows.len();
         let mut it = keep.iter();
         t.rows.retain(|_| *it.next().expect("keep mask matches rows"));
+        let removed = before - t.rows.len();
+        if removed > 0 {
+            // Deletion shifts row positions; rebuild.
+            t.rebuild_indexes();
+        }
         Ok(QueryResult {
-            rows_affected: before - t.rows.len(),
+            rows_affected: removed,
             ..Default::default()
         })
     }
@@ -330,10 +355,7 @@ impl Database {
                     })
                 })
                 .collect::<Result<_>>()?;
-            let ctx = Ctx {
-                catalog: &self.catalog,
-                params,
-            };
+            let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
             let mut out = Vec::with_capacity(t.rows.len());
             for row in &t.rows {
                 let env = crate::exec::env_for(&cols, row);
@@ -363,6 +385,9 @@ impl Database {
                 }
                 affected += 1;
             }
+        }
+        if affected > 0 {
+            t.rebuild_indexes();
         }
         Ok(QueryResult {
             rows_affected: affected,
@@ -414,6 +439,12 @@ impl Database {
                 journal.append(
                     &format!("INSERT INTO {} VALUES ({placeholders})", t.name),
                     row,
+                )?;
+            }
+            for (ix_name, col_name) in t.indexes_sorted() {
+                journal.append(
+                    &format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name),
+                    &[],
                 )?;
             }
         }
@@ -498,6 +529,23 @@ pub fn render_stmt(stmt: &Stmt) -> String {
             if *if_not_exists { "IF NOT EXISTS " } else { "" },
             name,
             render_select(query)
+        ),
+        Stmt::CreateIndex {
+            name,
+            table,
+            column,
+            if_not_exists,
+        } => format!(
+            "CREATE INDEX {}{} ON {}({})",
+            if *if_not_exists { "IF NOT EXISTS " } else { "" },
+            name,
+            table,
+            column
+        ),
+        Stmt::DropIndex { name, if_exists } => format!(
+            "DROP INDEX {}{}",
+            if *if_exists { "IF EXISTS " } else { "" },
+            name
         ),
         Stmt::DropTable { name, if_exists } => format!(
             "DROP TABLE {}{}",

@@ -2,11 +2,14 @@
 //! with nested-loop joins, grouping, correlated subqueries and views —
 //! everything the paper's invariant and trimming queries need.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::ast::*;
 use crate::catalog::Catalog;
+use crate::plan;
 use crate::value::Value;
 use crate::{DbError, Result};
 
@@ -33,21 +36,22 @@ pub struct Rows {
 pub struct Env<'a> {
     cols: &'a [ColMeta],
     row: &'a [Value],
+    /// Optional second segment of the same scope, searched after
+    /// `cols`: lets joins evaluate predicates over two borrowed sides
+    /// without materialising the combined row first.
+    tail: Option<(&'a [ColMeta], &'a [Value])>,
     parent: Option<&'a Env<'a>>,
 }
 
 impl<'a> Env<'a> {
     fn lookup(&self, table: Option<&str>, name: &str) -> Option<&Value> {
-        let found = self.cols.iter().position(|c| {
-            c.name.eq_ignore_ascii_case(name)
-                && match (table, &c.table) {
-                    (Some(q), Some(t)) => q.eq_ignore_ascii_case(t),
-                    (Some(_), None) => false,
-                    (None, _) => true,
-                }
-        });
-        if let Some(i) = found {
+        if let Some(i) = plan::resolve_in(self.cols, table, name) {
             return self.row.get(i);
+        }
+        if let Some((cols, row)) = self.tail {
+            if let Some(i) = plan::resolve_in(cols, table, name) {
+                return row.get(i);
+            }
         }
         self.parent.and_then(|p| p.lookup(table, name))
     }
@@ -58,9 +62,14 @@ pub fn env_for<'a>(cols: &'a [ColMeta], row: &'a [Value]) -> Env<'a> {
     Env {
         cols,
         row,
+        tail: None,
         parent: None,
     }
 }
+
+/// A possibly-qualified column reference, as collected by
+/// [`plan::free_refs`].
+type FreeRefs = Rc<Vec<(Option<String>, String)>>;
 
 /// Per-query execution context.
 pub struct Ctx<'a> {
@@ -68,13 +77,85 @@ pub struct Ctx<'a> {
     pub catalog: &'a Catalog,
     /// Bound parameter values for `?` placeholders.
     pub params: &'a [Value],
+    /// Use hash joins, index probes and subquery memoization. Off
+    /// means the original tuple-at-a-time nested-loop execution —
+    /// kept as the reference implementation for equivalence testing.
+    planner: bool,
+    /// Memoized subquery results keyed by (AST node identity, free
+    /// variable bindings). Sound because the catalog is immutable for
+    /// the lifetime of a `Ctx`.
+    memo: RefCell<HashMap<(usize, String), Rc<Rows>>>,
+    /// Cached free-variable lists per subquery AST node.
+    free_refs: RefCell<HashMap<usize, FreeRefs>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// A context with the planner enabled (the default).
+    pub fn new(catalog: &'a Catalog, params: &'a [Value]) -> Ctx<'a> {
+        Self::with_planner(catalog, params, true)
+    }
+
+    /// A context with an explicit planner setting; `false` forces the
+    /// naive nested-loop execution throughout.
+    pub fn with_planner(catalog: &'a Catalog, params: &'a [Value], planner: bool) -> Ctx<'a> {
+        Ctx {
+            catalog,
+            params,
+            planner,
+            memo: RefCell::new(HashMap::new()),
+            free_refs: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+/// Executes a subquery, memoizing its result on the values of its
+/// free variables so correlated subqueries re-run once per distinct
+/// binding instead of once per outer row.
+fn exec_subquery(ctx: &Ctx<'_>, query: &Select, env: &Env<'_>) -> Result<Rc<Rows>> {
+    if !ctx.planner {
+        return Ok(Rc::new(exec_select(ctx, query, Some(env))?));
+    }
+    let id = query as *const Select as usize;
+    let refs = {
+        let cached = ctx.free_refs.borrow().get(&id).cloned();
+        match cached {
+            Some(r) => r,
+            None => {
+                let r = Rc::new(plan::free_refs(query, ctx.catalog));
+                ctx.free_refs.borrow_mut().insert(id, Rc::clone(&r));
+                r
+            }
+        }
+    };
+    let mut key = String::new();
+    for (t, n) in refs.iter() {
+        match env.lookup(t.as_deref(), n) {
+            Some(v) => plan::memo_key_part(&mut key, v),
+            None => key.push('?'),
+        }
+        key.push('\x1f');
+    }
+    if let Some(hit) = ctx.memo.borrow().get(&(id, key.clone())) {
+        return Ok(Rc::clone(hit));
+    }
+    let rows = Rc::new(exec_select(ctx, query, Some(env))?);
+    ctx.memo
+        .borrow_mut()
+        .insert((id, key), Rc::clone(&rows));
+    Ok(rows)
 }
 
 /// Executes a SELECT and materialises its result.
 pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Result<Rows> {
-    // 1. FROM: build the source row set.
+    // 1. FROM: build the source row set. For a single-table scan with
+    // an indexed equality filter, clone only the matching bucket
+    // instead of the whole table (the full WHERE still runs over the
+    // candidates below, so this is purely a pre-filter).
     let source = match &sel.from {
-        Some(from) => build_from(ctx, from, outer)?,
+        Some(from) => match try_index_scan(ctx, from, sel.filter.as_ref(), outer)? {
+            Some(rows) => rows,
+            None => build_from(ctx, from, outer)?,
+        },
         None => Rows {
             cols: Vec::new(),
             data: vec![Vec::new()],
@@ -90,6 +171,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
                 let env = Env {
                     cols: &source.cols,
                     row,
+                    tail: None,
                     parent: outer,
                 };
                 eval(ctx, f, &env, None)?.to_bool() == Some(true)
@@ -129,6 +211,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
             let env = Env {
                 cols: &source.cols,
                 row,
+                tail: None,
                 parent: outer,
             };
             let mut key = String::new();
@@ -160,6 +243,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
             let env = Env {
                 cols: &source.cols,
                 row: first_row,
+                tail: None,
                 parent: outer,
             };
             let agg = AggCtx {
@@ -181,6 +265,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
             let env = Env {
                 cols: &source.cols,
                 row,
+                tail: None,
                 parent: outer,
             };
             let values = project(ctx, &sel.projections, &env, None, &source.cols)?;
@@ -195,6 +280,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
             let env = Env {
                 cols: &source.cols,
                 row: &null_row,
+                tail: None,
                 parent: outer,
             };
             let _ = project(ctx, &sel.projections, &env, None, &source.cols)?;
@@ -265,6 +351,7 @@ fn eval_const(ctx: &Ctx<'_>, e: &Expr, outer: Option<&Env<'_>>) -> Result<Value>
     let env = Env {
         cols: &empty_cols,
         row: &empty_row,
+        tail: None,
         parent: outer,
     };
     eval(ctx, e, &env, None)
@@ -367,13 +454,94 @@ fn project(
     Ok(out)
 }
 
+/// Index-scan fast path: when the FROM is a single stored table and
+/// the WHERE has a top-level `col = expr` conjunct over an indexed
+/// column whose right side depends only on outer scopes / parameters,
+/// returns just the matching rows (in scan order). The caller still
+/// evaluates the full WHERE over them, so any conjunct this analysis
+/// ignores — and the probed one — are re-checked row by row.
+fn try_index_scan(
+    ctx: &Ctx<'_>,
+    from: &FromClause,
+    filter: Option<&Expr>,
+    outer: Option<&Env<'_>>,
+) -> Result<Option<Rows>> {
+    if !ctx.planner {
+        return Ok(None);
+    }
+    let Some(filter) = filter else {
+        return Ok(None);
+    };
+    let Some((name, alias)) = plan::single_base_table(from) else {
+        return Ok(None);
+    };
+    let Some(t) = ctx.catalog.table(name) else {
+        return Ok(None);
+    };
+    let label = alias.unwrap_or(name);
+    let cols: Vec<ColMeta> = t
+        .columns
+        .iter()
+        .map(|c| ColMeta {
+            table: Some(label.to_string()),
+            name: c.name.clone(),
+        })
+        .collect();
+    let mut best: Option<&[usize]> = None;
+    for conj in plan::split_and(filter) {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = conj
+        else {
+            continue;
+        };
+        for (col_side, key_side) in [(&left, &right), (&right, &left)] {
+            let Expr::Column { table, name } = col_side.as_ref() else {
+                continue;
+            };
+            let Some(ci) = plan::resolve_in(&cols, table.as_deref(), name) else {
+                continue;
+            };
+            let Some(ix) = t.index_on(ci) else {
+                continue;
+            };
+            if plan::has_subquery(key_side) || plan::refs_scope(key_side, &cols) {
+                continue;
+            }
+            let key = eval_const(ctx, key_side, outer)?;
+            if key.is_null() {
+                // `col = NULL` matches no row.
+                return Ok(Some(Rows {
+                    cols,
+                    data: Vec::new(),
+                }));
+            }
+            let Some(bucket) = ix.probe(&key) else {
+                continue;
+            };
+            if best.is_none_or(|b| bucket.len() < b.len()) {
+                best = Some(bucket);
+            }
+        }
+    }
+    let Some(bucket) = best else {
+        return Ok(None);
+    };
+    Ok(Some(Rows {
+        cols,
+        data: bucket.iter().map(|&i| t.rows[i].clone()).collect(),
+    }))
+}
+
 /// Builds the FROM row set, applying joins left to right.
 fn build_from(ctx: &Ctx<'_>, from: &FromClause, outer: Option<&Env<'_>>) -> Result<Rows> {
     let mut acc = resolve_table_ref(ctx, &from.first, outer)?;
     for join in &from.joins {
         let right = resolve_table_ref(ctx, &join.table, outer)?;
         acc = match join.kind {
-            JoinKind::Natural => natural_join(&acc, &right)?,
+            JoinKind::Natural => natural_join(ctx, &acc, &right)?,
             JoinKind::Inner => inner_join(ctx, &acc, &right, join.on.as_ref(), outer, false)?,
             JoinKind::Left => inner_join(ctx, &acc, &right, join.on.as_ref(), outer, true)?,
         };
@@ -446,18 +614,102 @@ fn inner_join(
 ) -> Result<Rows> {
     let mut cols = left.cols.clone();
     cols.extend(right.cols.iter().cloned());
+
+    // Hash path: pull equality conjuncts out of the ON predicate and
+    // build/probe on them; remaining conjuncts are evaluated per
+    // candidate pair. Requires NaN-free key columns (group_key and
+    // SQL equality disagree on NaN) — emission order matches the
+    // nested loop exactly: left-major, right rows in scan order.
+    if ctx.planner {
+        if let Some(cond) = on {
+            let mut keys: Vec<(usize, usize)> = Vec::new();
+            let mut residual: Vec<&Expr> = Vec::new();
+            for conj in plan::split_and(cond) {
+                match plan::equi_key(conj, &left.cols, &right.cols) {
+                    Some(k) => keys.push(k),
+                    None => residual.push(conj),
+                }
+            }
+            if !keys.is_empty()
+                && !plan::has_nan(&left.data, keys.iter().map(|k| k.0))
+                && !plan::has_nan(&right.data, keys.iter().map(|k| k.1))
+            {
+                let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+                'build: for (ri, r) in right.data.iter().enumerate() {
+                    let mut key = String::new();
+                    for &(_, rc) in &keys {
+                        if r[rc].is_null() {
+                            // NULL never compares equal: unreachable
+                            // by any probe.
+                            continue 'build;
+                        }
+                        plan::push_key_part(&mut key, &r[rc]);
+                    }
+                    buckets.entry(key).or_default().push(ri);
+                }
+                let mut data = Vec::new();
+                for l in &left.data {
+                    let mut matched = false;
+                    let mut key = String::new();
+                    let mut null_key = false;
+                    for &(lc, _) in &keys {
+                        if l[lc].is_null() {
+                            null_key = true;
+                            break;
+                        }
+                        plan::push_key_part(&mut key, &l[lc]);
+                    }
+                    if !null_key {
+                        if let Some(cands) = buckets.get(&key) {
+                            for &ri in cands {
+                                let r = &right.data[ri];
+                                let mut keep = true;
+                                for conj in &residual {
+                                    let env = Env {
+                                        cols: &left.cols,
+                                        row: l,
+                                        tail: Some((&right.cols, r)),
+                                        parent: outer,
+                                    };
+                                    if eval(ctx, conj, &env, None)?.to_bool() != Some(true) {
+                                        keep = false;
+                                        break;
+                                    }
+                                }
+                                if keep {
+                                    matched = true;
+                                    let mut combined = l.clone();
+                                    combined.extend(r.iter().cloned());
+                                    data.push(combined);
+                                }
+                            }
+                        }
+                    }
+                    if left_outer && !matched {
+                        let mut combined = l.clone();
+                        combined
+                            .extend(std::iter::repeat_with(|| Value::Null).take(right.cols.len()));
+                        data.push(combined);
+                    }
+                }
+                return Ok(Rows { cols, data });
+            }
+        }
+    }
+
+    // Nested-loop fallback: evaluate ON against the borrowed sides
+    // and only materialise the combined row on a match.
     let mut data = Vec::new();
     for l in &left.data {
         let mut matched = false;
         for r in &right.data {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
             let keep = match on {
                 None => true,
                 Some(cond) => {
                     let env = Env {
-                        cols: &cols,
-                        row: &combined,
+                        cols: &left.cols,
+                        row: l,
+                        tail: Some((&right.cols, r)),
                         parent: outer,
                     };
                     eval(ctx, cond, &env, None)?.to_bool() == Some(true)
@@ -465,6 +717,8 @@ fn inner_join(
             };
             if keep {
                 matched = true;
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
                 data.push(combined);
             }
         }
@@ -477,7 +731,7 @@ fn inner_join(
     Ok(Rows { cols, data })
 }
 
-fn natural_join(left: &Rows, right: &Rows) -> Result<Rows> {
+fn natural_join(ctx: &Ctx<'_>, left: &Rows, right: &Rows) -> Result<Rows> {
     // Columns shared by name join the sides; they appear once in the
     // output (merged, unqualified).
     let mut shared: Vec<(usize, usize)> = Vec::new();
@@ -511,6 +765,46 @@ fn natural_join(left: &Rows, right: &Rows) -> Result<Rows> {
         })
         .collect();
     cols.extend(right_keep.iter().map(|&ri| right.cols[ri].clone()));
+
+    // Hash path over the shared columns; same NaN caveat as
+    // `inner_join`. With no shared columns this is a cross join and
+    // the nested loop below is already optimal.
+    if ctx.planner
+        && !shared.is_empty()
+        && !plan::has_nan(&left.data, shared.iter().map(|s| s.0))
+        && !plan::has_nan(&right.data, shared.iter().map(|s| s.1))
+    {
+        let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+        'build: for (ri, r) in right.data.iter().enumerate() {
+            let mut key = String::new();
+            for &(_, rc) in &shared {
+                if r[rc].is_null() {
+                    continue 'build;
+                }
+                plan::push_key_part(&mut key, &r[rc]);
+            }
+            buckets.entry(key).or_default().push(ri);
+        }
+        let mut data = Vec::new();
+        'probe: for l in &left.data {
+            let mut key = String::new();
+            for &(lc, _) in &shared {
+                if l[lc].is_null() {
+                    continue 'probe;
+                }
+                plan::push_key_part(&mut key, &l[lc]);
+            }
+            if let Some(cands) = buckets.get(&key) {
+                for &ri in cands {
+                    let r = &right.data[ri];
+                    let mut combined = l.clone();
+                    combined.extend(right_keep.iter().map(|&rk| r[rk].clone()));
+                    data.push(combined);
+                }
+            }
+        }
+        return Ok(Rows { cols, data });
+    }
 
     let mut data = Vec::new();
     for l in &left.data {
@@ -620,7 +914,7 @@ pub fn eval(
             if needle.is_null() {
                 return Ok(Value::Null);
             }
-            let rows = exec_select(ctx, query, Some(env))?;
+            let rows = exec_subquery(ctx, query, env)?;
             let mut saw_null = false;
             for row in &rows.data {
                 let v = row.first().cloned().unwrap_or(Value::Null);
@@ -639,12 +933,12 @@ pub fn eval(
             }
         }
         Expr::Exists { query, negated } => {
-            let rows = exec_select(ctx, query, Some(env))?;
+            let rows = exec_subquery(ctx, query, env)?;
             let exists = !rows.data.is_empty();
             Ok(Value::Integer((exists != *negated) as i64))
         }
         Expr::Subquery(query) => {
-            let rows = exec_select(ctx, query, Some(env))?;
+            let rows = exec_subquery(ctx, query, env)?;
             Ok(rows
                 .data
                 .first()
@@ -991,6 +1285,7 @@ fn eval_aggregate(
         let env = Env {
             cols: agg.cols,
             row,
+            tail: None,
             parent: agg.outer,
         };
         vals.push(eval(ctx, arg, &env, None)?);
@@ -1058,29 +1353,39 @@ fn eval_aggregate(
 }
 
 /// SQLite-style LIKE: case-insensitive ASCII, `%` any run, `_` one char.
+///
+/// Iterative greedy two-pointer algorithm: on a mismatch after a `%`,
+/// re-anchor the `%` one text position further. O(|pattern|·|text|)
+/// worst case — the naive recursive formulation is exponential on
+/// patterns like `%a%a%a%b`.
 fn like_match(pattern: &str, text: &str) -> bool {
-    fn inner(p: &[char], t: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                for skip in 0..=t.len() {
-                    if inner(&p[1..], &t[skip..]) {
-                        return true;
-                    }
-                }
-                false
-            }
-            Some('_') => !t.is_empty() && inner(&p[1..], &t[1..]),
-            Some(c) => {
-                !t.is_empty()
-                    && t[0].eq_ignore_ascii_case(c)
-                    && inner(&p[1..], &t[1..])
-            }
-        }
-    }
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
-    inner(&p, &t)
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Pattern position after the last `%`, and the text position that
+    // run of `%`-matched characters currently resumes from.
+    let mut star: Option<usize> = None;
+    let mut mark = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && p[pi] == '%' {
+            star = Some(pi + 1);
+            mark = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi].eq_ignore_ascii_case(&t[ti])) {
+            pi += 1;
+            ti += 1;
+        } else if let Some(s) = star {
+            mark += 1;
+            ti = mark;
+            pi = s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -1096,5 +1401,19 @@ mod tests {
         assert!(!like_match("a_c", "abcd"));
         assert!(like_match("%", ""));
         assert!(!like_match("_", ""));
+        assert!(like_match("%b%", "abc"));
+        assert!(like_match("a%%c", "abc"));
+        assert!(like_match("_%_", "ab"));
+        assert!(!like_match("_%_", "a"));
+    }
+
+    #[test]
+    fn like_adversarial_completes_fast() {
+        // The old recursive matcher was exponential on this shape;
+        // the greedy matcher is O(|p|·|t|) and finishes instantly.
+        let text = "a".repeat(20_000);
+        assert!(!like_match("%a%a%a%a%a%b", &text));
+        assert!(like_match("%a%a%a%a%a%", &text));
+        assert!(!like_match("%a%a%a%a%a%b", &format!("{text}c")));
     }
 }

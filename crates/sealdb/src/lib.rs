@@ -11,6 +11,15 @@
 //! statement-granularity write-ahead journal with pluggable sealing
 //! ([`journal::JournalCodec`]) and snapshot compaction.
 //!
+//! Execution is an optimizing interpreter: `CREATE INDEX` declares
+//! per-table hash indexes (maintained incrementally on DML) that
+//! serve single-table equality filters, equality conjuncts in join
+//! predicates run as build/probe hash joins, and subquery results are
+//! memoized on their free-variable bindings. Every optimized path is
+//! result-identical to the naive nested-loop interpreter, which
+//! remains available via [`Database::set_planner_enabled`] and backs
+//! the equivalence property tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,6 +37,7 @@ pub mod db;
 pub mod exec;
 pub mod journal;
 pub mod parser;
+pub mod plan;
 pub mod token;
 pub mod value;
 

@@ -130,15 +130,34 @@ impl Parser {
                     if_not_exists,
                 });
             }
-            return Err(DbError::parse("CREATE must be followed by TABLE or VIEW"));
+            if self.eat_kw("INDEX") {
+                let if_not_exists = self.parse_if_not_exists()?;
+                let name = self.ident()?;
+                self.expect_kw("ON")?;
+                let table = self.ident()?;
+                self.expect_symbol("(")?;
+                let column = self.ident()?;
+                self.expect_symbol(")")?;
+                return Ok(Stmt::CreateIndex {
+                    name,
+                    table,
+                    column,
+                    if_not_exists,
+                });
+            }
+            return Err(DbError::parse(
+                "CREATE must be followed by TABLE, VIEW or INDEX",
+            ));
         }
         if self.eat_kw("DROP") {
-            let is_view = if self.eat_kw("TABLE") {
-                false
+            let kind = if self.eat_kw("TABLE") {
+                "table"
             } else if self.eat_kw("VIEW") {
-                true
+                "view"
+            } else if self.eat_kw("INDEX") {
+                "index"
             } else {
-                return Err(DbError::parse("DROP must be followed by TABLE or VIEW"));
+                return Err(DbError::parse("DROP must be followed by TABLE, VIEW or INDEX"));
             };
             let if_exists = if self.eat_kw("IF") {
                 self.expect_kw("EXISTS")?;
@@ -147,10 +166,10 @@ impl Parser {
                 false
             };
             let name = self.ident()?;
-            return Ok(if is_view {
-                Stmt::DropView { name, if_exists }
-            } else {
-                Stmt::DropTable { name, if_exists }
+            return Ok(match kind {
+                "view" => Stmt::DropView { name, if_exists },
+                "index" => Stmt::DropIndex { name, if_exists },
+                _ => Stmt::DropTable { name, if_exists },
             });
         }
         if self.eat_kw("INSERT") {

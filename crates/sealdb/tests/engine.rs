@@ -497,3 +497,119 @@ fn like_patterns() {
     let r = db.query("SELECT s FROM t WHERE s NOT LIKE 'refs/%'", &[]).unwrap();
     assert_eq!(r.rows.len(), 1);
 }
+
+fn assert_indexes_consistent(db: &Database) {
+    for t in db.catalog().tables_sorted() {
+        assert!(t.indexes_consistent(), "indexes on {} inconsistent", t.name);
+    }
+}
+
+#[test]
+fn index_ddl_and_dml_maintenance() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
+    db.execute("CREATE INDEX ix_a ON t(a)").unwrap();
+    assert_eq!(db.catalog().table("t").unwrap().index_names(), vec!["ix_a"]);
+    // Duplicate name rejected, IF NOT EXISTS tolerated.
+    assert!(db.execute("CREATE INDEX ix_a ON t(b)").is_err());
+    db.execute("CREATE INDEX IF NOT EXISTS ix_a ON t(b)").unwrap();
+
+    for i in 0..50 {
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(i % 7), Value::Text(format!("s{i}"))],
+        )
+        .unwrap();
+    }
+    assert_indexes_consistent(&db);
+    let r = db.query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(3)]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
+
+    db.execute("DELETE FROM t WHERE a = 3").unwrap();
+    assert_indexes_consistent(&db);
+    assert!(db.query("SELECT * FROM t WHERE a = 3", &[]).unwrap().is_empty());
+
+    db.execute("UPDATE t SET a = 3 WHERE a = 4").unwrap();
+    assert_indexes_consistent(&db);
+    let r = db.query("SELECT COUNT(*) FROM t WHERE a = 3", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
+
+    db.execute("DROP INDEX ix_a").unwrap();
+    assert!(db.catalog().table("t").unwrap().index_names().is_empty());
+    assert!(db.execute("DROP INDEX ix_a").is_err());
+    db.execute("DROP INDEX IF EXISTS ix_a").unwrap();
+}
+
+#[test]
+fn indexes_survive_journal_replay() {
+    use libseal_sealdb::{PlainCodec, SyncPolicy};
+    let path = plat::tmp::TempPath::new("sealdb-ixreplay", "db");
+    {
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+        db.execute("CREATE TABLE t(a INTEGER, b INTEGER)").unwrap();
+        db.execute("CREATE INDEX ix_a ON t(a)").unwrap();
+        for i in 0..40 {
+            db.execute_with(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Integer(i % 5), Value::Integer(i)],
+            )
+            .unwrap();
+        }
+        db.execute("DELETE FROM t WHERE a = 1").unwrap();
+    }
+    let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+    assert_eq!(db.catalog().table("t").unwrap().index_names(), vec!["ix_a"]);
+    assert_indexes_consistent(&db);
+    let r = db.query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(2)]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(8));
+}
+
+#[test]
+fn compaction_preserves_indexes() {
+    use libseal_sealdb::{PlainCodec, SyncPolicy};
+    let path = plat::tmp::TempPath::new("sealdb-ixcompact", "db");
+    {
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+        db.execute("CREATE TABLE t(a INTEGER)").unwrap();
+        db.execute("CREATE INDEX ix_a ON t(a)").unwrap();
+        for i in 0..60 {
+            db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i % 4)]).unwrap();
+        }
+        db.execute("DELETE FROM t WHERE a = 0").unwrap();
+        db.compact().unwrap();
+        assert_indexes_consistent(&db);
+    }
+    let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+    assert_eq!(db.catalog().table("t").unwrap().index_names(), vec!["ix_a"]);
+    assert_indexes_consistent(&db);
+    let r = db.query("SELECT COUNT(*) FROM t WHERE a = 2", &[]).unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Integer(15));
+}
+
+#[test]
+fn planner_toggle_equivalence_on_git_workload() {
+    let build = |planner: bool| {
+        let mut db = git_db();
+        db.set_planner_enabled(planner);
+        db.execute("CREATE INDEX ix_u_repo ON updates(repo)").unwrap();
+        db.execute("CREATE INDEX ix_a_repo ON advertisements(repo)").unwrap();
+        for i in 0..30i64 {
+            let repo = if i % 2 == 0 { "r1" } else { "r2" };
+            push(&mut db, i, repo, "main", &format!("{i:040x}"), "update");
+            advertise(&mut db, i, repo, "main", &format!("{i:040x}"));
+        }
+        db
+    };
+    let on = build(true);
+    let off = build(false);
+    for sql in [
+        "SELECT * FROM updates WHERE repo = 'r1'",
+        "SELECT u.time, a.time FROM updates u JOIN advertisements a ON u.repo = a.repo AND u.time = a.time",
+        "SELECT repo, COUNT(*) FROM updates GROUP BY repo",
+    ] {
+        let a = on.query(sql, &[]).unwrap();
+        let b = off.query(sql, &[]).unwrap();
+        assert_eq!(a.columns, b.columns, "{sql}");
+        assert_eq!(a.rows, b.rows, "{sql}");
+    }
+}
