@@ -15,3 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # entries, one soundness invariant per service); exits non-zero if a
 # 10x log costs more than 20x the time.
 cargo run --release -p libseal-bench --bin scaling_gate
+
+# Crash matrix: simulate a crash / transient error / torn write at
+# every failpoint on the audited write path, restart, and check the
+# recovery contract (durable prefix, verifying chain, reconciled
+# counter). Bounded: one fixed workload per (site, fault) pair.
+cargo run --release -p libseal-bench --bin crash_matrix

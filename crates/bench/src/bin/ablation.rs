@@ -88,7 +88,7 @@ fn main() {
     // Layer 2: + ROTE rollback counter (f = 1 quorum, in-process).
     {
         let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
-        let mut log = audit_log(LogBacking::Memory, Box::new(RoteGuard(cluster)));
+        let mut log = audit_log(LogBacking::Memory, Box::new(RoteGuard(std::sync::Arc::new(cluster))));
         let us = time_per_op(|i| append(&mut log, i));
         rows.push(vec!["+ ROTE quorum counter".into(), format!("{us:.1}")]);
     }
@@ -99,7 +99,7 @@ fn main() {
         let path = bench_log_path(BenchConfig::Disk);
         let mut log = audit_log(
             LogBacking::DiskNoSync(path.clone()),
-            Box::new(RoteGuard(cluster)),
+            Box::new(RoteGuard(std::sync::Arc::new(cluster))),
         );
         let us = time_per_op(|i| append(&mut log, i));
         rows.push(vec![
@@ -115,7 +115,7 @@ fn main() {
         let path = bench_log_path(BenchConfig::Disk);
         let mut log = audit_log(
             LogBacking::Disk(path.clone()),
-            Box::new(RoteGuard(cluster)),
+            Box::new(RoteGuard(std::sync::Arc::new(cluster))),
         );
         let us = time_per_op(|i| {
             append(&mut log, i);

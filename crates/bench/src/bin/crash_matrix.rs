@@ -1,0 +1,208 @@
+//! CI gate: the crash matrix. Enumerate every failpoint the audited
+//! write path crosses (append, per-request flush, compaction, journal
+//! sync, ROTE rounds, recovery itself), simulate a crash at each one,
+//! restart, and assert the recovery contract:
+//!
+//!   1. the reopen succeeds (a crash never corrupts, it only truncates),
+//!   2. every entry whose append *and* flush returned success is still
+//!      there (the durable prefix),
+//!   3. no more than the attempted appends are there (salvage never
+//!      invents records),
+//!   4. the hash chain and signed head verify,
+//!   5. the SSM invariant queries still run,
+//!   6. the ROTE counter — which survives the enclave crash, as the
+//!      external service does in §5.1 — reconciles with the log.
+//!
+//! Torn writes (a crash mid-`write(2)`) are exercised separately on
+//! the two raw-write sites. Runtime is bounded: one fixed six-append
+//! workload per (site, fault) pair, tens of trials total.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin crash_matrix
+//! ```
+
+use std::sync::Arc;
+
+use libseal::log::{AuditLog, LogBacking, RollbackGuard, RoteGuard};
+use libseal::ssm::git::GIT_SOUNDNESS;
+use libseal::{GitModule, ServiceModule};
+use libseal_crypto::ed25519::SigningKey;
+use libseal_rote::{Cluster, ClusterConfig, QuorumPolicy};
+use libseal_sealdb::Value;
+use plat::failpoint::{self, FaultSpec, Scenario};
+use plat::tmp::TempPath;
+
+/// Appends attempted by one workload run.
+const APPENDS: u64 = 6;
+
+fn cluster() -> Arc<Cluster> {
+    let mut cfg = ClusterConfig::new(1);
+    cfg.deadline = std::time::Duration::from_millis(200);
+    cfg.retries = 0;
+    cfg.backoff = std::time::Duration::from_millis(1);
+    cfg.policy = QuorumPolicy::FailStop;
+    Arc::new(Cluster::with_config(cfg, b"crash-matrix").expect("cluster"))
+}
+
+fn open_log(path: &TempPath, guard: Box<dyn RollbackGuard>) -> libseal::Result<AuditLog> {
+    let ssm = GitModule;
+    AuditLog::open(
+        LogBacking::Disk(path.to_path_buf()),
+        [7u8; 32],
+        SigningKey::from_seed(&[1u8; 32]),
+        guard,
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+}
+
+/// What the dying process managed to get done.
+struct Outcome {
+    /// Appends whose append *and* per-request flush both succeeded —
+    /// the prefix recovery must preserve.
+    durable: u64,
+}
+
+/// The fixed workload: four audited appends (flushed per request, as
+/// the paper's per-request synchronous flush mandates), a compaction,
+/// two more appends. Any step may fail once the armed fault fires;
+/// later steps then fail too (the failpoint crash latch), exactly as
+/// in a dead process.
+fn workload(path: &TempPath, guard: Box<dyn RollbackGuard>) -> Outcome {
+    let mut durable = 0;
+    let Ok(mut log) = open_log(path, guard) else {
+        return Outcome { durable };
+    };
+    let append_one = |log: &mut AuditLog, i: u64| -> bool {
+        let t = log.next_time() as i64;
+        let appended = log
+            .append(
+                "updates",
+                &[
+                    Value::Integer(t),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(format!("{i:040x}")),
+                    Value::Text("update".into()),
+                ],
+            )
+            .is_ok();
+        appended && log.flush().is_ok()
+    };
+    for i in 0..4 {
+        if append_one(&mut log, i) {
+            durable += 1;
+        }
+    }
+    let _ = log.db_mut().compact();
+    for i in 4..APPENDS {
+        if append_one(&mut log, i) {
+            durable += 1;
+        }
+    }
+    Outcome { durable }
+}
+
+/// Dry-runs the workload with no faults armed so every failpoint on
+/// the path registers itself, then returns the matrix rows.
+fn enumerate_sites(s: &Scenario) -> Vec<String> {
+    s.reset();
+    let path = TempPath::new("crash-matrix-dry", "log");
+    let c = cluster();
+    let out = workload(&path, Box::new(RoteGuard(Arc::clone(&c))));
+    assert_eq!(out.durable, APPENDS, "fault-free workload must not fail");
+    // A fault-free reopen also registers the recovery-path sites
+    // (salvage, rote::recover) that only fire on restart.
+    drop(open_log(&path, Box::new(RoteGuard(c))).expect("fault-free reopen"));
+    let mut sites = s.registered();
+    sites.sort();
+    sites
+}
+
+/// Runs one (site, fault) trial; returns an error description on
+/// contract violation.
+fn trial(s: &Scenario, site: &str, spec: FaultSpec, flavor: &str) -> Result<(), String> {
+    s.reset();
+    let path = TempPath::new(&format!("crash-matrix-{}", site.replace(':', "_")), "log");
+    // The counter cluster outlives the "crash": ROTE nodes are an
+    // external service, not enclave state.
+    let c = cluster();
+
+    s.set(site, spec);
+    let out = workload(&path, Box::new(RoteGuard(Arc::clone(&c))));
+
+    // Restart: clear the crash latch, reopen against the surviving
+    // journal and the surviving counter service.
+    s.reset();
+    let log = open_log(&path, Box::new(RoteGuard(Arc::clone(&c))))
+        .map_err(|e| format!("{site} [{flavor}]: reopen failed: {e}"))?;
+    let entries = log.entries();
+    if entries < out.durable {
+        return Err(format!(
+            "{site} [{flavor}]: durable prefix lost: {entries} < {}",
+            out.durable
+        ));
+    }
+    if entries > APPENDS {
+        return Err(format!(
+            "{site} [{flavor}]: recovered more than was written: {entries} > {APPENDS}"
+        ));
+    }
+    log.verify()
+        .map_err(|e| format!("{site} [{flavor}]: chain verify failed: {e}"))?;
+    log.query(GIT_SOUNDNESS, &[])
+        .map_err(|e| format!("{site} [{flavor}]: invariant query failed: {e}"))?;
+    let report = log.recovery_report();
+    if report.attested_counter > report.durable_counter + 1 {
+        return Err(format!(
+            "{site} [{flavor}]: unreconciled counter: attested {} vs durable {}",
+            report.attested_counter, report.durable_counter
+        ));
+    }
+    println!(
+        "  ok {site:<32} [{flavor:>7}] durable {} recovered {entries} \
+         (salvaged {}B, rolled forward {}, window {})",
+        out.durable, report.salvaged_bytes, report.rolled_forward, report.crash_window
+    );
+    Ok(())
+}
+
+fn main() {
+    let s = failpoint::scenario();
+    let sites = enumerate_sites(&s);
+    println!("crash matrix: {} failpoints on the audited write path", sites.len());
+
+    let mut failures = Vec::new();
+    let mut trials = 0;
+    for site in &sites {
+        trials += 1;
+        if let Err(e) = trial(&s, site, FaultSpec::crash(), "crash") {
+            failures.push(e);
+        }
+        // Transient I/O error: the process survives, recovery is a
+        // reopen of whatever the failed operation left behind.
+        trials += 1;
+        if let Err(e) = trial(&s, site, FaultSpec::error().times(1), "error") {
+            failures.push(e);
+        }
+    }
+    // Torn writes on the raw file-write sites: the frame is cut
+    // mid-`write(2)` and must be salvaged, not trusted.
+    for site in ["sealdb::journal::append", "sealdb::compact::write"] {
+        if sites.iter().any(|x| x == site) {
+            trials += 1;
+            if let Err(e) = trial(&s, site, FaultSpec::partial_write(9), "torn") {
+                failures.push(e);
+            }
+        }
+    }
+    s.reset();
+
+    println!("crash matrix: {trials} trials, {} failures", failures.len());
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,8 @@
 //! ([`SealingCodec`]) so records on the untrusted disk are encrypted
 //! and authenticated with the enclave's seal key.
 
+use std::sync::Arc;
+
 use libseal_crypto::aead::ChaCha20Poly1305;
 use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
 use libseal_crypto::sha2::Sha256;
@@ -68,8 +70,10 @@ impl RollbackGuard for NoGuard {
     }
 }
 
-/// ROTE-cluster-backed guard.
-pub struct RoteGuard(pub libseal_rote::Cluster);
+/// ROTE-cluster-backed guard. Holds the cluster behind an [`Arc`] so
+/// callers can keep a handle for degraded-mode inspection and
+/// [`libseal_rote::Cluster::rebind`] while the log owns the guard.
+pub struct RoteGuard(pub Arc<libseal_rote::Cluster>);
 
 impl RollbackGuard for RoteGuard {
     fn increment(&self) -> Result<u64> {
@@ -101,10 +105,19 @@ impl RollbackGuard for HwCounterGuard {
 }
 
 /// Journal codec sealing every record with an AEAD key.
+///
+/// Nonce layout (12 bytes): `epoch u32le | counter-low u32le | 4 random
+/// bytes`. The **epoch** is a sealed generation number persisted in
+/// `_libseal_meta` and bumped on every open, so nonce uniqueness across
+/// restarts rests on the monotone epoch rather than on 4 random bytes
+/// not colliding; the random tail only covers the window before the
+/// fresh epoch's meta row is durable.
 pub struct SealingCodec {
     aead: ChaCha20Poly1305,
-    /// Nonce counter; unique per record within one log lifetime.
+    /// Nonce counter; unique per record within one codec lifetime.
     counter: std::sync::atomic::AtomicU64,
+    /// Restart epoch mixed into every nonce.
+    epoch: std::sync::atomic::AtomicU32,
 }
 
 impl SealingCodec {
@@ -113,7 +126,19 @@ impl SealingCodec {
         SealingCodec {
             aead: ChaCha20Poly1305::new(&key),
             counter: std::sync::atomic::AtomicU64::new(0),
+            epoch: std::sync::atomic::AtomicU32::new(0),
         }
+    }
+
+    /// Sets the restart epoch (done once per open, after recovering the
+    /// stored epoch from `_libseal_meta`).
+    pub fn set_epoch(&self, epoch: u32) {
+        self.epoch.store(epoch, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The current restart epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
@@ -122,10 +147,13 @@ impl JournalCodec for SealingCodec {
         let n = self
             .counter
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        assert!(n < u64::from(u32::MAX), "nonce counter exhausted within one epoch");
+        let e = self.epoch.load(std::sync::atomic::Ordering::SeqCst);
         let mut nonce = [0u8; 12];
-        nonce[..8].copy_from_slice(&n.to_le_bytes());
-        // Randomize the tail so nonce reuse across restarts is
-        // cryptographically unlikely.
+        nonce[..4].copy_from_slice(&e.to_le_bytes());
+        nonce[4..8].copy_from_slice(&(n as u32).to_le_bytes());
+        // Random tail: covers nonce reuse in the crash window before
+        // this epoch's meta row reaches the disk.
         let mut tail = [0u8; 4];
         plat::entropy::fill(&mut tail);
         nonce[8..].copy_from_slice(&tail);
@@ -150,6 +178,19 @@ impl JournalCodec for SealingCodec {
     }
 }
 
+/// A shared handle to a [`SealingCodec`]: the journal owns one clone
+/// while the [`AuditLog`] keeps another to manage the restart epoch.
+struct SharedCodec(Arc<SealingCodec>);
+
+impl JournalCodec for SharedCodec {
+    fn encode(&self, plain: &[u8]) -> Vec<u8> {
+        self.0.encode(plain)
+    }
+    fn decode(&self, stored: &[u8]) -> libseal_sealdb::Result<Vec<u8>> {
+        self.0.decode(stored)
+    }
+}
+
 /// Schema of one audited table: its name and the column(s) forming the
 /// primary key used to associate chain rows with data rows.
 #[derive(Clone, Debug)]
@@ -158,6 +199,33 @@ pub struct TableSpec {
     pub name: &'static str,
     /// Primary-key columns (usually `time` plus discriminators).
     pub key_cols: &'static [&'static str],
+}
+
+/// What [`AuditLog::open`] recovery found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes of torn journal tail dropped by salvage (crash
+    /// mid-append), 0 on a clean open.
+    pub salvaged_bytes: u64,
+    /// Chain entries past the last signed head that were re-signed
+    /// (rolled forward): they are authentic — they came out of the
+    /// sealed journal — their head signature just never hit the disk.
+    pub rolled_forward: u64,
+    /// Counter value the durable log accounts for.
+    pub durable_counter: u64,
+    /// Counter value the rollback guard attests to.
+    pub attested_counter: u64,
+    /// Whether the guard was ahead of the durable log by exactly one —
+    /// the legal crash window (increment acknowledged, flush lost).
+    pub crash_window: bool,
+}
+
+/// Parsed, signature-verified contents of the `head` meta row.
+struct SignedHead {
+    head: [u8; 32],
+    seq: u64,
+    counter: u64,
+    clock: u64,
 }
 
 /// The enclave-resident audit log.
@@ -171,7 +239,10 @@ pub struct AuditLog {
     /// Logical timestamp handed to SSMs (§5.1: "time being a logical
     /// timestamp maintained in the enclave").
     clock: u64,
+    /// Rollback-counter value bound into the last signed head.
+    counter: u64,
     disk_backed: bool,
+    recovery: RecoveryReport,
 }
 
 const CHAIN_SCHEMA: &str = "CREATE TABLE IF NOT EXISTS _libseal_chain(
@@ -196,19 +267,40 @@ impl AuditLog {
         schema_sql: &str,
         tables: Vec<TableSpec>,
     ) -> Result<AuditLog> {
+        let codec = Arc::new(SealingCodec::new(seal_key));
         let (mut db, disk_backed) = match backing {
             LogBacking::Memory => (Database::new(), false),
             LogBacking::Disk(path) => (
-                Database::open(&path, Box::new(SealingCodec::new(seal_key)), SyncPolicy::Manual)
-                    .map_err(LibSealError::Db)?,
+                Database::open(
+                    &path,
+                    Box::new(SharedCodec(Arc::clone(&codec))),
+                    SyncPolicy::Manual,
+                )
+                .map_err(LibSealError::Db)?,
                 true,
             ),
             LogBacking::DiskNoSync(path) => (
-                Database::open(&path, Box::new(SealingCodec::new(seal_key)), SyncPolicy::Never)
-                    .map_err(LibSealError::Db)?,
+                Database::open(
+                    &path,
+                    Box::new(SharedCodec(Arc::clone(&codec))),
+                    SyncPolicy::Never,
+                )
+                .map_err(LibSealError::Db)?,
                 true,
             ),
         };
+        // Bump the sealed restart epoch before this process seals
+        // anything: every nonce of this run is distinct from every
+        // nonce of every previous run.
+        let stored_epoch = db
+            .query("SELECT v FROM _libseal_meta WHERE k = 'epoch'", &[])
+            .ok()
+            .and_then(|r| match r.scalar() {
+                Some(Value::Text(t)) => t.parse::<u32>().ok(),
+                _ => None,
+            })
+            .unwrap_or(0);
+        codec.set_epoch(stored_epoch + 1);
         db.execute(CHAIN_SCHEMA).map_err(LibSealError::Db)?;
         db.execute(META_SCHEMA).map_err(LibSealError::Db)?;
         for stmt in split_statements(schema_sql) {
@@ -241,15 +333,56 @@ impl AuditLog {
             head: [0u8; 32],
             seq: 0,
             clock: 0,
+            counter: 0,
             disk_backed,
+            recovery: RecoveryReport::default(),
         };
+        if log.disk_backed {
+            // Persist the bumped epoch before anything else this run
+            // seals (one atomic statement; the row is never deleted):
+            // the journal is append-ordered, so the epoch row is
+            // durable before any record relying on it.
+            log.put_meta("epoch", &codec.epoch().to_string())?;
+        }
         log.recover_state()?;
+        if log.disk_backed {
+            log.flush()?;
+        }
         Ok(log)
+    }
+
+    /// Writes a `_libseal_meta` row with a single journaled statement
+    /// (UPDATE when present, INSERT when absent), so a crash can never
+    /// leave the key deleted-but-not-rewritten.
+    fn put_meta(&mut self, k: &str, v: &str) -> Result<()> {
+        let present = self
+            .db
+            .query("SELECT v FROM _libseal_meta WHERE k = ?", &[Value::Text(k.into())])
+            .map_err(LibSealError::Db)?;
+        if present.rows.is_empty() {
+            self.db
+                .execute_with(
+                    "INSERT INTO _libseal_meta VALUES (?, ?)",
+                    &[Value::Text(k.into()), Value::Text(v.into())],
+                )
+                .map_err(LibSealError::Db)?;
+        } else {
+            self.db
+                .execute_with(
+                    "UPDATE _libseal_meta SET v = ? WHERE k = ?",
+                    &[Value::Text(v.into()), Value::Text(k.into())],
+                )
+                .map_err(LibSealError::Db)?;
+        }
+        Ok(())
     }
 
     fn recover_state(&mut self) -> Result<()> {
         // Rebuild head/seq/clock from the chain table (after journal
-        // replay).
+        // replay, which may have salvaged a torn tail).
+        if let Some(s) = self.db.salvage_report() {
+            self.recovery.salvaged_bytes = s.lost_bytes;
+        }
         let r = self
             .db
             .query("SELECT MAX(seq), COUNT(*) FROM _libseal_chain", &[])
@@ -259,45 +392,127 @@ impl AuditLog {
             _ => 0,
         };
         self.seq = max_seq;
+        // The signed head row: "head_hex:seq:counter:clock:sig_hex".
+        let head_meta = self.signed_head_row()?;
         // Restore the logical clock from the signed head metadata: after
         // trimming the chain is renumbered, so seq alone would make the
         // clock regress below surviving rows' timestamps.
+        let stored_clock = head_meta.as_ref().map(|m| m.clock).unwrap_or(0);
+        self.clock = stored_clock.max(max_seq);
+        if max_seq > 0 {
+            // Walk the chain: hashes must link and data rows must match.
+            let (head, _) = self.verify_chain_rows()?;
+            self.head = head;
+        }
+        // Reconcile the chain against the signed head. The sealed
+        // journal authenticates every chain row, so rows past the
+        // signed head are a legal crash artefact (the appends landed,
+        // the re-signed head did not): roll them FORWARD by re-signing.
+        // A signed head claiming *more* than the chain holds is the
+        // opposite — durable, signed history has vanished — and that is
+        // a rollback.
+        let (meta_seq, meta_counter) = match &head_meta {
+            Some(m) => {
+                if m.seq > max_seq {
+                    return Err(LibSealError::Tampered(format!(
+                        "rollback detected: signed head covers {} entries, log has {max_seq}",
+                        m.seq
+                    )));
+                }
+                (m.seq, m.counter)
+            }
+            // No signed head. Legal only as the crash window of the
+            // very first appends (chain rows durable, first head-sign
+            // statement torn off the tail); the sealed journal still
+            // vouches for the rows.
+            None => (0, 0),
+        };
+        // Every chain row past the signed head carries exactly one
+        // counter increment (appends are counter-per-row; trims re-sign
+        // in place), so the durable log accounts for:
+        let durable_counter = meta_counter + (max_seq - meta_seq);
+        let rolled_forward = max_seq - meta_seq;
+        // Rollback check: the guard must not attest past the durable
+        // state by more than the one increment a crash between
+        // counter-advance and flush legally loses.
+        let attested = self.guard.attested()?;
+        if attested > durable_counter + 1 {
+            return Err(LibSealError::Tampered(format!(
+                "rollback detected: counter attests {attested}, durable log accounts for \
+                 {durable_counter}"
+            )));
+        }
+        self.recovery.durable_counter = durable_counter;
+        self.recovery.attested_counter = attested;
+        self.recovery.crash_window = attested == durable_counter + 1;
+        self.recovery.rolled_forward = rolled_forward;
+        self.counter = durable_counter.max(attested);
+        if max_seq > 0 && (rolled_forward > 0 || self.recovery.crash_window) {
+            // Re-sign the authentic recovered head (and absorb the
+            // crash-window increment, if any, so counter and log agree
+            // again going forward).
+            self.sign_head(self.counter)?;
+            if self.disk_backed {
+                self.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the signed-head meta row, verifying its signature.
+    ///
+    /// Returns `Ok(None)` for an empty (never-signed) log.
+    fn signed_head_row(&self) -> Result<Option<SignedHead>> {
         let meta = self
             .db
             .query("SELECT v FROM _libseal_meta WHERE k = 'head'", &[])
             .map_err(LibSealError::Db)?;
-        let stored_clock = match meta.scalar() {
-            Some(Value::Text(m)) => m
-                .split(':')
-                .nth(3)
-                .and_then(|c| c.parse::<u64>().ok())
-                .unwrap_or(0),
-            _ => 0,
+        let Some(Value::Text(m)) = meta.scalar() else {
+            return Ok(None);
         };
-        self.clock = stored_clock.max(max_seq);
-        if max_seq > 0 {
-            // Recompute the head by walking the chain.
-            self.verify()?;
-            let r = self
-                .db
-                .query(
-                    "SELECT hash FROM _libseal_chain ORDER BY seq DESC LIMIT 1",
-                    &[],
-                )
-                .map_err(LibSealError::Db)?;
-            if let Some(Value::Blob(h)) = r.scalar() {
-                self.head.copy_from_slice(h);
-            }
-            // Rollback check: the guard must not know a newer state.
-            let attested = self.guard.attested()?;
-            if attested > self.seq {
-                return Err(LibSealError::Log(format!(
-                    "rollback detected: counter attests {attested} entries, log has {}",
-                    self.seq
-                )));
-            }
+        let parts: Vec<&str> = m.split(':').collect();
+        if parts.len() != 5 {
+            return Err(LibSealError::Tampered("bad head metadata".into()));
         }
-        Ok(())
+        let head_bytes =
+            unhex(parts[0]).ok_or_else(|| LibSealError::Tampered("bad head hex".into()))?;
+        let head: [u8; 32] = head_bytes
+            .try_into()
+            .map_err(|_| LibSealError::Tampered("bad head length".into()))?;
+        let seq: u64 = parts[1]
+            .parse()
+            .map_err(|_| LibSealError::Tampered("bad head seq".into()))?;
+        let counter: u64 = parts[2]
+            .parse()
+            .map_err(|_| LibSealError::Tampered("bad head counter".into()))?;
+        let clock: u64 = parts[3]
+            .parse()
+            .map_err(|_| LibSealError::Tampered("bad head clock".into()))?;
+        let sig_bytes =
+            unhex(parts[4]).ok_or_else(|| LibSealError::Tampered("bad signature hex".into()))?;
+        let sig: [u8; 64] = sig_bytes
+            .try_into()
+            .map_err(|_| LibSealError::Tampered("bad signature length".into()))?;
+        self.signer
+            .verifying_key()
+            .verify(&head_payload(&head, seq, counter, clock), &sig)
+            .map_err(|_| LibSealError::Tampered("head signature invalid".into()))?;
+        Ok(Some(SignedHead {
+            head,
+            seq,
+            counter,
+            clock,
+        }))
+    }
+
+    /// What recovery found on the last [`AuditLog::open`].
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The rollback-counter value bound into the current signed head.
+    pub fn counter(&self) -> u64 {
+        self.counter
     }
 
     /// The next logical timestamp (monotone per log).
@@ -325,6 +540,8 @@ impl AuditLog {
             .ok_or_else(|| LibSealError::Log(format!("not an audited table: {table}")))?
             .clone();
 
+        plat::failpoint::check("core::log::append")
+            .map_err(|e| LibSealError::Log(e.to_string()))?;
         let placeholders = vec!["?"; values.len()].join(", ");
         self.db
             .execute_with(
@@ -339,6 +556,8 @@ impl AuditLog {
         h.update(&self.head);
         h.update(payload.as_bytes());
         let new_hash = h.finalize();
+        plat::failpoint::check("core::log::append::chain")
+            .map_err(|e| LibSealError::Log(e.to_string()))?;
         self.seq += 1;
         self.db
             .execute_with(
@@ -354,39 +573,34 @@ impl AuditLog {
             .map_err(LibSealError::Db)?;
         self.head = new_hash;
 
+        plat::failpoint::check("core::log::append::counter")
+            .map_err(|e| LibSealError::Log(e.to_string()))?;
         let counter = self.guard.increment()?;
         self.sign_head(counter)?;
         Ok(())
     }
 
     fn sign_head(&mut self, counter: u64) -> Result<()> {
+        plat::failpoint::check("core::log::append::sign")
+            .map_err(|e| LibSealError::Log(e.to_string()))?;
         let sig = self
             .signer
             .sign(&head_payload(&self.head, self.seq, counter, self.clock));
-        self.db
-            .execute("DELETE FROM _libseal_meta WHERE k = 'head'")
-            .map_err(LibSealError::Db)?;
-        self.db
-            .execute_with(
-                "INSERT INTO _libseal_meta VALUES ('head', ?)",
-                &[Value::Text(format!(
-                    "{}:{}:{}:{}",
-                    hex(&self.head),
-                    self.seq,
-                    counter,
-                    self.clock
-                ))],
-            )
-            .map_err(LibSealError::Db)?;
-        self.db
-            .execute("DELETE FROM _libseal_meta WHERE k = 'sig'")
-            .map_err(LibSealError::Db)?;
-        self.db
-            .execute_with(
-                "INSERT INTO _libseal_meta VALUES ('sig', ?)",
-                &[Value::Text(hex(&sig))],
-            )
-            .map_err(LibSealError::Db)?;
+        // Head, metadata and signature travel in ONE row written by one
+        // journaled statement: there is no crash point at which the
+        // head exists unsigned or the signature refers to a stale head.
+        self.put_meta(
+            "head",
+            &format!(
+                "{}:{}:{}:{}:{}",
+                hex(&self.head),
+                self.seq,
+                counter,
+                self.clock,
+                hex(&sig)
+            ),
+        )?;
+        self.counter = counter;
         Ok(())
     }
 
@@ -397,6 +611,8 @@ impl AuditLog {
     ///
     /// I/O failures.
     pub fn flush(&mut self) -> Result<()> {
+        plat::failpoint::check("core::log::flush")
+            .map_err(|e| LibSealError::Log(e.to_string()))?;
         self.db.sync_journal().map_err(LibSealError::Db)
     }
 
@@ -429,6 +645,29 @@ impl AuditLog {
     ///
     /// [`LibSealError::Tampered`] describing the first inconsistency.
     pub fn verify(&self) -> Result<()> {
+        let (head, last_seq) = self.verify_chain_rows()?;
+        // Verify the signed head against the recomputed chain head.
+        match self.signed_head_row()? {
+            Some(signed) => {
+                if signed.head != head {
+                    return Err(LibSealError::Tampered(
+                        "chain head does not match signed head".into(),
+                    ));
+                }
+                if signed.seq != last_seq {
+                    return Err(LibSealError::Tampered("head seq mismatch".into()));
+                }
+            }
+            None if last_seq == 0 => {} // Empty log: nothing signed yet.
+            None => return Err(LibSealError::Tampered("head metadata missing".into())),
+        }
+        Ok(())
+    }
+
+    /// Walks the whole chain: hashes must link, sequence numbers must
+    /// increase, and every chain row's data row must still exist and
+    /// match. Returns the recomputed head and final sequence number.
+    fn verify_chain_rows(&self) -> Result<([u8; 32], u64)> {
         let rows = self
             .db
             .query(
@@ -437,7 +676,6 @@ impl AuditLog {
             )
             .map_err(LibSealError::Db)?;
         let mut head = [0u8; 32];
-        let mut count = 0u64;
         let mut last_seq = 0i64;
         for row in &rows.rows {
             let (Value::Integer(seq), Value::Text(payload), Value::Blob(hash)) =
@@ -458,65 +696,14 @@ impl AuditLog {
                     "hash mismatch at seq {seq}"
                 )));
             }
-            head = expect;
-            count += 1;
+            head.copy_from_slice(&expect);
             // Data row must still exist and match the payload.
             let (Value::Text(tbl), Value::Text(key)) = (&row[1], &row[2]) else {
                 return Err(LibSealError::Tampered("chain row malformed".into()));
             };
             self.check_data_row(tbl, key, payload)?;
         }
-        let _ = count;
-        // Verify the signed head.
-        let meta = self
-            .db
-            .query("SELECT v FROM _libseal_meta WHERE k = 'head'", &[])
-            .map_err(LibSealError::Db)?;
-        let sig_row = self
-            .db
-            .query("SELECT v FROM _libseal_meta WHERE k = 'sig'", &[])
-            .map_err(LibSealError::Db)?;
-        match (meta.scalar(), sig_row.scalar()) {
-            (Some(Value::Text(head_meta)), Some(Value::Text(sig_hex))) => {
-                let parts: Vec<&str> = head_meta.split(':').collect();
-                if parts.len() != 4 {
-                    return Err(LibSealError::Tampered("bad head metadata".into()));
-                }
-                let stored_head = unhex(parts[0])
-                    .ok_or_else(|| LibSealError::Tampered("bad head hex".into()))?;
-                if stored_head.as_slice() != head.as_slice() {
-                    return Err(LibSealError::Tampered(
-                        "chain head does not match signed head".into(),
-                    ));
-                }
-                let seq: u64 = parts[1]
-                    .parse()
-                    .map_err(|_| LibSealError::Tampered("bad head seq".into()))?;
-                let counter: u64 = parts[2]
-                    .parse()
-                    .map_err(|_| LibSealError::Tampered("bad head counter".into()))?;
-                let clock: u64 = parts[3]
-                    .parse()
-                    .map_err(|_| LibSealError::Tampered("bad head clock".into()))?;
-                if seq != last_seq as u64 {
-                    return Err(LibSealError::Tampered("head seq mismatch".into()));
-                }
-                let sig_bytes = unhex(sig_hex)
-                    .ok_or_else(|| LibSealError::Tampered("bad signature hex".into()))?;
-                let sig: [u8; 64] = sig_bytes
-                    .try_into()
-                    .map_err(|_| LibSealError::Tampered("bad signature length".into()))?;
-                let mut head_arr = [0u8; 32];
-                head_arr.copy_from_slice(&head);
-                self.signer
-                    .verifying_key()
-                    .verify(&head_payload(&head_arr, seq, counter, clock), &sig)
-                    .map_err(|_| LibSealError::Tampered("head signature invalid".into()))?;
-            }
-            _ if last_seq == 0 => {} // Empty log: nothing signed yet.
-            _ => return Err(LibSealError::Tampered("head metadata missing".into())),
-        }
-        Ok(())
+        Ok((head, last_seq as u64))
     }
 
     fn check_data_row(&self, tbl: &str, key: &str, payload: &str) -> Result<()> {

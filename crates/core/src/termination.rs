@@ -311,7 +311,7 @@ impl LibSeal {
                         )),
                         GuardConfig::Rote { f, latency } => {
                             match libseal_rote::Cluster::new(*f, *latency, b"libseal-log") {
-                                Ok(c) => Box::new(RoteGuard(c)),
+                                Ok(c) => Box::new(RoteGuard(std::sync::Arc::new(c))),
                                 Err(e) => {
                                     init_err = Some(LibSealError::Log(e.to_string()));
                                     Box::new(NoGuard)

@@ -1,0 +1,385 @@
+//! Crash-recovery tests for the audit log: torn-tail salvage as a
+//! *synced-prefix* guarantee, counter reconciliation (the legal
+//! crash window vs. a rollback alarm), unsigned-tail roll-forward,
+//! and degraded-quorum operation.
+//!
+//! Fault-injected tests open `plat::failpoint::scenario()` first so
+//! they serialize on the global failpoint registry.
+
+use libseal::log::{
+    AuditLog, LogBacking, NoGuard, RecoveryReport, RollbackGuard, RoteGuard, SealingCodec,
+};
+use libseal::ssm::git::GIT_SOUNDNESS;
+use libseal::{GitModule, LibSealError, ServiceModule};
+use libseal_crypto::ed25519::SigningKey;
+use libseal_rote::{Cluster, ClusterConfig, QuorumPolicy};
+use libseal_sealdb::journal::SyncPolicy;
+use libseal_sealdb::{Database, Value};
+use plat::failpoint::{self, FaultSpec};
+use plat::tmp::TempPath;
+
+const SEAL_KEY: [u8; 32] = [7u8; 32];
+
+fn open_log(backing: LogBacking, guard: Box<dyn RollbackGuard>) -> libseal::Result<AuditLog> {
+    let ssm = GitModule;
+    AuditLog::open(
+        backing,
+        SEAL_KEY,
+        SigningKey::from_seed(&[1u8; 32]),
+        guard,
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+}
+
+fn append_one(log: &mut AuditLog, i: u64, commit: &str) {
+    let t = log.next_time() as i64;
+    log.append(
+        "updates",
+        &[
+            Value::Integer(t),
+            Value::Text("r".into()),
+            Value::Text("main".into()),
+            Value::Text(format!("{commit}{i:036x}")),
+            Value::Text("update".into()),
+        ],
+    )
+    .unwrap();
+}
+
+/// External persistent counter (the §5.1 rollback-protection service)
+/// whose attested value the tests can set directly.
+struct ExternalCounter(std::sync::atomic::AtomicU64);
+
+impl ExternalCounter {
+    fn boxed(v: u64) -> Box<ExternalCounter> {
+        Box::new(ExternalCounter(std::sync::atomic::AtomicU64::new(v)))
+    }
+}
+
+impl RollbackGuard for ExternalCounter {
+    fn increment(&self) -> libseal::Result<u64> {
+        Ok(self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1)
+    }
+    fn attested(&self) -> libseal::Result<u64> {
+        Ok(self.0.load(std::sync::atomic::Ordering::SeqCst))
+    }
+}
+
+plat::prop! {
+    #![cases(2)]
+    /// The synced-prefix guarantee: truncate the journal at EVERY byte
+    /// offset and reopen. Recovery must (a) never drop an entry whose
+    /// flush completed before the cut, (b) never surface more than the
+    /// one entry that was mid-append at the cut, (c) leave a log whose
+    /// chain and signed head verify, and (d) keep invariant queries
+    /// runnable. Pure truncation is always a torn tail, never a fatal
+    /// MAC failure, so every reopen must succeed.
+    fn truncation_at_every_offset_recovers_a_synced_prefix(g) {
+        let path = TempPath::new("libseal-prefix", "log");
+        let appends = g.usize_in(2..5);
+        let commit = g.lowercase(4..8);
+        // boundaries[i] = journal size with exactly i entries durable.
+        let mut boundaries = Vec::new();
+        {
+            let mut log =
+                open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+            boundaries.push((log.journal_size_bytes(), 0u64));
+            for i in 0..appends {
+                append_one(&mut log, i as u64, &commit);
+                log.flush().unwrap();
+                boundaries.push((log.journal_size_bytes(), (i + 1) as u64));
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len() as u64, boundaries.last().unwrap().0);
+
+        let cut_path = TempPath::new("libseal-prefix-cut", "log");
+        for cut in 0..=full.len() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let expected = boundaries
+                .iter()
+                .rev()
+                .find(|(size, _)| *size <= cut as u64)
+                .map_or(0, |(_, entries)| *entries);
+            let log = open_log(
+                LogBacking::DiskNoSync(cut_path.to_path_buf()),
+                Box::new(NoGuard),
+            )
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
+            let got = log.entries();
+            assert!(
+                got >= expected,
+                "cut {cut}: flushed entry lost ({got} < {expected})"
+            );
+            assert!(
+                got <= expected + 1,
+                "cut {cut}: recovered more than the in-flight append \
+                 ({got} > {} )",
+                expected + 1
+            );
+            log.verify()
+                .unwrap_or_else(|e| panic!("verify failed at cut {cut}: {e}"));
+            assert!(
+                log.query(GIT_SOUNDNESS, &[]).is_ok(),
+                "invariant query failed at cut {cut}"
+            );
+        }
+    }
+}
+
+/// Truncation is salvage; *mutation* is tampering. A byte flipped
+/// inside an early record (here: its nonce) must fail authentication
+/// and abort the open, not be silently skipped.
+#[test]
+fn flipped_byte_mid_file_is_fatal() {
+    let path = TempPath::new("libseal-flip", "log");
+    {
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+        append_one(&mut log, 0, "aa");
+        log.flush().unwrap();
+    }
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[10] ^= 0x40; // inside the first frame's nonce
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(
+        open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).is_err(),
+        "corrupted mid-file record must not replay"
+    );
+}
+
+/// A counter one ahead of the durable log is the legal crash window
+/// (§5.1: the increment lands before the signed head is durable); the
+/// open succeeds, reports the window, and absorbs the wasted
+/// increment so later recoveries see a consistent pair.
+#[test]
+fn counter_ahead_by_one_is_the_legal_crash_window() {
+    let path = TempPath::new("libseal-window", "log");
+    {
+        let mut log =
+            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        for i in 0..3 {
+            append_one(&mut log, i, "bb");
+        }
+        log.flush().unwrap();
+        assert_eq!(log.counter(), 3);
+    }
+    // "Crashed" after the increment to 4 but before entry 4 was
+    // signed: the external service attests 4, the log accounts for 3.
+    let log = open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(4)).unwrap();
+    let r = log.recovery_report();
+    assert!(r.crash_window, "one-ahead counter is a legal crash state");
+    assert_eq!(r.durable_counter, 3);
+    assert_eq!(r.attested_counter, 4);
+    assert_eq!(log.counter(), 4, "wasted increment absorbed into the head");
+    log.verify().unwrap();
+}
+
+#[test]
+fn counter_ahead_by_two_is_a_rollback_alarm() {
+    let path = TempPath::new("libseal-rollback2", "log");
+    {
+        let mut log =
+            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        for i in 0..3 {
+            append_one(&mut log, i, "cc");
+        }
+        log.flush().unwrap();
+    }
+    match open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(5)) {
+        Err(LibSealError::Tampered(m)) => assert!(m.contains("rollback"), "{m}"),
+        other => panic!("rollback not detected: {:?}", other.map(|_| ())),
+    }
+}
+
+/// A signed head covering more entries than the chain holds means
+/// chain rows were removed after signing — rollback by deletion, even
+/// when the external counter agrees with the (tampered) head.
+#[test]
+fn log_behind_signed_head_is_a_rollback_alarm() {
+    let path = TempPath::new("libseal-behind", "log");
+    {
+        let mut log =
+            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        for i in 0..3 {
+            append_one(&mut log, i, "dd");
+        }
+        log.flush().unwrap();
+    }
+    // The provider edits the sealed journal offline: appends a DELETE
+    // of the newest chain row (it cannot re-sign the head).
+    {
+        let mut db = Database::open(
+            &path,
+            Box::new(SealingCodec::new(SEAL_KEY)),
+            SyncPolicy::Manual,
+        )
+        .unwrap();
+        db.execute("DELETE FROM _libseal_chain WHERE seq = 3").unwrap();
+        db.sync_journal().unwrap();
+    }
+    match open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(3)) {
+        Err(LibSealError::Tampered(m)) => assert!(m.contains("rollback"), "{m}"),
+        other => panic!("rollback not detected: {:?}", other.map(|_| ())),
+    }
+}
+
+/// A crash after the chain row is written but before the head is
+/// signed leaves an authenticated-but-unsigned tail. Recovery rolls
+/// it forward (re-signs) instead of discarding it.
+#[test]
+fn crash_before_sign_rolls_the_tail_forward() {
+    let s = failpoint::scenario();
+    let path = TempPath::new("libseal-rollfwd", "log");
+    {
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+        append_one(&mut log, 0, "ee");
+        append_one(&mut log, 1, "ee");
+        log.flush().unwrap();
+        s.set("core::log::append::sign", FaultSpec::crash());
+        let t = log.next_time() as i64;
+        assert!(log
+            .append(
+                "updates",
+                &[
+                    Value::Integer(t),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(format!("{:040x}", 2)),
+                    Value::Text("update".into()),
+                ],
+            )
+            .is_err());
+    }
+    s.reset(); // restart
+    let log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+    assert_eq!(log.entries(), 3, "unsigned tail must be rolled forward");
+    assert_eq!(log.recovery_report().rolled_forward, 1);
+    log.verify().unwrap();
+}
+
+/// A crash after the service row is written but before the chain row
+/// loses only the in-flight entry; the synced prefix and its head
+/// survive, and invariant queries still run over the recovered state.
+#[test]
+fn crash_before_chain_insert_loses_only_the_inflight_entry() {
+    let s = failpoint::scenario();
+    let path = TempPath::new("libseal-nochain", "log");
+    {
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+        append_one(&mut log, 0, "ff");
+        append_one(&mut log, 1, "ff");
+        log.flush().unwrap();
+        s.set("core::log::append::chain", FaultSpec::crash());
+        let t = log.next_time() as i64;
+        assert!(log
+            .append(
+                "updates",
+                &[
+                    Value::Integer(t),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(format!("{:040x}", 99)),
+                    Value::Text("update".into()),
+                ],
+            )
+            .is_err());
+    }
+    s.reset();
+    let log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+    assert_eq!(log.entries(), 2);
+    log.verify().unwrap();
+    assert!(log.query(GIT_SOUNDNESS, &[]).is_ok());
+}
+
+/// End-to-end degraded mode: with the ROTE quorum unreachable under
+/// `DegradeAndAlarm`, the audit log keeps accepting entries (alarm
+/// raised); when the network heals, the next append re-binds the
+/// whole unbound prefix.
+#[test]
+fn degraded_quorum_keeps_the_log_available_and_rebinds() {
+    let s = failpoint::scenario();
+    let mut cfg = ClusterConfig::new(1);
+    cfg.deadline = std::time::Duration::from_millis(200);
+    cfg.retries = 0;
+    cfg.backoff = std::time::Duration::from_millis(1);
+    cfg.policy = QuorumPolicy::DegradeAndAlarm;
+    let cluster = std::sync::Arc::new(Cluster::with_config(cfg, b"crash-recovery").unwrap());
+    let mut log = open_log(
+        LogBacking::Memory,
+        Box::new(RoteGuard(std::sync::Arc::clone(&cluster))),
+    )
+    .unwrap();
+
+    append_one(&mut log, 0, "gg");
+    assert!(!cluster.is_degraded());
+
+    // Partition: every node delivery is dropped.
+    s.set("rote::node::deliver", FaultSpec::error());
+    append_one(&mut log, 1, "gg");
+    append_one(&mut log, 2, "gg");
+    let st = cluster.stats();
+    assert!(st.degraded, "quorum loss must raise the alarm, not stop the log");
+    assert_eq!(st.unbound, 2);
+
+    // The partition heals; the next append re-binds entries 2..=4.
+    s.unset("rote::node::deliver");
+    append_one(&mut log, 3, "gg");
+    let st = cluster.stats();
+    assert!(!st.degraded);
+    assert_eq!(st.rebinds, 1);
+    assert_eq!(st.unbound, 0);
+    log.verify().unwrap();
+}
+
+/// Every reopen advances the sealed nonce epoch, so records written
+/// after a crash can never reuse a (epoch, counter) nonce prefix from
+/// before it.
+#[test]
+fn restart_advances_the_sealed_epoch() {
+    let path = TempPath::new("libseal-epoch", "log");
+    let epoch_of = |log: &AuditLog| -> String {
+        match log
+            .query("SELECT v FROM _libseal_meta WHERE k = 'epoch'", &[])
+            .unwrap()
+            .scalar()
+        {
+            Some(Value::Text(t)) => t.clone(),
+            other => panic!("missing epoch row: {other:?}"),
+        }
+    };
+    {
+        let mut log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+        append_one(&mut log, 0, "hh");
+        assert_eq!(epoch_of(&log), "1");
+        log.flush().unwrap();
+    }
+    let log = open_log(LogBacking::Disk(path.to_path_buf()), Box::new(NoGuard)).unwrap();
+    assert_eq!(epoch_of(&log), "2");
+}
+
+/// An open of a clean, signed log reports a quiet recovery: nothing
+/// salvaged, nothing rolled forward, no crash window.
+#[test]
+fn clean_reopen_reports_quiet_recovery() {
+    let path = TempPath::new("libseal-quiet", "log");
+    {
+        let mut log =
+            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        for i in 0..2 {
+            append_one(&mut log, i, "ii");
+        }
+        log.flush().unwrap();
+    }
+    let log = open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(2)).unwrap();
+    assert_eq!(
+        log.recovery_report(),
+        RecoveryReport {
+            salvaged_bytes: 0,
+            rolled_forward: 0,
+            durable_counter: 2,
+            attested_counter: 2,
+            crash_window: false,
+        }
+    );
+}

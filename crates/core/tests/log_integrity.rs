@@ -87,7 +87,9 @@ fn rollback_across_restart_detected() {
         value: std::sync::atomic::AtomicU64::new(5),
     });
     match open_log(LogBacking::Disk(path.to_path_buf()), guard) {
-        Err(LibSealError::Log(m)) => assert!(m.contains("rollback"), "{m}"),
+        Err(LibSealError::Log(m)) | Err(LibSealError::Tampered(m)) => {
+            assert!(m.contains("rollback"), "{m}");
+        }
         other => panic!("rollback not detected: {:?}", other.map(|_| ())),
     }
 }

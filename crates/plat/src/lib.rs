@@ -17,9 +17,13 @@
 //! - [`tmp`] — RAII temp-path guard for disk-backed tests.
 //! - [`check`] — seeded, shrink-free property-testing harness (the
 //!   `proptest` surface, deterministic by construction).
+//! - [`failpoint`] — deterministic fault injection (the `fail-rs`
+//!   surface): named sites, per-test scoped fault scenarios, torn
+//!   writes and simulated crashes for crash-consistency testing.
 
 pub mod channel;
 pub mod check;
 pub mod entropy;
+pub mod failpoint;
 pub mod sync;
 pub mod tmp;

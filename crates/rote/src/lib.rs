@@ -13,25 +13,50 @@
 //! instances owned by the provider. As in ROTE, counter messages are
 //! authenticated with per-channel MAC keys established once at cluster
 //! setup (after mutual attestation), not per-message signatures.
+//!
+//! # Hardening
+//!
+//! Requests fan out to every node **concurrently** (one worker thread
+//! per node, simulating the per-connection threads a networked
+//! deployment would run), so an increment pays the slowest node's
+//! latency once, not the sum. Each round collects acknowledgements
+//! under a deadline; a round that misses quorum is retried a bounded
+//! number of times with exponential, jittered backoff. What happens
+//! when every retry fails is the cluster's [`QuorumPolicy`]:
+//!
+//! - [`QuorumPolicy::FailStop`] (the paper's behaviour): the increment
+//!   fails and the local value does not advance — the service stops
+//!   accepting requests rather than produce unbound log entries.
+//! - [`QuorumPolicy::DegradeAndAlarm`]: the increment succeeds
+//!   *unbound* (empty ack vector), the cluster enters degraded mode and
+//!   counts unbound increments. Because acknowledgements are for an
+//!   absolute counter value, the first subsequent quorum-acknowledged
+//!   increment (or an explicit [`Cluster::rebind`]) re-binds the entire
+//!   unbound prefix at once. [`Cluster::stats`] exposes the alarm
+//!   state so operators and auditors can see the rollback-protection
+//!   gap.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use libseal_crypto::hmac::HmacSha256;
+use plat::channel::{self, RecvTimeoutError};
 
 /// Errors from the counter protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoteError {
     /// Fewer than a quorum of valid acknowledgements.
     NoQuorum {
-        /// Valid acknowledgements received.
+        /// Valid acknowledgements received (best round).
         acks: usize,
         /// Required quorum size.
         needed: usize,
     },
     /// The cluster configuration is invalid.
     BadConfig(String),
+    /// The transport to the counter nodes failed outright.
+    Transport(String),
 }
 
 impl std::fmt::Display for RoteError {
@@ -41,6 +66,7 @@ impl std::fmt::Display for RoteError {
                 write!(f, "no quorum: {acks} acks, {needed} needed")
             }
             RoteError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            RoteError::Transport(m) => write!(f, "transport failure: {m}"),
         }
     }
 }
@@ -156,24 +182,162 @@ impl CounterNode {
     }
 }
 
+/// What the cluster does when an increment exhausts its retries
+/// without reaching quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumPolicy {
+    /// Refuse the increment ([`RoteError::NoQuorum`]); the service
+    /// stops rather than write rollback-unprotected entries.
+    FailStop,
+    /// Grant the increment *unbound* (no acks), raise the degraded
+    /// alarm, and re-bind the whole unbound prefix when quorum returns.
+    DegradeAndAlarm,
+}
+
+/// Tuning knobs for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Fault tolerance: the cluster spawns `3f + 1` nodes and needs
+    /// `2f + 1` acknowledgements.
+    pub f: usize,
+    /// Simulated per-request latency of each node.
+    pub latency: Duration,
+    /// How long one round waits for acknowledgements before giving up
+    /// on the silent nodes.
+    pub deadline: Duration,
+    /// Additional rounds attempted after the first misses quorum.
+    pub retries: u32,
+    /// Base backoff between rounds; doubled per retry, plus up to 50 %
+    /// random jitter so restarted peers do not retry in lockstep.
+    pub backoff: Duration,
+    /// What to do when every round misses quorum.
+    pub policy: QuorumPolicy,
+}
+
+impl ClusterConfig {
+    /// Defaults for tolerance `f`: zero simulated latency, 1 s round
+    /// deadline, 2 retries at 5 ms base backoff, fail-stop.
+    pub fn new(f: usize) -> ClusterConfig {
+        ClusterConfig {
+            f,
+            latency: Duration::ZERO,
+            deadline: Duration::from_secs(1),
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            policy: QuorumPolicy::FailStop,
+        }
+    }
+}
+
+/// Degraded-mode status (see [`QuorumPolicy::DegradeAndAlarm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Whether the cluster is currently appending unbound entries.
+    pub degraded: bool,
+    /// Increments granted without quorum since the last re-bind.
+    pub unbound: u64,
+    /// Completed re-binds (degraded episodes that ended with quorum).
+    pub rebinds: u64,
+}
+
+/// A request delivered to a node's worker thread.
+enum Request {
+    IncrementTo {
+        target: u64,
+        reply: channel::Sender<Option<CounterAck>>,
+    },
+    Read {
+        reply: channel::Sender<Option<CounterAck>>,
+    },
+}
+
 /// A quorum of counter nodes plus the local view.
 pub struct Cluster {
     nodes: Vec<Arc<CounterNode>>,
     keys: Vec<[u8; 32]>,
-    f: usize,
+    cfg: ClusterConfig,
     local: AtomicU64,
     counter_id: Vec<u8>,
+    /// Per-node request channels into the worker threads.
+    senders: Vec<channel::Sender<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    degraded: AtomicBool,
+    unbound: AtomicU64,
+    rebinds: AtomicU64,
+}
+
+/// Serves one node's requests; exits when the cluster drops its
+/// sender. Delivery runs through the `rote::node::deliver` failpoint
+/// so tests can drop or delay individual messages.
+fn worker_loop(
+    node: Arc<CounterNode>,
+    counter_id: Vec<u8>,
+    rx: channel::Receiver<Request>,
+) {
+    loop {
+        let req = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let dropped = plat::failpoint::check("rote::node::deliver").is_err();
+        match req {
+            Request::IncrementTo { target, reply } => {
+                let ack = if dropped {
+                    None
+                } else {
+                    node.increment_to(&counter_id, target)
+                };
+                // The requester may have moved on (deadline passed and
+                // its reply channel is gone): a late ack is dropped, as
+                // a late network packet would be.
+                let _ = reply.send(ack);
+            }
+            Request::Read { reply } => {
+                let ack = if dropped { None } else { node.read(&counter_id) };
+                let _ = reply.send(ack);
+            }
+        }
+    }
+}
+
+/// Exponential backoff with up to 50 % random jitter.
+fn backoff_with_jitter(base: Duration, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+    if exp.is_zero() {
+        return exp;
+    }
+    let mut b = [0u8; 8];
+    plat::entropy::fill(&mut b);
+    let r = u64::from_le_bytes(b);
+    exp + Duration::from_micros(r % ((exp.as_micros() as u64) / 2 + 1))
 }
 
 impl Cluster {
     /// Builds a cluster tolerating `f` faults (spawning `3f + 1` nodes)
-    /// with per-request `latency`.
+    /// with per-request `latency` and default hardening knobs
+    /// (see [`ClusterConfig::new`]).
     ///
     /// # Errors
     ///
-    /// Never fails for `f >= 0`; kept fallible for future transports.
+    /// As [`Cluster::with_config`].
     pub fn new(f: usize, latency: Duration, counter_id: &[u8]) -> Result<Cluster, RoteError> {
-        let n = 3 * f + 1;
+        let mut cfg = ClusterConfig::new(f);
+        cfg.latency = latency;
+        Self::with_config(cfg, counter_id)
+    }
+
+    /// Builds a cluster from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`RoteError::BadConfig`] on a zero round deadline (every round
+    /// would time out before any node could answer).
+    pub fn with_config(cfg: ClusterConfig, counter_id: &[u8]) -> Result<Cluster, RoteError> {
+        if cfg.deadline.is_zero() {
+            return Err(RoteError::BadConfig("round deadline must be non-zero".into()));
+        }
+        let n = 3 * cfg.f + 1;
         let nodes: Vec<Arc<CounterNode>> = (0..n)
             .map(|i| {
                 // Channel keys from the (simulated) attestation
@@ -181,22 +345,36 @@ impl Cluster {
                 let mut key = [0u8; 32];
                 key[..8].copy_from_slice(&(i as u64 + 1).to_le_bytes());
                 key[8..16].copy_from_slice(&(counter_id.len() as u64).to_le_bytes());
-                Arc::new(CounterNode::new(i, &key, latency))
+                Arc::new(CounterNode::new(i, &key, cfg.latency))
             })
             .collect();
         let keys = nodes.iter().map(|n| n.channel_key()).collect();
+        let mut senders = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for node in &nodes {
+            let (tx, rx) = channel::unbounded();
+            let node = Arc::clone(node);
+            let id = counter_id.to_vec();
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || worker_loop(node, id, rx)));
+        }
         Ok(Cluster {
             nodes,
             keys,
-            f,
+            cfg,
             local: AtomicU64::new(0),
             counter_id: counter_id.to_vec(),
+            senders,
+            workers,
+            degraded: AtomicBool::new(false),
+            unbound: AtomicU64::new(0),
+            rebinds: AtomicU64::new(0),
         })
     }
 
     /// Quorum size (`2f + 1`).
     pub fn quorum(&self) -> usize {
-        2 * self.f + 1
+        2 * self.cfg.f + 1
     }
 
     /// Number of nodes (`3f + 1`).
@@ -214,33 +392,167 @@ impl Cluster {
         self.local.load(Ordering::SeqCst)
     }
 
+    /// Degraded-mode status.
+    pub fn stats(&self) -> DegradedStats {
+        DegradedStats {
+            degraded: self.degraded.load(Ordering::SeqCst),
+            unbound: self.unbound.load(Ordering::SeqCst),
+            rebinds: self.rebinds.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Whether the cluster is appending unbound entries (quorum lost
+    /// under [`QuorumPolicy::DegradeAndAlarm`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// One concurrent fan-out round for `target`; returns the valid
+    /// acks gathered before quorum, all-replied, or the deadline.
+    fn increment_round(&self, target: u64) -> Vec<CounterAck> {
+        if plat::failpoint::check("rote::round").is_err() {
+            return Vec::new();
+        }
+        let (tx, rx) = channel::unbounded();
+        for s in &self.senders {
+            let _ = s.send(Request::IncrementTo {
+                target,
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+        self.collect(&rx, Some(target))
+    }
+
+    /// One concurrent read round; collects every answer that arrives
+    /// before the deadline.
+    fn read_round(&self) -> Vec<CounterAck> {
+        if plat::failpoint::check("rote::round").is_err() {
+            return Vec::new();
+        }
+        let (tx, rx) = channel::unbounded();
+        for s in &self.senders {
+            let _ = s.send(Request::Read { reply: tx.clone() });
+        }
+        drop(tx);
+        self.collect(&rx, None)
+    }
+
+    /// Drains one round's replies. With `expect = Some(target)` the
+    /// collection stops as soon as a quorum of valid acks for `target`
+    /// is in hand; with `None` (recovery reads) it waits for every
+    /// node or the deadline, since more answers sharpen the `f+1`-th
+    /// highest estimate.
+    fn collect(
+        &self,
+        rx: &channel::Receiver<Option<CounterAck>>,
+        expect: Option<u64>,
+    ) -> Vec<CounterAck> {
+        let deadline = Instant::now() + self.cfg.deadline;
+        let mut acks = Vec::new();
+        let mut replies = 0usize;
+        while replies < self.size() {
+            if expect.is_some() && acks.len() >= self.quorum() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Some(ack)) => {
+                    replies += 1;
+                    let expected = expect.unwrap_or(ack.value);
+                    if self.verify_ack(&ack, expected) {
+                        acks.push(ack);
+                    }
+                }
+                Ok(None) => replies += 1,
+                Err(_) => break,
+            }
+        }
+        acks
+    }
+
+    /// Runs `round` up to `1 + retries` times with jittered backoff.
+    fn with_retries(
+        &self,
+        round: impl Fn(&Cluster) -> Vec<CounterAck>,
+    ) -> Result<Vec<CounterAck>, RoteError> {
+        let mut best = 0usize;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff_with_jitter(self.cfg.backoff, attempt));
+            }
+            let acks = round(self);
+            if acks.len() >= self.quorum() {
+                return Ok(acks);
+            }
+            best = best.max(acks.len());
+        }
+        Err(RoteError::NoQuorum {
+            acks: best,
+            needed: self.quorum(),
+        })
+    }
+
     /// Increments the counter, collecting a quorum of signed acks.
+    ///
+    /// Fan-out is concurrent, so the call pays roughly one node
+    /// latency, bounded by the round deadline times retries.
     ///
     /// # Errors
     ///
-    /// [`RoteError::NoQuorum`] when too many nodes fail to respond
-    /// validly; the local value is not advanced in that case.
+    /// Under [`QuorumPolicy::FailStop`], [`RoteError::NoQuorum`] when
+    /// every round misses quorum; the local value is not advanced.
+    /// Under [`QuorumPolicy::DegradeAndAlarm`] quorum loss is not an
+    /// error: the increment succeeds with an **empty ack vector**
+    /// (unbound — see [`Cluster::stats`]).
     pub fn increment(&self) -> Result<(u64, Vec<CounterAck>), RoteError> {
         let target = self.local.load(Ordering::SeqCst) + 1;
-        let mut acks = Vec::new();
-        for node in &self.nodes {
-            if let Some(ack) = node.increment_to(&self.counter_id, target) {
-                if self.verify_ack(&ack, target) {
-                    acks.push(ack);
+        match self.with_retries(|c| c.increment_round(target)) {
+            Ok(acks) => {
+                self.local.store(target, Ordering::SeqCst);
+                if self.degraded.swap(false, Ordering::SeqCst) {
+                    // Acks are for the absolute value `target`, so a
+                    // quorum at `target` vouches for the whole unbound
+                    // prefix below it: the episode ends here.
+                    self.unbound.store(0, Ordering::SeqCst);
+                    self.rebinds.fetch_add(1, Ordering::SeqCst);
                 }
+                Ok((target, acks))
             }
-            if acks.len() >= self.quorum() {
-                break;
-            }
+            Err(RoteError::NoQuorum { acks, needed }) => match self.cfg.policy {
+                QuorumPolicy::FailStop => Err(RoteError::NoQuorum { acks, needed }),
+                QuorumPolicy::DegradeAndAlarm => {
+                    self.local.store(target, Ordering::SeqCst);
+                    self.degraded.store(true, Ordering::SeqCst);
+                    self.unbound.fetch_add(1, Ordering::SeqCst);
+                    Ok((target, Vec::new()))
+                }
+            },
+            Err(e) => Err(e),
         }
-        if acks.len() < self.quorum() {
-            return Err(RoteError::NoQuorum {
-                acks: acks.len(),
-                needed: self.quorum(),
-            });
+    }
+
+    /// Attempts to bind the current local value to a quorum without
+    /// incrementing — the explicit way out of degraded mode when no
+    /// new appends are arriving. Returns `Ok(None)` when not degraded.
+    ///
+    /// # Errors
+    ///
+    /// [`RoteError::NoQuorum`] when the quorum is still unavailable;
+    /// the cluster stays degraded.
+    pub fn rebind(&self) -> Result<Option<Vec<CounterAck>>, RoteError> {
+        if !self.degraded.load(Ordering::SeqCst) {
+            return Ok(None);
         }
-        self.local.store(target, Ordering::SeqCst);
-        Ok((target, acks))
+        let target = self.local.load(Ordering::SeqCst);
+        let acks = self.with_retries(|c| c.increment_round(target))?;
+        self.degraded.store(false, Ordering::SeqCst);
+        self.unbound.store(0, Ordering::SeqCst);
+        self.rebinds.fetch_add(1, Ordering::SeqCst);
+        Ok(Some(acks))
     }
 
     /// Reads the highest value a quorum can attest to (recovery after
@@ -249,25 +561,17 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`RoteError::NoQuorum`] when fewer than `2f + 1` nodes respond.
+    /// [`RoteError::NoQuorum`] when fewer than `2f + 1` nodes respond
+    /// across all retries; [`RoteError::Transport`] when the recovery
+    /// path itself fails (fault injection).
     pub fn recover(&self) -> Result<u64, RoteError> {
-        let mut values = Vec::new();
-        for node in &self.nodes {
-            if let Some(ack) = node.read(&self.counter_id) {
-                if self.verify_ack(&ack, ack.value) {
-                    values.push(ack.value);
-                }
-            }
-        }
-        if values.len() < self.quorum() {
-            return Err(RoteError::NoQuorum {
-                acks: values.len(),
-                needed: self.quorum(),
-            });
-        }
+        plat::failpoint::check("rote::recover")
+            .map_err(|e| RoteError::Transport(e.to_string()))?;
+        let acks = self.with_retries(|c| c.read_round())?;
+        let mut values: Vec<u64> = acks.iter().map(|a| a.value).collect();
         values.sort_unstable_by(|a, b| b.cmp(a));
         // The (f+1)-th highest value is vouched for by >= 1 honest node.
-        let v = values[self.f.min(values.len() - 1)];
+        let v = values[self.cfg.f.min(values.len() - 1)];
         self.local.store(v, Ordering::SeqCst);
         Ok(v)
     }
@@ -278,6 +582,17 @@ impl Cluster {
         }
         let payload = CounterNode::mac_payload(&self.counter_id, ack.value);
         HmacSha256::verify(&self.keys[ack.node], &payload, &ack.mac)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Dropping the senders disconnects every worker's channel;
+        // the workers observe it and exit.
+        self.senders.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -361,12 +676,27 @@ mod tests {
     }
 
     #[test]
-    fn latency_is_paid_per_increment() {
-        let c = Cluster::new(1, Duration::from_millis(2), b"x").unwrap();
+    fn fan_out_pays_max_latency_not_sum() {
+        let c = Cluster::new(1, Duration::from_millis(20), b"x").unwrap();
         let start = std::time::Instant::now();
         c.increment().unwrap();
-        // Quorum of 3 sequential requests at 2 ms each.
-        assert!(start.elapsed() >= Duration::from_millis(6));
+        let elapsed = start.elapsed();
+        // Concurrent fan-out: one node latency, not quorum * latency.
+        assert!(elapsed >= Duration::from_millis(20), "latency is still paid");
+        assert!(
+            elapsed < Duration::from_millis(60),
+            "3 node latencies paid sequentially ({elapsed:?}): fan-out is not concurrent"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        let mut cfg = ClusterConfig::new(1);
+        cfg.deadline = Duration::ZERO;
+        assert!(matches!(
+            Cluster::with_config(cfg, b"x"),
+            Err(RoteError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -376,5 +706,73 @@ mod tests {
         a.increment().unwrap();
         assert_eq!(a.current(), 1);
         assert_eq!(b.current(), 0);
+    }
+
+    #[test]
+    fn degrade_and_alarm_keeps_appending_and_rebinds() {
+        let mut cfg = ClusterConfig::new(1);
+        cfg.policy = QuorumPolicy::DegradeAndAlarm;
+        cfg.retries = 0;
+        cfg.backoff = Duration::ZERO;
+        let c = Cluster::with_config(cfg, b"audit-log").unwrap();
+        c.increment().unwrap();
+        assert!(!c.is_degraded());
+        // Quorum lost: appends continue, unbound.
+        c.node(0).set_down(true);
+        c.node(1).set_down(true);
+        let (v, acks) = c.increment().unwrap();
+        assert_eq!(v, 2);
+        assert!(acks.is_empty(), "unbound entries carry no acks");
+        c.increment().unwrap();
+        let s = c.stats();
+        assert!(s.degraded);
+        assert_eq!(s.unbound, 2);
+        // Quorum returns: the next increment re-binds the whole prefix.
+        c.node(0).set_down(false);
+        c.node(1).set_down(false);
+        let (v, acks) = c.increment().unwrap();
+        assert_eq!(v, 4);
+        assert!(acks.len() >= c.quorum());
+        let s = c.stats();
+        assert!(!s.degraded);
+        assert_eq!(s.unbound, 0);
+        assert_eq!(s.rebinds, 1);
+    }
+
+    #[test]
+    fn explicit_rebind_clears_degraded_mode() {
+        let mut cfg = ClusterConfig::new(1);
+        cfg.policy = QuorumPolicy::DegradeAndAlarm;
+        cfg.retries = 0;
+        cfg.backoff = Duration::ZERO;
+        let c = Cluster::with_config(cfg, b"audit-log").unwrap();
+        c.node(0).set_down(true);
+        c.node(1).set_down(true);
+        c.increment().unwrap();
+        assert!(c.is_degraded());
+        // Still no quorum: rebind fails, mode persists.
+        assert!(c.rebind().is_err());
+        assert!(c.is_degraded());
+        c.node(0).set_down(false);
+        c.node(1).set_down(false);
+        let acks = c.rebind().unwrap().expect("was degraded");
+        assert!(acks.len() >= c.quorum());
+        assert!(!c.is_degraded());
+        assert_eq!(c.stats().rebinds, 1);
+        // Not degraded: rebind is a no-op.
+        assert!(c.rebind().unwrap().is_none());
+    }
+
+    #[test]
+    fn failstop_counter_resumes_after_quorum_returns() {
+        let c = cluster(1);
+        c.increment().unwrap();
+        c.node(0).set_down(true);
+        c.node(1).set_down(true);
+        assert!(c.increment().is_err());
+        c.node(0).set_down(false);
+        c.node(1).set_down(false);
+        let (v, _) = c.increment().unwrap();
+        assert_eq!(v, 2, "failed increment did not burn a value");
     }
 }

@@ -3,7 +3,7 @@
 use crate::ast::{Expr, SelectItem, Stmt};
 use crate::catalog::Catalog;
 use crate::exec::{exec_select, Ctx, Rows};
-use crate::journal::{Journal, JournalCodec, SyncPolicy};
+use crate::journal::{Journal, JournalCodec, SalvageInfo, SyncPolicy};
 use crate::parser;
 use crate::value::Value;
 use crate::{DbError, Result};
@@ -41,6 +41,9 @@ pub struct Database {
     /// memoization). On by default; turned off to get the reference
     /// nested-loop executor for equivalence testing and benchmarks.
     planner: bool,
+    /// Torn-tail salvage performed while replaying the journal on
+    /// [`Database::open`], if any.
+    salvage: Option<SalvageInfo>,
 }
 
 impl Default for Database {
@@ -57,6 +60,7 @@ impl Database {
             journal: None,
             replaying: false,
             planner: true,
+            salvage: None,
         }
     }
 
@@ -86,6 +90,7 @@ impl Database {
         let mut journal = Journal::open(path, codec, sync)?;
         let entries = journal.replay()?;
         let mut db = Database::new();
+        db.salvage = journal.last_salvage();
         db.replaying = true;
         for e in entries {
             db.execute_with(&e.sql, &e.params)?;
@@ -93,6 +98,13 @@ impl Database {
         db.replaying = false;
         db.journal = Some(journal);
         Ok(db)
+    }
+
+    /// The torn-tail salvage performed while opening this database, if
+    /// recovery had to drop a torn final frame. Callers (the audit
+    /// layer) reconcile the lost tail against their rollback counter.
+    pub fn salvage_report(&self) -> Option<SalvageInfo> {
+        self.salvage
     }
 
     /// Executes one or more `;`-separated statements without
@@ -407,17 +419,23 @@ impl Database {
         Ok(())
     }
 
-    /// Compacts persistent storage: truncates the journal and rewrites
-    /// it as a snapshot (schema + data dump).
+    /// Compacts persistent storage: atomically replaces the journal
+    /// with a snapshot (schema + data dump).
+    ///
+    /// The snapshot is written to a temp file and renamed over the
+    /// journal ([`Journal::rewrite`]), so a crash at any point during
+    /// compaction leaves either the complete old journal or the
+    /// complete snapshot — never an empty or partial log.
     ///
     /// # Errors
     ///
-    /// I/O errors while rewriting the journal.
+    /// I/O errors while rewriting the journal; the live journal is
+    /// untouched on error.
     pub fn compact(&mut self) -> Result<()> {
         let Some(journal) = self.journal.as_mut() else {
             return Ok(());
         };
-        journal.truncate()?;
+        let mut records: Vec<(String, Vec<Value>)> = Vec::new();
         for t in self.catalog.tables_sorted() {
             let cols: Vec<String> = t
                 .columns
@@ -430,33 +448,24 @@ impl Database {
                     s
                 })
                 .collect();
-            journal.append(
-                &format!("CREATE TABLE {}({})", t.name, cols.join(", ")),
-                &[],
-            )?;
+            records.push((format!("CREATE TABLE {}({})", t.name, cols.join(", ")), vec![]));
             for row in &t.rows {
                 let placeholders = vec!["?"; row.len()].join(", ");
-                journal.append(
-                    &format!("INSERT INTO {} VALUES ({placeholders})", t.name),
-                    row,
-                )?;
+                records.push((
+                    format!("INSERT INTO {} VALUES ({placeholders})", t.name),
+                    row.clone(),
+                ));
             }
             for (ix_name, col_name) in t.indexes_sorted() {
-                journal.append(
-                    &format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name),
-                    &[],
-                )?;
+                records.push((format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name), vec![]));
             }
         }
         for (name, query) in self.catalog.views_sorted() {
             // Views are re-created from their stored AST via a dump of
             // the original text; regenerate a canonical form.
-            journal.append(
-                &format!("CREATE VIEW {name} AS {}", render_select(query)),
-                &[],
-            )?;
+            records.push((format!("CREATE VIEW {name} AS {}", render_select(query)), vec![]));
         }
-        Ok(())
+        journal.rewrite(&records)
     }
 
     /// Approximate size of all table data in bytes.

@@ -241,6 +241,9 @@ fn serve_connection(
     served: &AtomicU64,
 ) -> Result<()> {
     sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    // A slow-reading client must not wedge the worker on a blocked
+    // write either.
+    sock.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
     let mut session = tls.open_session(worker)?;
     // Always release the (enclave) session state, whatever path exits
     // the connection loop.

@@ -152,6 +152,9 @@ fn proxy_connection(
     proxied: &AtomicU64,
 ) -> Result<()> {
     sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    // A slow-reading client must not wedge the worker on a blocked
+    // write either.
+    sock.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
     let mut session = tls.open_session(worker)?;
     let result = proxy_established(&mut session, &mut sock, upstream, roots, proxied);
     session.close();
