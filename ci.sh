@@ -21,3 +21,8 @@ cargo run --release -p libseal-bench --bin scaling_gate
 # recovery contract (durable prefix, verifying chain, reconciled
 # counter). Bounded: one fixed workload per (site, fault) pair.
 cargo run --release -p libseal-bench --bin crash_matrix
+
+# Telemetry must stay near-free on the hottest audited path: compare
+# audited-append throughput with the registry enabled vs disabled
+# (no-op handles) and fail on a >5% regression.
+cargo run --release -p libseal-bench --bin telemetry_overhead

@@ -5,6 +5,11 @@
 //! binary measures append cost as the layers accumulate, showing where
 //! the paper's "LibSEAL-mem vs LibSEAL-disk" gap comes from.
 //!
+//! Latencies are reported from telemetry [`Histogram`]s (the same
+//! log-linear instrument behind `/metrics`), and the footer
+//! cross-checks the per-layer numbers against the counters the
+//! instrumented crates themselves recorded.
+//!
 //! ```sh
 //! cargo run --release -p libseal-bench --bin ablation
 //! ```
@@ -16,15 +21,33 @@ use libseal::{GitModule, ServiceModule};
 use libseal_bench::*;
 use libseal_crypto::ed25519::SigningKey;
 use libseal_sealdb::{Database, Value};
+use libseal_telemetry::{Histogram, HistogramSnapshot};
 
 const N: u64 = 300;
 
-fn time_per_op(mut f: impl FnMut(u64)) -> f64 {
-    let t0 = Instant::now();
+/// Runs `f` N times, recording each call into a fresh telemetry
+/// histogram; quantiles come from its log-linear buckets.
+fn measure(mut f: impl FnMut(u64)) -> HistogramSnapshot {
+    let h = Histogram::new();
     for i in 0..N {
+        let t0 = Instant::now();
         f(i);
+        h.record_duration(t0.elapsed());
     }
-    t0.elapsed().as_secs_f64() * 1e6 / N as f64
+    h.snapshot()
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+fn row(label: &str, s: &HistogramSnapshot) -> Vec<String> {
+    vec![
+        label.into(),
+        us(s.mean()),
+        us(s.percentile(0.5)),
+        us(s.percentile(0.95)),
+    ]
 }
 
 fn audit_log(backing: LogBacking, guard: Box<dyn RollbackGuard>) -> AuditLog {
@@ -65,32 +88,29 @@ fn main() {
             "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
         )
         .unwrap();
-        let us = time_per_op(|i| {
+        let s = measure(|i| {
             db.execute_with(
                 "INSERT INTO updates VALUES (?, 'repo', 'refs/heads/main', ?, 'update')",
                 &[Value::Integer(i as i64), Value::Text(format!("{i:040x}"))],
             )
             .unwrap();
         });
-        rows.push(vec!["bare INSERT (sealdb)".into(), format!("{us:.1}")]);
+        rows.push(row("bare INSERT (sealdb)", &s));
     }
 
     // Layer 1: + hash chain + Ed25519 head signature (in-memory).
     {
         let mut log = audit_log(LogBacking::Memory, Box::new(NoGuard));
-        let us = time_per_op(|i| append(&mut log, i));
-        rows.push(vec![
-            "+ hash chain + signed head (mem)".into(),
-            format!("{us:.1}"),
-        ]);
+        let s = measure(|i| append(&mut log, i));
+        rows.push(row("+ hash chain + signed head (mem)", &s));
     }
 
     // Layer 2: + ROTE rollback counter (f = 1 quorum, in-process).
     {
         let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
         let mut log = audit_log(LogBacking::Memory, Box::new(RoteGuard(std::sync::Arc::new(cluster))));
-        let us = time_per_op(|i| append(&mut log, i));
-        rows.push(vec!["+ ROTE quorum counter".into(), format!("{us:.1}")]);
+        let s = measure(|i| append(&mut log, i));
+        rows.push(row("+ ROTE quorum counter", &s));
     }
 
     // Layer 3: + sealed journal on disk, buffered (no fsync).
@@ -101,11 +121,8 @@ fn main() {
             LogBacking::DiskNoSync(path.clone()),
             Box::new(RoteGuard(std::sync::Arc::new(cluster))),
         );
-        let us = time_per_op(|i| append(&mut log, i));
-        rows.push(vec![
-            "+ sealed journal (buffered)".into(),
-            format!("{us:.1}"),
-        ]);
+        let s = measure(|i| append(&mut log, i));
+        rows.push(row("+ sealed journal (buffered)", &s));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -117,11 +134,11 @@ fn main() {
             LogBacking::Disk(path.clone()),
             Box::new(RoteGuard(std::sync::Arc::new(cluster))),
         );
-        let us = time_per_op(|i| {
+        let s = measure(|i| {
             append(&mut log, i);
             log.flush().unwrap();
         });
-        rows.push(vec!["+ fsync per append".into(), format!("{us:.1}")]);
+        rows.push(row("+ fsync per append", &s));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -131,21 +148,39 @@ fn main() {
         let counter =
             libseal_sgxsim::MonotonicCounter::with_properties(Duration::from_millis(100), 1 << 30);
         let mut log = audit_log(LogBacking::Memory, Box::new(HwCounterGuard(counter)));
-        let t0 = Instant::now();
+        let h = Histogram::new();
         for i in 0..5 {
+            let t0 = Instant::now();
             append(&mut log, i);
+            h.record_duration(t0.elapsed());
         }
-        let us = t0.elapsed().as_secs_f64() * 1e6 / 5.0;
+        let s = h.snapshot();
         rows.push(vec![
             "ALT: SGX hardware counter instead of ROTE".into(),
-            format!("{us:.0}"),
+            format!("{:.0}", s.mean() as f64 / 1000.0),
+            format!("{:.0}", s.percentile(0.5) as f64 / 1000.0),
+            format!("{:.0}", s.percentile(0.95) as f64 / 1000.0),
         ]);
     }
 
     print_table(
         "Ablation: audit-log append cost by design layer",
-        &["configuration", "us per append"],
+        &["configuration", "mean us", "p50 us", "p95 us"],
         &rows,
+    );
+
+    // Cross-check against what the instrumented crates recorded into
+    // the process-wide registry while the layers ran.
+    let reg = libseal_telemetry::global();
+    let append_ns = reg.histogram("core_append_ns").snapshot();
+    println!(
+        "\ntelemetry cross-check: core_append_ns count={} mean={}us p95={}us, \
+         sealdb_journal_fsyncs_total={}, rote_round_ns p50={}us",
+        append_ns.count(),
+        us(append_ns.mean()),
+        us(append_ns.percentile(0.95)),
+        reg.counter("sealdb_journal_fsyncs_total").get(),
+        us(reg.histogram("rote_round_ns").snapshot().percentile(0.5)),
     );
     println!(
         "\nreading: the chain+signature dominates the in-memory cost; the ROTE \

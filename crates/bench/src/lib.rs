@@ -95,29 +95,33 @@ pub fn libseal_instance(
         BenchConfig::Process => None,
         BenchConfig::Mem | BenchConfig::Disk => ssm,
     };
-    let mut cfg = LibSealConfig::new(id.cert.clone(), id.key.clone(), ssm);
-    cfg.cost_model = CostModel {
-        // Price transitions at the contention level of the paper's
-        // deployment: Apache's default pool of 25 server threads
-        // sharing the enclave (§6.8 shows per-call cost growing
-        // steeply with in-enclave threads). A 1-core host cannot
-        // create that contention natively, so it is part of the model
-        // (see DESIGN.md, cost model notes).
-        assumed_concurrency: assumed_concurrency(slots),
-        ..CostModel::default()
-    };
-    cfg.check_interval = check_interval;
-    cfg.client_check_rate = 4;
-    // In-cluster counter sync: the latency is on the same rack in the
-    // paper's deployment; charge only the protocol work.
-    cfg.guard = GuardConfig::Rote {
-        f: 1,
-        latency: Duration::ZERO,
-    };
-    cfg.backing = match config {
-        BenchConfig::Disk => LogBacking::Disk(bench_log_path(config)),
-        _ => LogBacking::Memory,
-    };
+    let mut builder = LibSealConfig::builder(id.cert.clone(), id.key.clone())
+        .cost_model(CostModel {
+            // Price transitions at the contention level of the paper's
+            // deployment: Apache's default pool of 25 server threads
+            // sharing the enclave (§6.8 shows per-call cost growing
+            // steeply with in-enclave threads). A 1-core host cannot
+            // create that contention natively, so it is part of the model
+            // (see DESIGN.md, cost model notes).
+            assumed_concurrency: assumed_concurrency(slots),
+            ..CostModel::default()
+        })
+        .check_interval(check_interval)
+        .client_check_rate(4)
+        // In-cluster counter sync: the latency is on the same rack in the
+        // paper's deployment; charge only the protocol work.
+        .guard(GuardConfig::Rote {
+            f: 1,
+            latency: Duration::ZERO,
+        })
+        .backing(match config {
+            BenchConfig::Disk => LogBacking::Disk(bench_log_path(config)),
+            _ => LogBacking::Memory,
+        });
+    if let Some(ssm) = ssm {
+        builder = builder.ssm(ssm);
+    }
+    let cfg = builder.build();
     if sync_calls {
         LibSeal::new(cfg).expect("libseal")
     } else {
@@ -146,14 +150,17 @@ pub fn libseal_instance_with_rt(
     ssm: Option<Arc<dyn ServiceModule>>,
     rt: RuntimeConfig,
 ) -> Arc<LibSeal> {
-    let mut cfg = LibSealConfig::new(id.cert.clone(), id.key.clone(), ssm);
-    cfg.cost_model = CostModel {
-        assumed_concurrency: assumed_concurrency(rt.slots),
-        ..CostModel::default()
-    };
-    cfg.check_interval = 0;
-    cfg.guard = GuardConfig::None;
-    LibSeal::with_async(cfg, rt).expect("libseal async")
+    let mut builder = LibSealConfig::builder(id.cert.clone(), id.key.clone())
+        .cost_model(CostModel {
+            assumed_concurrency: assumed_concurrency(rt.slots),
+            ..CostModel::default()
+        })
+        .check_interval(0)
+        .guard(GuardConfig::None);
+    if let Some(ssm) = ssm {
+        builder = builder.ssm(ssm);
+    }
+    LibSeal::with_async(builder.build(), rt).expect("libseal async")
 }
 
 /// Contention level for transition pricing: the larger of the

@@ -6,6 +6,12 @@ use crate::log::AuditLog;
 use crate::ssm::ServiceModule;
 use crate::Result;
 
+/// Latency of full invariant-checking passes.
+fn check_latency_hist() -> &'static libseal_telemetry::Histogram {
+    static H: std::sync::OnceLock<libseal_telemetry::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| libseal_telemetry::histogram("core_check_ns"))
+}
+
 /// Result of running one invariant.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -87,6 +93,7 @@ impl Checker {
     ///
     /// Query failures.
     pub fn run_checks(ssm: &dyn ServiceModule, log: &AuditLog) -> Result<CheckOutcome> {
+        let started = std::time::Instant::now();
         let mut outcome = CheckOutcome {
             at_time: log.now(),
             reports: Vec::new(),
@@ -99,6 +106,7 @@ impl Checker {
                 rows: r.rows.into_iter().take(MAX_REPORT_ROWS).collect(),
             });
         }
+        check_latency_hist().record_duration(started.elapsed());
         Ok(outcome)
     }
 

@@ -39,7 +39,9 @@ pub use check::{CheckOutcome, CheckReport, Checker};
 pub use log::{AuditLog, LogBacking, TableSpec};
 pub use provision::CertProvisioner;
 pub use ssm::{DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule};
-pub use termination::{GuardConfig, LibSeal, LibSealConfig, ShadowSsl};
+pub use termination::{GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, ShadowSsl};
+
+pub use libseal_telemetry as telemetry;
 
 /// Errors surfaced by LibSEAL.
 #[derive(Debug)]
@@ -74,7 +76,15 @@ impl std::fmt::Display for LibSealError {
     }
 }
 
-impl std::error::Error for LibSealError {}
+impl std::error::Error for LibSealError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibSealError::Db(e) => Some(e),
+            LibSealError::Tls(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience alias for fallible LibSEAL operations.
 pub type Result<T> = std::result::Result<T, LibSealError>;

@@ -30,6 +30,33 @@ use libseal_sealdb::{Database, SyncPolicy, Value};
 
 use crate::{LibSealError, Result};
 
+/// Process-wide audit-log metrics: per-operation latency histograms
+/// plus recovery/rollback-alarm event counters.
+struct LogMetrics {
+    append_ns: libseal_telemetry::Histogram,
+    flush_ns: libseal_telemetry::Histogram,
+    trim_ns: libseal_telemetry::Histogram,
+    verify_ns: libseal_telemetry::Histogram,
+    appends: libseal_telemetry::Counter,
+    recoveries: libseal_telemetry::Counter,
+    rollback_alarms: libseal_telemetry::Counter,
+    salvaged_bytes: libseal_telemetry::Counter,
+}
+
+fn log_metrics() -> &'static LogMetrics {
+    static M: std::sync::OnceLock<LogMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| LogMetrics {
+        append_ns: libseal_telemetry::histogram("core_append_ns"),
+        flush_ns: libseal_telemetry::histogram("core_flush_ns"),
+        trim_ns: libseal_telemetry::histogram("core_trim_ns"),
+        verify_ns: libseal_telemetry::histogram("core_verify_ns"),
+        appends: libseal_telemetry::counter("core_appends_total"),
+        recoveries: libseal_telemetry::counter("core_recoveries_total"),
+        rollback_alarms: libseal_telemetry::counter("core_rollback_alarms_total"),
+        salvaged_bytes: libseal_telemetry::counter("core_salvaged_bytes_total"),
+    })
+}
+
 /// Where the audit log lives.
 pub enum LogBacking {
     /// In-memory only (the paper's `LibSEAL-mem` configuration).
@@ -378,10 +405,12 @@ impl AuditLog {
     }
 
     fn recover_state(&mut self) -> Result<()> {
+        log_metrics().recoveries.inc();
         // Rebuild head/seq/clock from the chain table (after journal
         // replay, which may have salvaged a torn tail).
         if let Some(s) = self.db.salvage_report() {
             self.recovery.salvaged_bytes = s.lost_bytes;
+            log_metrics().salvaged_bytes.add(s.lost_bytes);
         }
         let r = self
             .db
@@ -414,6 +443,7 @@ impl AuditLog {
         let (meta_seq, meta_counter) = match &head_meta {
             Some(m) => {
                 if m.seq > max_seq {
+                    log_metrics().rollback_alarms.inc();
                     return Err(LibSealError::Tampered(format!(
                         "rollback detected: signed head covers {} entries, log has {max_seq}",
                         m.seq
@@ -437,6 +467,7 @@ impl AuditLog {
         // counter-advance and flush legally loses.
         let attested = self.guard.attested()?;
         if attested > durable_counter + 1 {
+            log_metrics().rollback_alarms.inc();
             return Err(LibSealError::Tampered(format!(
                 "rollback detected: counter attests {attested}, durable log accounts for \
                  {durable_counter}"
@@ -533,6 +564,7 @@ impl AuditLog {
     ///
     /// Unknown table, database failures, or counter failures.
     pub fn append(&mut self, table: &str, values: &[Value]) -> Result<()> {
+        let started = std::time::Instant::now();
         let spec = self
             .tables
             .iter()
@@ -577,6 +609,8 @@ impl AuditLog {
             .map_err(|e| LibSealError::Log(e.to_string()))?;
         let counter = self.guard.increment()?;
         self.sign_head(counter)?;
+        log_metrics().append_ns.record_duration(started.elapsed());
+        log_metrics().appends.inc();
         Ok(())
     }
 
@@ -613,7 +647,12 @@ impl AuditLog {
     pub fn flush(&mut self) -> Result<()> {
         plat::failpoint::check("core::log::flush")
             .map_err(|e| LibSealError::Log(e.to_string()))?;
-        self.db.sync_journal().map_err(LibSealError::Db)
+        let started = std::time::Instant::now();
+        let r = self.db.sync_journal().map_err(LibSealError::Db);
+        if r.is_ok() {
+            log_metrics().flush_ns.record_duration(started.elapsed());
+        }
+        r
     }
 
     /// Runs a read-only query against the log (invariant checking).
@@ -645,6 +684,7 @@ impl AuditLog {
     ///
     /// [`LibSealError::Tampered`] describing the first inconsistency.
     pub fn verify(&self) -> Result<()> {
+        let started = std::time::Instant::now();
         let (head, last_seq) = self.verify_chain_rows()?;
         // Verify the signed head against the recomputed chain head.
         match self.signed_head_row()? {
@@ -661,6 +701,7 @@ impl AuditLog {
             None if last_seq == 0 => {} // Empty log: nothing signed yet.
             None => return Err(LibSealError::Tampered("head metadata missing".into())),
         }
+        log_metrics().verify_ns.record_duration(started.elapsed());
         Ok(())
     }
 
@@ -767,6 +808,7 @@ impl AuditLog {
     ///
     /// Database or counter failures.
     pub fn trim(&mut self, trim_queries: &[&str]) -> Result<()> {
+        let started = std::time::Instant::now();
         for q in trim_queries {
             self.db.execute(q).map_err(LibSealError::Db)?;
         }
@@ -822,6 +864,7 @@ impl AuditLog {
             self.db.compact().map_err(LibSealError::Db)?;
             self.db.sync_journal().map_err(LibSealError::Db)?;
         }
+        log_metrics().trim_ns.record_duration(started.elapsed());
         Ok(())
     }
 

@@ -76,14 +76,12 @@ mod tests {
     fn make_libseal(with_audit: bool) -> Arc<LibSeal> {
         let ca = CertificateAuthority::new("CA", &[1u8; 32]);
         let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-        let ssm: Option<Arc<dyn crate::ssm::ServiceModule>> = if with_audit {
-            Some(Arc::new(GitModule))
-        } else {
-            None
-        };
-        let mut cfg = LibSealConfig::new(cert, key, ssm);
-        cfg.cost_model = CostModel::free();
-        LibSeal::new(cfg).unwrap()
+        let mut builder =
+            LibSealConfig::builder(cert, key).cost_model(CostModel::free());
+        if with_audit {
+            builder = builder.ssm(Arc::new(GitModule));
+        }
+        LibSeal::new(builder.build()).unwrap()
     }
 
     #[test]

@@ -76,64 +76,162 @@ pub enum GuardConfig {
 }
 
 /// LibSEAL instance configuration.
+///
+/// Constructed exclusively through [`LibSealConfig::builder`]; the
+/// fields are crate-private so every knob flows through the fluent
+/// builder and defaults stay in one place.
 pub struct LibSealConfig {
     /// The service's TLS certificate.
-    pub cert: Certificate,
+    pub(crate) cert: Certificate,
     /// The certificate's private key (provisioned via attestation in a
     /// real deployment; see [`crate::provision`]).
-    pub key: SigningKey,
+    pub(crate) key: SigningKey,
     /// Trusted CA roots for client-certificate verification.
-    pub ca_roots: Vec<VerifyingKey>,
+    pub(crate) ca_roots: Vec<VerifyingKey>,
     /// Require client certificates (§6.3, impersonation defence).
-    pub verify_clients: bool,
+    pub(crate) verify_clients: bool,
     /// The service-specific module; `None` disables auditing (the
     /// paper's "LibSEAL-process" configuration).
-    pub ssm: Option<Arc<dyn ServiceModule>>,
+    pub(crate) ssm: Option<Arc<dyn ServiceModule>>,
     /// Log backing store.
-    pub backing: LogBacking,
+    pub(crate) backing: LogBacking,
     /// Automatic check/trim interval in pairs (0 disables).
-    pub check_interval: usize,
+    pub(crate) check_interval: usize,
     /// Trim together with automatic checks.
-    pub trim_with_check: bool,
+    pub(crate) trim_with_check: bool,
     /// Client-triggered checks allowed per interval (DoS limit, §6.3).
-    pub client_check_rate: usize,
+    pub(crate) client_check_rate: usize,
     /// Rollback protection.
-    pub guard: GuardConfig,
+    pub(crate) guard: GuardConfig,
     /// SGX cost model.
-    pub cost_model: CostModel,
+    pub(crate) cost_model: CostModel,
     /// TCS slots in the enclave.
-    pub tcs_count: u64,
+    pub(crate) tcs_count: u64,
     /// Seed for the log-signing key (derived from the sealing identity
     /// when absent).
-    pub log_signer_seed: Option<[u8; 32]>,
+    pub(crate) log_signer_seed: Option<[u8; 32]>,
     /// Maximum bytes one session may buffer while waiting for a
     /// message boundary (must exceed the largest audited message).
-    pub max_message_buffer: usize,
+    pub(crate) max_message_buffer: usize,
 }
 
 impl LibSealConfig {
-    /// A reasonable default configuration for `cert`/`key` with
-    /// auditing by `ssm`.
-    pub fn new(cert: Certificate, key: SigningKey, ssm: Option<Arc<dyn ServiceModule>>) -> Self {
-        LibSealConfig {
-            cert,
-            key,
-            ca_roots: Vec::new(),
-            verify_clients: false,
-            ssm,
-            backing: LogBacking::Memory,
-            check_interval: 25,
-            trim_with_check: true,
-            client_check_rate: 4,
-            guard: GuardConfig::Rote {
-                f: 1,
-                latency: Duration::ZERO,
+    /// Starts a configuration for a service presenting `cert`/`key`.
+    ///
+    /// Defaults: no auditing (call [`LibSealConfigBuilder::ssm`]), an
+    /// in-memory log, checks every 25 pairs with trimming, a
+    /// zero-latency `f = 1` ROTE guard, the default SGX cost model and
+    /// 16 TCS slots.
+    pub fn builder(cert: Certificate, key: SigningKey) -> LibSealConfigBuilder {
+        LibSealConfigBuilder {
+            config: LibSealConfig {
+                cert,
+                key,
+                ca_roots: Vec::new(),
+                verify_clients: false,
+                ssm: None,
+                backing: LogBacking::Memory,
+                check_interval: 25,
+                trim_with_check: true,
+                client_check_rate: 4,
+                guard: GuardConfig::Rote {
+                    f: 1,
+                    latency: Duration::ZERO,
+                },
+                cost_model: CostModel::default(),
+                tcs_count: 16,
+                log_signer_seed: None,
+                max_message_buffer: MAX_MESSAGE_BUFFER,
             },
-            cost_model: CostModel::default(),
-            tcs_count: 16,
-            log_signer_seed: None,
-            max_message_buffer: MAX_MESSAGE_BUFFER,
         }
+    }
+}
+
+/// Fluent builder for [`LibSealConfig`] (see
+/// [`LibSealConfig::builder`]).
+pub struct LibSealConfigBuilder {
+    config: LibSealConfig,
+}
+
+impl LibSealConfigBuilder {
+    /// Audits traffic with the given service-specific module.
+    pub fn ssm(mut self, ssm: Arc<dyn ServiceModule>) -> Self {
+        self.config.ssm = Some(ssm);
+        self
+    }
+
+    /// Selects the audit-log backing store.
+    pub fn backing(mut self, backing: LogBacking) -> Self {
+        self.config.backing = backing;
+        self
+    }
+
+    /// Selects the rollback-protection guard.
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.config.guard = guard;
+        self
+    }
+
+    /// Automatic check/trim interval in request/response pairs
+    /// (0 disables).
+    pub fn check_interval(mut self, pairs: usize) -> Self {
+        self.config.check_interval = pairs;
+        self
+    }
+
+    /// Whether automatic checks also trim the log.
+    pub fn trim_with_check(mut self, trim: bool) -> Self {
+        self.config.trim_with_check = trim;
+        self
+    }
+
+    /// Client-triggered checks allowed per interval (DoS limit, §6.3).
+    pub fn client_check_rate(mut self, rate: usize) -> Self {
+        self.config.client_check_rate = rate;
+        self
+    }
+
+    /// SGX transition cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.config.cost_model = model;
+        self
+    }
+
+    /// TCS slots in the enclave.
+    pub fn tcs_count(mut self, count: u64) -> Self {
+        self.config.tcs_count = count;
+        self
+    }
+
+    /// Fixed seed for the log-signing key (derived from the sealing
+    /// identity when unset).
+    pub fn log_signer_seed(mut self, seed: [u8; 32]) -> Self {
+        self.config.log_signer_seed = Some(seed);
+        self
+    }
+
+    /// Maximum bytes one session may buffer while waiting for a
+    /// message boundary.
+    pub fn max_message_buffer(mut self, bytes: usize) -> Self {
+        self.config.max_message_buffer = bytes;
+        self
+    }
+
+    /// Requires client certificates (§6.3, impersonation defence).
+    pub fn verify_clients(mut self, verify: bool) -> Self {
+        self.config.verify_clients = verify;
+        self
+    }
+
+    /// Trusted CA roots for client-certificate verification.
+    pub fn ca_roots(mut self, roots: Vec<VerifyingKey>) -> Self {
+        self.config.ca_roots = roots;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> LibSealConfig {
+        self.config
     }
 }
 
@@ -389,6 +487,11 @@ impl LibSeal {
         name: &'static str,
         f: impl for<'p> FnOnce(&Trusted, &EnclaveServices, &CallCtx<'p>) -> R + Send,
     ) -> Result<R> {
+        // The span stays open across the enclave round trip, so the
+        // transition cycles the call charges on this thread are
+        // attributed to it (async handoffs dispatch on runtime worker
+        // threads and attribute there instead).
+        let _span = libseal_telemetry::global().span(name, libseal_telemetry::Side::Enclave);
         match &self.runtime {
             Some(rt) => Ok(rt.async_ecall(slot, move |t, sv, port| {
                 f(t, sv, &CallCtx::Async(port))
@@ -826,6 +929,12 @@ impl LibSeal {
     /// Resets transition statistics (between benchmark phases).
     pub fn reset_stats(&self) {
         self.enclave.services().stats().reset();
+    }
+
+    /// The process-wide telemetry registry every layer reports into
+    /// (counters, gauges, latency histograms and recent span traces).
+    pub fn telemetry(&self) -> &'static libseal_telemetry::Registry {
+        libseal_telemetry::global()
     }
 
     /// The untrusted memory pool (exposed for §4.2 experiments).

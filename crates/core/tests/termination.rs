@@ -20,16 +20,14 @@ struct TestRig {
 fn rig(audited: bool) -> TestRig {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let ssm: Option<Arc<dyn libseal::ServiceModule>> = if audited {
-        Some(Arc::new(GitModule))
-    } else {
-        None
-    };
-    let mut cfg = LibSealConfig::new(cert, key, ssm);
-    cfg.cost_model = CostModel::free();
-    cfg.backing = LogBacking::Memory;
-    cfg.check_interval = 0; // explicit checks in tests
-    let ls = LibSeal::new(cfg).unwrap();
+    let mut builder = LibSealConfig::builder(cert, key)
+        .cost_model(CostModel::free())
+        .backing(LogBacking::Memory)
+        .check_interval(0); // explicit checks in tests
+    if audited {
+        builder = builder.ssm(Arc::new(GitModule));
+    }
+    let ls = LibSeal::new(builder.build()).unwrap();
 
     let sid = ls.new_session(0).unwrap();
     let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [3u8; 64]);
@@ -261,14 +259,12 @@ fn persistent_log_survives_restart_and_verifies() {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
     {
-        let mut cfg = LibSealConfig::new(
-            cert.clone(),
-            key.clone(),
-            Some(Arc::new(GitModule)),
-        );
-        cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(dir.to_path_buf());
-        cfg.check_interval = 0;
+        let cfg = LibSealConfig::builder(cert.clone(), key.clone())
+            .ssm(Arc::new(GitModule))
+            .cost_model(CostModel::free())
+            .backing(LogBacking::Disk(dir.to_path_buf()))
+            .check_interval(0)
+            .build();
         let ls = LibSeal::new(cfg).unwrap();
         ls.with_log(0, |log| {
             let t = log.next_time() as i64;
@@ -289,10 +285,12 @@ fn persistent_log_survives_restart_and_verifies() {
     }
     // "Restart": open a new instance over the same sealed journal.
     {
-        let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-        cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(dir.to_path_buf());
-        cfg.check_interval = 0;
+        let cfg = LibSealConfig::builder(cert, key)
+            .ssm(Arc::new(GitModule))
+            .cost_model(CostModel::free())
+            .backing(LogBacking::Disk(dir.to_path_buf()))
+            .check_interval(0)
+            .build();
         let ls = LibSeal::new(cfg).unwrap();
         let (entries, _, _) = ls.log_stats(0).unwrap();
         assert_eq!(entries, 1);
@@ -310,8 +308,10 @@ fn secure_callback_fires_via_ocall() {
     use std::sync::atomic::{AtomicU32, Ordering};
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-    cfg.cost_model = CostModel::free();
+    let cfg = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
 
     let hits = Arc::new(AtomicU32::new(0));
@@ -358,8 +358,10 @@ fn async_runtime_serves_sessions() {
     use libseal_lthread::{RuntimeConfig, WaitMode};
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-    cfg.cost_model = CostModel::free();
+    let cfg = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .build();
     let ls = LibSeal::with_async(
         cfg,
         RuntimeConfig {
@@ -404,10 +406,12 @@ fn client_certificates_identify_users() {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (skey, scert) = ca.issue_identity("svc.test", &[2u8; 32]);
     let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]);
-    let mut cfg = LibSealConfig::new(scert, skey, Some(Arc::new(GitModule)));
-    cfg.cost_model = CostModel::free();
-    cfg.verify_clients = true;
-    cfg.ca_roots = vec![ca.root_key()];
+    let cfg = LibSealConfig::builder(scert, skey)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .verify_clients(true)
+        .ca_roots(vec![ca.root_key()])
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
     let sid = ls.new_session(0).unwrap();
 
@@ -474,10 +478,12 @@ fn client_certificates_identify_users() {
 fn check_interval_triggers_automatically() {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-    cfg.cost_model = CostModel::free();
-    cfg.check_interval = 3;
-    cfg.trim_with_check = true;
+    let cfg = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .check_interval(3)
+        .trim_with_check(true)
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
     let sid = ls.new_session(0).unwrap();
     let mut client = Ssl::new(
@@ -528,10 +534,12 @@ fn garbage_streams_cannot_exhaust_enclave_memory() {
     // is fast.
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-    cfg.cost_model = CostModel::free();
-    cfg.check_interval = 0;
-    cfg.max_message_buffer = 1024 * 1024;
+    let cfg = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .check_interval(0)
+        .max_message_buffer(1024 * 1024)
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
     let sid = ls.new_session(0).unwrap();
     let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [3u8; 64]);

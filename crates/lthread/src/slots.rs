@@ -91,7 +91,9 @@ impl<T> OcallPort<'_, T> {
     /// transition.
     pub fn ocall<R: Send + 'static>(&self, _name: &'static str, f: impl FnOnce() -> R + Send) -> R {
         self.services.model().charge_async_handoff();
-        self.services.stats().record_async_ocall();
+        self.services
+            .stats()
+            .record_async_ocall(self.services.model().async_handoff_cycles);
 
         let result: std::sync::Arc<Mutex<Option<R>>> = std::sync::Arc::new(Mutex::new(None));
         let result2 = std::sync::Arc::clone(&result);

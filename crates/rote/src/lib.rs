@@ -43,6 +43,25 @@ use std::time::{Duration, Instant};
 use libseal_crypto::hmac::HmacSha256;
 use plat::channel::{self, RecvTimeoutError};
 
+/// Process-wide ROTE metrics: round latency, quorum health, and the
+/// unbound/rebind episode counters mirrored from per-cluster stats.
+struct RoteMetrics {
+    round_ns: libseal_telemetry::Histogram,
+    quorum_state: libseal_telemetry::Gauge,
+    unbound_appends: libseal_telemetry::Counter,
+    rebinds: libseal_telemetry::Counter,
+}
+
+fn rote_metrics() -> &'static RoteMetrics {
+    static M: std::sync::OnceLock<RoteMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| RoteMetrics {
+        round_ns: libseal_telemetry::histogram("rote_round_ns"),
+        quorum_state: libseal_telemetry::gauge("rote_quorum_state"),
+        unbound_appends: libseal_telemetry::counter("rote_unbound_appends_total"),
+        rebinds: libseal_telemetry::counter("rote_rebinds_total"),
+    })
+}
+
 /// Errors from the counter protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoteError {
@@ -510,7 +529,10 @@ impl Cluster {
     /// (unbound — see [`Cluster::stats`]).
     pub fn increment(&self) -> Result<(u64, Vec<CounterAck>), RoteError> {
         let target = self.local.load(Ordering::SeqCst) + 1;
-        match self.with_retries(|c| c.increment_round(target)) {
+        let started = Instant::now();
+        let outcome = self.with_retries(|c| c.increment_round(target));
+        rote_metrics().round_ns.record_duration(started.elapsed());
+        match outcome {
             Ok(acks) => {
                 self.local.store(target, Ordering::SeqCst);
                 if self.degraded.swap(false, Ordering::SeqCst) {
@@ -519,7 +541,9 @@ impl Cluster {
                     // prefix below it: the episode ends here.
                     self.unbound.store(0, Ordering::SeqCst);
                     self.rebinds.fetch_add(1, Ordering::SeqCst);
+                    rote_metrics().rebinds.inc();
                 }
+                rote_metrics().quorum_state.set(1);
                 Ok((target, acks))
             }
             Err(RoteError::NoQuorum { acks, needed }) => match self.cfg.policy {
@@ -528,6 +552,8 @@ impl Cluster {
                     self.local.store(target, Ordering::SeqCst);
                     self.degraded.store(true, Ordering::SeqCst);
                     self.unbound.fetch_add(1, Ordering::SeqCst);
+                    rote_metrics().unbound_appends.inc();
+                    rote_metrics().quorum_state.set(0);
                     Ok((target, Vec::new()))
                 }
             },
@@ -548,10 +574,15 @@ impl Cluster {
             return Ok(None);
         }
         let target = self.local.load(Ordering::SeqCst);
-        let acks = self.with_retries(|c| c.increment_round(target))?;
+        let started = Instant::now();
+        let outcome = self.with_retries(|c| c.increment_round(target));
+        rote_metrics().round_ns.record_duration(started.elapsed());
+        let acks = outcome?;
         self.degraded.store(false, Ordering::SeqCst);
         self.unbound.store(0, Ordering::SeqCst);
         self.rebinds.fetch_add(1, Ordering::SeqCst);
+        rote_metrics().rebinds.inc();
+        rote_metrics().quorum_state.set(1);
         Ok(Some(acks))
     }
 

@@ -8,6 +8,22 @@ use crate::parser;
 use crate::value::Value;
 use crate::{DbError, Result};
 
+/// Process-wide database metrics.
+struct DbMetrics {
+    query_ns: libseal_telemetry::Histogram,
+    statements: libseal_telemetry::Counter,
+    compactions: libseal_telemetry::Counter,
+}
+
+fn db_metrics() -> &'static DbMetrics {
+    static M: std::sync::OnceLock<DbMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| DbMetrics {
+        query_ns: libseal_telemetry::histogram("sealdb_query_ns"),
+        statements: libseal_telemetry::counter("sealdb_statements_total"),
+        compactions: libseal_telemetry::counter("sealdb_compactions_total"),
+    })
+}
+
 /// Result of executing one statement.
 #[derive(Debug, Clone, Default)]
 pub struct QueryResult {
@@ -142,12 +158,16 @@ impl Database {
     /// As [`Database::execute_with`]; also fails if `sql` is not a
     /// SELECT.
     pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let start = std::time::Instant::now();
         let stmt = parser::parse_one(sql)?;
         let Stmt::Select(sel) = stmt else {
             return Err(DbError::exec("query() requires a SELECT statement"));
         };
         let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
         let rows = exec_select(&ctx, &sel, None)?;
+        let m = db_metrics();
+        m.statements.inc();
+        m.query_ns.record_duration(start.elapsed());
         Ok(rows_to_result(rows))
     }
 
@@ -157,6 +177,7 @@ impl Database {
         params: &[Value],
         journal_sql: Option<&str>,
     ) -> Result<QueryResult> {
+        db_metrics().statements.inc();
         let result = match stmt {
             Stmt::Select(sel) => {
                 let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
@@ -465,7 +486,9 @@ impl Database {
             // the original text; regenerate a canonical form.
             records.push((format!("CREATE VIEW {name} AS {}", render_select(query)), vec![]));
         }
-        journal.rewrite(&records)
+        journal.rewrite(&records)?;
+        db_metrics().compactions.inc();
+        Ok(())
     }
 
     /// Approximate size of all table data in bytes.

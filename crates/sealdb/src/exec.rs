@@ -13,6 +13,18 @@ use crate::plan;
 use crate::value::Value;
 use crate::{DbError, Result};
 
+/// Tables scans answered by the equality-index fast path vs. full scans.
+fn index_counters() -> &'static (libseal_telemetry::Counter, libseal_telemetry::Counter) {
+    static C: std::sync::OnceLock<(libseal_telemetry::Counter, libseal_telemetry::Counter)> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        (
+            libseal_telemetry::counter("sealdb_index_hits_total"),
+            libseal_telemetry::counter("sealdb_index_misses_total"),
+        )
+    })
+}
+
 /// Metadata for one column of an intermediate or final row set.
 #[derive(Clone, Debug)]
 pub struct ColMeta {
@@ -153,8 +165,14 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
     // candidates below, so this is purely a pre-filter).
     let source = match &sel.from {
         Some(from) => match try_index_scan(ctx, from, sel.filter.as_ref(), outer)? {
-            Some(rows) => rows,
-            None => build_from(ctx, from, outer)?,
+            Some(rows) => {
+                index_counters().0.inc();
+                rows
+            }
+            None => {
+                index_counters().1.inc();
+                build_from(ctx, from, outer)?
+            }
         },
         None => Rows {
             cols: Vec::new(),

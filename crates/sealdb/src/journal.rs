@@ -39,6 +39,13 @@ use std::path::{Path, PathBuf};
 use crate::value::Value;
 use crate::{DbError, Result};
 
+/// Counts every fsync the journal issues (appends, truncations,
+/// compaction snapshots and directory syncs alike).
+fn fsync_counter() -> &'static libseal_telemetry::Counter {
+    static C: std::sync::OnceLock<libseal_telemetry::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| libseal_telemetry::counter("sealdb_journal_fsyncs_total"))
+}
+
 /// Transforms journal records on their way to and from disk.
 ///
 /// The default [`PlainCodec`] is the identity; LibSEAL installs a
@@ -157,6 +164,7 @@ impl Journal {
         if self.sync == SyncPolicy::EveryRecord {
             plat::failpoint::check("sealdb::journal::sync").map_err(DbError::io)?;
             self.file.sync_data().map_err(DbError::io)?;
+            fsync_counter().inc();
         }
         Ok(())
     }
@@ -200,6 +208,7 @@ impl Journal {
             plat::failpoint::check("sealdb::journal::salvage").map_err(DbError::io)?;
             self.file.set_len(offset as u64).map_err(DbError::io)?;
             self.file.sync_all().map_err(DbError::io)?;
+            fsync_counter().inc();
             self.salvage = Some(SalvageInfo {
                 offset: offset as u64,
                 lost_bytes: (buf.len() - offset) as u64,
@@ -222,7 +231,11 @@ impl Journal {
     /// I/O errors are surfaced as [`DbError::Io`].
     pub fn sync_now(&mut self) -> Result<()> {
         plat::failpoint::check("sealdb::journal::sync").map_err(DbError::io)?;
-        self.file.sync_data().map_err(DbError::io)
+        let r = self.file.sync_data().map_err(DbError::io);
+        if r.is_ok() {
+            fsync_counter().inc();
+        }
+        r
     }
 
     /// Truncates the journal (after a snapshot/compaction).
@@ -240,6 +253,7 @@ impl Journal {
         self.file.set_len(0).map_err(DbError::io)?;
         self.file.seek(SeekFrom::End(0)).map_err(DbError::io)?;
         self.file.sync_all().map_err(DbError::io)?;
+        fsync_counter().inc();
         sync_parent_dir(&self.path).map_err(DbError::io)?;
         Ok(())
     }
@@ -284,6 +298,7 @@ impl Journal {
         }
         plat::failpoint::check("sealdb::compact::sync").map_err(DbError::io)?;
         tmp.sync_all().map_err(DbError::io)?;
+        fsync_counter().inc();
         drop(tmp);
         plat::failpoint::check("sealdb::compact::rename").map_err(DbError::io)?;
         std::fs::rename(tmp_path, &self.path).map_err(DbError::io)?;
@@ -349,7 +364,9 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
     };
-    File::open(parent)?.sync_all()
+    File::open(parent)?.sync_all()?;
+    fsync_counter().inc();
+    Ok(())
 }
 
 fn encode_value(out: &mut Vec<u8>, v: &Value) {

@@ -106,6 +106,103 @@ impl<F: Fn(&Request) -> Response + Send + Sync> Router for FnRouter<F> {
     }
 }
 
+/// Serves `GET /metrics` with a plain-text snapshot of the process-wide
+/// telemetry registry (counters, gauges, histograms and recent span
+/// traces from every instrumented crate), delegating everything else to
+/// the wrapped router (404 when standalone).
+pub struct MetricsRouter {
+    inner: Option<Arc<dyn Router>>,
+}
+
+impl MetricsRouter {
+    /// A standalone metrics endpoint: `/metrics` only, 404 elsewhere.
+    pub fn new() -> Self {
+        MetricsRouter { inner: None }
+    }
+
+    /// Wraps `inner`, adding the `/metrics` route in front of it.
+    pub fn wrapping(inner: Arc<dyn Router>) -> Self {
+        MetricsRouter { inner: Some(inner) }
+    }
+}
+
+impl Default for MetricsRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router for MetricsRouter {
+    fn handle(&self, req: &Request) -> Response {
+        if req.method == "GET" && req.path() == "/metrics" {
+            let body = libseal_telemetry::global().render_text();
+            return Response::new(200, body.into_bytes());
+        }
+        match &self.inner {
+            Some(inner) => inner.handle(req),
+            None => Response::new(404, b"not found".to_vec()),
+        }
+    }
+}
+
+/// Server-side request metrics: lifecycle counters, latency histogram
+/// and bounded-cardinality per-route counters.
+struct ApacheMetrics {
+    requests: libseal_telemetry::Counter,
+    request_ns: libseal_telemetry::Histogram,
+    /// Route label -> counter; capped at [`ROUTE_CARDINALITY_CAP`]
+    /// labels, everything beyond lands on `other`.
+    routes: plat::sync::Mutex<std::collections::HashMap<String, libseal_telemetry::Counter>>,
+}
+
+/// Most distinct per-route counters before falling back to `other` —
+/// keeps a path-scanning client from minting unbounded metric names.
+const ROUTE_CARDINALITY_CAP: usize = 32;
+
+fn apache_metrics() -> &'static ApacheMetrics {
+    static M: std::sync::OnceLock<ApacheMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| ApacheMetrics {
+        requests: libseal_telemetry::counter("services_apache_requests_total"),
+        request_ns: libseal_telemetry::histogram("services_apache_request_ns"),
+        routes: plat::sync::Mutex::new(std::collections::HashMap::new()),
+    })
+}
+
+/// First path segment, sanitised to a metric-name-safe label.
+fn route_label(path: &str) -> String {
+    let seg = path.trim_start_matches('/').split(['/', '?']).next().unwrap_or("");
+    if seg.is_empty() {
+        return "root".to_string();
+    }
+    seg.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+fn bump_route(path: &str) {
+    let label = route_label(path);
+    let mut routes = apache_metrics().routes.lock();
+    let counter = match routes.get(&label) {
+        Some(c) => c.clone(),
+        None => {
+            let effective = if routes.len() >= ROUTE_CARDINALITY_CAP {
+                "other".to_string()
+            } else {
+                label
+            };
+            routes
+                .entry(effective.clone())
+                .or_insert_with(|| {
+                    libseal_telemetry::counter(&format!(
+                        "services_apache_route_{effective}_requests_total"
+                    ))
+                })
+                .clone()
+        }
+    };
+    counter.inc();
+}
+
 /// Server configuration.
 pub struct ApacheConfig {
     /// TLS termination mode.
@@ -214,6 +311,11 @@ impl ApacheServer {
         self.requests_served.load(Ordering::Relaxed)
     }
 
+    /// The process-wide telemetry registry the server reports into.
+    pub fn telemetry(&self) -> &'static libseal_telemetry::Registry {
+        libseal_telemetry::global()
+    }
+
     /// Stops the server and joins its threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Release);
@@ -305,9 +407,22 @@ fn serve_established(
             .headers
             .get("Connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let response = router.handle(&req);
-        session.ssl_write(&response.to_bytes())?;
-        flush(session, sock)?;
+        // Span over the full lifecycle: routing, the (possibly
+        // enclave-terminated) write-back and the flush. Enclave
+        // transitions charged on this worker thread while it is open
+        // land in its boundary-cycle tally.
+        let started = std::time::Instant::now();
+        {
+            let _span = libseal_telemetry::global()
+                .span("apache_request", libseal_telemetry::Side::Untrusted);
+            let response = router.handle(&req);
+            session.ssl_write(&response.to_bytes())?;
+            flush(session, sock)?;
+        }
+        let m = apache_metrics();
+        m.requests.inc();
+        m.request_ns.record_duration(started.elapsed());
+        bump_route(req.path());
         served.fetch_add(1, Ordering::Relaxed);
         if close {
             return Ok(());

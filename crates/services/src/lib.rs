@@ -29,7 +29,7 @@ pub mod owncloud;
 pub mod squid;
 pub mod tlsadapter;
 
-pub use apache::{ApacheServer, Router, StaticContentRouter};
+pub use apache::{ApacheServer, MetricsRouter, Router, StaticContentRouter};
 pub use client::{HttpsClient, LoadGenerator, LoadStats};
 pub use squid::SquidProxy;
 pub use tlsadapter::TlsMode;
@@ -58,7 +58,16 @@ impl std::fmt::Display for ServiceError {
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Tls(e) => Some(e),
+            ServiceError::LibSeal(e) => Some(e),
+            ServiceError::Protocol(_) => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for ServiceError {
     fn from(e: std::io::Error) -> Self {

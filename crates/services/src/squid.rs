@@ -20,6 +20,20 @@ use crate::client::HttpsClient;
 use crate::tlsadapter::{TlsMode, TlsSession};
 use crate::Result;
 
+/// Proxy-side request metrics.
+struct SquidMetrics {
+    requests: libseal_telemetry::Counter,
+    request_ns: libseal_telemetry::Histogram,
+}
+
+fn squid_metrics() -> &'static SquidMetrics {
+    static M: std::sync::OnceLock<SquidMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| SquidMetrics {
+        requests: libseal_telemetry::counter("services_squid_requests_total"),
+        request_ns: libseal_telemetry::histogram("services_squid_request_ns"),
+    })
+}
+
 /// Proxy configuration.
 pub struct SquidConfig {
     /// TLS termination towards clients.
@@ -125,6 +139,11 @@ impl SquidProxy {
         self.requests_proxied.load(Ordering::Relaxed)
     }
 
+    /// The process-wide telemetry registry the proxy reports into.
+    pub fn telemetry(&self) -> &'static libseal_telemetry::Registry {
+        libseal_telemetry::global()
+    }
+
     /// Stops the proxy.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Release);
@@ -218,9 +237,16 @@ fn proxy_established(
             .headers
             .get("Connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let response = origin_conn.request(&req)?;
-        session.ssl_write(&response.to_bytes())?;
-        flush(session, sock)?;
+        let started = std::time::Instant::now();
+        {
+            let _span = libseal_telemetry::global()
+                .span("squid_request", libseal_telemetry::Side::Untrusted);
+            let response = origin_conn.request(&req)?;
+            session.ssl_write(&response.to_bytes())?;
+            flush(session, sock)?;
+        }
+        squid_metrics().requests.inc();
+        squid_metrics().request_ns.record_duration(started.elapsed());
         proxied.fetch_add(1, Ordering::Relaxed);
         if close {
             origin_conn.close();

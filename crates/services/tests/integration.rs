@@ -39,10 +39,13 @@ fn libseal_for(
     ssm: Option<Arc<dyn libseal::ServiceModule>>,
 ) -> (Arc<LibSeal>, Vec<VerifyingKey>) {
     let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, ssm);
-    cfg.cost_model = CostModel::free();
-    cfg.check_interval = 0;
-    (LibSeal::new(cfg).unwrap(), vec![ca.root_key()])
+    let mut builder = LibSealConfig::builder(cert, key)
+        .cost_model(CostModel::free())
+        .check_interval(0);
+    if let Some(ssm) = ssm {
+        builder = builder.ssm(ssm);
+    }
+    (LibSeal::new(builder.build()).unwrap(), vec![ca.root_key()])
 }
 
 #[test]

@@ -8,9 +8,18 @@
 //! (`libseal-rote`) instead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
+use libseal_telemetry::Histogram;
+
 use crate::{Result, SgxError};
+
+/// Latency of simulated HW counter increments, across all counters.
+fn increment_latency_hist() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| libseal_telemetry::histogram("sgxsim_counter_increment_ns"))
+}
 
 /// A simulated SGX hardware monotonic counter.
 pub struct MonotonicCounter {
@@ -56,6 +65,7 @@ impl MonotonicCounter {
     /// [`SgxError::CounterFailure`] once the endurance budget is
     /// exhausted.
     pub fn increment(&self) -> Result<u64> {
+        let start = std::time::Instant::now();
         let writes = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
         if writes > self.max_writes {
             return Err(SgxError::CounterFailure(format!(
@@ -66,7 +76,9 @@ impl MonotonicCounter {
         if !self.increment_latency.is_zero() {
             std::thread::sleep(self.increment_latency);
         }
-        Ok(self.value.fetch_add(1, Ordering::SeqCst) + 1)
+        let value = self.value.fetch_add(1, Ordering::SeqCst) + 1;
+        increment_latency_hist().record_duration(start.elapsed());
+        Ok(value)
     }
 
     /// Number of writes performed so far.

@@ -338,7 +338,9 @@ impl<T> Enclave<T> {
     /// cheap handoff cost is charged.
     pub fn async_call<R>(&self, f: impl FnOnce(&T, &EnclaveServices) -> R) -> R {
         self.services.model.charge_async_handoff();
-        self.services.stats.record_async_ecall();
+        self.services
+            .stats
+            .record_async_ecall(self.services.model.async_handoff_cycles);
         f(&self.state, &self.services)
     }
 

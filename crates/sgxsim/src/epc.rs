@@ -6,11 +6,20 @@
 //! swaps whenever the working set exceeds the limit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use libseal_telemetry::Gauge;
 
 use crate::cost::CostModel;
 use crate::stats::TransitionStats;
 
 const PAGE: u64 = 4096;
+
+/// Process-wide resident-bytes gauge aggregated over all enclaves.
+fn resident_gauge() -> &'static Gauge {
+    static G: OnceLock<Gauge> = OnceLock::new();
+    G.get_or_init(|| libseal_telemetry::gauge("sgxsim_epc_resident_bytes"))
+}
 
 /// Tracks simulated enclave memory pressure.
 #[derive(Default)]
@@ -33,6 +42,7 @@ impl EpcState {
     /// the allocation pushes the working set past the EPC limit.
     pub fn alloc(&self, bytes: u64, model: &CostModel, stats: &TransitionStats) {
         let after = self.resident_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        resident_gauge().add(bytes as i64);
         if after > model.epc_limit_bytes {
             let overflow = after - model.epc_limit_bytes;
             // Newly allocated pages beyond the limit each force an
@@ -54,7 +64,10 @@ impl EpcState {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    resident_gauge().sub((cur - next) as i64);
+                    return;
+                }
                 Err(now) => cur = now,
             }
         }

@@ -5,19 +5,47 @@
 //! experiments measurable in the reproduction.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use libseal_telemetry::Counter;
 use plat::sync::Mutex;
 
-/// Shared counters for one enclave's transitions.
+/// Global-registry counters aggregating every enclave's transitions
+/// (the per-enclave [`TransitionStats`] handles stay private so
+/// `snapshot()`/`reset()` keep their per-instance semantics).
+struct GlobalCounters {
+    ecalls: Counter,
+    ocalls: Counter,
+    async_ecalls: Counter,
+    async_ocalls: Counter,
+    cycles_charged: Counter,
+    epc_page_swaps: Counter,
+}
+
+fn globals() -> &'static GlobalCounters {
+    static G: OnceLock<GlobalCounters> = OnceLock::new();
+    G.get_or_init(|| GlobalCounters {
+        ecalls: libseal_telemetry::counter("sgxsim_ecalls_total"),
+        ocalls: libseal_telemetry::counter("sgxsim_ocalls_total"),
+        async_ecalls: libseal_telemetry::counter("sgxsim_async_ecalls_total"),
+        async_ocalls: libseal_telemetry::counter("sgxsim_async_ocalls_total"),
+        cycles_charged: libseal_telemetry::counter("sgxsim_cycles_charged_total"),
+        epc_page_swaps: libseal_telemetry::counter("sgxsim_epc_page_swaps_total"),
+    })
+}
+
+/// Shared counters for one enclave's transitions, built on telemetry
+/// counter handles. Every record also bumps the process-wide
+/// `sgxsim_*` metrics and attributes the charged cycles to any
+/// telemetry span open on the calling thread.
 #[derive(Default)]
 pub struct TransitionStats {
-    ecalls: AtomicU64,
-    ocalls: AtomicU64,
-    async_ecalls: AtomicU64,
-    async_ocalls: AtomicU64,
-    cycles_charged: AtomicU64,
-    epc_page_swaps: AtomicU64,
+    ecalls: Counter,
+    ocalls: Counter,
+    async_ecalls: Counter,
+    async_ocalls: Counter,
+    cycles_charged: Counter,
+    epc_page_swaps: Counter,
     by_name: Mutex<HashMap<&'static str, u64>>,
 }
 
@@ -29,54 +57,68 @@ impl TransitionStats {
 
     /// Records one synchronous ecall under `name`.
     pub fn record_ecall(&self, name: &'static str, cycles: u64) {
-        self.ecalls.fetch_add(1, Ordering::Relaxed);
-        self.cycles_charged.fetch_add(cycles, Ordering::Relaxed);
+        self.ecalls.inc();
+        self.cycles_charged.add(cycles);
+        let g = globals();
+        g.ecalls.inc();
+        g.cycles_charged.add(cycles);
+        libseal_telemetry::charge_boundary_cycles(cycles);
         *self.by_name.lock().entry(name).or_insert(0) += 1;
     }
 
     /// Records one synchronous ocall under `name`.
     pub fn record_ocall(&self, name: &'static str, cycles: u64) {
-        self.ocalls.fetch_add(1, Ordering::Relaxed);
-        self.cycles_charged.fetch_add(cycles, Ordering::Relaxed);
+        self.ocalls.inc();
+        self.cycles_charged.add(cycles);
+        let g = globals();
+        g.ocalls.inc();
+        g.cycles_charged.add(cycles);
+        libseal_telemetry::charge_boundary_cycles(cycles);
         *self.by_name.lock().entry(name).or_insert(0) += 1;
     }
 
-    /// Records one asynchronous ecall handoff.
-    pub fn record_async_ecall(&self) {
-        self.async_ecalls.fetch_add(1, Ordering::Relaxed);
+    /// Records one asynchronous ecall handoff of `handoff_cycles`.
+    pub fn record_async_ecall(&self, handoff_cycles: u64) {
+        self.async_ecalls.inc();
+        globals().async_ecalls.inc();
+        libseal_telemetry::charge_boundary_cycles(handoff_cycles);
     }
 
-    /// Records one asynchronous ocall handoff.
-    pub fn record_async_ocall(&self) {
-        self.async_ocalls.fetch_add(1, Ordering::Relaxed);
+    /// Records one asynchronous ocall handoff of `handoff_cycles`.
+    pub fn record_async_ocall(&self, handoff_cycles: u64) {
+        self.async_ocalls.inc();
+        globals().async_ocalls.inc();
+        libseal_telemetry::charge_boundary_cycles(handoff_cycles);
     }
 
     /// Records `n` EPC page swaps.
     pub fn record_page_swaps(&self, n: u64) {
-        self.epc_page_swaps.fetch_add(n, Ordering::Relaxed);
+        self.epc_page_swaps.add(n);
+        globals().epc_page_swaps.add(n);
     }
 
     /// Takes a consistent snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            ecalls: self.ecalls.load(Ordering::Relaxed),
-            ocalls: self.ocalls.load(Ordering::Relaxed),
-            async_ecalls: self.async_ecalls.load(Ordering::Relaxed),
-            async_ocalls: self.async_ocalls.load(Ordering::Relaxed),
-            cycles_charged: self.cycles_charged.load(Ordering::Relaxed),
-            epc_page_swaps: self.epc_page_swaps.load(Ordering::Relaxed),
+            ecalls: self.ecalls.get(),
+            ocalls: self.ocalls.get(),
+            async_ecalls: self.async_ecalls.get(),
+            async_ocalls: self.async_ocalls.get(),
+            cycles_charged: self.cycles_charged.get(),
+            epc_page_swaps: self.epc_page_swaps.get(),
             by_name: self.by_name.lock().clone(),
         }
     }
 
-    /// Resets every counter to zero.
+    /// Resets every per-enclave counter to zero (the global-registry
+    /// aggregates are monotonic and unaffected).
     pub fn reset(&self) {
-        self.ecalls.store(0, Ordering::Relaxed);
-        self.ocalls.store(0, Ordering::Relaxed);
-        self.async_ecalls.store(0, Ordering::Relaxed);
-        self.async_ocalls.store(0, Ordering::Relaxed);
-        self.cycles_charged.store(0, Ordering::Relaxed);
-        self.epc_page_swaps.store(0, Ordering::Relaxed);
+        self.ecalls.reset();
+        self.ocalls.reset();
+        self.async_ecalls.reset();
+        self.async_ocalls.reset();
+        self.cycles_charged.reset();
+        self.epc_page_swaps.reset();
         self.by_name.lock().clear();
     }
 }
@@ -118,7 +160,7 @@ mod tests {
         s.record_ecall("ssl_read", 8_400);
         s.record_ecall("ssl_read", 8_400);
         s.record_ocall("write", 8_400);
-        s.record_async_ecall();
+        s.record_async_ecall(450);
         let snap = s.snapshot();
         assert_eq!(snap.ecalls, 2);
         assert_eq!(snap.ocalls, 1);

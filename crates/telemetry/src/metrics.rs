@@ -1,0 +1,388 @@
+//! Lock-free metric primitives.
+//!
+//! Handles are cheap clones of a shared atomic core, so a metric can
+//! be minted once (typically from a [`crate::Registry`]) and bumped
+//! from any thread without locking. Every recording path first checks
+//! a shared enable flag: a disabled registry hands out the same handle
+//! types but they are inert, which is what the CI overhead gate
+//! compares against.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn always_on() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(true))
+}
+
+/// A monotonically increasing event counter.
+#[derive(Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    on: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// A standalone, always-enabled counter.
+    pub fn new() -> Self {
+        Self::gated(always_on())
+    }
+
+    pub(crate) fn gated(on: Arc<AtomicBool>) -> Self {
+        Counter {
+            value: Arc::new(AtomicU64::new(0)),
+            on,
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.on.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A signed instantaneous value (queue depths, resident bytes, modes).
+#[derive(Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    on: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// A standalone, always-enabled gauge.
+    pub fn new() -> Self {
+        Self::gated(always_on())
+    }
+
+    pub(crate) fn gated(on: Arc<AtomicBool>) -> Self {
+        Gauge {
+            value: Arc::new(AtomicI64::new(0)),
+            on,
+        }
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if self.on.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        if self.on.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power of
+/// two, bounding the relative quantile error at 1/16 (~6.25%).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets covering the full `u64` range.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for `v` in the log-linear layout: values below `SUB`
+/// get exact unit buckets, larger values share an octave split into
+/// `SUB` linear sub-buckets.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    SUB + ((msb - SUB_BITS) as usize) * SUB + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (the quantile representative).
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let block = (idx - SUB) / SUB;
+    let sub = (idx - SUB) % SUB;
+    let bound = (((SUB + sub + 1) as u128) << block) - 1;
+    bound.min(u64::MAX as u128) as u64
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-linear histogram over `u64` samples (nanoseconds by
+/// convention for `*_ns` metrics). Quantiles read from a snapshot are
+/// upper bounds within 1/16 relative error of the true sample.
+///
+/// Recording updates several atomics non-transactionally, so a
+/// snapshot taken concurrently with writers may be torn by a few
+/// in-flight samples; totals are never lost.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    on: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    /// A standalone, always-enabled histogram.
+    pub fn new() -> Self {
+        Self::gated(always_on())
+    }
+
+    pub(crate) fn gated(on: Arc<AtomicBool>) -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+            on,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if !self.on.load(Ordering::Relaxed) {
+            return;
+        }
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let i = &self.inner;
+        let count = i.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: i.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                i.min.load(Ordering::Relaxed)
+            },
+            max: i.max.load(Ordering::Relaxed),
+            buckets: i
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Clears every bucket and total (between benchmark phases).
+    pub fn reset(&self) {
+        let i = &self.inner;
+        for b in &i.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        i.count.store(0, Ordering::Relaxed);
+        i.sum.store(0, Ordering::Relaxed);
+        i.min.store(u64::MAX, Ordering::Relaxed);
+        i.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank quantile `q` in `[0, 1]`: an upper bound within
+    /// 1/16 relative error of the true `q`-th sample, clamped into
+    /// `[min, max]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean as a [`Duration`] (samples interpreted as nanoseconds).
+    pub fn mean_duration(&self) -> Duration {
+        Duration::from_nanos(self.mean())
+    }
+
+    /// Quantile as a [`Duration`] (samples interpreted as nanoseconds).
+    pub fn percentile_duration(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.percentile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at {v}");
+            assert!(v <= bucket_bound(idx));
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let on = Arc::new(AtomicBool::new(false));
+        let c = Counter::gated(Arc::clone(&on));
+        let h = Histogram::gated(Arc::clone(&on));
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        on.store(true, Ordering::Relaxed);
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn histogram_exact_below_sub() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 3);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 5);
+        assert_eq!(s.mean(), 3);
+    }
+}

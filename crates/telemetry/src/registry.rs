@@ -1,0 +1,250 @@
+//! Named-metric registry and the `/metrics` text renderer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use plat::sync::RwLock;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::span::{Side, Span, SpanEvent, SpanJournal};
+
+/// Capacity of the recent-span ring buffer.
+pub(crate) const SPAN_JOURNAL_CAP: usize = 256;
+
+/// A registered metric of any kind.
+#[derive(Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Counter),
+    /// Instantaneous gauge.
+    Gauge(Gauge),
+    /// Log-linear histogram.
+    Histogram(Histogram),
+}
+
+/// A collection of named metrics plus a span journal.
+///
+/// Names follow `<crate>_<what>[_<unit>]` (e.g.
+/// `sgxsim_ecalls_total`, `core_append_ns`); histograms carry a `_ns`
+/// suffix when they record durations in nanoseconds. Handles returned
+/// by the accessors are cheap clones — fetch once, bump forever.
+///
+/// Disabling a registry ([`Registry::set_enabled`]) makes every handle
+/// it ever handed out inert; this is the "no-op registry" the CI
+/// overhead gate measures against.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    metrics: RwLock<BTreeMap<String, Metric>>,
+    journal: Arc<SpanJournal>,
+}
+
+impl Registry {
+    /// An empty, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            metrics: RwLock::new(BTreeMap::new()),
+            journal: Arc::new(SpanJournal::new(SPAN_JOURNAL_CAP)),
+        }
+    }
+
+    /// Turns recording on or off for every handle from this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(m) = self.metrics.read().get(name) {
+            match m {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric {name} is not a counter"),
+            }
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::gated(Arc::clone(&self.enabled))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(m) = self.metrics.read().get(name) {
+            match m {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name} is not a gauge"),
+            }
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::gated(Arc::clone(&self.enabled))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(m) = self.metrics.read().get(name) {
+            match m {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name} is not a histogram"),
+            }
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::gated(Arc::clone(&self.enabled))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Opens a span named `name` on `side`; its duration is recorded
+    /// into the `span_<name>_ns` histogram when dropped.
+    pub fn span(&self, name: &'static str, side: Side) -> Span {
+        if !self.is_enabled() {
+            return Span::new(name, side, None);
+        }
+        let hist = self.histogram(&format!("span_{name}_ns"));
+        Span::new(name, side, Some((hist, Arc::clone(&self.journal))))
+    }
+
+    /// The most recent span events, oldest first.
+    pub fn recent_spans(&self) -> Vec<SpanEvent> {
+        self.journal.recent()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Renders every metric (and the recent span trace) as the plain
+    /// text served from `/metrics`: one `name value` line per scalar,
+    /// histograms expanded into `_count/_sum/_min/_p50/_p95/_p99/_max`,
+    /// span-trace lines prefixed with `# span` so metric parsers skip
+    /// them.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.metrics.read().iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!("{name}_count {}\n", s.count()));
+                    out.push_str(&format!("{name}_sum {}\n", s.sum()));
+                    out.push_str(&format!("{name}_min {}\n", s.min()));
+                    out.push_str(&format!("{name}_p50 {}\n", s.percentile(0.50)));
+                    out.push_str(&format!("{name}_p95 {}\n", s.percentile(0.95)));
+                    out.push_str(&format!("{name}_p99 {}\n", s.percentile(0.99)));
+                    out.push_str(&format!("{name}_max {}\n", s.max()));
+                }
+            }
+        }
+        let spans = self.recent_spans();
+        if !spans.is_empty() {
+            out.push_str("# recent spans (oldest first)\n");
+            for ev in spans {
+                out.push_str(&format!(
+                    "# span seq={} name={} side={} duration_ns={} boundary_cycles={}\n",
+                    ev.seq,
+                    ev.name,
+                    ev.side.as_str(),
+                    ev.duration.as_nanos(),
+                    ev.boundary_cycles
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.counter("a_total").inc();
+        assert_eq!(r.counter("a_total").get(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let r = Registry::new();
+        let c = r.counter("x_total");
+        r.set_enabled(false);
+        c.inc();
+        r.counter("x_total").inc();
+        assert_eq!(c.get(), 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn render_text_lists_all_kinds() {
+        let r = Registry::new();
+        r.counter("req_total").add(3);
+        r.gauge("mode").set(-1);
+        r.histogram("lat_ns").record(1000);
+        drop(r.span("op", Side::Enclave));
+        let text = r.render_text();
+        assert!(text.contains("req_total 3\n"));
+        assert!(text.contains("mode -1\n"));
+        assert!(text.contains("lat_ns_count 1\n"));
+        assert!(text.contains("lat_ns_p95 "));
+        assert!(text.contains("# span seq=0 name=op side=enclave"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("thing");
+        r.counter("thing");
+    }
+}

@@ -1,0 +1,225 @@
+//! Enclave-boundary-aware spans.
+//!
+//! A [`Span`] is a scope guard that measures wall-clock duration and,
+//! uniquely for this simulated-SGX workspace, accumulates the
+//! *transition cycle costs* charged while it is open: every ecall,
+//! ocall and async handoff the cost model charges on the same thread
+//! calls [`charge_boundary_cycles`], which adds the cycles to every
+//! span currently open on that thread. A closed span records its
+//! duration into a per-name histogram and pushes a [`SpanEvent`] into
+//! the registry's bounded ring-buffer journal, so the most recent
+//! traces are always inspectable from `/metrics`.
+//!
+//! Attribution is per-thread: cycles charged by the asynchronous
+//! runtime's persistent enclave threads land on spans open *there*,
+//! not on the requesting thread.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use plat::sync::Mutex;
+
+use crate::metrics::Histogram;
+
+/// Which side of the simulated enclave boundary a span runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Outside the enclave (application / service code).
+    Untrusted,
+    /// Inside the enclave (trusted code reached via ecall).
+    Enclave,
+}
+
+impl Side {
+    /// Lower-case label used in the rendered span trace.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Side::Untrusted => "untrusted",
+            Side::Enclave => "enclave",
+        }
+    }
+}
+
+/// One completed span, as kept in the ring-buffer journal.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Monotonic sequence number (per registry).
+    pub seq: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Boundary side the span ran on.
+    pub side: Side,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Transition/handoff cycles charged on this thread while open.
+    pub boundary_cycles: u64,
+}
+
+/// Bounded ring buffer of recent [`SpanEvent`]s.
+pub(crate) struct SpanJournal {
+    events: Mutex<VecDeque<SpanEvent>>,
+    seq: AtomicU64,
+    cap: usize,
+}
+
+impl SpanJournal {
+    pub(crate) fn new(cap: usize) -> Self {
+        SpanJournal {
+            events: Mutex::new(VecDeque::with_capacity(cap)),
+            seq: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    fn push(&self, mut ev: SpanEvent) {
+        ev.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.events.lock();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(ev);
+    }
+
+    pub(crate) fn recent(&self) -> Vec<SpanEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+thread_local! {
+    /// Open-span cycle accumulators for this thread, innermost last.
+    static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Attributes `cycles` of enclave transition/handoff cost to every
+/// span currently open on this thread. Called by the sgxsim cost
+/// model's charging sites; a no-op when no span is open.
+pub fn charge_boundary_cycles(cycles: u64) {
+    OPEN_SPANS.with(|stack| {
+        for frame in stack.borrow_mut().iter_mut() {
+            *frame = frame.saturating_add(cycles);
+        }
+    });
+}
+
+/// A scope guard measuring one operation (see module docs). Created
+/// via [`crate::Registry::span`]; records on drop. Not `Send`: the
+/// boundary-cycle accounting is tied to the creating thread.
+pub struct Span {
+    name: &'static str,
+    side: Side,
+    start: Instant,
+    /// `None` when the owning registry was disabled at creation.
+    active: Option<(Histogram, Arc<SpanJournal>)>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Span {
+    pub(crate) fn new(
+        name: &'static str,
+        side: Side,
+        active: Option<(Histogram, Arc<SpanJournal>)>,
+    ) -> Span {
+        if active.is_some() {
+            OPEN_SPANS.with(|stack| stack.borrow_mut().push(0));
+        }
+        Span {
+            name,
+            side,
+            start: Instant::now(),
+            active,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The boundary side this span runs on.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((hist, journal)) = self.active.take() else {
+            return;
+        };
+        let boundary_cycles =
+            OPEN_SPANS.with(|stack| stack.borrow_mut().pop().unwrap_or(0));
+        let duration = self.start.elapsed();
+        hist.record_duration(duration);
+        journal.push(SpanEvent {
+            seq: 0,
+            name: self.name,
+            side: self.side,
+            duration,
+            boundary_cycles,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_duration_and_cycles() {
+        let r = Registry::new();
+        {
+            let _s = r.span("outer", Side::Untrusted);
+            charge_boundary_cycles(100);
+            {
+                let _inner = r.span("inner", Side::Enclave);
+                charge_boundary_cycles(50);
+            }
+            charge_boundary_cycles(7);
+        }
+        let events = r.recent_spans();
+        assert_eq!(events.len(), 2);
+        // Inner closes first; it saw only its own 50 cycles.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[0].side, Side::Enclave);
+        assert_eq!(events[0].boundary_cycles, 50);
+        // Outer accumulated everything charged while it was open.
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].boundary_cycles, 157);
+        assert!(events[1].seq > events[0].seq);
+        assert_eq!(r.histogram("span_outer_ns").count(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        {
+            let _s = r.span("quiet", Side::Untrusted);
+            charge_boundary_cycles(10);
+        }
+        assert!(r.recent_spans().is_empty());
+    }
+
+    #[test]
+    fn charge_without_open_span_is_noop() {
+        charge_boundary_cycles(1234);
+    }
+
+    #[test]
+    fn journal_is_bounded() {
+        let r = Registry::new();
+        for _ in 0..600 {
+            let _s = r.span("b", Side::Untrusted);
+        }
+        let events = r.recent_spans();
+        assert_eq!(events.len(), crate::registry::SPAN_JOURNAL_CAP);
+        // Newest events survive.
+        assert_eq!(events.last().unwrap().seq, 599);
+    }
+}

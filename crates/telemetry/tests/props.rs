@@ -1,0 +1,77 @@
+//! Histogram quantile correctness against a sorted-reference
+//! implementation, and multi-thread loss-freedom for counters and
+//! histograms.
+
+use libseal_telemetry::{Counter, Histogram};
+
+/// Nearest-rank percentile on a sorted slice (the reference).
+fn reference_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+plat::prop! {
+    #![cases(200)]
+
+    // For any sample set and quantile, the histogram's answer is an
+    // upper bound on the reference within the log-linear layout's
+    // guaranteed 1/16 relative error.
+    fn histogram_percentile_matches_sorted_reference(g) {
+        let n = 1 + g.below(400) as usize;
+        // Mix magnitudes so samples land across many octaves.
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let magnitude = g.below(40) as u32;
+            let v = g.u64() & ((1u64 << (magnitude + 1)) - 1);
+            samples.push(v);
+        }
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), n as u64);
+        assert_eq!(snap.min(), sorted[0]);
+        assert_eq!(snap.max(), *sorted.last().unwrap());
+        assert_eq!(snap.sum(), sorted.iter().copied().fold(0u64, u64::wrapping_add));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let got = snap.percentile(q);
+            let want = reference_percentile(&sorted, q);
+            assert!(
+                got >= want && got <= want + want / 16 + 1,
+                "q={q}: got {got}, reference {want} (n={n})"
+            );
+        }
+    }
+}
+
+#[test]
+fn contention_loses_no_increments() {
+    let c = Counter::new();
+    let h = Histogram::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let c = c.clone();
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record((t as u64) * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(c.get(), total);
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), total);
+    assert_eq!(snap.min(), 0);
+    assert_eq!(snap.max(), total - 1);
+}

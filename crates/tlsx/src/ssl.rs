@@ -142,6 +142,25 @@ pub struct Ssl {
     /// Application-specific storage (OpenSSL `ex_data`).
     pub ex_data: HashMap<u32, Vec<u8>>,
     info_callback: Option<Arc<dyn Fn(i32, i32) + Send + Sync>>,
+    /// When the first `do_handshake` ran (handshake-duration metric).
+    hs_start: Option<std::time::Instant>,
+    hs_recorded: bool,
+}
+
+/// Process-wide TLS metrics.
+struct TlsxMetrics {
+    handshake_ns: libseal_telemetry::Histogram,
+    records_sealed: libseal_telemetry::Counter,
+    records_opened: libseal_telemetry::Counter,
+}
+
+fn tlsx_metrics() -> &'static TlsxMetrics {
+    static M: std::sync::OnceLock<TlsxMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| TlsxMetrics {
+        handshake_ns: libseal_telemetry::histogram("tlsx_handshake_ns"),
+        records_sealed: libseal_telemetry::counter("tlsx_records_sealed_total"),
+        records_opened: libseal_telemetry::counter("tlsx_records_opened_total"),
+    })
 }
 
 impl Ssl {
@@ -170,6 +189,8 @@ impl Ssl {
             client_cert_requested: false,
             ex_data: HashMap::new(),
             info_callback: None,
+            hs_start: None,
+            hs_recorded: false,
         }
     }
 
@@ -223,9 +244,16 @@ impl Ssl {
     /// Protocol and verification failures are fatal: the state moves
     /// to [`HandshakeState::Failed`].
     pub fn do_handshake(&mut self) -> Result<bool> {
+        let start = *self.hs_start.get_or_insert_with(std::time::Instant::now);
         let r = self.do_handshake_inner();
         if r.is_err() {
             self.state = HandshakeState::Failed;
+        }
+        if matches!(r, Ok(true)) && !self.hs_recorded {
+            // First do_handshake to established: the whole exchange,
+            // including wait time between flights.
+            tlsx_metrics().handshake_ns.record_duration(start.elapsed());
+            self.hs_recorded = true;
         }
         r
     }
@@ -257,6 +285,7 @@ impl Ssl {
         for chunk in data.chunks(MAX_RECORD) {
             let keys = self.write_keys.as_mut().expect("established has keys");
             let sealed = keys.seal(ContentType::AppData, chunk);
+            tlsx_metrics().records_sealed.inc();
             self.out_buf
                 .extend_from_slice(&record::frame(ContentType::AppData, &sealed));
         }
@@ -292,12 +321,14 @@ impl Ssl {
                             let keys =
                                 self.read_keys.as_mut().expect("established has keys");
                             let plain = keys.open(ContentType::AppData, &rec.payload)?;
+                            tlsx_metrics().records_opened.inc();
                             self.plain_in.extend_from_slice(&plain);
                         }
                         ContentType::Alert => {
                             let keys =
                                 self.read_keys.as_mut().expect("established has keys");
                             let plain = keys.open(ContentType::Alert, &rec.payload)?;
+                            tlsx_metrics().records_opened.inc();
                             if plain.first() == Some(&0) {
                                 self.state = HandshakeState::Closed;
                                 return Ok(ReadOutcome::Closed);
@@ -320,6 +351,7 @@ impl Ssl {
         if self.state == HandshakeState::Established {
             if let Some(keys) = self.write_keys.as_mut() {
                 let sealed = keys.seal(ContentType::Alert, &[0]);
+                tlsx_metrics().records_sealed.inc();
                 self.out_buf
                     .extend_from_slice(&record::frame(ContentType::Alert, &sealed));
             }

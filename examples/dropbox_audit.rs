@@ -34,9 +34,11 @@ fn main() {
 
     // The audited proxy in front of it.
     let (pkey, pcert) = ca.issue_identity("localhost", &[2u8; 32]);
-    let mut config = LibSealConfig::new(pcert, pkey, Some(Arc::new(DropboxModule)));
-    config.cost_model = CostModel::free();
-    config.check_interval = 0;
+    let config = LibSealConfig::builder(pcert, pkey)
+        .ssm(Arc::new(DropboxModule))
+        .cost_model(CostModel::free())
+        .check_interval(0)
+        .build();
     let libseal = LibSeal::new(config).expect("libseal");
     let proxy = SquidProxy::start(SquidConfig {
         tls: TlsMode::LibSeal(Arc::clone(&libseal)),

@@ -20,9 +20,11 @@ use libseal_tlsx::cert::CertificateAuthority;
 fn main() {
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
     let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]);
-    let mut config = LibSealConfig::new(cert, key, Some(Arc::new(OwnCloudModule)));
-    config.cost_model = CostModel::free();
-    config.check_interval = 0;
+    let config = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(OwnCloudModule))
+        .cost_model(CostModel::free())
+        .check_interval(0)
+        .build();
     let libseal = LibSeal::new(config).expect("libseal");
 
     let oc = Arc::new(OwnCloudServer::new());

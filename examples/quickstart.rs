@@ -27,9 +27,11 @@ fn main() {
 
     // 2. Build LibSEAL with the Git SSM. The cost model is disabled
     //    here; benchmarks enable it to simulate SGX overheads.
-    let mut config = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-    config.cost_model = CostModel::free();
-    config.check_interval = 0; // we check explicitly below
+    let config = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .check_interval(0) // we check explicitly below
+        .build();
     let libseal = LibSeal::new(config).expect("libseal init");
     println!("LibSEAL enclave measurement: {}", hex(&libseal.measurement()));
 
@@ -81,6 +83,29 @@ fn main() {
     libseal.verify_log(0).expect("log verifies");
     let (entries, bytes, _) = libseal.log_stats(0).expect("stats");
     println!("\naudit log: {entries} entries, ~{bytes} bytes, hash chain + signature valid");
+
+    // 7. Everything above was measured: every wired crate reports into
+    //    the process-wide telemetry registry (served as /metrics by the
+    //    service layer — see crates/services::MetricsRouter).
+    let reg = libseal.telemetry();
+    let append_ns = reg.histogram("core_append_ns").snapshot();
+    println!(
+        "\ntelemetry: {} appends (p95 {}us), {} sealdb statements, {} enclave ecalls",
+        append_ns.count(),
+        append_ns.percentile(0.95) / 1000,
+        reg.counter("sealdb_statements_total").get(),
+        reg.counter("sgxsim_ecalls_total").get(),
+    );
+    println!("recent enclave-boundary spans:");
+    for ev in reg.recent_spans().iter().rev().take(3) {
+        println!(
+            "  {} [{}] {}us (+{} boundary cycles)",
+            ev.name,
+            ev.side.as_str(),
+            ev.duration.as_micros(),
+            ev.boundary_cycles
+        );
+    }
     println!("\nquickstart OK: rollback attack detected with non-repudiable evidence");
 }
 

@@ -23,9 +23,13 @@ fn new_instance(audited: bool) -> Arc<LibSeal> {
     } else {
         None
     };
-    let mut config = LibSealConfig::new(cert, key, ssm);
-    config.cost_model = CostModel::free();
-    config.check_interval = 0;
+    let mut builder = LibSealConfig::builder(cert, key)
+        .cost_model(CostModel::free())
+        .check_interval(0);
+    if let Some(ssm) = ssm {
+        builder = builder.ssm(ssm);
+    }
+    let config = builder.build();
     LibSeal::new(config).expect("libseal")
 }
 

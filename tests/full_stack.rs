@@ -25,14 +25,12 @@ fn sealed_persistent_log_full_cycle() {
 
     // Phase 1: serve real traffic, persist the log.
     {
-        let mut cfg = LibSealConfig::new(
-            cert.clone(),
-            key.clone(),
-            Some(Arc::new(GitModule)),
-        );
-        cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(path.to_path_buf());
-        cfg.check_interval = 0;
+        let cfg = LibSealConfig::builder(cert.clone(), key.clone())
+            .ssm(Arc::new(GitModule))
+            .cost_model(CostModel::free())
+            .backing(LogBacking::Disk(path.to_path_buf()))
+            .check_interval(0)
+            .build();
         let ls = LibSeal::new(cfg).unwrap();
         let backend = Arc::new(GitBackend::new());
         let server = ApacheServer::start(ApacheConfig {
@@ -56,10 +54,12 @@ fn sealed_persistent_log_full_cycle() {
 
     // Phase 2: restart over the sealed journal; history verifies.
     {
-        let mut cfg = LibSealConfig::new(cert, key, Some(Arc::new(GitModule)));
-        cfg.cost_model = CostModel::free();
-        cfg.backing = LogBacking::Disk(path.to_path_buf());
-        cfg.check_interval = 0;
+        let cfg = LibSealConfig::builder(cert, key)
+            .ssm(Arc::new(GitModule))
+            .cost_model(CostModel::free())
+            .backing(LogBacking::Disk(path.to_path_buf()))
+            .check_interval(0)
+            .build();
         let ls = LibSeal::new(cfg).unwrap();
         let (entries, _, journal) = ls.log_stats(0).unwrap();
         assert!(entries > 0);
@@ -73,8 +73,9 @@ fn sealed_persistent_log_full_cycle() {
 fn load_generator_measures_throughput() {
     let ca = ca();
     let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, None);
-    cfg.cost_model = CostModel::free();
+    let cfg = LibSealConfig::builder(cert, key)
+        .cost_model(CostModel::free())
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
     let server = ApacheServer::start(ApacheConfig {
         tls: TlsMode::LibSeal(ls),
@@ -102,8 +103,7 @@ fn cost_model_imposes_real_overhead() {
     let ca = ca();
     let run = |model: CostModel| -> Duration {
         let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
-        let mut cfg = LibSealConfig::new(cert, key, None);
-        cfg.cost_model = model;
+        let cfg = LibSealConfig::builder(cert, key).cost_model(model).build();
         let ls = LibSeal::new(cfg).unwrap();
         let server = ApacheServer::start(ApacheConfig {
             tls: TlsMode::LibSeal(ls),
@@ -139,8 +139,9 @@ fn cost_model_imposes_real_overhead() {
 fn transitions_are_observable_end_to_end() {
     let ca = ca();
     let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
-    let mut cfg = LibSealConfig::new(cert, key, None);
-    cfg.cost_model = CostModel::free();
+    let cfg = LibSealConfig::builder(cert, key)
+        .cost_model(CostModel::free())
+        .build();
     let ls = LibSeal::new(cfg).unwrap();
     let server = ApacheServer::start(ApacheConfig {
         tls: TlsMode::LibSeal(Arc::clone(&ls)),
