@@ -26,3 +26,9 @@ cargo run --release -p libseal-bench --bin crash_matrix
 # audited-append throughput with the registry enabled vs disabled
 # (no-op handles) and fail on a >5% regression.
 cargo run --release -p libseal-bench --bin telemetry_overhead
+
+# Group commit must amortise counter binds and fsyncs across
+# concurrent requests: 8 audited clients must push >= 3x the
+# single-client throughput, with telemetry confirming batches formed
+# (>= 2 appends per counter bind and per fsync).
+cargo run --release -p libseal-bench --bin group_commit_gate

@@ -1,7 +1,8 @@
 //! CI gate: the crash matrix. Enumerate every failpoint the audited
 //! write path crosses (append, per-request flush, compaction, journal
-//! sync, ROTE rounds, recovery itself), simulate a crash at each one,
-//! restart, and assert the recovery contract:
+//! sync, ROTE rounds, the group-commit pipeline, recovery itself),
+//! simulate a crash at each one, restart, and assert the recovery
+//! contract:
 //!
 //!   1. the reopen succeeds (a crash never corrupts, it only truncates),
 //!   2. every entry whose append *and* flush returned success is still
@@ -25,7 +26,7 @@ use std::sync::Arc;
 
 use libseal::log::{AuditLog, LogBacking, RollbackGuard, RoteGuard};
 use libseal::ssm::git::GIT_SOUNDNESS;
-use libseal::{GitModule, ServiceModule};
+use libseal::{CommitMode, CommitQueue, GitModule, GroupCommitConfig, Sealer, ServiceModule};
 use libseal_crypto::ed25519::SigningKey;
 use libseal_rote::{Cluster, ClusterConfig, QuorumPolicy};
 use libseal_sealdb::Value;
@@ -103,6 +104,82 @@ fn workload(path: &TempPath, guard: Box<dyn RollbackGuard>) -> Outcome {
     Outcome { durable }
 }
 
+/// The group-commit workload: writer threads stage appends through a
+/// [`CommitQueue`] and block on the commit barrier while a [`Sealer`]
+/// drains batches (one counter bind, head signature and fsync per
+/// batch). `durable` counts appends whose barrier acknowledged —
+/// exactly the prefix whose seal *and* flush landed before the fault.
+fn pipeline_workload(path: &TempPath, guard: Box<dyn RollbackGuard>) -> Outcome {
+    const WRITERS: u64 = 3;
+    let Ok(mut log) = open_log(path, guard) else {
+        return Outcome { durable: 0 };
+    };
+    log.set_commit_mode(CommitMode::Staged);
+    let log = Arc::new(plat::sync::Mutex::new(log));
+    let queue = Arc::new(CommitQueue::new(GroupCommitConfig {
+        max_batch: 4,
+        max_wait: std::time::Duration::ZERO,
+    }));
+    let sealer = {
+        let log = Arc::clone(&log);
+        Sealer::spawn(Arc::clone(&queue), move || {
+            // Production pattern: the counter round runs outside the
+            // audit lock so writers stage the next batch during it.
+            let guard = {
+                let g = log.lock();
+                if !g.is_dirty() {
+                    return Ok(());
+                }
+                g.guard_handle()
+            };
+            let counter = guard.increment()?;
+            let mut g = log.lock();
+            g.seal_bound(counter)?;
+            g.flush()
+        })
+    };
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let log = Arc::clone(&log);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut acked = 0u64;
+                for i in 0..(APPENDS / WRITERS) {
+                    // Backpressure before the audit lock, so a full
+                    // queue never stalls the sealer that drains it.
+                    queue.wait_for_space();
+                    let ticket = {
+                        let mut g = log.lock();
+                        let t = g.next_time() as i64;
+                        let row = [
+                            Value::Integer(t),
+                            Value::Text("r".into()),
+                            Value::Text("main".into()),
+                            Value::Text(format!("{w:02x}{i:038x}")),
+                            Value::Text("update".into()),
+                        ];
+                        if g.append("updates", &row).is_err() {
+                            continue;
+                        }
+                        match queue.stage() {
+                            Ok(t) => t,
+                            Err(_) => continue,
+                        }
+                    };
+                    if queue.await_durable(ticket).is_ok() {
+                        acked += 1;
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let durable = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    queue.shutdown();
+    sealer.join();
+    Outcome { durable }
+}
+
 /// Dry-runs the workload with no faults armed so every failpoint on
 /// the path registers itself, then returns the matrix rows.
 fn enumerate_sites(s: &Scenario) -> Vec<String> {
@@ -114,6 +191,12 @@ fn enumerate_sites(s: &Scenario) -> Vec<String> {
     // A fault-free reopen also registers the recovery-path sites
     // (salvage, rote::recover) that only fire on restart.
     drop(open_log(&path, Box::new(RoteGuard(c))).expect("fault-free reopen"));
+    // And the group-commit pipeline registers its enqueue/seal/ack
+    // sites, which the serial workload never crosses.
+    let gc_path = TempPath::new("crash-matrix-dry-gc", "log");
+    let gc = cluster();
+    let out = pipeline_workload(&gc_path, Box::new(RoteGuard(gc)));
+    assert_eq!(out.durable, APPENDS, "fault-free pipeline must not fail");
     let mut sites = s.registered();
     sites.sort();
     sites
@@ -128,8 +211,15 @@ fn trial(s: &Scenario, site: &str, spec: FaultSpec, flavor: &str) -> Result<(), 
     // external service, not enclave state.
     let c = cluster();
 
+    // The pipeline sites only fire under the group-commit workload;
+    // everything else runs the serial per-request-flush workload.
+    let run = if site.starts_with("core::commit::") {
+        pipeline_workload
+    } else {
+        workload
+    };
     s.set(site, spec);
-    let out = workload(&path, Box::new(RoteGuard(Arc::clone(&c))));
+    let out = run(&path, Box::new(RoteGuard(Arc::clone(&c))));
 
     // Restart: clear the crash latch, reopen against the surviving
     // journal and the surviving counter service.

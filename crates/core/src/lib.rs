@@ -29,6 +29,7 @@
 //! client/server round trip with attack detection.
 
 pub mod check;
+pub mod commit;
 pub mod log;
 pub mod merge;
 pub mod provision;
@@ -36,7 +37,8 @@ pub mod ssm;
 pub mod termination;
 
 pub use check::{CheckOutcome, CheckReport, Checker};
-pub use log::{AuditLog, LogBacking, TableSpec};
+pub use commit::{CommitQueue, GroupCommitConfig, Sealer};
+pub use log::{AuditLog, CommitMode, LogBacking, TableSpec};
 pub use provision::CertProvisioner;
 pub use ssm::{DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule};
 pub use termination::{GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, ShadowSsl};

@@ -38,6 +38,9 @@ struct LogMetrics {
     trim_ns: libseal_telemetry::Histogram,
     verify_ns: libseal_telemetry::Histogram,
     appends: libseal_telemetry::Counter,
+    counter_binds: libseal_telemetry::Counter,
+    head_signs: libseal_telemetry::Counter,
+    epoch_rotations: libseal_telemetry::Counter,
     recoveries: libseal_telemetry::Counter,
     rollback_alarms: libseal_telemetry::Counter,
     salvaged_bytes: libseal_telemetry::Counter,
@@ -51,6 +54,9 @@ fn log_metrics() -> &'static LogMetrics {
         trim_ns: libseal_telemetry::histogram("core_trim_ns"),
         verify_ns: libseal_telemetry::histogram("core_verify_ns"),
         appends: libseal_telemetry::counter("core_appends_total"),
+        counter_binds: libseal_telemetry::counter("core_counter_binds_total"),
+        head_signs: libseal_telemetry::counter("core_head_signs_total"),
+        epoch_rotations: libseal_telemetry::counter("core_epoch_rotations_total"),
         recoveries: libseal_telemetry::counter("core_recoveries_total"),
         rollback_alarms: libseal_telemetry::counter("core_rollback_alarms_total"),
         salvaged_bytes: libseal_telemetry::counter("core_salvaged_bytes_total"),
@@ -157,6 +163,10 @@ impl SealingCodec {
         }
     }
 
+    /// Rotate this many nonces before the 32-bit per-epoch space runs
+    /// out, so `encode` never has to fail in practice.
+    const ROTATE_AT: u64 = (u32::MAX as u64) - 1024;
+
     /// Sets the restart epoch (done once per open, after recovering the
     /// stored epoch from `_libseal_meta`).
     pub fn set_epoch(&self, epoch: u32) {
@@ -167,14 +177,43 @@ impl SealingCodec {
     pub fn epoch(&self) -> u32 {
         self.epoch.load(std::sync::atomic::Ordering::SeqCst)
     }
+
+    /// Whether the per-epoch nonce space is close enough to exhaustion
+    /// that the owner should rotate to a fresh epoch now.
+    pub fn needs_rotation(&self) -> bool {
+        self.counter.load(std::sync::atomic::Ordering::SeqCst) >= Self::ROTATE_AT
+    }
+
+    /// Advances to a fresh epoch and resets the nonce counter,
+    /// returning the new epoch. The owner persists the new epoch to
+    /// `_libseal_meta` right away; journal append order then guarantees
+    /// that any durable record sealed under the new epoch implies the
+    /// epoch row itself is durable, exactly the invariant the open-time
+    /// bump relies on.
+    pub fn rotate_epoch(&self) -> u32 {
+        let e = self
+            .epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
+            .wrapping_add(1);
+        self.epoch.store(e, std::sync::atomic::Ordering::SeqCst);
+        self.counter.store(0, std::sync::atomic::Ordering::SeqCst);
+        e
+    }
 }
 
 impl JournalCodec for SealingCodec {
-    fn encode(&self, plain: &[u8]) -> Vec<u8> {
+    fn encode(&self, plain: &[u8]) -> libseal_sealdb::Result<Vec<u8>> {
         let n = self
             .counter
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        assert!(n < u64::from(u32::MAX), "nonce counter exhausted within one epoch");
+        // Reached only if the owner failed to rotate in time: surface a
+        // typed error the caller can handle instead of aborting the
+        // enclave mid-request.
+        if n >= u64::from(u32::MAX) {
+            return Err(libseal_sealdb::DbError::Exec(
+                "sealing nonce space exhausted; epoch rotation required".into(),
+            ));
+        }
         let e = self.epoch.load(std::sync::atomic::Ordering::SeqCst);
         let mut nonce = [0u8; 12];
         nonce[..4].copy_from_slice(&e.to_le_bytes());
@@ -186,7 +225,7 @@ impl JournalCodec for SealingCodec {
         nonce[8..].copy_from_slice(&tail);
         let mut out = nonce.to_vec();
         out.extend_from_slice(&self.aead.seal(&nonce, b"libseal-journal", plain));
-        out
+        Ok(out)
     }
 
     fn decode(&self, stored: &[u8]) -> libseal_sealdb::Result<Vec<u8>> {
@@ -210,7 +249,7 @@ impl JournalCodec for SealingCodec {
 struct SharedCodec(Arc<SealingCodec>);
 
 impl JournalCodec for SharedCodec {
-    fn encode(&self, plain: &[u8]) -> Vec<u8> {
+    fn encode(&self, plain: &[u8]) -> libseal_sealdb::Result<Vec<u8>> {
         self.0.encode(plain)
     }
     fn decode(&self, stored: &[u8]) -> libseal_sealdb::Result<Vec<u8>> {
@@ -247,6 +286,19 @@ pub struct RecoveryReport {
     pub crash_window: bool,
 }
 
+/// How appends reach a signed, counter-bound head.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Every append binds the rollback counter and signs the head
+    /// itself (one counter step and one signature per entry).
+    #[default]
+    Immediate,
+    /// Appends only extend the hash chain; a group-commit sealer calls
+    /// [`AuditLog::seal`] once per batch, so the whole batch shares a
+    /// single counter step and head signature.
+    Staged,
+}
+
 /// Parsed, signature-verified contents of the `head` meta row.
 struct SignedHead {
     head: [u8; 32],
@@ -259,7 +311,7 @@ struct SignedHead {
 pub struct AuditLog {
     db: Database,
     signer: SigningKey,
-    guard: Box<dyn RollbackGuard>,
+    guard: Arc<dyn RollbackGuard>,
     tables: Vec<TableSpec>,
     head: [u8; 32],
     seq: u64,
@@ -270,6 +322,13 @@ pub struct AuditLog {
     counter: u64,
     disk_backed: bool,
     recovery: RecoveryReport,
+    /// Shared handle to the journal's sealing codec, kept to manage
+    /// proactive nonce-epoch rotation.
+    codec: Arc<SealingCodec>,
+    mode: CommitMode,
+    /// Entries staged since the last seal: the chain extends past the
+    /// signed head until [`AuditLog::seal`] catches it up.
+    dirty: bool,
 }
 
 const CHAIN_SCHEMA: &str = "CREATE TABLE IF NOT EXISTS _libseal_chain(
@@ -355,7 +414,7 @@ impl AuditLog {
         let mut log = AuditLog {
             db,
             signer,
-            guard,
+            guard: Arc::from(guard),
             tables,
             head: [0u8; 32],
             seq: 0,
@@ -363,13 +422,17 @@ impl AuditLog {
             counter: 0,
             disk_backed,
             recovery: RecoveryReport::default(),
+            codec,
+            mode: CommitMode::Immediate,
+            dirty: false,
         };
         if log.disk_backed {
             // Persist the bumped epoch before anything else this run
             // seals (one atomic statement; the row is never deleted):
             // the journal is append-ordered, so the epoch row is
             // durable before any record relying on it.
-            log.put_meta("epoch", &codec.epoch().to_string())?;
+            let epoch = log.codec.epoch();
+            log.put_meta("epoch", &epoch.to_string())?;
         }
         log.recover_state()?;
         if log.disk_backed {
@@ -457,14 +520,16 @@ impl AuditLog {
             // vouches for the rows.
             None => (0, 0),
         };
-        // Every chain row past the signed head carries exactly one
-        // counter increment (appends are counter-per-row; trims re-sign
-        // in place), so the durable log accounts for:
-        let durable_counter = meta_counter + (max_seq - meta_seq);
+        // The durable log accounts for exactly the counter value bound
+        // into its last signed head: one seal covers every entry staged
+        // since the previous one (a whole group-commit batch shares a
+        // single counter step), so rows past the signed head carry at
+        // most the one in-flight increment a crash between
+        // counter-advance and head-flush legally loses.
+        let durable_counter = meta_counter;
         let rolled_forward = max_seq - meta_seq;
         // Rollback check: the guard must not attest past the durable
-        // state by more than the one increment a crash between
-        // counter-advance and flush legally loses.
+        // state by more than that single lost batch increment.
         let attested = self.guard.attested()?;
         if attested > durable_counter + 1 {
             log_metrics().rollback_alarms.inc();
@@ -557,14 +622,20 @@ impl AuditLog {
         self.clock
     }
 
-    /// Appends one tuple to `table`, extending the hash chain, signing
-    /// the new head and advancing the rollback counter.
+    /// Appends one tuple to `table`, extending the hash chain. In
+    /// [`CommitMode::Immediate`] the new head is signed and the
+    /// rollback counter advanced before returning; in
+    /// [`CommitMode::Staged`] the entry stays staged until a sealer
+    /// calls [`AuditLog::seal`] for the whole batch.
     ///
     /// # Errors
     ///
     /// Unknown table, database failures, or counter failures.
     pub fn append(&mut self, table: &str, values: &[Value]) -> Result<()> {
         let started = std::time::Instant::now();
+        if self.disk_backed && self.codec.needs_rotation() {
+            self.rotate_epoch()?;
+        }
         let spec = self
             .tables
             .iter()
@@ -604,13 +675,92 @@ impl AuditLog {
             )
             .map_err(LibSealError::Db)?;
         self.head = new_hash;
+        self.dirty = true;
 
+        if self.mode == CommitMode::Immediate {
+            self.seal()?;
+        }
+        log_metrics().append_ns.record_duration(started.elapsed());
+        log_metrics().appends.inc();
+        Ok(())
+    }
+
+    /// Binds the rollback counter and signs the chain head over every
+    /// entry staged since the last seal. One call covers a whole
+    /// batch — this is the group-commit amortisation point. No-op when
+    /// nothing is staged (safe to call after a concurrent trim already
+    /// re-signed the head).
+    ///
+    /// # Errors
+    ///
+    /// Counter or database failures; the log stays dirty so the seal
+    /// can be retried.
+    pub fn seal(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
         plat::failpoint::check("core::log::append::counter")
             .map_err(|e| LibSealError::Log(e.to_string()))?;
         let counter = self.guard.increment()?;
+        log_metrics().counter_binds.inc();
         self.sign_head(counter)?;
-        log_metrics().append_ns.record_duration(started.elapsed());
-        log_metrics().appends.inc();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// A shared handle to the rollback guard, letting the group-commit
+    /// sealer run the counter round *outside* the audit-state lock so
+    /// writers keep staging the next batch while it is in flight.
+    pub fn guard_handle(&self) -> Arc<dyn RollbackGuard> {
+        Arc::clone(&self.guard)
+    }
+
+    /// Seals with an already-bound counter value: signs the current
+    /// head over everything staged. The caller obtained `counter` from
+    /// the [`AuditLog::guard_handle`] while NOT holding the audit lock,
+    /// so entries appended during the counter round are simply covered
+    /// by this signature too. No-op when clean — a concurrent trim
+    /// already re-signed the head, and recovery's legal "+1 counter
+    /// step" window absorbs the spare increment.
+    ///
+    /// # Errors
+    ///
+    /// Database failures; the log stays dirty so the seal can be
+    /// retried.
+    pub fn seal_bound(&mut self, counter: u64) -> Result<()> {
+        log_metrics().counter_binds.inc();
+        if !self.dirty {
+            return Ok(());
+        }
+        // A trim interleaved with the counter round may have bound a
+        // later value already; the signed head's counter must never
+        // step backwards.
+        self.sign_head(counter.max(self.counter))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Switches how appends reach a signed head (see [`CommitMode`]).
+    pub fn set_commit_mode(&mut self, mode: CommitMode) {
+        self.mode = mode;
+    }
+
+    /// The active commit mode.
+    pub fn commit_mode(&self) -> CommitMode {
+        self.mode
+    }
+
+    /// Whether entries are staged past the last signed head.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Rotates the sealing codec to a fresh nonce epoch and persists it
+    /// before anything else is sealed under the new epoch.
+    fn rotate_epoch(&mut self) -> Result<()> {
+        let e = self.codec.rotate_epoch();
+        self.put_meta("epoch", &e.to_string())?;
+        log_metrics().epoch_rotations.inc();
         Ok(())
     }
 
@@ -635,6 +785,7 @@ impl AuditLog {
             ),
         )?;
         self.counter = counter;
+        log_metrics().head_signs.inc();
         Ok(())
     }
 
@@ -858,7 +1009,11 @@ impl AuditLog {
             self.head = new_hash;
         }
         let counter = self.guard.increment()?;
+        log_metrics().counter_binds.inc();
         self.sign_head(counter)?;
+        // The fresh signature covers the whole rebuilt chain, including
+        // anything that was staged before the trim.
+        self.dirty = false;
         // Compact the journal so trimming actually reclaims disk.
         if self.disk_backed {
             self.db.compact().map_err(LibSealError::Db)?;
@@ -959,4 +1114,38 @@ fn unhex(s: &str) -> Option<Vec<u8>> {
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonce_exhaustion_is_a_typed_error_and_rotation_recovers() {
+        let codec = SealingCodec::new([9u8; 32]);
+        codec.set_epoch(3);
+        codec
+            .counter
+            .store(u64::from(u32::MAX), std::sync::atomic::Ordering::SeqCst);
+        assert!(codec.needs_rotation());
+        let err = JournalCodec::encode(&codec, b"payload").unwrap_err();
+        assert!(err.to_string().contains("epoch rotation"), "{err}");
+
+        assert_eq!(codec.rotate_epoch(), 4);
+        assert!(!codec.needs_rotation());
+        let sealed = JournalCodec::encode(&codec, b"payload").unwrap();
+        assert_eq!(JournalCodec::decode(&codec, &sealed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn rotation_threshold_leaves_headroom_before_the_hard_limit() {
+        let codec = SealingCodec::new([9u8; 32]);
+        codec
+            .counter
+            .store(SealingCodec::ROTATE_AT, std::sync::atomic::Ordering::SeqCst);
+        // Rotation is due, but encode still succeeds inside the headroom
+        // window so in-flight appends can finish before the owner rotates.
+        assert!(codec.needs_rotation());
+        assert!(JournalCodec::encode(&codec, b"x").is_ok());
+    }
 }

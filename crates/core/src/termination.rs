@@ -38,8 +38,9 @@ use libseal_tlsx::ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
 use plat::sync::{Mutex, RwLock};
 
 use crate::check::{CheckOutcome, Checker};
+use crate::commit::{CommitQueue, GroupCommitConfig, Sealer};
 use crate::log::{
-    AuditLog, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard, TableSpec,
+    AuditLog, CommitMode, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard, TableSpec,
 };
 use crate::ssm::ServiceModule;
 use crate::{LibSealError, Result};
@@ -113,6 +114,9 @@ pub struct LibSealConfig {
     /// Maximum bytes one session may buffer while waiting for a
     /// message boundary (must exceed the largest audited message).
     pub(crate) max_message_buffer: usize,
+    /// Group-commit pipeline tuning; `None` seals and fsyncs every
+    /// audited pair individually.
+    pub(crate) group_commit: Option<GroupCommitConfig>,
 }
 
 impl LibSealConfig {
@@ -120,8 +124,9 @@ impl LibSealConfig {
     ///
     /// Defaults: no auditing (call [`LibSealConfigBuilder::ssm`]), an
     /// in-memory log, checks every 25 pairs with trimming, a
-    /// zero-latency `f = 1` ROTE guard, the default SGX cost model and
-    /// 16 TCS slots.
+    /// zero-latency `f = 1` ROTE guard, the default SGX cost model,
+    /// 16 TCS slots, and group commit on (batches of up to 64 pairs
+    /// share one counter bind, head signature and fsync).
     pub fn builder(cert: Certificate, key: SigningKey) -> LibSealConfigBuilder {
         LibSealConfigBuilder {
             config: LibSealConfig {
@@ -142,6 +147,7 @@ impl LibSealConfig {
                 tcs_count: 16,
                 log_signer_seed: None,
                 max_message_buffer: MAX_MESSAGE_BUFFER,
+                group_commit: Some(GroupCommitConfig::default()),
             },
         }
     }
@@ -217,6 +223,25 @@ impl LibSealConfigBuilder {
         self
     }
 
+    /// Tunes the group-commit pipeline: `max_batch` bounds the commit
+    /// queue (writers feel backpressure past it) and caps how many
+    /// pairs one seal covers; `max_wait` is the extra time the sealer
+    /// waits for a batch to fill before sealing what it has
+    /// ([`Duration::ZERO`] seals as soon as the sealer is free — the
+    /// previous batch's counter round and fsync naturally accumulate
+    /// the next batch).
+    pub fn group_commit(mut self, max_batch: usize, max_wait: Duration) -> Self {
+        self.config.group_commit = Some(GroupCommitConfig { max_batch, max_wait });
+        self
+    }
+
+    /// Disables the group-commit pipeline: every audited pair binds
+    /// the rollback counter, signs the head and fsyncs on its own.
+    pub fn no_group_commit(mut self) -> Self {
+        self.config.group_commit = None;
+        self
+    }
+
     /// Requires client certificates (§6.3, impersonation defence).
     pub fn verify_clients(mut self, verify: bool) -> Self {
         self.config.verify_clients = verify;
@@ -265,6 +290,9 @@ pub struct Trusted {
     sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
     next_sid: AtomicU64,
     audit: Option<Mutex<AuditState>>,
+    /// Group-commit ticket queue shared with the sealer thread; `None`
+    /// when auditing is off or group commit is disabled.
+    commit: Option<Arc<CommitQueue>>,
     /// Outside info callback, reached through an ocall trampoline.
     info_cb: RwLock<Option<InfoCallback>>,
 }
@@ -283,6 +311,10 @@ impl Trusted {
 pub struct LibSeal {
     enclave: Arc<Enclave<Trusted>>,
     runtime: Option<AsyncRuntime<Trusted>>,
+    /// Group-commit queue (shared with [`Trusted`] and the sealer).
+    commit: Option<Arc<CommitQueue>>,
+    /// The dedicated sealer thread, joined on drop.
+    sealer: Option<Sealer>,
     /// Sanitised session shadows (no key material by construction).
     shadows: RwLock<HashMap<u64, ShadowSsl>>,
     /// Whether an SSM is configured (cached to avoid probing ecalls).
@@ -384,9 +416,19 @@ impl LibSeal {
             "trim_now",
             "verify_log",
             "log_stats",
+            "seal_batch",
         ] {
             builder = builder.declare_interface(name);
         }
+
+        // The group-commit ticket queue is shared three ways: writers
+        // (inside ssl_write ecalls), the sealer thread, and the
+        // outside handle for shutdown.
+        let commit = match (&config.ssm, &config.group_commit) {
+            (Some(_), Some(gc)) => Some(Arc::new(CommitQueue::new(*gc))),
+            _ => None,
+        };
+        let commit_for_trusted = commit.clone();
 
         // Build failures inside the init closure are carried out.
         let mut init_err: Option<LibSealError> = None;
@@ -431,7 +473,13 @@ impl LibSeal {
                         ssm.schema_sql(),
                         ssm.tables(),
                     ) {
-                        Ok(log) => {
+                        Ok(mut log) => {
+                            if commit_for_trusted.is_some() {
+                                // Appends stage into the chain; the
+                                // sealer binds the counter and signs
+                                // once per batch.
+                                log.set_commit_mode(CommitMode::Staged);
+                            }
                             services.epc_alloc(log.size_bytes() as u64 + 64 * 1024);
                             Some(Mutex::new(AuditState {
                                 log,
@@ -456,6 +504,7 @@ impl LibSeal {
                 sessions: RwLock::new(HashMap::new()),
                 next_sid: AtomicU64::new(1),
                 audit,
+                commit: commit_for_trusted,
                 info_cb: RwLock::new(None),
             }
         });
@@ -463,6 +512,42 @@ impl LibSeal {
             return Err(e);
         }
         let enclave = Arc::new(enclave);
+        // The dedicated sealer: one enclave transition per batch makes
+        // the whole batch durable — one counter bind, one head
+        // signature (AuditLog::seal) and one fsync (flush).
+        let sealer = commit.as_ref().map(|q| {
+            let enclave = Arc::clone(&enclave);
+            Sealer::spawn(Arc::clone(q), move || -> Result<()> {
+                enclave
+                    .ecall("seal_batch", |t: &Trusted, sv| -> Result<()> {
+                        let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+                        // The counter round is the slow part of a seal
+                        // (a quorum network round trip); run it WITHOUT
+                        // the audit lock so writers stage the next
+                        // batch while it is in flight. Entries appended
+                        // meanwhile are covered by the signature below.
+                        let guard = {
+                            let astate = audit.lock();
+                            if !astate.log.is_dirty() {
+                                return Ok(());
+                            }
+                            astate.log.guard_handle()
+                        };
+                        plat::failpoint::check("core::log::append::counter")
+                            .map_err(|e| LibSealError::Log(e.to_string()))?;
+                        let counter = guard.increment()?;
+                        let mut astate = audit.lock();
+                        astate.log.seal_bound(counter)?;
+                        astate.log.flush()?;
+                        drop(astate);
+                        // The journal write + fsync cross the enclave
+                        // boundary; charged after the lock is released.
+                        sv.ocall("log_flush", || ());
+                        Ok(())
+                    })
+                    .map_err(|e| LibSealError::Log(e.to_string()))?
+            })
+        });
         let runtime = match rt {
             Some(cfg) => Some(
                 AsyncRuntime::start(Arc::clone(&enclave), cfg)
@@ -474,6 +559,8 @@ impl LibSeal {
         Ok(Arc::new(LibSeal {
             enclave,
             runtime,
+            commit,
+            sealer,
             shadows: RwLock::new(HashMap::new()),
             pool: MemoryPool::new(16 * 1024, 64),
             cert,
@@ -751,32 +838,53 @@ impl LibSeal {
                     let (raw_req, check_requested) =
                         s.pending.pop_front().unwrap_or((Vec::new(), false));
                     let audit = t.audit.as_ref().expect("audited instances have state");
+                    // Backpressure BEFORE taking the audit lock:
+                    // blocking inside it would stall the very sealer
+                    // that makes room in the queue.
+                    if let Some(q) = &t.commit {
+                        q.wait_for_space();
+                    }
                     let mut astate = audit.lock();
                     let AuditState { log, ssm, checker } = &mut *astate;
                     let logged = ssm.log_pair(&raw_req, &raw_rsp, log)?;
+                    let mut ticket = None;
                     if logged > 0 {
-                        // One durable flush per request/response pair
-                        // (§5.1); charged as an ocall below, after the
-                        // locks are released.
-                        log.flush()?;
-                        log_flushes += 1;
+                        match &t.commit {
+                            // Group commit: take a ticket while still
+                            // holding the audit lock, so ticket order
+                            // matches log order; the sealer makes the
+                            // whole batch durable with one counter
+                            // bind, one signature and one fsync.
+                            Some(q) => ticket = Some(q.stage()?),
+                            // One durable flush per request/response
+                            // pair (§5.1); charged as an ocall below,
+                            // after the locks are released.
+                            None => {
+                                log.flush()?;
+                                log_flushes += 1;
+                            }
+                        }
                     }
                     let _ = checker.on_pair(ssm.as_ref(), log)?;
-                    if check_requested {
+                    let out_bytes = if check_requested {
                         let outcome = checker.client_check(ssm.as_ref(), log)?;
                         let value = match &outcome {
                             Some(o) => o.header_value(),
                             None => checker.last_outcome.header_value(),
                         };
                         response.headers.set("Libseal-Check-Result", value);
-                        drop(astate);
-                        s.ssl
-                            .ssl_write(&response.to_bytes())
-                            .map_err(LibSealError::Tls)?;
+                        response.to_bytes()
                     } else {
-                        drop(astate);
-                        s.ssl.ssl_write(&raw_rsp).map_err(LibSealError::Tls)?;
+                        raw_rsp
+                    };
+                    drop(astate);
+                    // The commit barrier preserves response-before-
+                    // durable: the response is released only once the
+                    // batch carrying this pair is sealed and fsynced.
+                    if let (Some(q), Some(tk)) = (&t.commit, ticket) {
+                        q.await_durable(tk)?;
                     }
+                    s.ssl.ssl_write(&out_bytes).map_err(LibSealError::Tls)?;
                 }
             }
             // Persisting the log crosses the boundary: the journal
@@ -855,7 +963,12 @@ impl LibSeal {
     pub fn verify_log(&self, slot: usize) -> Result<()> {
         self.call(slot, "verify_log", move |t, _, _ctx| -> Result<()> {
             let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
-            let astate = audit.lock();
+            let mut astate = audit.lock();
+            // Catch the signed head up with anything still staged
+            // (in-flight group-commit entries or direct appends), so
+            // verification always sees a consistent head. No-op when
+            // the log is clean.
+            astate.log.seal()?;
             astate.log.verify()
         })?
     }
@@ -980,6 +1093,27 @@ impl LibSeal {
 
 impl Drop for LibSeal {
     fn drop(&mut self) {
+        // Drain the commit pipeline first: the sealer needs the
+        // enclave (and the async runtime's TCS slots stay claimed
+        // until it shuts down, so order matters).
+        if let Some(q) = &self.commit {
+            q.shutdown();
+        }
+        if let Some(sealer) = self.sealer.take() {
+            sealer.join();
+        }
+        if self.audited {
+            // Final seal + flush so entries staged outside the
+            // pipeline (direct `with_log` appends) reach a signed,
+            // durable head before the process lets go of the log.
+            let _ = self.enclave.ecall("seal_batch", |t: &Trusted, _| {
+                if let Some(audit) = t.audit.as_ref() {
+                    let mut astate = audit.lock();
+                    let _ = astate.log.seal();
+                    let _ = astate.log.flush();
+                }
+            });
+        }
         if let Some(rt) = self.runtime.take() {
             rt.shutdown();
         }

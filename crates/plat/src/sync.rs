@@ -7,6 +7,7 @@
 //! `parking_lot`. A poisoned lock yields its inner guard.
 
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` never fails.
 #[derive(Debug, Default)]
@@ -69,6 +70,48 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`], poison-transparent like
+/// the locks: `wait`/`wait_timeout` hand back the guard directly. The
+/// group-commit barrier in `libseal-core` is built on this.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and blocks until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// As [`Condvar::wait`], but gives up after `dur`. Returns the
+    /// reacquired guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (g, to) = self
+            .0
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|e| e.into_inner());
+        (g, to.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +128,32 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        t.join().unwrap();
+        assert!(*ready);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(5));
+        assert!(timed_out);
     }
 
     #[test]

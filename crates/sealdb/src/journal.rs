@@ -52,7 +52,14 @@ fn fsync_counter() -> &'static libseal_telemetry::Counter {
 /// sealing codec so the provider cannot read or forge records.
 pub trait JournalCodec: Send {
     /// Encodes a record for storage.
-    fn encode(&self, plain: &[u8]) -> Vec<u8>;
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail when they can no longer encode safely
+    /// (e.g. a sealing codec whose nonce space for the current epoch
+    /// is exhausted); the statement is then rejected instead of being
+    /// persisted unsafely.
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>>;
     /// Decodes a stored record.
     ///
     /// # Errors
@@ -65,8 +72,8 @@ pub trait JournalCodec: Send {
 pub struct PlainCodec;
 
 impl JournalCodec for PlainCodec {
-    fn encode(&self, plain: &[u8]) -> Vec<u8> {
-        plain.to_vec()
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        Ok(plain.to_vec())
     }
     fn decode(&self, stored: &[u8]) -> Result<Vec<u8>> {
         Ok(stored.to_vec())
@@ -155,7 +162,7 @@ impl Journal {
     /// I/O errors are surfaced as [`DbError::Io`].
     pub fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
         let plain = encode_record(sql, params);
-        let stored = self.codec.encode(&plain);
+        let stored = self.codec.encode(&plain)?;
         let mut framed = Vec::with_capacity(4 + stored.len());
         framed.extend_from_slice(&(stored.len() as u32).to_le_bytes());
         framed.extend_from_slice(&stored);
@@ -289,7 +296,7 @@ impl Journal {
         let mut tmp = File::create(tmp_path).map_err(DbError::io)?;
         for (sql, params) in records {
             let plain = encode_record(sql, params);
-            let stored = self.codec.encode(&plain);
+            let stored = self.codec.encode(&plain)?;
             let mut framed = Vec::with_capacity(4 + stored.len());
             framed.extend_from_slice(&(stored.len() as u32).to_le_bytes());
             framed.extend_from_slice(&stored);
@@ -588,11 +595,11 @@ mod tests {
     struct SumCodec;
 
     impl JournalCodec for SumCodec {
-        fn encode(&self, plain: &[u8]) -> Vec<u8> {
+        fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
             let sum = plain.iter().fold(0u8, |a, &b| a.wrapping_add(b));
             let mut out = vec![sum];
             out.extend_from_slice(plain);
-            out
+            Ok(out)
         }
         fn decode(&self, stored: &[u8]) -> Result<Vec<u8>> {
             let (&sum, body) = stored

@@ -150,6 +150,8 @@ impl Router for MetricsRouter {
 struct ApacheMetrics {
     requests: libseal_telemetry::Counter,
     request_ns: libseal_telemetry::Histogram,
+    accept_errors: libseal_telemetry::Counter,
+    malformed_requests: libseal_telemetry::Counter,
     /// Route label -> counter; capped at [`ROUTE_CARDINALITY_CAP`]
     /// labels, everything beyond lands on `other`.
     routes: plat::sync::Mutex<std::collections::HashMap<String, libseal_telemetry::Counter>>,
@@ -159,22 +161,30 @@ struct ApacheMetrics {
 /// keeps a path-scanning client from minting unbounded metric names.
 const ROUTE_CARDINALITY_CAP: usize = 32;
 
+/// Longest route label kept verbatim — a single huge path segment must
+/// not mint an arbitrarily long metric name.
+const ROUTE_LABEL_MAX: usize = 48;
+
 fn apache_metrics() -> &'static ApacheMetrics {
     static M: std::sync::OnceLock<ApacheMetrics> = std::sync::OnceLock::new();
     M.get_or_init(|| ApacheMetrics {
         requests: libseal_telemetry::counter("services_apache_requests_total"),
         request_ns: libseal_telemetry::histogram("services_apache_request_ns"),
+        accept_errors: libseal_telemetry::counter("services_apache_accept_errors_total"),
+        malformed_requests: libseal_telemetry::counter("services_apache_malformed_requests_total"),
         routes: plat::sync::Mutex::new(std::collections::HashMap::new()),
     })
 }
 
-/// First path segment, sanitised to a metric-name-safe label.
+/// First path segment, sanitised to a metric-name-safe `[a-z0-9_]`
+/// label and truncated to [`ROUTE_LABEL_MAX`] characters.
 fn route_label(path: &str) -> String {
     let seg = path.trim_start_matches('/').split(['/', '?']).next().unwrap_or("");
     if seg.is_empty() {
         return "root".to_string();
     }
     seg.chars()
+        .take(ROUTE_LABEL_MAX)
         .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
         .collect()
 }
@@ -255,7 +265,18 @@ impl ApacheServer {
                                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                     std::thread::sleep(std::time::Duration::from_micros(200));
                                 }
-                                Err(_) => break,
+                                Err(_) => {
+                                    // Transient accept failures
+                                    // (ECONNABORTED on a reset
+                                    // connection, EMFILE under fd
+                                    // pressure, EINTR) must not kill
+                                    // the listener for the server's
+                                    // remaining lifetime: count, back
+                                    // off briefly, retry. Shutdown is
+                                    // the only exit.
+                                    apache_metrics().accept_errors.inc();
+                                    std::thread::sleep(std::time::Duration::from_millis(5));
+                                }
                             }
                         }
                     })
@@ -383,9 +404,23 @@ fn serve_established(
     loop {
         // Accumulate one full request.
         let req = loop {
-            if let Ok((req, used)) = parse_request(&plain) {
-                plain.drain(..used);
-                break req;
+            match parse_request(&plain) {
+                Ok((req, used)) => {
+                    plain.drain(..used);
+                    break req;
+                }
+                Err(libseal_httpx::ParseError::Incomplete) => {}
+                Err(_) => {
+                    // Provably not HTTP: more bytes can never fix it,
+                    // so spinning in the read loop until the 30 s
+                    // socket timeout would only tie up the worker.
+                    // Answer 400 and close the connection.
+                    apache_metrics().malformed_requests.inc();
+                    let rsp = Response::new(400, b"bad request".to_vec());
+                    session.ssl_write(&rsp.to_bytes())?;
+                    flush(session, sock)?;
+                    return Ok(());
+                }
             }
             match session.ssl_read()? {
                 ReadOutcome::Data(d) => plain.extend_from_slice(&d),
@@ -436,4 +471,27 @@ fn flush(session: &mut TlsSession, sock: &mut TcpStream) -> Result<()> {
         sock.write_all(&out)?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_labels_are_metric_name_safe() {
+        assert_eq!(route_label("/"), "root");
+        assert_eq!(route_label(""), "root");
+        assert_eq!(route_label("/content/4096"), "content");
+        assert_eq!(route_label("/Git-Upload.Pack"), "git_upload_pack");
+        assert_eq!(route_label("/a%2F..%2Fetc?x=1"), "a_2f___2fetc");
+        assert!(route_label("/weird$(){}//x")
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+    }
+
+    #[test]
+    fn route_labels_are_length_bounded() {
+        let long = format!("/{}", "a".repeat(4096));
+        assert_eq!(route_label(&long).len(), ROUTE_LABEL_MAX);
+    }
 }

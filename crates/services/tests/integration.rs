@@ -316,6 +316,53 @@ fn wan_latency_floor_applies() {
 }
 
 #[test]
+fn malformed_request_gets_400_and_close() {
+    let ca = ca();
+    let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
+    let server = ApacheServer::start(ApacheConfig {
+        tls: TlsMode::LibSeal(Arc::clone(&ls)),
+        workers: 1,
+        router: Arc::new(StaticContentRouter),
+    })
+    .unwrap();
+
+    // Speak TLS by hand so we can ship provably-not-HTTP bytes.
+    let sock = std::net::TcpStream::connect(server.addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let cfg = libseal_tlsx::ssl::SslConfig::client(roots.clone());
+    let mut tls =
+        libseal_tlsx::stream::SslStream::handshake(cfg, [0x5a; 64], sock).unwrap();
+    tls.write_all(b"NOT-A-REQUEST\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let rsp = loop {
+        if let Ok((rsp, _)) = libseal_httpx::http::parse_response(&buf) {
+            break rsp;
+        }
+        match tls.read_some() {
+            Ok(d) => buf.extend_from_slice(&d),
+            Err(e) => panic!("expected a 400 before close, got {e} after {buf:?}"),
+        }
+    };
+    // The worker answers 400 immediately (no 30 s timeout spin) and
+    // closes the connection.
+    assert_eq!(rsp.status, 400);
+    assert!(matches!(
+        tls.read_some(),
+        Err(libseal_tlsx::TlsError::Closed) | Ok(_)
+    ));
+
+    // A well-formed request on a fresh connection still works, and the
+    // audit log stayed consistent.
+    let client = HttpsClient::new(server.addr(), roots);
+    let rsp = client
+        .request(&Request::new("GET", "/content/64", Vec::new()))
+        .unwrap();
+    assert_eq!(rsp.status, 200);
+    ls.verify_log(0).unwrap();
+    server.stop();
+}
+
+#[test]
 fn many_concurrent_clients() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, None);
