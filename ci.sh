@@ -32,3 +32,11 @@ cargo run --release -p libseal-bench --bin telemetry_overhead
 # single-client throughput, with telemetry confirming batches formed
 # (>= 2 appends per counter bind and per fsync).
 cargo run --release -p libseal-bench --bin group_commit_gate
+
+# Incremental invariant checking must cost O(rows touched since the
+# last check): the per-append check cost on a 1M-entry Git log may be
+# at most 2x the 1k-entry log's, the incremental verdicts must match
+# the full-scan reference exactly (including injected violations),
+# and the background verifier pool must drain with its lag gauge and
+# alarm counter live in /metrics.
+cargo run --release -p libseal-bench --bin check_scaling_gate

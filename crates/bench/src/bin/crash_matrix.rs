@@ -66,14 +66,18 @@ struct Outcome {
 
 /// The fixed workload: four audited appends (flushed per request, as
 /// the paper's per-request synchronous flush mandates), a compaction,
-/// two more appends. Any step may fail once the armed fault fires;
-/// later steps then fail too (the failpoint crash latch), exactly as
-/// in a dead process.
+/// two more appends. Materialized-view registration and refresh are
+/// interleaved so the `sealdb::view::*` failpoints sit on the path.
+/// Any step may fail once the armed fault fires; later steps then
+/// fail too (the failpoint crash latch), exactly as in a dead process.
 fn workload(path: &TempPath, guard: Box<dyn RollbackGuard>) -> Outcome {
     let mut durable = 0;
     let Ok(mut log) = open_log(path, guard) else {
         return Outcome { durable };
     };
+    // Views are derived state: a failed registration or refresh must
+    // not affect the durable-prefix accounting of base appends.
+    let _ = libseal::Checker::install(&GitModule, &mut log);
     let append_one = |log: &mut AuditLog, i: u64| -> bool {
         let t = log.next_time() as i64;
         let appended = log
@@ -90,17 +94,42 @@ fn workload(path: &TempPath, guard: Box<dyn RollbackGuard>) -> Outcome {
             .is_ok();
         appended && log.flush().is_ok()
     };
+    // Advertisements dirty the soundness view (updates alone cannot —
+    // the monotone-time rule — so refresh would be a no-op without
+    // them, and the apply-delta failpoint would never fire). The
+    // advertised heads are deliberately wrong: the view carries real
+    // violation rows through crash and recovery.
+    let append_ad = |log: &mut AuditLog, i: u64| -> bool {
+        let t = log.next_time() as i64;
+        let appended = log
+            .append(
+                "advertisements",
+                &[
+                    Value::Integer(t),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(format!("{i:040x}")),
+                ],
+            )
+            .is_ok();
+        appended && log.flush().is_ok()
+    };
     for i in 0..4 {
         if append_one(&mut log, i) {
             durable += 1;
         }
     }
+    if append_ad(&mut log, 99) {
+        durable += 1;
+    }
+    let _ = log.db_mut().refresh_matviews();
     let _ = log.db_mut().compact();
-    for i in 4..APPENDS {
+    for i in 5..APPENDS {
         if append_one(&mut log, i) {
             durable += 1;
         }
     }
+    let _ = log.db_mut().refresh_matviews();
     Outcome { durable }
 }
 
@@ -224,7 +253,7 @@ fn trial(s: &Scenario, site: &str, spec: FaultSpec, flavor: &str) -> Result<(), 
     // Restart: clear the crash latch, reopen against the surviving
     // journal and the surviving counter service.
     s.reset();
-    let log = open_log(&path, Box::new(RoteGuard(Arc::clone(&c))))
+    let mut log = open_log(&path, Box::new(RoteGuard(Arc::clone(&c))))
         .map_err(|e| format!("{site} [{flavor}]: reopen failed: {e}"))?;
     let entries = log.entries();
     if entries < out.durable {
@@ -242,6 +271,33 @@ fn trial(s: &Scenario, site: &str, spec: FaultSpec, flavor: &str) -> Result<(), 
         .map_err(|e| format!("{site} [{flavor}]: chain verify failed: {e}"))?;
     log.query(GIT_SOUNDNESS, &[])
         .map_err(|e| format!("{site} [{flavor}]: invariant query failed: {e}"))?;
+    // Derived view state must be reconstructible from the recovered
+    // base tables, no matter where the crash hit: re-register (which
+    // reseeds the backing tables), refresh, and compare against the
+    // full-scan reference.
+    libseal::Checker::install(&GitModule, &mut log)
+        .map_err(|e| format!("{site} [{flavor}]: view install failed: {e}"))?;
+    log.db_mut()
+        .refresh_matviews()
+        .map_err(|e| format!("{site} [{flavor}]: view refresh failed: {e}"))?;
+    let view = log
+        .query("SELECT * FROM mv_git_soundness", &[])
+        .map_err(|e| format!("{site} [{flavor}]: view query failed: {e}"))?;
+    let full = log
+        .query(GIT_SOUNDNESS, &[])
+        .map_err(|e| format!("{site} [{flavor}]: reference query failed: {e}"))?;
+    let mut got: Vec<String> = view.rows.iter().map(|r| format!("{r:?}")).collect();
+    let mut want: Vec<String> = full.rows.iter().map(|r| format!("{r:?}")).collect();
+    got.sort();
+    want.sort();
+    if got != want {
+        return Err(format!(
+            "{site} [{flavor}]: view diverged from full scan after reopen: \
+             {} view rows vs {} reference rows",
+            got.len(),
+            want.len()
+        ));
+    }
     let report = log.recovery_report();
     if report.attested_counter > report.durable_counter + 1 {
         return Err(format!(

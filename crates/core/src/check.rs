@@ -12,6 +12,12 @@ fn check_latency_hist() -> &'static libseal_telemetry::Histogram {
     H.get_or_init(|| libseal_telemetry::histogram("core_check_ns"))
 }
 
+/// Latency of incremental (delta-maintained view) checking passes.
+fn incremental_latency_hist() -> &'static libseal_telemetry::Histogram {
+    static H: std::sync::OnceLock<libseal_telemetry::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| libseal_telemetry::histogram("core_check_incremental_ns"))
+}
+
 /// Result of running one invariant.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -87,7 +93,25 @@ impl Checker {
         }
     }
 
-    /// Runs every invariant of `ssm` against `log`.
+    /// Registers the materialized views backing every delta-capable
+    /// invariant of `ssm`. Call once after opening the log; safe to
+    /// call again (re-registration reseeds from the base tables).
+    ///
+    /// # Errors
+    ///
+    /// View registration failures (bad delta SQL, journal I/O).
+    pub fn install(ssm: &dyn ServiceModule, log: &mut AuditLog) -> Result<()> {
+        for inv in ssm.invariants() {
+            if let Some(spec) = inv.matview_spec() {
+                log.db_mut().register_matview(spec).map_err(crate::LibSealError::Db)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs every invariant of `ssm` against `log` with a full scan
+    /// (the reference evaluation — also the randomized cross-check
+    /// oracle for the incremental path).
     ///
     /// # Errors
     ///
@@ -110,6 +134,85 @@ impl Checker {
         Ok(outcome)
     }
 
+    /// Runs every invariant incrementally: refreshes the dirty
+    /// partitions of the delta-maintained views, then reads violations
+    /// straight out of them — O(rows touched since the last check)
+    /// instead of O(log). Invariants without delta metadata (or whose
+    /// views were never installed) fall back to the full scan.
+    ///
+    /// # Errors
+    ///
+    /// Refresh or query failures.
+    pub fn run_checks_incremental(
+        ssm: &dyn ServiceModule,
+        log: &mut AuditLog,
+    ) -> Result<CheckOutcome> {
+        let started = std::time::Instant::now();
+        log.db_mut().refresh_matviews().map_err(crate::LibSealError::Db)?;
+        let registered: Vec<String> = log
+            .db_mut()
+            .matview_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut outcome = CheckOutcome {
+            at_time: log.now(),
+            reports: Vec::new(),
+        };
+        for inv in ssm.invariants() {
+            let view = inv.view_name();
+            let r = if inv.delta.is_some() && registered.contains(&view) {
+                log.query(&format!("SELECT * FROM {view}"), &[])?
+            } else {
+                log.query(inv.sql, &[])?
+            };
+            outcome.reports.push(CheckReport {
+                invariant: inv.name.to_string(),
+                violations: r.rows.len(),
+                rows: r.rows.into_iter().take(MAX_REPORT_ROWS).collect(),
+            });
+        }
+        incremental_latency_hist().record_duration(started.elapsed());
+        Ok(outcome)
+    }
+
+    /// Notes one completed request/response pair. Returns `true` when
+    /// the check interval has elapsed — the caller then either runs
+    /// [`Checker::run_due`] inline or enqueues a batch on the
+    /// background verifier.
+    pub fn note_pair(&mut self) -> bool {
+        self.pairs_since_check += 1;
+        if self.interval == 0 || self.pairs_since_check < self.interval {
+            return false;
+        }
+        self.pairs_since_check = 0;
+        self.client_budget = self.client_rate_limit;
+        true
+    }
+
+    /// Runs a due incremental check (plus trimming when the log is
+    /// clean) and caches the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Check or trim failures.
+    pub fn run_due(
+        &mut self,
+        ssm: &dyn ServiceModule,
+        log: &mut AuditLog,
+    ) -> Result<CheckOutcome> {
+        let outcome = Self::run_checks_incremental(ssm, log)?;
+        if self.trim && outcome.total_violations() == 0 {
+            // Trim only clean logs: violations must stay as evidence.
+            // Trimming deletes base rows, which marks the views fully
+            // dirty — the next check recomputes over the (now small)
+            // trimmed log.
+            log.trim(ssm.trim_queries())?;
+        }
+        self.last_outcome = outcome.clone();
+        Ok(outcome)
+    }
+
     /// Notes one completed request/response pair; runs checking and
     /// trimming when the interval elapses. Returns the fresh outcome
     /// when a check ran.
@@ -122,19 +225,10 @@ impl Checker {
         ssm: &dyn ServiceModule,
         log: &mut AuditLog,
     ) -> Result<Option<CheckOutcome>> {
-        self.pairs_since_check += 1;
-        if self.interval == 0 || self.pairs_since_check < self.interval {
+        if !self.note_pair() {
             return Ok(None);
         }
-        self.pairs_since_check = 0;
-        self.client_budget = self.client_rate_limit;
-        let outcome = Self::run_checks(ssm, log)?;
-        if self.trim && outcome.total_violations() == 0 {
-            // Trim only clean logs: violations must stay as evidence.
-            log.trim(ssm.trim_queries())?;
-        }
-        self.last_outcome = outcome.clone();
-        Ok(Some(outcome))
+        self.run_due(ssm, log).map(Some)
     }
 
     /// Handles a client-triggered check (`Libseal-Check` header).
@@ -147,13 +241,13 @@ impl Checker {
     pub fn client_check(
         &mut self,
         ssm: &dyn ServiceModule,
-        log: &AuditLog,
+        log: &mut AuditLog,
     ) -> Result<Option<CheckOutcome>> {
         if self.client_budget == 0 {
             return Ok(None);
         }
         self.client_budget -= 1;
-        let outcome = Self::run_checks(ssm, log)?;
+        let outcome = Self::run_checks_incremental(ssm, log)?;
         self.last_outcome = outcome.clone();
         Ok(Some(outcome))
     }
@@ -242,15 +336,15 @@ mod tests {
     fn client_rate_limit() {
         let (m, mut log) = setup();
         let mut checker = Checker::new(10, false, 2);
-        assert!(checker.client_check(&m, &log).unwrap().is_some());
-        assert!(checker.client_check(&m, &log).unwrap().is_some());
+        assert!(checker.client_check(&m, &mut log).unwrap().is_some());
+        assert!(checker.client_check(&m, &mut log).unwrap().is_some());
         // Budget exhausted: served from cache.
-        assert!(checker.client_check(&m, &log).unwrap().is_none());
+        assert!(checker.client_check(&m, &mut log).unwrap().is_none());
         // Interval elapse refills.
         for _ in 0..10 {
             let _ = checker.on_pair(&m, &mut log).unwrap();
         }
-        assert!(checker.client_check(&m, &log).unwrap().is_some());
+        assert!(checker.client_check(&m, &mut log).unwrap().is_some());
     }
 
     #[test]
@@ -285,5 +379,85 @@ mod tests {
         // Evidence survives: the advertisement was not trimmed away.
         let r = log.query("SELECT COUNT(*) FROM advertisements", &[]).unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
+    }
+
+    #[test]
+    fn incremental_check_matches_full_scan_on_git_invariants() {
+        let (m, mut log) = setup();
+        Checker::install(&m, &mut log).unwrap();
+
+        // Interleave clean and violating histories; after every append
+        // the incremental evaluation must agree with the reference.
+        for i in 0..24i64 {
+            let tu = log.next_time() as i64;
+            let cid = format!("c{i}");
+            log.append(
+                "updates",
+                &[
+                    Value::Integer(tu),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(cid.clone()),
+                    Value::Text("update".into()),
+                ],
+            )
+            .unwrap();
+            let ta = log.next_time() as i64;
+            // Every third advertisement lies about the head commit.
+            let advertised = if i % 3 == 2 { "WRONG".to_string() } else { cid };
+            log.append(
+                "advertisements",
+                &[
+                    Value::Integer(ta),
+                    Value::Text("r".into()),
+                    Value::Text("main".into()),
+                    Value::Text(advertised),
+                ],
+            )
+            .unwrap();
+
+            let inc = Checker::run_checks_incremental(&m, &mut log).unwrap();
+            let full = Checker::run_checks(&m, &log).unwrap();
+            assert_eq!(inc.total_violations(), full.total_violations(), "step {i}");
+            assert_eq!(inc.header_value(), full.header_value(), "step {i}");
+            for (a, b) in inc.reports.iter().zip(full.reports.iter()) {
+                assert_eq!(a.invariant, b.invariant);
+                assert_eq!(a.violations, b.violations, "invariant {}", a.invariant);
+            }
+        }
+        // 8 of 24 rounds advertised a wrong head.
+        let full = Checker::run_checks(&m, &log).unwrap();
+        assert_eq!(full.total_violations(), 8);
+    }
+
+    #[test]
+    fn uninstalled_views_fall_back_to_full_scan() {
+        let (m, mut log) = setup();
+        // No install(): the incremental path must still be correct.
+        let tu = log.next_time() as i64;
+        log.append(
+            "updates",
+            &[
+                Value::Integer(tu),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("c1".into()),
+                Value::Text("update".into()),
+            ],
+        )
+        .unwrap();
+        let t = log.next_time() as i64;
+        log.append(
+            "advertisements",
+            &[
+                Value::Integer(t),
+                Value::Text("r".into()),
+                Value::Text("main".into()),
+                Value::Text("WRONG".into()),
+            ],
+        )
+        .unwrap();
+        let inc = Checker::run_checks_incremental(&m, &mut log).unwrap();
+        assert_eq!(inc.total_violations(), 1);
     }
 }

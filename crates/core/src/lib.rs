@@ -35,6 +35,7 @@ pub mod merge;
 pub mod provision;
 pub mod ssm;
 pub mod termination;
+pub mod verifier;
 
 pub use check::{CheckOutcome, CheckReport, Checker};
 pub use commit::{CommitQueue, GroupCommitConfig, Sealer};
@@ -42,6 +43,7 @@ pub use log::{AuditLog, CommitMode, LogBacking, TableSpec};
 pub use provision::CertProvisioner;
 pub use ssm::{DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule};
 pub use termination::{GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, ShadowSsl};
+pub use verifier::{Verifier, VerifierConfig, VerifierQueue};
 
 pub use libseal_telemetry as telemetry;
 

@@ -20,7 +20,7 @@ use libseal_httpx::http;
 use libseal_httpx::json::Json;
 use libseal_sealdb::Value;
 
-use super::{Invariant, ServiceModule};
+use super::{DeltaSpec, Invariant, ServiceModule, SourceRule};
 use crate::log::{AuditLog, TableSpec};
 use crate::Result;
 
@@ -61,18 +61,78 @@ AND c.time = (SELECT MAX(time) FROM commit_batch
 AND NOT EXISTS (SELECT 1 FROM list x WHERE x.account = l.account
                 AND x.time = l.time AND x.file = c.file)";
 
+/// [`DB_BLOCKLIST_SOUND`] restricted to one list time.
+pub const DB_BLOCKLIST_SOUND_DELTA: &str = "SELECT * FROM list l WHERE l.time = ?1 AND EXISTS (
+  SELECT 1 FROM commit_batch c WHERE c.account = l.account
+  AND c.file = l.file AND c.time < l.time
+  AND c.time = (SELECT MAX(time) FROM commit_batch
+                WHERE account = l.account AND file = l.file AND time < l.time)
+  AND (c.size = -1 OR c.blocks != l.blocks))";
+
+/// [`DB_PHANTOM_FILE`] restricted to one list time.
+pub const DB_PHANTOM_FILE_DELTA: &str = "SELECT * FROM list l WHERE l.time = ?1 AND NOT EXISTS (
+  SELECT 1 FROM commit_batch c WHERE c.account = l.account
+  AND c.file = l.file AND c.time < l.time)";
+
+/// [`DB_LIST_COMPLETE`] restricted to one list time. The partition
+/// filter lives INSIDE the derived table, not the outer WHERE: the
+/// inner `time = ?1` takes the index fast path, and the hash join
+/// then probes every commit against the partition's one or two
+/// accounts instead of pairing all commits with all list times and
+/// paying the correlated MAX per pair.
+pub const DB_LIST_COMPLETE_DELTA: &str = "SELECT c.account, c.file, l.time
+FROM commit_batch c
+JOIN (SELECT DISTINCT account, time FROM list WHERE time = ?1) l
+  ON l.account = c.account AND c.time < l.time
+WHERE c.size != -1
+AND c.time = (SELECT MAX(time) FROM commit_batch
+              WHERE account = c.account AND file = c.file AND time < l.time)
+AND NOT EXISTS (SELECT 1 FROM list x WHERE x.account = l.account
+                AND x.time = l.time AND x.file = c.file)";
+
+// All three invariants key violations by a list-response time and
+// only consult commits with strictly earlier times; time is monotone,
+// so a commit append can only influence future list responses.
+const DROPBOX_SOURCES: &[SourceRule] = &[
+    SourceRule {
+        table: "list",
+        partition_col: Some("time"),
+        rescan: None,
+    },
+    SourceRule {
+        table: "commit_batch",
+        partition_col: None,
+        rescan: None,
+    },
+];
+
 const INVARIANTS: &[Invariant] = &[
     Invariant {
         name: "dropbox-blocklist-soundness",
         sql: DB_BLOCKLIST_SOUND,
+        delta: Some(DeltaSpec {
+            delta_sql: DB_BLOCKLIST_SOUND_DELTA,
+            partition_col: 0,
+            sources: DROPBOX_SOURCES,
+        }),
     },
     Invariant {
         name: "dropbox-phantom-file",
         sql: DB_PHANTOM_FILE,
+        delta: Some(DeltaSpec {
+            delta_sql: DB_PHANTOM_FILE_DELTA,
+            partition_col: 0,
+            sources: DROPBOX_SOURCES,
+        }),
     },
     Invariant {
         name: "dropbox-list-completeness",
         sql: DB_LIST_COMPLETE,
+        delta: Some(DeltaSpec {
+            delta_sql: DB_LIST_COMPLETE_DELTA,
+            partition_col: 2,
+            sources: DROPBOX_SOURCES,
+        }),
     },
 ];
 

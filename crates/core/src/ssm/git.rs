@@ -15,7 +15,7 @@
 use libseal_httpx::http;
 use libseal_sealdb::Value;
 
-use super::{Invariant, ServiceModule};
+use super::{DeltaSpec, Invariant, ServiceModule, SourceRule};
 use crate::log::{AuditLog, TableSpec};
 use crate::Result;
 
@@ -51,14 +51,75 @@ pub const GIT_COMPLETENESS: &str = "SELECT time, repo FROM advertisements
 NATURAL JOIN branchcnt
 GROUP BY time, repo, cnt HAVING COUNT(branch) != cnt";
 
+/// [`GIT_SOUNDNESS`] restricted to one advertisement time.
+pub const GIT_SOUNDNESS_DELTA: &str = "SELECT * FROM advertisements a
+WHERE a.time = ?1 AND cid != (
+SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+u.branch = a.branch AND u.time < a.time ORDER BY
+u.time DESC LIMIT 1)";
+
+/// [`GIT_COMPLETENESS`] restricted to one advertisement time.
+///
+/// The full query goes through the `branchcnt` schema view, which
+/// joins *all* advertisements against *all* updates — evaluating it
+/// per partition would re-materialize the whole view and cost O(log)
+/// each time. This delta inlines the per-partition live-branch count
+/// as correlated subqueries over indexed columns instead: advertised
+/// branches at (time, repo) vs the repo's live branches (latest
+/// non-delete update per branch before the advertisement). The final
+/// `> 0` guard mirrors the view's inner JOIN, which silently skips
+/// advertisements of repos with no live branches.
+pub const GIT_COMPLETENESS_DELTA: &str = "SELECT DISTINCT a.time, a.repo
+FROM advertisements a
+WHERE a.time = ?1
+AND (SELECT COUNT(branch) FROM advertisements x
+     WHERE x.time = a.time AND x.repo = a.repo)
+ != (SELECT COUNT(u.branch) FROM updates u
+     WHERE u.repo = a.repo AND u.time < a.time AND u.type != 'delete'
+     AND u.time = (SELECT MAX(time) FROM updates
+                   WHERE branch = u.branch AND repo = u.repo
+                   AND time < a.time))
+AND (SELECT COUNT(u.branch) FROM updates u
+     WHERE u.repo = a.repo AND u.time < a.time AND u.type != 'delete'
+     AND u.time = (SELECT MAX(time) FROM updates
+                   WHERE branch = u.branch AND repo = u.repo
+                   AND time < a.time)) > 0";
+
+// Both invariants only compare an advertisement against updates with
+// strictly earlier times, and logical time is monotone: an update
+// appended at time T can only influence advertisements that do not
+// exist yet. Inserts into `updates` therefore dirty nothing.
+const GIT_SOURCES: &[SourceRule] = &[
+    SourceRule {
+        table: "advertisements",
+        partition_col: Some("time"),
+        rescan: None,
+    },
+    SourceRule {
+        table: "updates",
+        partition_col: None,
+        rescan: None,
+    },
+];
+
 const INVARIANTS: &[Invariant] = &[
     Invariant {
         name: "git-soundness",
         sql: GIT_SOUNDNESS,
+        delta: Some(DeltaSpec {
+            delta_sql: GIT_SOUNDNESS_DELTA,
+            partition_col: 0,
+            sources: GIT_SOURCES,
+        }),
     },
     Invariant {
         name: "git-completeness",
         sql: GIT_COMPLETENESS,
+        delta: Some(DeltaSpec {
+            delta_sql: GIT_COMPLETENESS_DELTA,
+            partition_col: 0,
+            sources: GIT_SOURCES,
+        }),
     },
 ];
 

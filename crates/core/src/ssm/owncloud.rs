@@ -19,7 +19,7 @@ use libseal_httpx::http;
 use libseal_httpx::json::Json;
 use libseal_sealdb::Value;
 
-use super::{Invariant, ServiceModule};
+use super::{DeltaSpec, Invariant, RescanRule, ServiceModule, SourceRule};
 use crate::log::{AuditLog, TableSpec};
 use crate::Result;
 
@@ -55,18 +55,77 @@ WHERE d.kind = 'sent_update' AND d.seq != 1 + (
   AND x.client = d.client AND (x.kind = 'sent_update' OR x.kind = 'join')
   AND x.time < d.time)";
 
+/// [`OC_SNAPSHOT_SOUND`] restricted to one event time.
+pub const OC_SNAPSHOT_SOUND_DELTA: &str = "SELECT * FROM docupdates d
+WHERE d.time = ?1 AND d.kind = 'snapshot_sent' AND d.content != (
+  SELECT s.content FROM docupdates s WHERE s.doc = d.doc
+  AND s.kind = 'snapshot_save' AND s.time < d.time
+  ORDER BY s.time DESC LIMIT 1)";
+
+/// [`OC_UPDATE_SOUND`] restricted to one event time.
+pub const OC_UPDATE_SOUND_DELTA: &str = "SELECT * FROM docupdates d
+WHERE d.time = ?1 AND d.kind = 'sent_update' AND NOT EXISTS (
+  SELECT 1 FROM docupdates r WHERE r.kind = 'recv_update'
+  AND r.doc = d.doc AND r.seq = d.seq AND r.content = d.content)";
+
+/// [`OC_PREFIX_COMPLETE`] restricted to one event time.
+pub const OC_PREFIX_COMPLETE_DELTA: &str = "SELECT * FROM docupdates d
+WHERE d.time = ?1 AND d.kind = 'sent_update' AND d.seq != 1 + (
+  SELECT MAX(x.seq) FROM docupdates x WHERE x.doc = d.doc
+  AND x.client = d.client AND (x.kind = 'sent_update' OR x.kind = 'join')
+  AND x.time < d.time)";
+
+// Snapshot soundness and prefix completeness only consult earlier
+// events, so each inserted row can only dirty its own partition.
+const OC_TIMED_SOURCES: &[SourceRule] = &[SourceRule {
+    table: "docupdates",
+    partition_col: Some("time"),
+    rescan: None,
+}];
+
+// Update soundness is the one untimed invariant: its NOT EXISTS has
+// no time bound, so a recv_update appended *later* can clear a
+// sent_update violation recorded earlier. The rescan re-dirties every
+// sent_update partition matching the inserted row's (doc, seq,
+// content); the `?4` guard makes it a no-op for other event kinds.
+const OC_UPDATE_SOURCES: &[SourceRule] = &[SourceRule {
+    table: "docupdates",
+    partition_col: Some("time"),
+    rescan: Some(RescanRule {
+        sql: "SELECT d.time FROM docupdates d
+WHERE ?4 = 'recv_update' AND d.kind = 'sent_update'
+AND d.doc = ?1 AND d.seq = ?2 AND d.content = ?3",
+        bind_cols: &["doc", "seq", "content", "kind"],
+    }),
+}];
+
 const INVARIANTS: &[Invariant] = &[
     Invariant {
         name: "owncloud-snapshot-soundness",
         sql: OC_SNAPSHOT_SOUND,
+        delta: Some(DeltaSpec {
+            delta_sql: OC_SNAPSHOT_SOUND_DELTA,
+            partition_col: 0,
+            sources: OC_TIMED_SOURCES,
+        }),
     },
     Invariant {
         name: "owncloud-update-soundness",
         sql: OC_UPDATE_SOUND,
+        delta: Some(DeltaSpec {
+            delta_sql: OC_UPDATE_SOUND_DELTA,
+            partition_col: 0,
+            sources: OC_UPDATE_SOURCES,
+        }),
     },
     Invariant {
         name: "owncloud-prefix-completeness",
         sql: OC_PREFIX_COMPLETE,
+        delta: Some(DeltaSpec {
+            delta_sql: OC_PREFIX_COMPLETE_DELTA,
+            partition_col: 0,
+            sources: OC_TIMED_SOURCES,
+        }),
     },
 ];
 

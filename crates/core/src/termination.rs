@@ -39,6 +39,7 @@ use plat::sync::{Mutex, RwLock};
 
 use crate::check::{CheckOutcome, Checker};
 use crate::commit::{CommitQueue, GroupCommitConfig, Sealer};
+use crate::verifier::{Verifier, VerifierConfig, VerifierQueue};
 use crate::log::{
     AuditLog, CommitMode, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard, TableSpec,
 };
@@ -117,6 +118,9 @@ pub struct LibSealConfig {
     /// Group-commit pipeline tuning; `None` seals and fsyncs every
     /// audited pair individually.
     pub(crate) group_commit: Option<GroupCommitConfig>,
+    /// Background verifier tuning; `None` runs due checks inline on
+    /// the request path.
+    pub(crate) verifier: Option<VerifierConfig>,
 }
 
 impl LibSealConfig {
@@ -148,6 +152,7 @@ impl LibSealConfig {
                 log_signer_seed: None,
                 max_message_buffer: MAX_MESSAGE_BUFFER,
                 group_commit: Some(GroupCommitConfig::default()),
+                verifier: Some(VerifierConfig::default()),
             },
         }
     }
@@ -242,6 +247,22 @@ impl LibSealConfigBuilder {
         self
     }
 
+    /// Bounds the background verifier's lag: once `max_pending` due
+    /// checks are outstanding, writers block until the verifier
+    /// catches up.
+    pub fn verifier_lag_bound(mut self, max_pending: usize) -> Self {
+        self.config.verifier = Some(VerifierConfig { max_pending });
+        self
+    }
+
+    /// Disables the background verifier: due checks run inline on the
+    /// request path (deterministic; useful for tests and latency
+    /// baselines).
+    pub fn no_async_verify(mut self) -> Self {
+        self.config.verifier = None;
+        self
+    }
+
     /// Requires client certificates (§6.3, impersonation defence).
     pub fn verify_clients(mut self, verify: bool) -> Self {
         self.config.verify_clients = verify;
@@ -293,6 +314,9 @@ pub struct Trusted {
     /// Group-commit ticket queue shared with the sealer thread; `None`
     /// when auditing is off or group commit is disabled.
     commit: Option<Arc<CommitQueue>>,
+    /// Background-verifier queue shared with the verifier thread;
+    /// `None` when auditing is off or async verification is disabled.
+    verify: Option<Arc<VerifierQueue>>,
     /// Outside info callback, reached through an ocall trampoline.
     info_cb: RwLock<Option<InfoCallback>>,
 }
@@ -315,6 +339,11 @@ pub struct LibSeal {
     commit: Option<Arc<CommitQueue>>,
     /// The dedicated sealer thread, joined on drop.
     sealer: Option<Sealer>,
+    /// Background-verifier queue (shared with [`Trusted`] and the
+    /// verifier thread).
+    verify: Option<Arc<VerifierQueue>>,
+    /// The dedicated verifier thread, joined on drop.
+    verifier: Option<Verifier>,
     /// Sanitised session shadows (no key material by construction).
     shadows: RwLock<HashMap<u64, ShadowSsl>>,
     /// Whether an SSM is configured (cached to avoid probing ecalls).
@@ -417,6 +446,7 @@ impl LibSeal {
             "verify_log",
             "log_stats",
             "seal_batch",
+            "verify_batch",
         ] {
             builder = builder.declare_interface(name);
         }
@@ -429,6 +459,16 @@ impl LibSeal {
             _ => None,
         };
         let commit_for_trusted = commit.clone();
+
+        // The verifier queue is shared the same three ways: the
+        // request path (enqueueing due checks inside ssl_write), the
+        // verifier thread, and the outside handle for barriers and
+        // shutdown.
+        let verify = match (&config.ssm, &config.verifier) {
+            (Some(_), Some(vc)) => Some(Arc::new(VerifierQueue::new(*vc))),
+            _ => None,
+        };
+        let verify_for_trusted = verify.clone();
 
         // Build failures inside the init closure are carried out.
         let mut init_err: Option<LibSealError> = None;
@@ -480,6 +520,12 @@ impl LibSeal {
                                 // once per batch.
                                 log.set_commit_mode(CommitMode::Staged);
                             }
+                            // Register the delta-maintained views so
+                            // checks cost O(rows touched since the
+                            // last check) instead of O(log).
+                            if let Err(e) = Checker::install(ssm.as_ref(), &mut log) {
+                                init_err = Some(e);
+                            }
                             services.epc_alloc(log.size_bytes() as u64 + 64 * 1024);
                             Some(Mutex::new(AuditState {
                                 log,
@@ -505,6 +551,7 @@ impl LibSeal {
                 next_sid: AtomicU64::new(1),
                 audit,
                 commit: commit_for_trusted,
+                verify: verify_for_trusted,
                 info_cb: RwLock::new(None),
             }
         });
@@ -548,6 +595,22 @@ impl LibSeal {
                     .map_err(|e| LibSealError::Log(e.to_string()))?
             })
         });
+        // The dedicated verifier: drains due checks off the request
+        // path with one enclave transition per coalesced batch; the
+        // incremental views keep each drain short.
+        let verifier = verify.as_ref().map(|q| {
+            let enclave = Arc::clone(&enclave);
+            Verifier::spawn(Arc::clone(q), move || -> Result<CheckOutcome> {
+                enclave
+                    .ecall("verify_batch", |t: &Trusted, _| -> Result<CheckOutcome> {
+                        let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+                        let mut astate = audit.lock();
+                        let AuditState { log, ssm, checker } = &mut *astate;
+                        checker.run_due(ssm.as_ref(), log)
+                    })
+                    .map_err(|e| LibSealError::Log(e.to_string()))?
+            })
+        });
         let runtime = match rt {
             Some(cfg) => Some(
                 AsyncRuntime::start(Arc::clone(&enclave), cfg)
@@ -561,6 +624,8 @@ impl LibSeal {
             runtime,
             commit,
             sealer,
+            verify,
+            verifier,
             shadows: RwLock::new(HashMap::new()),
             pool: MemoryPool::new(16 * 1024, 64),
             cert,
@@ -840,9 +905,12 @@ impl LibSeal {
                     let audit = t.audit.as_ref().expect("audited instances have state");
                     // Backpressure BEFORE taking the audit lock:
                     // blocking inside it would stall the very sealer
-                    // that makes room in the queue.
+                    // (or verifier) that makes room in the queue.
                     if let Some(q) = &t.commit {
                         q.wait_for_space();
+                    }
+                    if let Some(vq) = &t.verify {
+                        vq.wait_for_space();
                     }
                     let mut astate = audit.lock();
                     let AuditState { log, ssm, checker } = &mut *astate;
@@ -865,9 +933,31 @@ impl LibSeal {
                             }
                         }
                     }
-                    let _ = checker.on_pair(ssm.as_ref(), log)?;
+                    if checker.note_pair() {
+                        match &t.verify {
+                            // Background verification: hand the due
+                            // check to the verifier thread and answer
+                            // the client now. Lag is bounded by the
+                            // backpressure above and surfaced as the
+                            // core_verifier_lag gauge.
+                            Some(vq) if vq.enqueue().is_ok() => {}
+                            // Inline fallback (verifier disabled or
+                            // shut down): the pre-pool behaviour.
+                            _ => {
+                                let _ = checker.run_due(ssm.as_ref(), log)?;
+                            }
+                        }
+                    }
                     let out_bytes = if check_requested {
                         let outcome = checker.client_check(ssm.as_ref(), log)?;
+                        if outcome.is_some() {
+                            // A synchronous check just covered the
+                            // full current history; pending background
+                            // batches are subsumed by it.
+                            if let Some(vq) = &t.verify {
+                                vq.absorb();
+                            }
+                        }
                         let value = match &outcome {
                             Some(o) => o.header_value(),
                             None => checker.last_outcome.header_value(),
@@ -936,6 +1026,12 @@ impl LibSeal {
             let AuditState { log, ssm, checker } = &mut *astate;
             let outcome = Checker::run_checks(ssm.as_ref(), log)?;
             checker.last_outcome = outcome.clone();
+            drop(astate);
+            // The full scan just covered everything; pending
+            // background batches are subsumed by its outcome.
+            if let Some(vq) = &t.verify {
+                vq.absorb();
+            }
             Ok(outcome)
         })?
     }
@@ -961,6 +1057,13 @@ impl LibSeal {
     ///
     /// [`LibSealError::Tampered`] describing the inconsistency.
     pub fn verify_log(&self, slot: usize) -> Result<()> {
+        // Drain the verifier first: a consistent verification verdict
+        // must cover every check already due (lag == 0). The barrier
+        // runs outside any ecall — the verifier itself needs the
+        // enclave to drain.
+        if let Some(vq) = &self.verify {
+            vq.barrier()?;
+        }
         self.call(slot, "verify_log", move |t, _, _ctx| -> Result<()> {
             let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
             let mut astate = audit.lock();
@@ -1011,6 +1114,26 @@ impl LibSeal {
     /// Whether auditing is configured.
     pub fn is_audited(&self) -> bool {
         self.audited
+    }
+
+    /// Due checks the background verifier has not drained yet (0 when
+    /// async verification is disabled).
+    pub fn verifier_lag(&self) -> u64 {
+        self.verify.as_ref().map_or(0, |q| q.lag())
+    }
+
+    /// Blocks until the background verifier has drained every due
+    /// check (lag reaches zero). No-op when async verification is
+    /// disabled.
+    ///
+    /// # Errors
+    ///
+    /// A background evaluation failure since the last barrier.
+    pub fn verifier_barrier(&self) -> Result<()> {
+        match &self.verify {
+            Some(q) => q.barrier(),
+            None => Ok(()),
+        }
     }
 
     /// The outside shadow of a session (no key material, §4.1).
@@ -1101,6 +1224,14 @@ impl Drop for LibSeal {
         }
         if let Some(sealer) = self.sealer.take() {
             sealer.join();
+        }
+        // Then the verifier: it drains every due check (the shutdown
+        // barrier — no pair escapes verification), then exits.
+        if let Some(q) = &self.verify {
+            q.shutdown();
+        }
+        if let Some(verifier) = self.verifier.take() {
+            verifier.join();
         }
         if self.audited {
             // Final seal + flush so entries staged outside the

@@ -1,0 +1,354 @@
+//! Background verifier pool for incremental invariant checking.
+//!
+//! With delta-maintained views ([`crate::check`]) a due check costs
+//! O(rows touched since the last check), but it still runs inside the
+//! audit-state lock on the request path — every `interval`-th client
+//! pays the whole check latency. This module decouples the two:
+//!
+//! - The request path calls [`Checker::note_pair`](
+//!   crate::check::Checker::note_pair) as before; when a check falls
+//!   due it **enqueues** a verification batch on the [`VerifierQueue`]
+//!   instead of evaluating inline, and answers the client immediately.
+//! - A dedicated [`Verifier`] thread drains due batches, re-acquiring
+//!   the audit-state lock only for the (incremental, hence short)
+//!   evaluation itself.
+//! - The distance between enqueued and drained batches is the
+//!   **verification lag**, surfaced as the `core_verifier_lag` gauge.
+//!   Lag is bounded: enqueues block once `max_pending` batches are
+//!   outstanding, so a stalled verifier applies backpressure instead
+//!   of letting unverified history grow without bound.
+//! - Every drained batch whose outcome carries violations increments
+//!   `core_verifier_alarms_total` — the operator-facing signal that
+//!   the service has been caught misbehaving.
+//!
+//! The deliberately weakened guarantee (relative to inline checking)
+//! is *freshness*, not soundness: a violating pair is still always
+//! detected, at most `max_pending × interval` pairs later. Callers
+//! that need a synchronous answer — `Libseal-Verify`, shutdown —
+//! [`VerifierQueue::barrier`] on lag reaching zero first.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use plat::sync::{Condvar, Mutex};
+
+use crate::check::CheckOutcome;
+use crate::{LibSealError, Result};
+
+/// Process-wide verifier metrics.
+struct VerifierMetrics {
+    /// Enqueued-but-undrained verification batches.
+    lag: libseal_telemetry::Gauge,
+    /// Drained batches whose check outcome carried violations.
+    alarms: libseal_telemetry::Counter,
+    /// Batches drained by the background thread.
+    batches: libseal_telemetry::Counter,
+    /// Wall-clock per background check evaluation.
+    drain_ns: libseal_telemetry::Histogram,
+}
+
+fn verifier_metrics() -> &'static VerifierMetrics {
+    static M: std::sync::OnceLock<VerifierMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| VerifierMetrics {
+        lag: libseal_telemetry::gauge("core_verifier_lag"),
+        alarms: libseal_telemetry::counter("core_verifier_alarms_total"),
+        batches: libseal_telemetry::counter("core_verifier_batches_total"),
+        drain_ns: libseal_telemetry::histogram("core_verifier_drain_ns"),
+    })
+}
+
+/// Tuning knobs for the background verifier.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifierConfig {
+    /// Lag bound: enqueues block (backpressure) once this many batches
+    /// are outstanding.
+    pub max_pending: usize,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig { max_pending: 8 }
+    }
+}
+
+/// Watermark state guarded by the queue mutex.
+#[derive(Default)]
+struct VState {
+    /// Verification batches enqueued (1-based watermark).
+    enqueued: u64,
+    /// Batches drained (evaluated, or absorbed by a synchronous
+    /// check that covered all pending history).
+    drained: u64,
+    /// Last background evaluation error, reported at the barrier.
+    error: Option<String>,
+    shutdown: bool,
+}
+
+/// The bounded batch queue and lag barrier between the request path
+/// and the [`Verifier`]. All methods are `&self`; shared via [`Arc`].
+pub struct VerifierQueue {
+    cfg: VerifierConfig,
+    state: Mutex<VState>,
+    /// Signalled when a batch is enqueued or shutdown begins (verifier
+    /// side).
+    work: Condvar,
+    /// Signalled when batches drain (barrier and backpressure side).
+    done: Condvar,
+}
+
+impl VerifierQueue {
+    /// Creates an empty queue with the given tuning knobs.
+    pub fn new(cfg: VerifierConfig) -> VerifierQueue {
+        // Register the lag gauge eagerly so /metrics shows it (at 0)
+        // from the moment a verifier exists.
+        verifier_metrics().lag.set(0);
+        VerifierQueue {
+            cfg: VerifierConfig {
+                max_pending: cfg.max_pending.max(1),
+            },
+            state: Mutex::new(VState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the lag bound admits one more batch. Call BEFORE
+    /// taking the audit-state lock: the verifier needs that lock to
+    /// make room.
+    pub fn wait_for_space(&self) {
+        let mut s = self.state.lock();
+        while !s.shutdown && s.enqueued - s.drained >= self.cfg.max_pending as u64 {
+            s = self.done.wait(s);
+        }
+    }
+
+    /// Enqueues one due verification batch and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// After [`VerifierQueue::shutdown`]. The appended pairs are still
+    /// in the log and covered by the caller's fallback inline check.
+    pub fn enqueue(&self) -> Result<()> {
+        let mut s = self.state.lock();
+        if s.shutdown {
+            return Err(LibSealError::Log("verifier queue shut down".into()));
+        }
+        s.enqueued += 1;
+        verifier_metrics().lag.set((s.enqueued - s.drained) as i64);
+        drop(s);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// The verification barrier: blocks until lag is zero — every
+    /// batch enqueued before this call has been evaluated.
+    ///
+    /// # Errors
+    ///
+    /// When a background evaluation failed since the last barrier; the
+    /// error is consumed (a later barrier succeeds if later batches
+    /// drained cleanly).
+    pub fn barrier(&self) -> Result<()> {
+        let mut s = self.state.lock();
+        while s.drained < s.enqueued {
+            s = self.done.wait(s);
+        }
+        match s.error.take() {
+            Some(e) => Err(LibSealError::Log(format!("background check failed: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks all currently pending batches drained without running the
+    /// verifier: a synchronous check just evaluated the full current
+    /// history, so pending batches are subsumed by its outcome.
+    pub fn absorb(&self) {
+        let mut s = self.state.lock();
+        s.drained = s.enqueued;
+        verifier_metrics().lag.set(0);
+        drop(s);
+        self.done.notify_all();
+    }
+
+    /// Verifier side: blocks until at least one batch is pending and
+    /// returns the watermark to evaluate through, or [`None`] when the
+    /// queue is shut down and fully drained.
+    pub fn next_due(&self) -> Option<u64> {
+        let mut s = self.state.lock();
+        loop {
+            if s.enqueued > s.drained {
+                // One evaluation covers everything enqueued so far:
+                // incremental checks always verify the full current
+                // history, so coalescing is free.
+                return Some(s.enqueued);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.work.wait(s);
+        }
+    }
+
+    /// Verifier side: resolves every batch up to `upto` with the
+    /// evaluation outcome, waking barrier and backpressure waiters.
+    pub fn complete(&self, upto: u64, result: Result<CheckOutcome>) {
+        let mut s = self.state.lock();
+        match result {
+            Ok(outcome) => {
+                verifier_metrics().batches.inc();
+                if outcome.total_violations() > 0 {
+                    verifier_metrics().alarms.inc();
+                }
+            }
+            Err(e) => s.error = Some(e.to_string()),
+        }
+        s.drained = s.drained.max(upto);
+        verifier_metrics().lag.set((s.enqueued - s.drained) as i64);
+        drop(s);
+        self.done.notify_all();
+    }
+
+    /// Batches enqueued but not yet drained (the lag).
+    pub fn lag(&self) -> u64 {
+        let s = self.state.lock();
+        s.enqueued - s.drained
+    }
+
+    /// Stops accepting batches and wakes everyone; the verifier drains
+    /// what is pending, then [`VerifierQueue::next_due`] returns
+    /// [`None`].
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+}
+
+/// The dedicated verifier thread: drains due batches from a
+/// [`VerifierQueue`], evaluating each with a caller-supplied check
+/// function (for the in-enclave pipeline, a single `verify_batch`
+/// ecall that locks the audit state and runs the incremental check).
+pub struct Verifier {
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Verifier {
+    /// Spawns the verifier loop. `check_fn` is invoked once per due
+    /// watermark and must run the (incremental) check plus trimming.
+    pub fn spawn<F>(queue: Arc<VerifierQueue>, mut check_fn: F) -> Verifier
+    where
+        F: FnMut() -> Result<CheckOutcome> + Send + 'static,
+    {
+        let handle = std::thread::Builder::new()
+            .name("libseal-verifier".into())
+            .spawn(move || {
+                while let Some(upto) = queue.next_due() {
+                    let started = Instant::now();
+                    let r = check_fn();
+                    if r.is_ok() {
+                        verifier_metrics().drain_ns.record_duration(started.elapsed());
+                    }
+                    queue.complete(upto, r);
+                }
+            })
+            .expect("spawn verifier thread");
+        Verifier { handle }
+    }
+
+    /// Waits for the verifier loop to exit (after
+    /// [`VerifierQueue::shutdown`]).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CheckReport;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn outcome(violations: usize) -> CheckOutcome {
+        CheckOutcome {
+            at_time: 1,
+            reports: vec![CheckReport {
+                invariant: "test".into(),
+                violations,
+                rows: Vec::new(),
+            }],
+        }
+    }
+
+    fn queue(max_pending: usize) -> Arc<VerifierQueue> {
+        Arc::new(VerifierQueue::new(VerifierConfig { max_pending }))
+    }
+
+    #[test]
+    fn batches_drain_through_a_verifier_and_barrier_clears() {
+        let q = queue(8);
+        let checks = Arc::new(AtomicU64::new(0));
+        let checks2 = Arc::clone(&checks);
+        let v = Verifier::spawn(Arc::clone(&q), move || {
+            checks2.fetch_add(1, Ordering::SeqCst);
+            Ok(outcome(0))
+        });
+        q.enqueue().unwrap();
+        q.enqueue().unwrap();
+        q.barrier().unwrap();
+        assert_eq!(q.lag(), 0);
+        q.shutdown();
+        v.join();
+        // Coalescing may cover both batches with one evaluation.
+        let n = checks.load(Ordering::SeqCst);
+        assert!((1..=2).contains(&n), "{n} checks");
+    }
+
+    #[test]
+    fn failed_background_check_surfaces_at_the_barrier() {
+        let q = queue(8);
+        let v = Verifier::spawn(Arc::clone(&q), || {
+            Err(LibSealError::Log("db gone".into()))
+        });
+        q.enqueue().unwrap();
+        let err = q.barrier().unwrap_err();
+        assert!(err.to_string().contains("db gone"), "{err}");
+        q.shutdown();
+        v.join();
+    }
+
+    #[test]
+    fn absorb_subsumes_pending_batches() {
+        let q = queue(8);
+        q.enqueue().unwrap();
+        q.enqueue().unwrap();
+        assert_eq!(q.lag(), 2);
+        q.absorb();
+        assert_eq!(q.lag(), 0);
+        q.barrier().unwrap();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_batches() {
+        let q = queue(2);
+        q.shutdown();
+        assert!(q.enqueue().is_err());
+        assert_eq!(q.next_due(), None);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_lag_drops() {
+        let q = queue(2);
+        q.enqueue().unwrap();
+        q.enqueue().unwrap();
+        assert_eq!(q.lag(), 2);
+        let q2 = Arc::clone(&q);
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.complete(2, Ok(outcome(0)));
+        });
+        q.wait_for_space();
+        assert_eq!(q.lag(), 0);
+        resolver.join().unwrap();
+    }
+}

@@ -515,12 +515,69 @@ fn check_interval_triggers_automatically() {
     }
 
     // 9 pushes => 3 automatic check+trim rounds; only the latest update
-    // per branch survives.
+    // per branch survives. Checks drain on the background verifier, so
+    // barrier on lag == 0 before inspecting the log.
     for i in 0..9 {
         push(&mut rig, "proj", &format!("x c{i} refs/heads/main\n"));
     }
+    rig.ls.verifier_barrier().unwrap();
+    assert_eq!(rig.ls.verifier_lag(), 0);
     let (entries, _, _) = rig.ls.log_stats(0).unwrap();
     assert!(entries <= 3, "auto-trim should bound the log, got {entries}");
+    rig.ls.verify_log(0).unwrap();
+}
+
+#[test]
+fn inline_checks_still_work_without_the_verifier() {
+    // no_async_verify: due checks run on the request path, exactly the
+    // pre-pool behaviour — no barrier needed before inspecting.
+    let ca = CertificateAuthority::new("CA", &[1u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let cfg = LibSealConfig::builder(cert, key)
+        .ssm(Arc::new(GitModule))
+        .cost_model(CostModel::free())
+        .check_interval(3)
+        .trim_with_check(true)
+        .no_async_verify()
+        .build();
+    let ls = LibSeal::new(cfg).unwrap();
+    let sid = ls.new_session(0).unwrap();
+    let mut client = Ssl::new(
+        libseal_tlsx::ssl::SslConfig::client(vec![ca.root_key()]),
+        [3u8; 64],
+    );
+    client.do_handshake().unwrap();
+    let mut rig = TestRig { ls, client, sid };
+    for _ in 0..10 {
+        let out = rig.client.take_output();
+        if !out.is_empty() {
+            rig.ls.provide_input(0, rig.sid, &out).unwrap();
+        }
+        let _ = rig.ls.do_handshake(0, rig.sid);
+        let back = rig.ls.take_output(0, rig.sid).unwrap();
+        if !back.is_empty() {
+            rig.client.provide_input(&back);
+            let _ = rig.client.do_handshake();
+        }
+        if rig.client.is_established() {
+            break;
+        }
+    }
+    let fin = rig.client.take_output();
+    if !fin.is_empty() {
+        rig.ls.provide_input(0, rig.sid, &fin).unwrap();
+        let _ = rig.ls.do_handshake(0, rig.sid);
+    }
+    for i in 0..9 {
+        push(&mut rig, "proj", &format!("x c{i} refs/heads/main\n"));
+    }
+    assert_eq!(rig.ls.verifier_lag(), 0);
+    let (entries, _, _) = rig.ls.log_stats(0).unwrap();
+    assert!(entries <= 3, "inline auto-trim should bound the log, got {entries}");
+    // The lag gauge exists (at zero) even in inline mode once any
+    // instance with a verifier has run in this process; either way the
+    // barrier is a no-op here.
+    rig.ls.verifier_barrier().unwrap();
     rig.ls.verify_log(0).unwrap();
 }
 

@@ -6,6 +6,7 @@ use crate::exec::{exec_select, Ctx, Rows};
 use crate::journal::{Journal, JournalCodec, SalvageInfo, SyncPolicy};
 use crate::parser;
 use crate::value::Value;
+use crate::view::{backing_column_name, MatView, MatViewSpec, PartitionKey};
 use crate::{DbError, Result};
 
 /// Process-wide database metrics.
@@ -60,6 +61,8 @@ pub struct Database {
     /// Torn-tail salvage performed while replaying the journal on
     /// [`Database::open`], if any.
     salvage: Option<SalvageInfo>,
+    /// Registered delta-maintained materialized views.
+    matviews: Vec<MatView>,
 }
 
 impl Default for Database {
@@ -77,6 +80,7 @@ impl Database {
             replaying: false,
             planner: true,
             salvage: None,
+            matviews: Vec::new(),
         }
     }
 
@@ -289,6 +293,13 @@ impl Database {
                 idx
             }
         };
+        // Clone applied rows only when a materialized view tracks
+        // inserts into this table.
+        let tracked = self
+            .matviews
+            .iter()
+            .any(|v| v.spec.sources.iter().any(|s| s.table == *table));
+        let mut inserted: Vec<Vec<Value>> = Vec::new();
         let mut affected = 0;
         for vals in evaluated {
             if vals.len() != col_indices.len() {
@@ -302,9 +313,15 @@ impl Database {
             for (v, &ci) in vals.into_iter().zip(col_indices.iter()) {
                 row[ci] = t.columns[ci].affinity.apply(v);
             }
+            if tracked {
+                inserted.push(row.clone());
+            }
             t.rows.push(row);
             t.index_appended_row();
             affected += 1;
+        }
+        if tracked {
+            self.note_inserts(table, &inserted)?;
         }
         Ok(QueryResult {
             rows_affected: affected,
@@ -353,6 +370,7 @@ impl Database {
         if removed > 0 {
             // Deletion shifts row positions; rebuild.
             t.rebuild_indexes();
+            self.note_table_mutation(table);
         }
         Ok(QueryResult {
             rows_affected: removed,
@@ -421,11 +439,233 @@ impl Database {
         }
         if affected > 0 {
             t.rebuild_indexes();
+            self.note_table_mutation(table);
         }
         Ok(QueryResult {
             rows_affected: affected,
             ..Default::default()
         })
+    }
+
+    /// Marks every view sourcing `table` fully dirty (DELETE/UPDATE
+    /// can invalidate arbitrary partitions, so the next refresh
+    /// recomputes from scratch).
+    fn note_table_mutation(&mut self, table: &str) {
+        for v in &mut self.matviews {
+            if v.spec.sources.iter().any(|s| s.table == table) {
+                v.full_dirty = true;
+                v.dirty.clear();
+            }
+        }
+    }
+
+    /// Applies per-source dirty-tracking rules for rows just inserted
+    /// into `table`.
+    fn note_inserts(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<()> {
+        // Detach the view list so rescan lookups can borrow the
+        // catalog; restored before returning.
+        let mut views = std::mem::take(&mut self.matviews);
+        let res = self.note_inserts_inner(table, rows, &mut views);
+        self.matviews = views;
+        res
+    }
+
+    fn note_inserts_inner(
+        &self,
+        table: &str,
+        rows: &[Vec<Value>],
+        views: &mut [MatView],
+    ) -> Result<()> {
+        let col_index = |name: &str| -> Result<usize> {
+            self.catalog
+                .table(table)
+                .and_then(|t| t.column_index(name))
+                .ok_or_else(|| {
+                    DbError::schema(format!("matview source {table} has no column {name}"))
+                })
+        };
+        for v in views.iter_mut() {
+            for rule in v.spec.sources.iter().filter(|s| s.table == table) {
+                if let Some(pcol) = &rule.partition_col {
+                    if !v.full_dirty {
+                        let ci = col_index(pcol)?;
+                        for row in rows {
+                            v.dirty.insert(PartitionKey(row[ci].clone()));
+                        }
+                    }
+                }
+                if let Some(rescan) = &rule.rescan {
+                    let stmt = parser::parse_one(&rescan.sql)?;
+                    let Stmt::Select(sel) = stmt else {
+                        return Err(DbError::exec("matview rescan requires a SELECT"));
+                    };
+                    let bind_idx: Vec<usize> = rescan
+                        .bind_cols
+                        .iter()
+                        .map(|c| col_index(c))
+                        .collect::<Result<_>>()?;
+                    for row in rows {
+                        if v.full_dirty {
+                            break;
+                        }
+                        let binds: Vec<Value> =
+                            bind_idx.iter().map(|&i| row[i].clone()).collect();
+                        let ctx = Ctx::with_planner(&self.catalog, &binds, self.planner);
+                        let hits = exec_select(&ctx, &sel, None)?;
+                        for hit in hits.data {
+                            if let Some(p) = hit.first() {
+                                v.dirty.insert(PartitionKey(p.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a delta-maintained materialized view and seeds its
+    /// backing table from a full evaluation of the view query.
+    ///
+    /// The backing table definition (and an index on the partition
+    /// column) is journaled as ordinary DDL so recovery re-creates it;
+    /// the derived rows are never journaled — re-registering after a
+    /// reopen reseeds them from the recovered base tables. Registering
+    /// a name that is already registered replaces the definition and
+    /// reseeds.
+    ///
+    /// # Errors
+    ///
+    /// Parse/schema errors in the view queries, or I/O errors while
+    /// journaling the definition.
+    pub fn register_matview(&mut self, spec: MatViewSpec) -> Result<()> {
+        plat::failpoint::check("sealdb::view::journal").map_err(DbError::io)?;
+        // Full evaluation: yields the output column shape and the
+        // initial contents in one pass.
+        let seed = self.query(&spec.full_sql, &[])?;
+        if spec.partition_col >= seed.columns.len() {
+            return Err(DbError::schema(format!(
+                "matview {}: partition column {} out of range ({} output columns)",
+                spec.name,
+                spec.partition_col,
+                seed.columns.len()
+            )));
+        }
+        let mut cols: Vec<String> = Vec::with_capacity(seed.columns.len());
+        for raw in &seed.columns {
+            let name = backing_column_name(raw, &cols);
+            cols.push(name);
+        }
+        let create = format!(
+            "CREATE TABLE IF NOT EXISTS {}({})",
+            spec.name,
+            cols.join(", ")
+        );
+        self.execute_with(&create, &[])?;
+        let index = format!(
+            "CREATE INDEX IF NOT EXISTS mvix_{}_part ON {}({})",
+            spec.name, spec.name, cols[spec.partition_col]
+        );
+        self.execute_with(&index, &[])?;
+        // Seed directly: derived rows bypass the journal.
+        let t = self
+            .catalog
+            .table_mut(&spec.name)
+            .ok_or_else(|| DbError::schema(format!("matview {} backing table lost", spec.name)))?;
+        t.rows = seed.rows;
+        t.rebuild_indexes();
+        self.matviews.retain(|v| v.spec.name != spec.name);
+        let mut view = MatView::new(spec);
+        view.full_dirty = false;
+        self.matviews.push(view);
+        Ok(())
+    }
+
+    /// Re-evaluates every dirty partition of every registered view
+    /// (and fully rebuilds views marked wholly dirty). Returns the
+    /// number of partitions refreshed, counting a full rebuild as one.
+    ///
+    /// # Errors
+    ///
+    /// Query errors from the view's delta/full SQL; the dirty state of
+    /// a view is consumed only once its refresh succeeds.
+    pub fn refresh_matviews(&mut self) -> Result<usize> {
+        if self.matviews.iter().all(|v| v.lag() == 0) {
+            return Ok(0);
+        }
+        plat::failpoint::check("sealdb::view::apply_delta").map_err(DbError::io)?;
+        let mut views = std::mem::take(&mut self.matviews);
+        let res = self.refresh_matviews_inner(&mut views);
+        self.matviews = views;
+        res
+    }
+
+    fn refresh_matviews_inner(&mut self, views: &mut [MatView]) -> Result<usize> {
+        let mut refreshed = 0;
+        for v in views.iter_mut() {
+            if v.lag() == 0 {
+                continue;
+            }
+            if v.full_dirty {
+                let fresh = self.query(&v.spec.full_sql, &[])?;
+                let t = self.catalog.table_mut(&v.spec.name).ok_or_else(|| {
+                    DbError::schema(format!("matview {} backing table lost", v.spec.name))
+                })?;
+                t.rows = fresh.rows;
+                t.rebuild_indexes();
+                v.full_dirty = false;
+                v.dirty.clear();
+                refreshed += 1;
+                continue;
+            }
+            let parts = std::mem::take(&mut v.dirty);
+            let stmt = parser::parse_one(&v.spec.delta_sql)?;
+            let Stmt::Select(sel) = stmt else {
+                return Err(DbError::exec("matview delta requires a SELECT"));
+            };
+            let width = self
+                .catalog
+                .table(&v.spec.name)
+                .map(|t| t.columns.len())
+                .unwrap_or(0);
+            let mut fresh: Vec<Vec<Value>> = Vec::new();
+            for p in &parts {
+                let bind = [p.0.clone()];
+                let ctx = Ctx::with_planner(&self.catalog, &bind, self.planner);
+                let rows = exec_select(&ctx, &sel, None)?;
+                for row in rows.data {
+                    if row.len() != width {
+                        return Err(DbError::exec(format!(
+                            "matview {}: delta row width {} != backing width {width}",
+                            v.spec.name,
+                            row.len()
+                        )));
+                    }
+                    fresh.push(row);
+                }
+            }
+            let pcol = v.spec.partition_col;
+            let t = self.catalog.table_mut(&v.spec.name).ok_or_else(|| {
+                DbError::schema(format!("matview {} backing table lost", v.spec.name))
+            })?;
+            t.rows
+                .retain(|r| !parts.contains(&PartitionKey(r[pcol].clone())));
+            t.rows.extend(fresh);
+            t.rebuild_indexes();
+            refreshed += parts.len();
+        }
+        Ok(refreshed)
+    }
+
+    /// Pending refresh work across all registered views: dirty
+    /// partitions plus one unit per pending full rebuild.
+    pub fn matview_lag(&self) -> usize {
+        self.matviews.iter().map(|v| v.lag()).sum()
+    }
+
+    /// Names of registered materialized views (backing tables).
+    pub fn matview_names(&self) -> Vec<&str> {
+        self.matviews.iter().map(|v| v.spec.name.as_str()).collect()
     }
 
     /// Forces journalled records to stable storage (no-op in memory).
@@ -456,13 +696,25 @@ impl Database {
         let Some(journal) = self.journal.as_mut() else {
             return Ok(());
         };
+        // Matview backing rows are derived data: dump their schema so
+        // recovery keeps the definition, but skip the rows — the next
+        // registration reseeds them from the recovered base tables.
+        let backing: std::collections::HashSet<&str> = self
+            .matviews
+            .iter()
+            .map(|v| v.spec.name.as_str())
+            .collect();
         let mut records: Vec<(String, Vec<Value>)> = Vec::new();
         for t in self.catalog.tables_sorted() {
             let cols: Vec<String> = t
                 .columns
                 .iter()
                 .map(|c| {
-                    let mut s = format!("{} {}", c.name, c.decl_type);
+                    let mut s = c.name.clone();
+                    if !c.decl_type.is_empty() {
+                        s.push(' ');
+                        s.push_str(&c.decl_type);
+                    }
                     if c.primary_key {
                         s.push_str(" PRIMARY KEY");
                     }
@@ -470,6 +722,15 @@ impl Database {
                 })
                 .collect();
             records.push((format!("CREATE TABLE {}({})", t.name, cols.join(", ")), vec![]));
+            if backing.contains(t.name.as_str()) {
+                for (ix_name, col_name) in t.indexes_sorted() {
+                    records.push((
+                        format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name),
+                        vec![],
+                    ));
+                }
+                continue;
+            }
             for row in &t.rows {
                 let placeholders = vec!["?"; row.len()].join(", ");
                 records.push((

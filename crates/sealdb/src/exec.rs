@@ -1053,7 +1053,7 @@ fn eval_binary(
                 (Some(false), Some(false)) => Some(false),
                 _ => None,
             },
-            _ => unreachable!(),
+            _ => return Err(DbError::exec("non-logical operator on AND/OR path")),
         };
         return Ok(match out {
             Some(b) => Value::Integer(b as i64),
@@ -1076,7 +1076,7 @@ fn eval_binary(
                         BinOp::Le => ord != Ordering::Greater,
                         BinOp::Gt => ord == Ordering::Greater,
                         BinOp::Ge => ord != Ordering::Less,
-                        _ => unreachable!(),
+                        _ => return Err(DbError::exec("non-comparison operator on comparison path")),
                     };
                     Value::Integer(b as i64)
                 }
@@ -1123,7 +1123,7 @@ fn eval_binary(
                             Value::Integer(a.wrapping_rem(b))
                         }
                     }
-                    _ => unreachable!(),
+                    _ => return Err(DbError::exec("non-arithmetic operator on arithmetic path")),
                 });
             }
             let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
@@ -1147,10 +1147,11 @@ fn eval_binary(
                         Value::Real(a % b)
                     }
                 }
-                _ => unreachable!(),
+                _ => return Err(DbError::exec("non-arithmetic operator on arithmetic path")),
             })
         }
-        BinOp::And | BinOp::Or => unreachable!(),
+        // Handled (with an early return) at the top of the function.
+        BinOp::And | BinOp::Or => Err(DbError::exec("AND/OR fell through logical path")),
     }
 }
 

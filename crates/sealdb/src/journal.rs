@@ -161,10 +161,10 @@ impl Journal {
     ///
     /// I/O errors are surfaced as [`DbError::Io`].
     pub fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
-        let plain = encode_record(sql, params);
+        let plain = encode_record(sql, params)?;
         let stored = self.codec.encode(&plain)?;
         let mut framed = Vec::with_capacity(4 + stored.len());
-        framed.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&frame_len(stored.len())?.to_le_bytes());
         framed.extend_from_slice(&stored);
         plat::failpoint::write_all("sealdb::journal::append", &mut self.file, &framed)
             .map_err(DbError::io)?;
@@ -295,10 +295,10 @@ impl Journal {
     fn rewrite_into(&mut self, tmp_path: &Path, records: &[(String, Vec<Value>)]) -> Result<()> {
         let mut tmp = File::create(tmp_path).map_err(DbError::io)?;
         for (sql, params) in records {
-            let plain = encode_record(sql, params);
+            let plain = encode_record(sql, params)?;
             let stored = self.codec.encode(&plain)?;
             let mut framed = Vec::with_capacity(4 + stored.len());
-            framed.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&frame_len(stored.len())?.to_le_bytes());
             framed.extend_from_slice(&stored);
             plat::failpoint::write_all("sealdb::compact::write", &mut tmp, &framed)
                 .map_err(DbError::io)?;
@@ -376,7 +376,24 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-fn encode_value(out: &mut Vec<u8>, v: &Value) {
+/// Hard cap on any length field in the journal wire format. Well
+/// under the `u32` frame limit so length arithmetic cannot overflow,
+/// and far larger than any legitimate audited statement. Oversized
+/// payloads are rejected with a typed error instead of silently
+/// truncating the length on an `as u32` narrowing.
+pub const MAX_RECORD_BYTES: usize = 1 << 28;
+
+/// Checked conversion of a payload length into a wire `u32`.
+fn frame_len(n: usize) -> Result<u32> {
+    if n > MAX_RECORD_BYTES {
+        return Err(DbError::exec(format!(
+            "journal record too large: {n} bytes (max {MAX_RECORD_BYTES})"
+        )));
+    }
+    Ok(n as u32)
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
     match v {
         Value::Null => out.push(0),
         Value::Integer(i) => {
@@ -389,15 +406,16 @@ fn encode_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Text(s) => {
             out.push(3);
-            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(&frame_len(s.len())?.to_le_bytes());
             out.extend_from_slice(s.as_bytes());
         }
         Value::Blob(b) => {
             out.push(4);
-            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(&frame_len(b.len())?.to_le_bytes());
             out.extend_from_slice(b);
         }
     }
+    Ok(())
 }
 
 fn decode_value(buf: &[u8], i: &mut usize) -> Result<Value> {
@@ -436,16 +454,16 @@ fn decode_value(buf: &[u8], i: &mut usize) -> Result<Value> {
     }
 }
 
-fn encode_record(sql: &str, params: &[Value]) -> Vec<u8> {
+fn encode_record(sql: &str, params: &[Value]) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(16 + sql.len());
     out.push(1u8); // record version tag
-    out.extend_from_slice(&(sql.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_len(sql.len())?.to_le_bytes());
     out.extend_from_slice(sql.as_bytes());
-    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_len(params.len())?.to_le_bytes());
     for p in params {
-        encode_value(&mut out, p);
+        encode_value(&mut out, p)?;
     }
-    out
+    Ok(out)
 }
 
 fn decode_record(buf: &[u8]) -> Result<JournalEntry> {
@@ -501,6 +519,27 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].params[1], Value::Text("x".into()));
         assert_eq!(entries[1].sql, "DELETE FROM t");
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_not_truncated() {
+        // A blob one byte over the cap must fail with a typed Exec
+        // error; the journal file must stay untouched so later appends
+        // and replays still work.
+        let path = tmp("oversize");
+        let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
+        j.append("A", &[]).unwrap();
+        let big = Value::Blob(vec![0u8; MAX_RECORD_BYTES + 1]);
+        let err = j.append("INSERT INTO t VALUES (?)", &[big]).unwrap_err();
+        assert!(
+            matches!(err, DbError::Exec(ref m) if m.contains("too large")),
+            "want typed oversize error, got {err:?}"
+        );
+        j.append("B", &[]).unwrap();
+        let entries = j.replay().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].sql, "A");
+        assert_eq!(entries[1].sql, "B");
     }
 
     #[test]

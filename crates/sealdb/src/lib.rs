@@ -40,10 +40,12 @@ pub mod parser;
 pub mod plan;
 pub mod token;
 pub mod value;
+pub mod view;
 
 pub use db::{Database, QueryResult};
 pub use journal::{JournalCodec, PlainCodec, SyncPolicy};
 pub use value::Value;
+pub use view::{MatViewSpec, RescanRule, SourceRule};
 
 /// Errors produced by the database engine.
 #[derive(Debug)]

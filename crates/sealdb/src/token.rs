@@ -139,17 +139,32 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let blob = (0..hex.len())
                     .step_by(2)
-                    .map(|k| u8::from_str_radix(&hex[k..k + 2], 16).unwrap())
-                    .collect();
+                    .map(|k| {
+                        u8::from_str_radix(&hex[k..k + 2], 16)
+                            .map_err(|_| DbError::parse("malformed blob literal"))
+                    })
+                    .collect::<Result<Vec<u8>>>()?;
                 out.push(Token::Blob(blob));
                 i += 2 + end + 1;
             }
             c if c.is_alphabetic() || c == '_' => {
+                // Advance whole chars: byte-wise stepping through a
+                // multi-byte identifier could stop mid-char and panic
+                // on the slice below.
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
-                {
-                    j += 1;
+                while let Some(ch) = sql[j..].chars().next() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if j == i {
+                    // `c` was a Latin-1 reinterpretation of a lead
+                    // byte whose actual char is not identifier-like.
+                    return Err(DbError::parse(format!(
+                        "unexpected character at byte {i}"
+                    )));
                 }
                 out.push(Token::Word(sql[i..j].to_string()));
                 i = j;

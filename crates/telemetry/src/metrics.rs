@@ -299,11 +299,16 @@ impl HistogramSnapshot {
     /// Nearest-rank quantile `q` in `[0, 1]`: an upper bound within
     /// 1/16 relative error of the true `q`-th sample, clamped into
     /// `[min, max]`.
+    ///
+    /// Always returns a defined value: an empty histogram yields 0 for
+    /// any `q`, out-of-range `q` is clamped, and a NaN `q` is treated
+    /// as 0 (the minimum sample).
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -371,6 +376,47 @@ mod tests {
         h.record(9);
         assert_eq!(c.get(), 1);
         assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_defined() {
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 0.999, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(s.percentile(q), 0, "q={q}");
+        }
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+        let e = HistogramSnapshot::empty();
+        assert_eq!(e.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn degenerate_quantiles_are_clamped_not_undefined() {
+        let h = Histogram::new();
+        for v in [2u64, 4, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Out-of-range and NaN q stay inside [min, max].
+        assert_eq!(s.percentile(-1.0), 2);
+        assert_eq!(s.percentile(2.0), 8);
+        assert_eq!(s.percentile(f64::NAN), 2);
+    }
+
+    #[test]
+    fn gauge_negative_deltas_are_defined() {
+        let g = Gauge::new();
+        g.sub(5);
+        assert_eq!(g.get(), -5, "a gauge may go below zero");
+        g.add(-3);
+        assert_eq!(g.get(), -8);
+        g.set(i64::MIN);
+        g.sub(0);
+        assert_eq!(g.get(), i64::MIN);
+        g.set(2);
+        g.sub(7);
+        assert_eq!(g.get(), -5);
     }
 
     #[test]
