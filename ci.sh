@@ -33,6 +33,14 @@ cargo run --release -p libseal-bench --bin telemetry_overhead
 # (>= 2 appends per counter bind and per fsync).
 cargo run --release -p libseal-bench --bin group_commit_gate
 
+# The event-driven service core must hold >= 5000 concurrent idle
+# STLS sessions on one reactor thread (all still serviceable under
+# active load) and cross the enclave boundary measurably less often
+# per request than the threaded baseline (sgxsim transition counters,
+# event/threaded ratio <= 0.9).
+ulimit -n 16384 2>/dev/null || true
+cargo run --release -p libseal-bench --bin event_loop_gate
+
 # Incremental invariant checking must cost O(rows touched since the
 # last check): the per-append check cost on a 1M-entry Git log may be
 # at most 2x the 1k-entry log's, the incremental verdicts must match

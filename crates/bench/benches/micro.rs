@@ -98,9 +98,14 @@ fn bench_crypto() {
     });
     let sig = key.sign(&data_1k);
     let vk = key.verifying_key();
-    bench("crypto", "ed25519_verify_1k", Throughput::Elements(1), || {
-        vk.verify(&data_1k, &sig).unwrap();
-    });
+    bench(
+        "crypto",
+        "ed25519_verify_1k",
+        Throughput::Elements(1),
+        || {
+            vk.verify(&data_1k, &sig).unwrap();
+        },
+    );
     bench("crypto", "x25519_dh", Throughput::Elements(1), || {
         let _ = x25519::shared_secret(&[5u8; 32], &x25519::public_key(&[6u8; 32]));
     });
@@ -163,7 +168,8 @@ fn bench_tls() {
 fn bench_sealdb() {
     {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t(a INTEGER, b TEXT, c TEXT)").unwrap();
+        db.execute("CREATE TABLE t(a INTEGER, b TEXT, c TEXT)")
+            .unwrap();
         let mut i = 0i64;
         bench("sealdb", "insert_row", Throughput::None, || {
             i += 1;
@@ -186,10 +192,8 @@ fn bench_sealdb() {
             "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
         )
         .unwrap();
-        db.execute(
-            "CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)")
+            .unwrap();
         for i in 0..25i64 {
             db.execute_with(
                 "INSERT INTO updates VALUES (?, 'r', ?, ?, 'update')",
@@ -214,10 +218,15 @@ fn bench_sealdb() {
             SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
             u.branch = a.branch AND u.time < a.time ORDER BY
             u.time DESC LIMIT 1)";
-        bench("sealdb", "git_soundness_query_50rows", Throughput::None, || {
-            let r = db.query(q, &[]).unwrap();
-            assert!(r.is_empty());
-        });
+        bench(
+            "sealdb",
+            "git_soundness_query_50rows",
+            Throughput::None,
+            || {
+                let r = db.query(q, &[]).unwrap();
+                assert!(r.is_empty());
+            },
+        );
     }
 
     // The same invariant at 200 log rows, planner on vs off: the
@@ -269,15 +278,25 @@ fn bench_sealdb() {
             u.branch = a.branch AND u.time < a.time ORDER BY
             u.time DESC LIMIT 1)";
         let db = build(true);
-        bench("sealdb", "git_soundness_200rows_planner_on", Throughput::None, || {
-            let r = db.query(q, &[]).unwrap();
-            assert!(r.is_empty());
-        });
+        bench(
+            "sealdb",
+            "git_soundness_200rows_planner_on",
+            Throughput::None,
+            || {
+                let r = db.query(q, &[]).unwrap();
+                assert!(r.is_empty());
+            },
+        );
         let db = build(false);
-        bench("sealdb", "git_soundness_200rows_planner_off", Throughput::None, || {
-            let r = db.query(q, &[]).unwrap();
-            assert!(r.is_empty());
-        });
+        bench(
+            "sealdb",
+            "git_soundness_200rows_planner_off",
+            Throughput::None,
+            || {
+                let r = db.query(q, &[]).unwrap();
+                assert!(r.is_empty());
+            },
+        );
     }
 }
 

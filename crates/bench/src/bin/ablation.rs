@@ -108,7 +108,10 @@ fn main() {
     // Layer 2: + ROTE rollback counter (f = 1 quorum, in-process).
     {
         let cluster = libseal_rote::Cluster::new(1, Duration::ZERO, b"ablate").unwrap();
-        let mut log = audit_log(LogBacking::Memory, Box::new(RoteGuard(std::sync::Arc::new(cluster))));
+        let mut log = audit_log(
+            LogBacking::Memory,
+            Box::new(RoteGuard(std::sync::Arc::new(cluster))),
+        );
         let s = measure(|i| append(&mut log, i));
         rows.push(row("+ ROTE quorum counter", &s));
     }

@@ -1,15 +1,23 @@
 //! Developer utility: breakdown of the per-request audit cost.
-use std::collections::BTreeMap;
-use std::time::Instant;
 use libseal::log::{AuditLog, LogBacking, NoGuard};
 use libseal::{Checker, GitModule, ServiceModule};
 use libseal_crypto::ed25519::SigningKey;
 use libseal_httpx::http::{Request, Response};
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 fn main() {
     let ssm = GitModule;
-    let mut log = AuditLog::open(LogBacking::Memory, [0u8;32], SigningKey::from_seed(&[1u8;32]), Box::new(NoGuard), ssm.schema_sql(), ssm.tables()).unwrap();
-    let mut latest: BTreeMap<String,String> = BTreeMap::new();
+    let mut log = AuditLog::open(
+        LogBacking::Memory,
+        [0u8; 32],
+        SigningKey::from_seed(&[1u8; 32]),
+        Box::new(NoGuard),
+        ssm.schema_sql(),
+        ssm.tables(),
+    )
+    .unwrap();
+    let mut latest: BTreeMap<String, String> = BTreeMap::new();
     let n = 500u64;
     let mut t_log = std::time::Duration::ZERO;
     let mut t_check = std::time::Duration::ZERO;
@@ -18,16 +26,33 @@ fn main() {
     for i in 1..=n {
         let (req, rsp) = if i % 3 == 0 {
             let mut ad = String::new();
-            for (b,c) in &latest { ad.push_str(&format!("{c} {b}\n")); }
-            (Request::new("GET","/repo/r/info/refs?service=git-upload-pack",Vec::new()), Response::new(200, ad.into_bytes()))
+            for (b, c) in &latest {
+                ad.push_str(&format!("{c} {b}\n"));
+            }
+            (
+                Request::new(
+                    "GET",
+                    "/repo/r/info/refs?service=git-upload-pack",
+                    Vec::new(),
+                ),
+                Response::new(200, ad.into_bytes()),
+            )
         } else {
             let branch = format!("refs/heads/b{}", i % 4);
             let cid = format!("{i:040x}");
             latest.insert(branch.clone(), cid.clone());
-            (Request::new("POST","/repo/r/git-receive-pack",format!("o {cid} {branch}\n").into_bytes()), Response::new(200,b"ok\n".to_vec()))
+            (
+                Request::new(
+                    "POST",
+                    "/repo/r/git-receive-pack",
+                    format!("o {cid} {branch}\n").into_bytes(),
+                ),
+                Response::new(200, b"ok\n".to_vec()),
+            )
         };
         let t0 = Instant::now();
-        ssm.log_pair(&req.to_bytes(), &rsp.to_bytes(), &mut log).unwrap();
+        ssm.log_pair(&req.to_bytes(), &rsp.to_bytes(), &mut log)
+            .unwrap();
         t_log += t0.elapsed();
         since += 1;
         if since >= 10 {
@@ -41,6 +66,10 @@ fn main() {
             t_trim += t0.elapsed();
         }
     }
-    println!("per request: log_pair {:.0}us, check {:.0}us, trim {:.0}us",
-        t_log.as_secs_f64()*1e6/n as f64, t_check.as_secs_f64()*1e6/n as f64, t_trim.as_secs_f64()*1e6/n as f64);
+    println!(
+        "per request: log_pair {:.0}us, check {:.0}us, trim {:.0}us",
+        t_log.as_secs_f64() * 1e6 / n as f64,
+        t_check.as_secs_f64() * 1e6 / n as f64,
+        t_trim.as_secs_f64() * 1e6 / n as f64
+    );
 }

@@ -64,10 +64,19 @@ fn push(log: &mut AuditLog, repo: &str, cid: &str, lie: bool) {
     )
     .unwrap();
     let t = log.next_time() as i64;
-    let advertised = if lie { "WRONG".to_string() } else { cid.to_string() };
+    let advertised = if lie {
+        "WRONG".to_string()
+    } else {
+        cid.to_string()
+    };
     log.append(
         "advertisements",
-        &[Value::Integer(t), text(repo), text("main"), text(advertised)],
+        &[
+            Value::Integer(t),
+            text(repo),
+            text("main"),
+            text(advertised),
+        ],
     )
     .unwrap();
 }
@@ -153,7 +162,11 @@ fn cross_check(log: &mut AuditLog) {
             a.invariant
         );
     }
-    assert_eq!(inc.total_violations(), INJECTED, "injected violations missing");
+    assert_eq!(
+        inc.total_violations(),
+        INJECTED,
+        "injected violations missing"
+    );
 }
 
 /// Drains a few due batches through the background verifier pool so
@@ -214,13 +227,19 @@ fn main() {
     let ph = Instant::now();
     let t_small = per_append_cost(&mut small).max(FLOOR);
     println!("small per_append_cost {:?}", ph.elapsed());
-    println!("small log: {small_n} entries built+checked in {:?}", build.elapsed());
+    println!(
+        "small log: {small_n} entries built+checked in {:?}",
+        build.elapsed()
+    );
 
     let build = Instant::now();
     let mut large = git_log(large_n);
     cross_check(&mut large);
     let t_large = per_append_cost(&mut large);
-    println!("large log: {large_n} entries built+checked in {:?}", build.elapsed());
+    println!(
+        "large log: {large_n} entries built+checked in {:?}",
+        build.elapsed()
+    );
 
     let factor = t_large.as_secs_f64() / t_small.as_secs_f64();
     let verdict = if factor < MAX_FACTOR { "ok" } else { "FAIL" };

@@ -316,7 +316,10 @@ fn trial(s: &Scenario, site: &str, spec: FaultSpec, flavor: &str) -> Result<(), 
 fn main() {
     let s = failpoint::scenario();
     let sites = enumerate_sites(&s);
-    println!("crash matrix: {} failpoints on the audited write path", sites.len());
+    println!(
+        "crash matrix: {} failpoints on the audited write path",
+        sites.len()
+    );
 
     let mut failures = Vec::new();
     let mut trials = 0;

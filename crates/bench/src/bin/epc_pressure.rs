@@ -53,8 +53,7 @@ fn main() {
             })
             .unwrap();
         let elapsed = t0.elapsed();
-        let mbps =
-            (touch_bytes * iters) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
+        let mbps = (touch_bytes * iters) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
         let swaps = enclave.services().stats().snapshot().epc_page_swaps;
         enclave.services().stats().reset();
         rows.push(vec![

@@ -1,0 +1,172 @@
+//! CI gate: the event-driven service core must deliver both halves of
+//! its promise.
+//!
+//!   1. **Capacity** — one reactor thread holds ≥ 5000 concurrent
+//!      established-and-idle STLS sessions (the thread-per-connection
+//!      model would need 5000 stacks), and the parked sessions stay
+//!      serviceable under concurrent active load.
+//!   2. **Amortisation** — batched pumps and fused write+take calls
+//!      make the event path cross the enclave boundary measurably
+//!      less often per request than the threaded baseline, confirmed
+//!      by the sgxsim transition counters rather than wall-clock.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin event_loop_gate
+//! ```
+
+use std::sync::Arc;
+
+use libseal::{LibSeal, LibSealConfig};
+use libseal_bench::*;
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer, StaticContentRouter};
+use libseal_services::{HttpsClient, LoadGenerator, TlsMode};
+use libseal_sgxsim::cost::CostModel;
+
+/// Concurrent idle sessions one reactor must hold.
+const MIN_IDLE_SESSIONS: usize = 5000;
+/// Event-mode transitions per request must be at most this fraction
+/// of the threaded baseline ("measurably fewer", not noise).
+const MAX_TRANSITION_RATIO: f64 = 0.9;
+
+fn instance(id: &BenchIdentity) -> Arc<LibSeal> {
+    LibSeal::new(
+        LibSealConfig::builder(id.cert.clone(), id.key.clone())
+            // Zero the simulated transition tax: this gate counts
+            // boundary crossings, it does not price them.
+            .cost_model(CostModel::free())
+            .check_interval(0)
+            .build(),
+    )
+    .expect("libseal")
+}
+
+/// Total enclave entries so far: synchronous, asynchronous and
+/// batched ecalls each cross the boundary once.
+fn transitions() -> u64 {
+    libseal_telemetry::counter("sgxsim_ecalls_total").get()
+        + libseal_telemetry::counter("sgxsim_async_ecalls_total").get()
+        + libseal_telemetry::counter("sgxsim_batch_ecalls_total").get()
+}
+
+/// Part 1: park `MIN_IDLE_SESSIONS` established sessions on one
+/// reactor, run active load over them, prove they all still serve.
+fn capacity_gate(id: &BenchIdentity) -> Result<(), String> {
+    let ls = instance(id);
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
+    )
+    .expect("server");
+    let client = HttpsClient::new(server.addr(), id.roots());
+
+    let mut parked = Vec::with_capacity(MIN_IDLE_SESSIONS);
+    for i in 0..MIN_IDLE_SESSIONS {
+        let mut conn = client
+            .connect()
+            .map_err(|e| format!("connect #{i} failed: {e}"))?;
+        let rsp = conn
+            .request(&Request::new("GET", "/content/16", Vec::new()))
+            .map_err(|e| format!("establish #{i} failed: {e}"))?;
+        if rsp.status != 200 {
+            return Err(format!("establish #{i}: status {}", rsp.status));
+        }
+        parked.push(conn);
+    }
+    let open = libseal_telemetry::gauge("services_event_open_connections").get();
+    if open < MIN_IDLE_SESSIONS as i64 {
+        return Err(format!(
+            "reactor reports {open} open connections, need >= {MIN_IDLE_SESSIONS}"
+        ));
+    }
+
+    // Active traffic while the crowd is parked.
+    let mut active = client.connect().map_err(|e| e.to_string())?;
+    for _ in 0..100 {
+        let rsp = active
+            .request(&Request::new("GET", "/content/512", Vec::new()))
+            .map_err(|e| format!("active request failed: {e}"))?;
+        if rsp.status != 200 {
+            return Err(format!("active request: status {}", rsp.status));
+        }
+    }
+    active.close();
+
+    // Every parked session must still be alive.
+    for (i, conn) in parked.iter_mut().enumerate() {
+        let rsp = conn
+            .request(&Request::new("GET", "/content/16", Vec::new()))
+            .map_err(|e| format!("parked session #{i} died: {e}"))?;
+        if rsp.status != 200 {
+            return Err(format!("parked session #{i}: status {}", rsp.status));
+        }
+    }
+    for conn in &mut parked {
+        conn.close();
+    }
+    server.stop();
+    println!("capacity: {open} concurrent sessions held and re-served on one reactor");
+    Ok(())
+}
+
+/// Part 2: enclave transitions per request, event vs threaded.
+fn transitions_per_request(id: &BenchIdentity, event: bool) -> f64 {
+    let t0 = transitions();
+    let ls = instance(id);
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter))
+            .workers(8)
+            .event_loop(event),
+    )
+    .expect("server");
+    let client = HttpsClient::new(server.addr(), id.roots());
+    let stats = LoadGenerator {
+        clients: 8,
+        duration: bench_secs(),
+        persistent: true,
+    }
+    .run(&client, |_, _| {
+        Request::new("GET", "/content/256", Vec::new())
+    });
+    server.stop();
+    assert!(stats.requests > 0, "load generator completed no requests");
+    (transitions() - t0) as f64 / stats.requests as f64
+}
+
+fn main() {
+    let id = BenchIdentity::new();
+
+    let capacity = capacity_gate(&id);
+
+    let threaded = transitions_per_request(&id, false);
+    let event = transitions_per_request(&id, true);
+    let ratio = event / threaded.max(1e-9);
+    print_table(
+        "event-loop gate: enclave transitions per request (8 persistent clients)",
+        &["serving model", "transitions/request"],
+        &[
+            vec!["threaded".into(), format!("{threaded:.2}")],
+            vec!["event".into(), format!("{event:.2}")],
+        ],
+    );
+    println!(
+        "event/threaded transition ratio {ratio:.2} (need <= {MAX_TRANSITION_RATIO}); \
+         capacity target {MIN_IDLE_SESSIONS} idle sessions"
+    );
+
+    let mut failed = false;
+    if let Err(e) = capacity {
+        eprintln!("FAIL: capacity gate: {e}");
+        failed = true;
+    }
+    if ratio > MAX_TRANSITION_RATIO {
+        eprintln!(
+            "FAIL: event mode crossed the boundary {event:.2}x per request vs {threaded:.2}x \
+             threaded — batching is not amortising transitions"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("event-loop gate passed");
+}

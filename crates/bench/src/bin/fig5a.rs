@@ -30,13 +30,11 @@ fn git_request(client: usize, i: u64) -> Request {
         )
     } else {
         let branch = format!("refs/heads/b{}", i % 4);
-        let cid: String = libseal_crypto::sha2::Sha256::digest(
-            format!("{client}:{i}").as_bytes(),
-        )
-        .iter()
-        .take(20)
-        .map(|b| format!("{b:02x}"))
-        .collect();
+        let cid: String = libseal_crypto::sha2::Sha256::digest(format!("{client}:{i}").as_bytes())
+            .iter()
+            .take(20)
+            .map(|b| format!("{b:02x}"))
+            .collect();
         Request::new(
             "POST",
             &format!("/repo/{repo}/git-receive-pack"),
@@ -45,7 +43,12 @@ fn git_request(client: usize, i: u64) -> Request {
     }
 }
 
-fn run_point(id: &BenchIdentity, config: BenchConfig, clients: usize, workers: usize) -> (f64, f64) {
+fn run_point(
+    id: &BenchIdentity,
+    config: BenchConfig,
+    clients: usize,
+    workers: usize,
+) -> (f64, f64) {
     let tls = match config {
         BenchConfig::Native => TlsMode::Native {
             cert: id.cert.clone(),
@@ -69,11 +72,11 @@ fn run_point(id: &BenchIdentity, config: BenchConfig, clients: usize, workers: u
         busy: true, // CPU-bound, like the real git-http-backend
         inner: Arc::new(backend),
     };
-    let server = ApacheServer::start(ApacheConfig {
-        tls,
-        workers,
-        router: Arc::new(router),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(tls, Arc::new(router))
+            .workers(workers)
+            .event_loop(false),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let stats = LoadGenerator {
@@ -83,7 +86,10 @@ fn run_point(id: &BenchIdentity, config: BenchConfig, clients: usize, workers: u
     }
     .run(&client, git_request);
     server.stop();
-    (stats.throughput(), stats.mean_latency.as_secs_f64() * 1000.0)
+    (
+        stats.throughput(),
+        stats.mean_latency.as_secs_f64() * 1000.0,
+    )
 }
 
 fn main() {
@@ -120,7 +126,12 @@ fn main() {
     }
     print_table(
         "Fig 5a: Git latency vs throughput (replayed commit workload)",
-        &["config", "clients", "throughput (req/s)", "mean latency (ms)"],
+        &[
+            "config",
+            "clients",
+            "throughput (req/s)",
+            "mean latency (ms)",
+        ],
         &rows,
     );
 

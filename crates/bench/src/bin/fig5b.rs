@@ -38,15 +38,18 @@ fn edit_request(client: usize, i: u64) -> Request {
         Request::new(
             "POST",
             "/owncloud/sync",
-            format!(
-                r#"{{"doc":"{doc}","client":"{who}","ops":[{{"content":"{content}"}}]}}"#
-            )
-            .into_bytes(),
+            format!(r#"{{"doc":"{doc}","client":"{who}","ops":[{{"content":"{content}"}}]}}"#)
+                .into_bytes(),
         )
     }
 }
 
-fn run_point(id: &BenchIdentity, config: Option<BenchConfig>, clients: usize, workers: usize) -> (f64, f64) {
+fn run_point(
+    id: &BenchIdentity,
+    config: Option<BenchConfig>,
+    clients: usize,
+    workers: usize,
+) -> (f64, f64) {
     let tls = match config {
         None => TlsMode::Native {
             cert: id.cert.clone(),
@@ -63,11 +66,11 @@ fn run_point(id: &BenchIdentity, config: Option<BenchConfig>, clients: usize, wo
     };
     // The PHP engine bottleneck (§6.4): ~8 ms of application work.
     let oc = Arc::new(OwnCloudServer::with_php_delay(Duration::from_millis(8)));
-    let server = ApacheServer::start(ApacheConfig {
-        tls,
-        workers,
-        router: Arc::new(oc),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(tls, Arc::new(oc))
+            .workers(workers)
+            .event_loop(false),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let stats = LoadGenerator {
@@ -77,7 +80,10 @@ fn run_point(id: &BenchIdentity, config: Option<BenchConfig>, clients: usize, wo
     }
     .run(&client, edit_request);
     server.stop();
-    (stats.throughput(), stats.mean_latency.as_secs_f64() * 1000.0)
+    (
+        stats.throughput(),
+        stats.mean_latency.as_secs_f64() * 1000.0,
+    )
 }
 
 fn main() {
@@ -112,7 +118,12 @@ fn main() {
     }
     print_table(
         "Fig 5b: ownCloud latency vs throughput (document edit workload)",
-        &["config", "clients", "throughput (req/s)", "mean latency (ms)"],
+        &[
+            "config",
+            "clients",
+            "throughput (req/s)",
+            "mean latency (ms)",
+        ],
         &rows,
     );
     let native_peak = peaks[0].1;

@@ -42,14 +42,17 @@ fn run_config(
 ) -> (Quartiles, Quartiles) {
     // Origin with the measured 76 ms WAN latency to Dropbox (§6.4).
     let origin = Arc::new(DropboxServer::with_wan_latency(Duration::from_millis(76)));
-    let origin_server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: id.cert.clone(),
-            key: id.key.clone(),
-        },
-        workers: 2,
-        router: Arc::new(origin),
-    })
+    let origin_server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: id.cert.clone(),
+                key: id.key.clone(),
+            },
+            Arc::new(origin),
+        )
+        .workers(2)
+        .event_loop(false),
+    )
     .expect("origin");
 
     let tls = match config {
@@ -66,12 +69,11 @@ fn run_config(
             false,
         )),
     };
-    let proxy = SquidProxy::start(SquidConfig {
-        tls,
-        workers: 2,
-        upstream: origin_server.addr(),
-        upstream_roots: id.roots(),
-    })
+    let proxy = SquidProxy::start(
+        SquidConfig::new(tls, origin_server.addr(), id.roots())
+            .workers(2)
+            .event_loop(false),
+    )
     .expect("proxy");
 
     let client = HttpsClient::new(proxy.addr(), id.roots());

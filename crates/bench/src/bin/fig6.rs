@@ -246,7 +246,13 @@ fn main() {
     let intervals = [1usize, 5, 10, 25, 50, 75, 100, 150, 200, 250, 300];
     let requests: u64 = if full_sweep() { 1500 } else { 600 };
 
-    let git = run_service(&GitModule, GitWorkload::default, &intervals, requests, Mode::FullScan);
+    let git = run_service(
+        &GitModule,
+        GitWorkload::default,
+        &intervals,
+        requests,
+        Mode::FullScan,
+    );
     let oc = run_service(
         &OwnCloudModule,
         OwnCloudWorkload::default,
@@ -302,9 +308,7 @@ fn main() {
         &table([&git, &oc, &db]),
     );
     print_table(
-        &format!(
-            "Fig 6 re-run: incremental checker, trim decoupled (every {TRIM_EVERY} requests)"
-        ),
+        &format!("Fig 6 re-run: incremental checker, trim decoupled (every {TRIM_EVERY} requests)"),
         &["interval (#requests)", "Git", "ownCloud", "Dropbox"],
         &table([&giti, &oci, &dbi]),
     );

@@ -23,11 +23,11 @@ fn run_point(id: &BenchIdentity, config: BenchConfig, size: usize, workers: usiz
         },
         _ => TlsMode::LibSeal(libseal_instance(id, config, None, workers, 0, false)),
     };
-    let server = ApacheServer::start(ApacheConfig {
-        tls,
-        workers,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(tls, Arc::new(StaticContentRouter))
+            .workers(workers)
+            .event_loop(false),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let path = format!("/content/{size}");

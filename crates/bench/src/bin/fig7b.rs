@@ -18,14 +18,17 @@ use libseal_services::{HttpsClient, LoadGenerator, StaticContentRouter, TlsMode}
 
 fn run_point(id: &BenchIdentity, libseal: bool, clients: usize, workers: usize) -> (f64, f64) {
     // Origin HTTP server on a separate "machine".
-    let origin = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: id.cert.clone(),
-            key: id.key.clone(),
-        },
-        workers: 2,
-        router: Arc::new(StaticContentRouter),
-    })
+    let origin = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: id.cert.clone(),
+                key: id.key.clone(),
+            },
+            Arc::new(StaticContentRouter),
+        )
+        .workers(2)
+        .event_loop(false),
+    )
     .expect("origin");
 
     let tls = if libseal {
@@ -43,12 +46,11 @@ fn run_point(id: &BenchIdentity, libseal: bool, clients: usize, workers: usize) 
             key: id.key.clone(),
         }
     };
-    let proxy = SquidProxy::start(SquidConfig {
-        tls,
-        workers,
-        upstream: origin.addr(),
-        upstream_roots: id.roots(),
-    })
+    let proxy = SquidProxy::start(
+        SquidConfig::new(tls, origin.addr(), id.roots())
+            .workers(workers)
+            .event_loop(false),
+    )
     .expect("proxy");
 
     let client = HttpsClient::new(proxy.addr(), id.roots());
@@ -62,7 +64,10 @@ fn run_point(id: &BenchIdentity, libseal: bool, clients: usize, workers: usize) 
     });
     proxy.stop();
     origin.stop();
-    (stats.throughput(), stats.mean_latency.as_secs_f64() * 1000.0)
+    (
+        stats.throughput(),
+        stats.mean_latency.as_secs_f64() * 1000.0,
+    )
 }
 
 fn main() {
@@ -92,7 +97,12 @@ fn main() {
     }
     print_table(
         "Fig 7b: Squid latency vs throughput (1 KB content, non-persistent)",
-        &["config", "clients", "throughput (req/s)", "mean latency (ms)"],
+        &[
+            "config",
+            "clients",
+            "throughput (req/s)",
+            "mean latency (ms)",
+        ],
         &rows,
     );
     println!(

@@ -37,11 +37,11 @@ fn apache_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
             key: id.key.clone(),
         }
     };
-    let server = ApacheServer::start(ApacheConfig {
-        tls,
-        workers: cores,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(tls, Arc::new(StaticContentRouter))
+            .workers(cores)
+            .event_loop(false),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let stats = LoadGenerator {
@@ -57,14 +57,17 @@ fn apache_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
 }
 
 fn squid_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
-    let origin = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: id.cert.clone(),
-            key: id.key.clone(),
-        },
-        workers: 2,
-        router: Arc::new(StaticContentRouter),
-    })
+    let origin = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: id.cert.clone(),
+                key: id.key.clone(),
+            },
+            Arc::new(StaticContentRouter),
+        )
+        .workers(2)
+        .event_loop(false),
+    )
     .expect("origin");
     let tls = if libseal {
         TlsMode::LibSeal(libseal_instance(
@@ -81,12 +84,11 @@ fn squid_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
             key: id.key.clone(),
         }
     };
-    let proxy = SquidProxy::start(SquidConfig {
-        tls,
-        workers: cores,
-        upstream: origin.addr(),
-        upstream_roots: id.roots(),
-    })
+    let proxy = SquidProxy::start(
+        SquidConfig::new(tls, origin.addr(), id.roots())
+            .workers(cores)
+            .event_loop(false),
+    )
     .expect("proxy");
     let client = HttpsClient::new(proxy.addr(), id.roots());
     let stats = LoadGenerator {

@@ -84,11 +84,10 @@ fn run_point(id: &BenchIdentity, clients: usize, workers: usize) -> Point {
     let (a0, b0, f0) = (appends.get(), binds.get(), fsyncs.get());
 
     let ls = instance(id);
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(ls),
-        workers,
-        router: Arc::new(Arc::new(GitBackend::new())),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(Arc::new(GitBackend::new())))
+            .workers(workers),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let stats = LoadGenerator {

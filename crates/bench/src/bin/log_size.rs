@@ -58,9 +58,7 @@ fn main() {
         let mut log = fresh_log(&ssm);
         let before = log.size_bytes();
         for i in 0..n {
-            let body = format!(
-                r#"{{"doc":"d","client":"c","ops":[{{"content":"x"}}],"i":{i}}}"#
-            );
+            let body = format!(r#"{{"doc":"d","client":"c","ops":[{{"content":"x"}}],"i":{i}}}"#);
             let req = Request::new("POST", "/owncloud/sync", body.into_bytes());
             let rsp = format!(r#"{{"acks":[{}],"ops":[]}}"#, i + 1);
             ssm.log_pair(

@@ -75,7 +75,12 @@ fn main() {
     }
     print_table(
         "§6.8 micro: synchronous ecall cost vs in-enclave thread count",
-        &["threads", "measured ns/ecall", "measured cycles", "model cycles"],
+        &[
+            "threads",
+            "measured ns/ecall",
+            "measured cycles",
+            "model cycles",
+        ],
         &rows,
     );
 

@@ -160,7 +160,11 @@ fn main() {
     const LARGE: usize = 20_000;
     let services: [(&str, BuildLog, &str); 3] = [
         ("git/soundness", git_log, GIT_SOUNDNESS),
-        ("owncloud/snapshot-soundness", owncloud_log, OC_SNAPSHOT_SOUND),
+        (
+            "owncloud/snapshot-soundness",
+            owncloud_log,
+            OC_SNAPSHOT_SOUND,
+        ),
         ("dropbox/phantom-file", dropbox_log, DB_PHANTOM_FILE),
     ];
     let mut failed = false;

@@ -56,18 +56,8 @@ fn main() {
             11, // the declared LibSEAL enclave interface
             5,  // bio_read, bio_write, malloc, log_flush, info_callback
         ),
-        (
-            "Async transitions (lthread)",
-            &["crates/lthread/src"],
-            1,
-            1,
-        ),
-        (
-            "SQLite (sealdb)",
-            &["crates/sealdb/src"],
-            0,
-            0,
-        ),
+        ("Async transitions (lthread)", &["crates/lthread/src"], 1, 1),
+        ("SQLite (sealdb)", &["crates/sealdb/src"], 0, 0),
         (
             "Audit logging + SSMs + services",
             &["crates/httpx/src", "crates/rote/src", "crates/services/src"],

@@ -17,11 +17,11 @@ use libseal_services::{HttpsClient, LoadGenerator, StaticContentRouter, TlsMode}
 
 fn run_point(id: &BenchIdentity, size: usize, workers: usize, sync_calls: bool) -> f64 {
     let ls = libseal_instance(id, BenchConfig::Process, None, workers, 0, sync_calls);
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(ls),
-        workers,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter))
+            .workers(workers)
+            .event_loop(false),
+    )
     .expect("server");
     let client = HttpsClient::new(server.addr(), id.roots());
     let path = format!("/content/{size}");
@@ -48,7 +48,10 @@ fn main() {
         let asynchronous = run_point(&id, size, workers, false);
         sync_row.push(rate(sync));
         async_row.push(rate(asynchronous));
-        improv_row.push(format!("{:+.0}%", (asynchronous - sync) / sync.max(1e-9) * 100.0));
+        improv_row.push(format!(
+            "{:+.0}%",
+            (asynchronous - sync) / sync.max(1e-9) * 100.0
+        ));
     }
     print_table(
         "Tab 2: Apache throughput (req/s) with LibSEAL, sync vs async enclave calls",

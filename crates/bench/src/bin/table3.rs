@@ -33,11 +33,11 @@ fn main() {
                 wait_mode: WaitMode::Poller,
             },
         );
-        let server = ApacheServer::start(ApacheConfig {
-            tls: TlsMode::LibSeal(ls),
-            workers,
-            router: Arc::new(StaticContentRouter),
-        })
+        let server = ApacheServer::start(
+            ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter))
+                .workers(workers)
+                .event_loop(false),
+        )
         .expect("server");
         let client = HttpsClient::new(server.addr(), id.roots());
         let (stats, cpu) = with_cpu_percent(|| {

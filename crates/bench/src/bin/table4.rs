@@ -32,11 +32,11 @@ fn main() {
                 wait_mode: WaitMode::Poller,
             },
         );
-        let server = ApacheServer::start(ApacheConfig {
-            tls: TlsMode::LibSeal(ls),
-            workers,
-            router: Arc::new(StaticContentRouter),
-        })
+        let server = ApacheServer::start(
+            ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter))
+                .workers(workers)
+                .event_loop(false),
+        )
         .expect("server");
         let client = HttpsClient::new(server.addr(), id.roots());
         let (stats, cpu) = with_cpu_percent(|| {
@@ -59,7 +59,12 @@ fn main() {
     }
     print_table(
         "Tab 4: async enclave calls, varying #lthread tasks per thread (3 SGX threads, 1 KB)",
-        &["#lthread tasks", "throughput (req/s)", "latency (ms)", "%CPU"],
+        &[
+            "#lthread tasks",
+            "throughput (req/s)",
+            "latency (ms)",
+            "%CPU",
+        ],
         &rows,
     );
     println!("\npaper shape: throughput roughly flat; latency worst with too few lthreads");

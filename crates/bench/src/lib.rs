@@ -176,7 +176,11 @@ pub fn assumed_concurrency(slots: usize) -> u64 {
 /// The wait mode best suited to this host (see the paper's §4.3
 /// discussion: poller needs a spare core).
 pub fn default_wait_mode() -> WaitMode {
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) >= 4 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        >= 4
+    {
         WaitMode::Poller
     } else {
         WaitMode::BusyWait

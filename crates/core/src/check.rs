@@ -103,7 +103,9 @@ impl Checker {
     pub fn install(ssm: &dyn ServiceModule, log: &mut AuditLog) -> Result<()> {
         for inv in ssm.invariants() {
             if let Some(spec) = inv.matview_spec() {
-                log.db_mut().register_matview(spec).map_err(crate::LibSealError::Db)?;
+                log.db_mut()
+                    .register_matview(spec)
+                    .map_err(crate::LibSealError::Db)?;
             }
         }
         Ok(())
@@ -148,7 +150,9 @@ impl Checker {
         log: &mut AuditLog,
     ) -> Result<CheckOutcome> {
         let started = std::time::Instant::now();
-        log.db_mut().refresh_matviews().map_err(crate::LibSealError::Db)?;
+        log.db_mut()
+            .refresh_matviews()
+            .map_err(crate::LibSealError::Db)?;
         let registered: Vec<String> = log
             .db_mut()
             .matview_names()
@@ -196,11 +200,7 @@ impl Checker {
     /// # Errors
     ///
     /// Check or trim failures.
-    pub fn run_due(
-        &mut self,
-        ssm: &dyn ServiceModule,
-        log: &mut AuditLog,
-    ) -> Result<CheckOutcome> {
+    pub fn run_due(&mut self, ssm: &dyn ServiceModule, log: &mut AuditLog) -> Result<CheckOutcome> {
         let outcome = Self::run_checks_incremental(ssm, log)?;
         if self.trim && outcome.total_violations() == 0 {
             // Trim only clean logs: violations must stay as evidence.
@@ -319,7 +319,9 @@ mod tests {
         .unwrap();
         let outcome = Checker::run_checks(&m, &log).unwrap();
         assert_eq!(outcome.total_violations(), 1);
-        assert!(outcome.header_value().starts_with("violations=1;git-soundness:1"));
+        assert!(outcome
+            .header_value()
+            .starts_with("violations=1;git-soundness:1"));
     }
 
     #[test]
@@ -377,7 +379,9 @@ mod tests {
         let outcome = checker.on_pair(&m, &mut log).unwrap().unwrap();
         assert_eq!(outcome.total_violations(), 1);
         // Evidence survives: the advertisement was not trimmed away.
-        let r = log.query("SELECT COUNT(*) FROM advertisements", &[]).unwrap();
+        let r = log
+            .query("SELECT COUNT(*) FROM advertisements", &[])
+            .unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
     }
 

@@ -158,7 +158,9 @@ impl CommitQueue {
         }
         s.staged += 1;
         let t = s.staged;
-        commit_metrics().queue_depth.set((s.staged - s.resolved) as i64);
+        commit_metrics()
+            .queue_depth
+            .set((s.staged - s.resolved) as i64);
         drop(s);
         self.work.notify_one();
         Ok(t)
@@ -248,7 +250,9 @@ impl CommitQueue {
             }
         }
         s.resolved = s.resolved.max(upto);
-        commit_metrics().queue_depth.set((s.staged - s.resolved) as i64);
+        commit_metrics()
+            .queue_depth
+            .set((s.staged - s.resolved) as i64);
         drop(s);
         self.done.notify_all();
     }
@@ -293,7 +297,9 @@ impl Sealer {
                         .map_err(|e| LibSealError::Log(e.to_string()))
                         .and_then(|()| seal_fn());
                     if r.is_ok() {
-                        commit_metrics().commit_ns.record_duration(started.elapsed());
+                        commit_metrics()
+                            .commit_ns
+                            .record_duration(started.elapsed());
                     }
                     queue.complete(upto, r);
                 }

@@ -41,8 +41,13 @@ pub use check::{CheckOutcome, CheckReport, Checker};
 pub use commit::{CommitQueue, GroupCommitConfig, Sealer};
 pub use log::{AuditLog, CommitMode, LogBacking, TableSpec};
 pub use provision::CertProvisioner;
-pub use ssm::{DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule};
-pub use termination::{GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, ShadowSsl};
+pub use ssm::{
+    DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule,
+};
+pub use termination::{
+    GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, SessionInput, SessionOutcome,
+    ShadowSsl,
+};
 pub use verifier::{Verifier, VerifierConfig, VerifierQueue};
 
 pub use libseal_telemetry as telemetry;

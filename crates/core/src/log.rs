@@ -447,7 +447,10 @@ impl AuditLog {
     fn put_meta(&mut self, k: &str, v: &str) -> Result<()> {
         let present = self
             .db
-            .query("SELECT v FROM _libseal_meta WHERE k = ?", &[Value::Text(k.into())])
+            .query(
+                "SELECT v FROM _libseal_meta WHERE k = ?",
+                &[Value::Text(k.into())],
+            )
             .map_err(LibSealError::Db)?;
         if present.rows.is_empty() {
             self.db
@@ -796,8 +799,7 @@ impl AuditLog {
     ///
     /// I/O failures.
     pub fn flush(&mut self) -> Result<()> {
-        plat::failpoint::check("core::log::flush")
-            .map_err(|e| LibSealError::Log(e.to_string()))?;
+        plat::failpoint::check("core::log::flush").map_err(|e| LibSealError::Log(e.to_string()))?;
         let started = std::time::Instant::now();
         let r = self.db.sync_journal().map_err(LibSealError::Db);
         if r.is_ok() {
@@ -876,7 +878,9 @@ impl AuditLog {
                 return Err(LibSealError::Tampered("chain row malformed".into()));
             };
             if *seq <= last_seq {
-                return Err(LibSealError::Tampered("chain sequence not increasing".into()));
+                return Err(LibSealError::Tampered(
+                    "chain sequence not increasing".into(),
+                ));
             }
             last_seq = *seq;
             let mut h = Sha256::new();
@@ -914,20 +918,17 @@ impl AuditLog {
         // Keys render via `Value::to_string`, which round-trips through
         // affinity coercion for everything except BLOB columns — those
         // keep the textual `'' || col` comparison.
-        let t = self
-            .db
-            .catalog()
-            .table(tbl)
-            .ok_or_else(|| LibSealError::Tampered(format!("chain names unknown table {tbl}")))?;
+        let t =
+            self.db.catalog().table(tbl).ok_or_else(|| {
+                LibSealError::Tampered(format!("chain names unknown table {tbl}"))
+            })?;
         let mut preds = Vec::with_capacity(spec.key_cols.len());
         let mut params = Vec::with_capacity(spec.key_cols.len());
         for (c, raw) in spec.key_cols.iter().zip(&key_vals) {
             let affinity = t
                 .column_index(c)
                 .map(|i| t.columns[i].affinity)
-                .ok_or_else(|| {
-                    LibSealError::Tampered(format!("{tbl} lost key column {c}"))
-                })?;
+                .ok_or_else(|| LibSealError::Tampered(format!("{tbl} lost key column {c}")))?;
             let text = Value::Text((*raw).to_string());
             if matches!(affinity, libseal_sealdb::value::Affinity::Blob) {
                 preds.push(format!("('' || {c}) = ?"));
@@ -937,10 +938,7 @@ impl AuditLog {
                 params.push(affinity.apply(text));
             }
         }
-        let sql = format!(
-            "SELECT * FROM {tbl} WHERE {}",
-            preds.join(" AND ")
-        );
+        let sql = format!("SELECT * FROM {tbl} WHERE {}", preds.join(" AND "));
         let rows = self.db.query(&sql, &params).map_err(LibSealError::Db)?;
         for row in &rows.rows {
             if render_payload(tbl, row) == payload {
@@ -1068,12 +1066,7 @@ fn render_payload(table: &str, values: &[Value]) -> String {
     out
 }
 
-fn render_key(
-    spec: &TableSpec,
-    table: &str,
-    values: &[Value],
-    db: &Database,
-) -> Result<String> {
+fn render_key(spec: &TableSpec, table: &str, values: &[Value], db: &Database) -> Result<String> {
     // Map key column names to positions via the catalog.
     let t = db
         .catalog()

@@ -162,10 +162,7 @@ pub fn merge_for_checking(
 /// # Errors
 ///
 /// Query failures.
-pub fn check_merged(
-    ssm: &dyn ServiceModule,
-    db: &Database,
-) -> Result<Vec<(String, usize)>> {
+pub fn check_merged(ssm: &dyn ServiceModule, db: &Database) -> Result<Vec<(String, usize)>> {
     let mut out = Vec::new();
     for inv in ssm.invariants() {
         let r = db.query(inv.sql, &[]).map_err(LibSealError::Db)?;

@@ -76,8 +76,7 @@ mod tests {
     fn make_libseal(with_audit: bool) -> Arc<LibSeal> {
         let ca = CertificateAuthority::new("CA", &[1u8; 32]);
         let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
-        let mut builder =
-            LibSealConfig::builder(cert, key).cost_model(CostModel::free());
+        let mut builder = LibSealConfig::builder(cert, key).cost_model(CostModel::free());
         if with_audit {
             builder = builder.ssm(Arc::new(GitModule));
         }
@@ -89,12 +88,7 @@ mod tests {
         let ls = make_libseal(true);
         let qe = QuotingEnclave::new(&[7u8; 32]);
         let ias = AttestationService::new(qe.root_key());
-        let prov = CertProvisioner::new(
-            ls.certificate().clone(),
-            [2u8; 32],
-            ls.measurement(),
-            ias,
-        );
+        let prov = CertProvisioner::new(ls.certificate().clone(), [2u8; 32], ls.measurement(), ias);
         let quote = ls.quote(&qe);
         let (cert, _key) = prov.provision(&quote).unwrap();
         assert_eq!(&cert, ls.certificate());

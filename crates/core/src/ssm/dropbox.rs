@@ -308,9 +308,7 @@ mod tests {
     fn list(log: &mut AuditLog, m: &DropboxModule, files: &[(&str, &str, i64)]) {
         let items: Vec<String> = files
             .iter()
-            .map(|(f, b, s)| {
-                format!(r#"{{"file":"{f}","blocks":["{b}"],"size":{s}}}"#)
-            })
+            .map(|(f, b, s)| format!(r#"{{"file":"{f}","blocks":["{b}"],"size":{s}}}"#))
             .collect();
         let req = Request::new(
             "POST",
@@ -372,7 +370,7 @@ mod tests {
         let mut log = fresh_log(&m);
         commit(&mut log, &m, "a.txt", "h1", 100);
         commit(&mut log, &m, "a.txt", "h1", -1); // deletion
-        // Server still lists it: violation.
+                                                 // Server still lists it: violation.
         list(&mut log, &m, &[("a.txt", "h1", 100)]);
         let v = log.query(DB_BLOCKLIST_SOUND, &[]).unwrap();
         assert_eq!(v.rows.len(), 1);

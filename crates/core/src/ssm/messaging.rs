@@ -218,10 +218,7 @@ mod tests {
             "/msg/inbox",
             format!(r#"{{"user":"{user}","after":0}}"#).into_bytes(),
         );
-        let rsp = Response::new(
-            200,
-            format!(r#"{{"messages":{messages}}}"#).into_bytes(),
-        );
+        let rsp = Response::new(200, format!(r#"{{"messages":{messages}}}"#).into_bytes());
         m.log_pair(&req.to_bytes(), &rsp.to_bytes(), log).unwrap();
     }
 

@@ -227,14 +227,10 @@ impl ServiceModule for OwnCloudModule {
             "/owncloud/sync" => {
                 // Client-supplied ops: the server assigns sequence
                 // numbers which it acknowledges in the response.
-                let acks = rsp_json
-                    .get("acks")
-                    .and_then(Json::as_array)
-                    .unwrap_or(&[]);
+                let acks = rsp_json.get("acks").and_then(Json::as_array).unwrap_or(&[]);
                 if let Some(ops) = req_json.get("ops").and_then(Json::as_array) {
                     for (op, ack) in ops.iter().zip(acks.iter()) {
-                        let content =
-                            op.get("content").and_then(Json::as_str).unwrap_or("");
+                        let content = op.get("content").and_then(Json::as_str).unwrap_or("");
                         let seq = ack.as_i64().unwrap_or(0);
                         let t = log.next_time() as i64;
                         Self::event(log, t, doc, client, "recv_update", seq, content)?;
@@ -244,8 +240,7 @@ impl ServiceModule for OwnCloudModule {
                 // Ops relayed to this client.
                 if let Some(ops) = rsp_json.get("ops").and_then(Json::as_array) {
                     for op in ops {
-                        let content =
-                            op.get("content").and_then(Json::as_str).unwrap_or("");
+                        let content = op.get("content").and_then(Json::as_str).unwrap_or("");
                         let seq = op.get("seq").and_then(Json::as_i64).unwrap_or(0);
                         let t = log.next_time() as i64;
                         Self::event(log, t, doc, client, "sent_update", seq, content)?;
@@ -464,12 +459,13 @@ mod tests {
         log.trim(m.trim_queries()).unwrap();
         log.verify().unwrap();
         // Only the final snapshot_save (and nothing older) remains.
-        let r = log
-            .query("SELECT COUNT(*) FROM docupdates", &[])
-            .unwrap();
+        let r = log.query("SELECT COUNT(*) FROM docupdates", &[]).unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Integer(1));
         let r = log
-            .query("SELECT content FROM docupdates WHERE kind = 'snapshot_save'", &[])
+            .query(
+                "SELECT content FROM docupdates WHERE kind = 'snapshot_save'",
+                &[],
+            )
             .unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Text("v2".into()));
     }

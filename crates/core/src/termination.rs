@@ -39,11 +39,11 @@ use plat::sync::{Mutex, RwLock};
 
 use crate::check::{CheckOutcome, Checker};
 use crate::commit::{CommitQueue, GroupCommitConfig, Sealer};
-use crate::verifier::{Verifier, VerifierConfig, VerifierQueue};
 use crate::log::{
     AuditLog, CommitMode, HwCounterGuard, LogBacking, NoGuard, RollbackGuard, RoteGuard, TableSpec,
 };
 use crate::ssm::ServiceModule;
+use crate::verifier::{Verifier, VerifierConfig, VerifierQueue};
 use crate::{LibSealError, Result};
 
 /// Default for [`LibSealConfig::max_message_buffer`]: generous enough
@@ -236,7 +236,10 @@ impl LibSealConfigBuilder {
     /// previous batch's counter round and fsync naturally accumulate
     /// the next batch).
     pub fn group_commit(mut self, max_batch: usize, max_wait: Duration) -> Self {
-        self.config.group_commit = Some(GroupCommitConfig { max_batch, max_wait });
+        self.config.group_commit = Some(GroupCommitConfig {
+            max_batch,
+            max_wait,
+        });
         self
     }
 
@@ -382,11 +385,7 @@ pub enum CallCtx<'p> {
 
 impl CallCtx<'_> {
     /// Performs one outside call under the current regime.
-    pub fn ocall<R: Send + 'static>(
-        &self,
-        name: &'static str,
-        f: impl FnOnce() -> R + Send,
-    ) -> R {
+    pub fn ocall<R: Send + 'static>(&self, name: &'static str, f: impl FnOnce() -> R + Send) -> R {
         match self {
             CallCtx::Sync(sv) => sv.ocall(name, f),
             CallCtx::Async(port) => port.ocall(name, f),
@@ -400,6 +399,280 @@ impl CallCtx<'_> {
             self.ocall(name, || ());
         }
     }
+}
+
+/// One session's pending wire input for [`LibSeal::pump_batch`].
+#[derive(Debug)]
+pub struct SessionInput {
+    /// Session id.
+    pub sid: u64,
+    /// Ciphertext read from the socket since the last pump. May be
+    /// empty to pump only handshake/output state.
+    pub input: Vec<u8>,
+}
+
+/// Per-session result of [`LibSeal::pump_batch`]. Failures are
+/// per-session (`error`), never the whole batch: one misbehaving peer
+/// must not poison the other sessions sharing its transition.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Session id.
+    pub sid: u64,
+    /// Whether the handshake is complete after this pump.
+    pub established: bool,
+    /// Decrypted request plaintext drained this pump.
+    pub data: Vec<u8>,
+    /// Wire ciphertext that must be written to the socket.
+    pub output: Vec<u8>,
+    /// The peer sent close_notify; the session should be torn down.
+    pub closed: bool,
+    /// Fatal failure for this session only (TLS alert, audit-buffer
+    /// overflow, unknown sid).
+    pub error: Option<LibSealError>,
+}
+
+/// Cuts complete requests out of freshly decrypted bytes and queues
+/// them for audit pairing (the read half of the pipeline). The caller
+/// holds the session lock and has already charged EPC touches.
+fn queue_audit_requests(max_message_buffer: usize, s: &mut Session, data: &[u8]) -> Result<()> {
+    s.req_buf.extend_from_slice(data);
+    loop {
+        match http::parse_request(&s.req_buf) {
+            Ok((req, used)) => {
+                let check = req.headers.get("Libseal-Check").is_some();
+                let raw: Vec<u8> = s.req_buf.drain(..used).collect();
+                s.pending.push_back((raw, check));
+            }
+            Err(libseal_httpx::ParseError::Incomplete) => break,
+            Err(_) => {
+                // Provably not HTTP: these bytes can never become a
+                // message. Drop them so unauditable traffic does not
+                // poison the session (the application already received
+                // the plaintext).
+                s.req_buf.clear();
+                break;
+            }
+        }
+    }
+    // Interface hardening (§6.3): a peer streaming bytes that never
+    // form a message must not grow enclave memory without bound.
+    if s.req_buf.len() > max_message_buffer {
+        return Err(LibSealError::Log(
+            "request stream exceeds the audit buffer limit".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The in-enclave body shared by [`LibSeal::ssl_write`] and
+/// [`LibSeal::ssl_write_take`]: buffer the response, pair complete
+/// messages with their requests, log, group-commit and encrypt.
+fn write_session(
+    t: &Trusted,
+    sv: &EnclaveServices,
+    ctx: &CallCtx<'_>,
+    sid: u64,
+    data: &[u8],
+    audited: bool,
+) -> Result<()> {
+    // Record emission: scratch allocation plus BIO push per 16 KB
+    // record (LibreSSL instrumentation, §4.2). All modelled
+    // transitions are charged while no lock is held: an async ocall
+    // suspends this lthread, and a suspended lock holder deadlocks
+    // every other lthread on the same worker thread.
+    ctx.bio_traffic("malloc", 1);
+    ctx.bio_traffic("bio_write", 1 + data.len() / (16 * 1024));
+    let mut log_flushes = 0usize;
+    {
+        let session = t.session(sid)?;
+        let mut s = session.lock();
+        if !audited {
+            s.ssl.ssl_write(data).map_err(LibSealError::Tls)?;
+            return Ok(());
+        }
+        s.rsp_buf.extend_from_slice(data);
+        sv.epc_touch(data.len() as u64);
+        if s.rsp_buf.len() > t.max_message_buffer {
+            return Err(LibSealError::Log(
+                "response stream exceeds the audit buffer limit".into(),
+            ));
+        }
+        // A stream that provably is not HTTP (wrong first bytes) can
+        // never be audited or header-injected; forward it verbatim
+        // instead of stalling the client.
+        if !could_be_http_response(&s.rsp_buf) {
+            let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
+            s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
+            return Ok(());
+        }
+        loop {
+            let (mut response, used) = match http::parse_response(&s.rsp_buf) {
+                Ok(r) => r,
+                Err(libseal_httpx::ParseError::Incomplete) => break,
+                Err(_) => {
+                    // The service wrote something that can never parse
+                    // as HTTP; forward it verbatim (unaudited) rather
+                    // than stalling the client forever.
+                    let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
+                    s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
+                    break;
+                }
+            };
+            let raw_rsp: Vec<u8> = s.rsp_buf.drain(..used).collect();
+            let (raw_req, check_requested) = s.pending.pop_front().unwrap_or((Vec::new(), false));
+            let audit = t.audit.as_ref().expect("audited instances have state");
+            // Backpressure BEFORE taking the audit lock: blocking
+            // inside it would stall the very sealer (or verifier) that
+            // makes room in the queue.
+            if let Some(q) = &t.commit {
+                q.wait_for_space();
+            }
+            if let Some(vq) = &t.verify {
+                vq.wait_for_space();
+            }
+            let mut astate = audit.lock();
+            let AuditState { log, ssm, checker } = &mut *astate;
+            let logged = ssm.log_pair(&raw_req, &raw_rsp, log)?;
+            let mut ticket = None;
+            if logged > 0 {
+                match &t.commit {
+                    // Group commit: take a ticket while still holding
+                    // the audit lock, so ticket order matches log
+                    // order; the sealer makes the whole batch durable
+                    // with one counter bind, one signature and one
+                    // fsync.
+                    Some(q) => ticket = Some(q.stage()?),
+                    // One durable flush per request/response pair
+                    // (§5.1); charged as an ocall below, after the
+                    // locks are released.
+                    None => {
+                        log.flush()?;
+                        log_flushes += 1;
+                    }
+                }
+            }
+            if checker.note_pair() {
+                match &t.verify {
+                    // Background verification: hand the due check to
+                    // the verifier thread and answer the client now.
+                    // Lag is bounded by the backpressure above and
+                    // surfaced as the core_verifier_lag gauge.
+                    Some(vq) if vq.enqueue().is_ok() => {}
+                    // Inline fallback (verifier disabled or shut
+                    // down): the pre-pool behaviour.
+                    _ => {
+                        let _ = checker.run_due(ssm.as_ref(), log)?;
+                    }
+                }
+            }
+            let out_bytes = if check_requested {
+                let outcome = checker.client_check(ssm.as_ref(), log)?;
+                if outcome.is_some() {
+                    // A synchronous check just covered the full
+                    // current history; pending background batches are
+                    // subsumed by it.
+                    if let Some(vq) = &t.verify {
+                        vq.absorb();
+                    }
+                }
+                let value = match &outcome {
+                    Some(o) => o.header_value(),
+                    None => checker.last_outcome.header_value(),
+                };
+                response.headers.set("Libseal-Check-Result", value);
+                response.to_bytes()
+            } else {
+                raw_rsp
+            };
+            drop(astate);
+            // The commit barrier preserves response-before-durable:
+            // the response is released only once the batch carrying
+            // this pair is sealed and fsynced.
+            if let (Some(q), Some(tk)) = (&t.commit, ticket) {
+                q.await_durable(tk)?;
+            }
+            s.ssl.ssl_write(&out_bytes).map_err(LibSealError::Tls)?;
+        }
+    }
+    // Persisting the log crosses the boundary: the journal write +
+    // fsync happen outside the enclave (charged after all locks are
+    // released).
+    for _ in 0..log_flushes {
+        ctx.ocall("log_flush", || ());
+    }
+    Ok(())
+}
+
+/// Pumps one session inside a `tls_batch` ecall: feed input, progress
+/// the handshake, drain decrypted requests (queueing them for audit
+/// pairing) and collect pending wire output. Never propagates — every
+/// failure lands in the outcome's `error`.
+fn pump_session(
+    t: &Trusted,
+    sv: &EnclaveServices,
+    item: SessionInput,
+    audited: bool,
+) -> SessionOutcome {
+    let mut outcome = SessionOutcome {
+        sid: item.sid,
+        established: false,
+        data: Vec::new(),
+        output: Vec::new(),
+        closed: false,
+        error: None,
+    };
+    let session = match t.session(item.sid) {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.error = Some(e);
+            return outcome;
+        }
+    };
+    let mut s = session.lock();
+    if !item.input.is_empty() {
+        s.ssl.provide_input(&item.input);
+    }
+    if s.ssl.is_established() {
+        outcome.established = true;
+    } else {
+        match s.ssl.do_handshake() {
+            Ok(done) => outcome.established = done,
+            Err(e) => {
+                // Collect the alert the state machine queued so the
+                // peer learns why before the reactor tears down.
+                outcome.error = Some(LibSealError::Tls(e));
+                outcome.output = s.ssl.take_output();
+                return outcome;
+            }
+        }
+    }
+    if outcome.established {
+        loop {
+            match s.ssl.ssl_read() {
+                Ok(ReadOutcome::Data(d)) => {
+                    if audited {
+                        sv.epc_touch(d.len() as u64);
+                        if let Err(e) = queue_audit_requests(t.max_message_buffer, &mut s, &d) {
+                            outcome.error = Some(e);
+                            break;
+                        }
+                    }
+                    outcome.data.extend_from_slice(&d);
+                }
+                Ok(ReadOutcome::WantRead) => break,
+                Ok(ReadOutcome::Closed) => {
+                    outcome.closed = true;
+                    break;
+                }
+                Err(e) => {
+                    outcome.error = Some(LibSealError::Tls(e));
+                    break;
+                }
+            }
+        }
+    }
+    outcome.output = s.ssl.take_output();
+    outcome
 }
 
 impl LibSeal {
@@ -447,6 +720,7 @@ impl LibSeal {
             "log_stats",
             "seal_batch",
             "verify_batch",
+            "tls_batch",
         ] {
             builder = builder.declare_interface(name);
         }
@@ -645,9 +919,9 @@ impl LibSeal {
         // threads and attribute there instead).
         let _span = libseal_telemetry::global().span(name, libseal_telemetry::Side::Enclave);
         match &self.runtime {
-            Some(rt) => Ok(rt.async_ecall(slot, move |t, sv, port| {
-                f(t, sv, &CallCtx::Async(port))
-            })),
+            Some(rt) => {
+                Ok(rt.async_ecall(slot, move |t, sv, port| f(t, sv, &CallCtx::Async(port))))
+            }
             None => self
                 .enclave
                 .ecall(name, move |t, sv| f(t, sv, &CallCtx::Sync(sv)))
@@ -802,35 +1076,8 @@ impl LibSeal {
             if audited {
                 if let ReadOutcome::Data(data) = &outcome {
                     sv.epc_touch(data.len() as u64);
-                    s.req_buf.extend_from_slice(data);
                     // Cut complete requests out of the stream.
-                    loop {
-                        match http::parse_request(&s.req_buf) {
-                            Ok((req, used)) => {
-                                let check = req.headers.get("Libseal-Check").is_some();
-                                let raw: Vec<u8> = s.req_buf.drain(..used).collect();
-                                s.pending.push_back((raw, check));
-                            }
-                            Err(libseal_httpx::ParseError::Incomplete) => break,
-                            Err(_) => {
-                                // Provably not HTTP: these bytes can
-                                // never become a message. Drop them so
-                                // unauditable traffic does not poison
-                                // the session (the application already
-                                // received the plaintext).
-                                s.req_buf.clear();
-                                break;
-                            }
-                        }
-                    }
-                    // Interface hardening (§6.3): a peer streaming
-                    // bytes that never form a message must not grow
-                    // enclave memory without bound.
-                    if s.req_buf.len() > t.max_message_buffer {
-                        return Err(LibSealError::Log(
-                            "request stream exceeds the audit buffer limit".into(),
-                        ));
-                    }
+                    queue_audit_requests(t.max_message_buffer, &mut s, data)?;
                 }
             }
             Ok(outcome)
@@ -853,138 +1100,106 @@ impl LibSeal {
     pub fn ssl_write(&self, slot: usize, sid: u64, data: &[u8]) -> Result<()> {
         let audited = self.is_audited();
         let data = data.to_vec();
-        self.call(slot, "ssl_write", move |t, sv, ctx| -> Result<()> {
-            // Record emission: scratch allocation plus BIO push per
-            // 16 KB record (LibreSSL instrumentation, §4.2). All
-            // modelled transitions are charged while no lock is held:
-            // an async ocall suspends this lthread, and a suspended
-            // lock holder deadlocks every other lthread on the same
-            // worker thread.
-            ctx.bio_traffic("malloc", 1);
-            ctx.bio_traffic("bio_write", 1 + data.len() / (16 * 1024));
-            let mut log_flushes = 0usize;
-            {
-                let session = t.session(sid)?;
-                let mut s = session.lock();
-                if !audited {
-                    s.ssl.ssl_write(&data).map_err(LibSealError::Tls)?;
-                    return Ok(());
-                }
-                s.rsp_buf.extend_from_slice(&data);
-                sv.epc_touch(data.len() as u64);
-                if s.rsp_buf.len() > t.max_message_buffer {
-                    return Err(LibSealError::Log(
-                        "response stream exceeds the audit buffer limit".into(),
-                    ));
-                }
-                // A stream that provably is not HTTP (wrong first
-                // bytes) can never be audited or header-injected;
-                // forward it verbatim instead of stalling the client.
-                if !could_be_http_response(&s.rsp_buf) {
-                    let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
-                    s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
-                    return Ok(());
-                }
-                loop {
-                    let (mut response, used) = match http::parse_response(&s.rsp_buf) {
-                        Ok(r) => r,
-                        Err(libseal_httpx::ParseError::Incomplete) => break,
-                        Err(_) => {
-                            // The service wrote something that can
-                            // never parse as HTTP; forward it verbatim
-                            // (unaudited) rather than stalling the
-                            // client forever.
-                            let raw: Vec<u8> = s.rsp_buf.drain(..).collect();
-                            s.ssl.ssl_write(&raw).map_err(LibSealError::Tls)?;
-                            break;
-                        }
-                    };
-                    let raw_rsp: Vec<u8> = s.rsp_buf.drain(..used).collect();
-                    let (raw_req, check_requested) =
-                        s.pending.pop_front().unwrap_or((Vec::new(), false));
-                    let audit = t.audit.as_ref().expect("audited instances have state");
-                    // Backpressure BEFORE taking the audit lock:
-                    // blocking inside it would stall the very sealer
-                    // (or verifier) that makes room in the queue.
-                    if let Some(q) = &t.commit {
-                        q.wait_for_space();
-                    }
-                    if let Some(vq) = &t.verify {
-                        vq.wait_for_space();
-                    }
-                    let mut astate = audit.lock();
-                    let AuditState { log, ssm, checker } = &mut *astate;
-                    let logged = ssm.log_pair(&raw_req, &raw_rsp, log)?;
-                    let mut ticket = None;
-                    if logged > 0 {
-                        match &t.commit {
-                            // Group commit: take a ticket while still
-                            // holding the audit lock, so ticket order
-                            // matches log order; the sealer makes the
-                            // whole batch durable with one counter
-                            // bind, one signature and one fsync.
-                            Some(q) => ticket = Some(q.stage()?),
-                            // One durable flush per request/response
-                            // pair (§5.1); charged as an ocall below,
-                            // after the locks are released.
-                            None => {
-                                log.flush()?;
-                                log_flushes += 1;
-                            }
-                        }
-                    }
-                    if checker.note_pair() {
-                        match &t.verify {
-                            // Background verification: hand the due
-                            // check to the verifier thread and answer
-                            // the client now. Lag is bounded by the
-                            // backpressure above and surfaced as the
-                            // core_verifier_lag gauge.
-                            Some(vq) if vq.enqueue().is_ok() => {}
-                            // Inline fallback (verifier disabled or
-                            // shut down): the pre-pool behaviour.
-                            _ => {
-                                let _ = checker.run_due(ssm.as_ref(), log)?;
-                            }
-                        }
-                    }
-                    let out_bytes = if check_requested {
-                        let outcome = checker.client_check(ssm.as_ref(), log)?;
-                        if outcome.is_some() {
-                            // A synchronous check just covered the
-                            // full current history; pending background
-                            // batches are subsumed by it.
-                            if let Some(vq) = &t.verify {
-                                vq.absorb();
-                            }
-                        }
-                        let value = match &outcome {
-                            Some(o) => o.header_value(),
-                            None => checker.last_outcome.header_value(),
-                        };
-                        response.headers.set("Libseal-Check-Result", value);
-                        response.to_bytes()
-                    } else {
-                        raw_rsp
-                    };
-                    drop(astate);
-                    // The commit barrier preserves response-before-
-                    // durable: the response is released only once the
-                    // batch carrying this pair is sealed and fsynced.
-                    if let (Some(q), Some(tk)) = (&t.commit, ticket) {
-                        q.await_durable(tk)?;
-                    }
-                    s.ssl.ssl_write(&out_bytes).map_err(LibSealError::Tls)?;
-                }
-            }
-            // Persisting the log crosses the boundary: the journal
-            // write + fsync happen outside the enclave (charged after
-            // all locks are released).
-            for _ in 0..log_flushes {
-                ctx.ocall("log_flush", || ());
-            }
-            Ok(())
+        self.call(slot, "ssl_write", move |t, sv, ctx| {
+            write_session(t, sv, ctx, sid, &data, audited)
         })?
+    }
+
+    /// Writes response plaintext and returns the resulting wire
+    /// ciphertext in the *same* transition — the event-driven serve
+    /// loop's replacement for an `ssl_write` + `take_output` pair
+    /// (§4.2 optimisation 1: fewer crossings per response).
+    ///
+    /// # Errors
+    ///
+    /// TLS or audit failures.
+    pub fn ssl_write_take(&self, slot: usize, sid: u64, data: &[u8]) -> Result<Vec<u8>> {
+        let audited = self.is_audited();
+        let data = data.to_vec();
+        self.call(slot, "ssl_write", move |t, sv, ctx| -> Result<Vec<u8>> {
+            write_session(t, sv, ctx, sid, &data, audited)?;
+            let session = t.session(sid)?;
+            let out = {
+                let mut s = session.lock();
+                s.ssl.take_output()
+            };
+            // Push records to the outside BIO (LibreSSL: BIO_write);
+            // charged after the lock is released (lock-across-ocall
+            // would deadlock the lthread scheduler).
+            if !out.is_empty() {
+                ctx.bio_traffic("bio_write", 1 + out.len() / (16 * 1024));
+            }
+            Ok(out)
+        })?
+    }
+
+    /// Pumps many sessions through **one** enclave transition: for
+    /// each entry, feed its wire input, progress the handshake, drain
+    /// decrypted requests (queueing complete ones for audit pairing)
+    /// and collect pending wire output. The event-driven serve loops
+    /// call this once per readiness sweep, so the transition cost is
+    /// amortised across every ready session (the same §4.3 motivation
+    /// as `seal_batch`/`verify_batch`).
+    ///
+    /// Failures are per-session: a TLS alert or audit overflow lands
+    /// in that entry's [`SessionOutcome::error`] while the rest of the
+    /// batch proceeds.
+    ///
+    /// # Errors
+    ///
+    /// Enclave entry failures only.
+    pub fn pump_batch(&self, slot: usize, items: Vec<SessionInput>) -> Result<Vec<SessionOutcome>> {
+        let audited = self.is_audited();
+        let count = items.len() as u64;
+        let _span = libseal_telemetry::global().span("tls_batch", libseal_telemetry::Side::Enclave);
+        let run =
+            move |t: &Trusted, sv: &EnclaveServices, ctx: &CallCtx<'_>| -> Vec<SessionOutcome> {
+                // Stage the whole batch's ciphertext through the outside
+                // BIO up front — one pull for the sweep, charged before
+                // any lock (no ocalls under locks).
+                let in_bytes: usize = items.iter().map(|i| i.input.len()).sum();
+                ctx.bio_traffic("bio_read", 1 + in_bytes / (16 * 1024));
+                let outcomes: Vec<SessionOutcome> = items
+                    .into_iter()
+                    .map(|item| pump_session(t, sv, item, audited))
+                    .collect();
+                // One aggregate push for everything the sweep produced.
+                let out_bytes: usize = outcomes.iter().map(|o| o.output.len()).sum();
+                if out_bytes > 0 {
+                    ctx.bio_traffic("bio_write", 1 + out_bytes / (16 * 1024));
+                }
+                outcomes
+            };
+        let outcomes = match &self.runtime {
+            // Async runtime: the handoff mechanism already amortises
+            // transition cost; dispatch on a runtime worker like every
+            // other call.
+            Some(rt) => rt.async_ecall(slot, move |t, sv, port| run(t, sv, &CallCtx::Async(port))),
+            // Sync path: a single batched ecall priced as one
+            // transition carrying `count` work items.
+            None => self
+                .enclave
+                .ecall_batch("tls_batch", count, move |t, sv| {
+                    run(t, sv, &CallCtx::Sync(sv))
+                })
+                .map_err(|e| LibSealError::Log(e.to_string()))?,
+        };
+        // Shadow updates happen outside the enclave, as everywhere
+        // else (§4.1: the outside handle tracks progress, never keys).
+        {
+            let mut shadows = self.shadows.write();
+            for o in &outcomes {
+                if let Some(shadow) = shadows.get_mut(&o.sid) {
+                    if o.established {
+                        shadow.established = true;
+                    }
+                    if o.closed {
+                        shadow.closed = true;
+                    }
+                }
+            }
+        }
+        Ok(outcomes)
     }
 
     /// Closes a session (sends close_notify) and frees its state.
@@ -1020,20 +1235,24 @@ impl LibSeal {
     /// Query failures; [`LibSealError::AuditingDisabled`] without an
     /// SSM.
     pub fn check_now(&self, slot: usize) -> Result<CheckOutcome> {
-        self.call(slot, "check_now", move |t, _, _ctx| -> Result<CheckOutcome> {
-            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
-            let mut astate = audit.lock();
-            let AuditState { log, ssm, checker } = &mut *astate;
-            let outcome = Checker::run_checks(ssm.as_ref(), log)?;
-            checker.last_outcome = outcome.clone();
-            drop(astate);
-            // The full scan just covered everything; pending
-            // background batches are subsumed by its outcome.
-            if let Some(vq) = &t.verify {
-                vq.absorb();
-            }
-            Ok(outcome)
-        })?
+        self.call(
+            slot,
+            "check_now",
+            move |t, _, _ctx| -> Result<CheckOutcome> {
+                let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+                let mut astate = audit.lock();
+                let AuditState { log, ssm, checker } = &mut *astate;
+                let outcome = Checker::run_checks(ssm.as_ref(), log)?;
+                checker.last_outcome = outcome.clone();
+                drop(astate);
+                // The full scan just covered everything; pending
+                // background batches are subsumed by its outcome.
+                if let Some(vq) = &t.verify {
+                    vq.absorb();
+                }
+                Ok(outcome)
+            },
+        )?
     }
 
     /// Trims the log now.
@@ -1082,15 +1301,19 @@ impl LibSeal {
     ///
     /// [`LibSealError::AuditingDisabled`] without an SSM.
     pub fn log_stats(&self, slot: usize) -> Result<(u64, usize, u64)> {
-        self.call(slot, "log_stats", move |t, _, _ctx| -> Result<(u64, usize, u64)> {
-            let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
-            let astate = audit.lock();
-            Ok((
-                astate.log.entries(),
-                astate.log.size_bytes(),
-                astate.log.journal_size_bytes(),
-            ))
-        })?
+        self.call(
+            slot,
+            "log_stats",
+            move |t, _, _ctx| -> Result<(u64, usize, u64)> {
+                let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+                let astate = audit.lock();
+                Ok((
+                    astate.log.entries(),
+                    astate.log.size_bytes(),
+                    astate.log.journal_size_bytes(),
+                ))
+            },
+        )?
     }
 
     /// Runs `f` against the audit log (tests and tooling; queries the
@@ -1155,6 +1378,13 @@ impl LibSeal {
             .read()
             .get(&sid)
             .and_then(|s| s.ex_data.get(&key).cloned())
+    }
+
+    /// Number of asynchronous call slots, or `None` when calls are
+    /// dispatched synchronously (no runtime configured). Concurrent
+    /// callers must hold distinct slots.
+    pub fn async_slots(&self) -> Option<usize> {
+        self.runtime.as_ref().map(AsyncRuntime::slot_count)
     }
 
     /// Transition statistics snapshot.

@@ -246,7 +246,9 @@ impl Verifier {
                     let started = Instant::now();
                     let r = check_fn();
                     if r.is_ok() {
-                        verifier_metrics().drain_ns.record_duration(started.elapsed());
+                        verifier_metrics()
+                            .drain_ns
+                            .record_duration(started.elapsed());
                     }
                     queue.complete(upto, r);
                 }
@@ -307,9 +309,7 @@ mod tests {
     #[test]
     fn failed_background_check_surfaces_at_the_barrier() {
         let q = queue(8);
-        let v = Verifier::spawn(Arc::clone(&q), || {
-            Err(LibSealError::Log("db gone".into()))
-        });
+        let v = Verifier::spawn(Arc::clone(&q), || Err(LibSealError::Log("db gone".into())));
         q.enqueue().unwrap();
         let err = q.barrier().unwrap_err();
         assert!(err.to_string().contains("db gone"), "{err}");

@@ -156,8 +156,11 @@ fn flipped_byte_mid_file_is_fatal() {
 fn counter_ahead_by_one_is_the_legal_crash_window() {
     let path = TempPath::new("libseal-window", "log");
     {
-        let mut log =
-            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        let mut log = open_log(
+            LogBacking::Disk(path.to_path_buf()),
+            ExternalCounter::boxed(0),
+        )
+        .unwrap();
         for i in 0..3 {
             append_one(&mut log, i, "bb");
         }
@@ -166,7 +169,11 @@ fn counter_ahead_by_one_is_the_legal_crash_window() {
     }
     // "Crashed" after the increment to 4 but before entry 4 was
     // signed: the external service attests 4, the log accounts for 3.
-    let log = open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(4)).unwrap();
+    let log = open_log(
+        LogBacking::Disk(path.to_path_buf()),
+        ExternalCounter::boxed(4),
+    )
+    .unwrap();
     let r = log.recovery_report();
     assert!(r.crash_window, "one-ahead counter is a legal crash state");
     assert_eq!(r.durable_counter, 3);
@@ -179,14 +186,20 @@ fn counter_ahead_by_one_is_the_legal_crash_window() {
 fn counter_ahead_by_two_is_a_rollback_alarm() {
     let path = TempPath::new("libseal-rollback2", "log");
     {
-        let mut log =
-            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        let mut log = open_log(
+            LogBacking::Disk(path.to_path_buf()),
+            ExternalCounter::boxed(0),
+        )
+        .unwrap();
         for i in 0..3 {
             append_one(&mut log, i, "cc");
         }
         log.flush().unwrap();
     }
-    match open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(5)) {
+    match open_log(
+        LogBacking::Disk(path.to_path_buf()),
+        ExternalCounter::boxed(5),
+    ) {
         Err(LibSealError::Tampered(m)) => assert!(m.contains("rollback"), "{m}"),
         other => panic!("rollback not detected: {:?}", other.map(|_| ())),
     }
@@ -199,8 +212,11 @@ fn counter_ahead_by_two_is_a_rollback_alarm() {
 fn log_behind_signed_head_is_a_rollback_alarm() {
     let path = TempPath::new("libseal-behind", "log");
     {
-        let mut log =
-            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        let mut log = open_log(
+            LogBacking::Disk(path.to_path_buf()),
+            ExternalCounter::boxed(0),
+        )
+        .unwrap();
         for i in 0..3 {
             append_one(&mut log, i, "dd");
         }
@@ -215,10 +231,14 @@ fn log_behind_signed_head_is_a_rollback_alarm() {
             SyncPolicy::Manual,
         )
         .unwrap();
-        db.execute("DELETE FROM _libseal_chain WHERE seq = 3").unwrap();
+        db.execute("DELETE FROM _libseal_chain WHERE seq = 3")
+            .unwrap();
         db.sync_journal().unwrap();
     }
-    match open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(3)) {
+    match open_log(
+        LogBacking::Disk(path.to_path_buf()),
+        ExternalCounter::boxed(3),
+    ) {
         Err(LibSealError::Tampered(m)) => assert!(m.contains("rollback"), "{m}"),
         other => panic!("rollback not detected: {:?}", other.map(|_| ())),
     }
@@ -319,7 +339,10 @@ fn degraded_quorum_keeps_the_log_available_and_rebinds() {
     append_one(&mut log, 1, "gg");
     append_one(&mut log, 2, "gg");
     let st = cluster.stats();
-    assert!(st.degraded, "quorum loss must raise the alarm, not stop the log");
+    assert!(
+        st.degraded,
+        "quorum loss must raise the alarm, not stop the log"
+    );
     assert_eq!(st.unbound, 2);
 
     // The partition heals; the next append re-binds entries 2..=4.
@@ -364,14 +387,21 @@ fn restart_advances_the_sealed_epoch() {
 fn clean_reopen_reports_quiet_recovery() {
     let path = TempPath::new("libseal-quiet", "log");
     {
-        let mut log =
-            open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(0)).unwrap();
+        let mut log = open_log(
+            LogBacking::Disk(path.to_path_buf()),
+            ExternalCounter::boxed(0),
+        )
+        .unwrap();
         for i in 0..2 {
             append_one(&mut log, i, "ii");
         }
         log.flush().unwrap();
     }
-    let log = open_log(LogBacking::Disk(path.to_path_buf()), ExternalCounter::boxed(2)).unwrap();
+    let log = open_log(
+        LogBacking::Disk(path.to_path_buf()),
+        ExternalCounter::boxed(2),
+    )
+    .unwrap();
     assert_eq!(
         log.recovery_report(),
         RecoveryReport {

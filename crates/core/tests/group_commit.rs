@@ -117,12 +117,7 @@ fn cluster() -> Arc<Cluster> {
 /// Runs the staged pipeline — writers stage appends and block on the
 /// commit barrier, a `Sealer` drains batches — and returns how many
 /// appends were acknowledged durable.
-fn pipeline_trial(
-    path: &TempPath,
-    cluster: &Arc<Cluster>,
-    writers: usize,
-    appends: usize,
-) -> u64 {
+fn pipeline_trial(path: &TempPath, cluster: &Arc<Cluster>, writers: usize, appends: usize) -> u64 {
     let Ok(mut log) = open_log(path, Box::new(RoteGuard(Arc::clone(cluster)))) else {
         return 0;
     };
@@ -212,7 +207,11 @@ fn pipeline_stress_acks_everything_and_reopens_clean() {
 #[test]
 fn commit_failpoints_recover_without_rollback_alarm() {
     let s = failpoint::scenario();
-    let sites = ["core::commit::enqueue", "core::commit::seal", "core::commit::ack"];
+    let sites = [
+        "core::commit::enqueue",
+        "core::commit::seal",
+        "core::commit::ack",
+    ];
     type MakeSpec = fn() -> FaultSpec;
     let specs: [(&str, MakeSpec); 2] = [
         ("crash", FaultSpec::crash),
@@ -233,7 +232,10 @@ fn commit_failpoints_recover_without_rollback_alarm() {
                 entries >= acked,
                 "{site}/{flavor}: acknowledged entry lost ({entries} < {acked})"
             );
-            assert!(entries <= 6, "{site}/{flavor}: phantom entries ({entries} > 6)");
+            assert!(
+                entries <= 6,
+                "{site}/{flavor}: phantom entries ({entries} > 6)"
+            );
             log.verify()
                 .unwrap_or_else(|e| panic!("{site}/{flavor}: verify failed: {e}"));
             assert!(

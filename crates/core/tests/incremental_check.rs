@@ -224,6 +224,9 @@ fn late_recv_update_clears_an_earlier_violation_incrementally() {
         .iter()
         .find(|r| r.invariant == "owncloud-update-soundness")
         .unwrap();
-    assert_eq!(sound.violations, 0, "late recv_update must clear the violation");
+    assert_eq!(
+        sound.violations, 0,
+        "late recv_update must clear the violation"
+    );
     assert_agree(&m, &mut log, "after clearing recv_update");
 }

@@ -44,10 +44,7 @@ struct ExternalCounter {
 
 impl RollbackGuard for ExternalCounter {
     fn increment(&self) -> libseal::Result<u64> {
-        Ok(self
-            .value
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
-            + 1)
+        Ok(self.value.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1)
     }
     fn attested(&self) -> libseal::Result<u64> {
         Ok(self.value.load(std::sync::atomic::Ordering::SeqCst))

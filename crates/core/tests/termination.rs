@@ -93,7 +93,10 @@ fn roundtrip(rig: &mut TestRig, req: &Request, rsp: &Response) -> Response {
                 }
             }
             ReadOutcome::WantRead => {
-                panic!("response incomplete: {}", String::from_utf8_lossy(&rsp_bytes))
+                panic!(
+                    "response incomplete: {}",
+                    String::from_utf8_lossy(&rsp_bytes)
+                )
             }
             ReadOutcome::Closed => panic!("closed"),
         }
@@ -158,7 +161,11 @@ fn rollback_attack_reported_in_band() {
 #[test]
 fn reference_deletion_reported() {
     let mut rig = rig(true);
-    push(&mut rig, "proj", "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n");
+    push(
+        &mut rig,
+        "proj",
+        "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n",
+    );
     let rsp = fetch(&mut rig, "proj", "c1 refs/heads/main\n", true);
     let header = rsp.headers.get("Libseal-Check-Result").unwrap();
     assert!(header.contains("git-completeness"), "{header}");
@@ -167,7 +174,11 @@ fn reference_deletion_reported() {
 #[test]
 fn legitimate_deletion_not_reported() {
     let mut rig = rig(true);
-    push(&mut rig, "proj", "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n");
+    push(
+        &mut rig,
+        "proj",
+        "0 c1 refs/heads/main\n0 d1 refs/heads/dev\n",
+    );
     push(&mut rig, "proj", &format!("d1 {ZERO_CID} refs/heads/dev\n"));
     let rsp = fetch(&mut rig, "proj", "c1 refs/heads/main\n", true);
     assert_eq!(rsp.headers.get("Libseal-Check-Result"), Some("ok"));
@@ -222,7 +233,9 @@ fn deleting_log_rows_detected() {
     push(&mut rig, "proj", "c1 c2 refs/heads/main\n");
     rig.ls
         .with_log(0, |log| {
-            log.db_mut().execute("DELETE FROM updates WHERE cid = 'c1'").unwrap();
+            log.db_mut()
+                .execute("DELETE FROM updates WHERE cid = 'c1'")
+                .unwrap();
         })
         .unwrap();
     assert!(rig.ls.verify_log(0).is_err());
@@ -233,10 +246,7 @@ fn ex_data_lives_outside_without_transitions() {
     let rig = rig(true);
     let before = rig.ls.stats().ecalls;
     rig.ls.set_ex_data(rig.sid, 7, b"request context".to_vec());
-    assert_eq!(
-        rig.ls.get_ex_data(rig.sid, 7).unwrap(),
-        b"request context"
-    );
+    assert_eq!(rig.ls.get_ex_data(rig.sid, 7).unwrap(), b"request context");
     let after = rig.ls.stats().ecalls;
     assert_eq!(before, after, "ex_data access must not transition");
 }
@@ -523,7 +533,10 @@ fn check_interval_triggers_automatically() {
     rig.ls.verifier_barrier().unwrap();
     assert_eq!(rig.ls.verifier_lag(), 0);
     let (entries, _, _) = rig.ls.log_stats(0).unwrap();
-    assert!(entries <= 3, "auto-trim should bound the log, got {entries}");
+    assert!(
+        entries <= 3,
+        "auto-trim should bound the log, got {entries}"
+    );
     rig.ls.verify_log(0).unwrap();
 }
 
@@ -573,7 +586,10 @@ fn inline_checks_still_work_without_the_verifier() {
     }
     assert_eq!(rig.ls.verifier_lag(), 0);
     let (entries, _, _) = rig.ls.log_stats(0).unwrap();
-    assert!(entries <= 3, "inline auto-trim should bound the log, got {entries}");
+    assert!(
+        entries <= 3,
+        "inline auto-trim should bound the log, got {entries}"
+    );
     // The lag gauge exists (at zero) even in inline mode once any
     // instance with a verifier has run in this process; either way the
     // barrier is a no-op here.

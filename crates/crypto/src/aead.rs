@@ -41,12 +41,7 @@ impl ChaCha20Poly1305 {
     }
 
     /// Encrypts `plaintext` in place and returns the 16-byte tag.
-    pub fn seal_in_place(
-        &self,
-        nonce: &[u8; 12],
-        aad: &[u8],
-        data: &mut [u8],
-    ) -> [u8; 16] {
+    pub fn seal_in_place(&self, nonce: &[u8; 12], aad: &[u8], data: &mut [u8]) -> [u8; 16] {
         let cipher = ChaCha20::new(&self.key, nonce);
         cipher.apply_keystream(1, data);
         self.compute_tag(nonce, aad, data)

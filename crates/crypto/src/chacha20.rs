@@ -24,12 +24,7 @@ impl ChaCha20 {
     pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
         let mut k = [0u32; 8];
         for i in 0..8 {
-            k[i] = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            k[i] = u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         let mut n = [0u32; 3];
         for i in 0..3 {
@@ -102,8 +97,7 @@ mod tests {
     #[test]
     fn rfc8439_block_vector() {
         let key: [u8; 32] = core::array::from_fn(|i| i as u8);
-        let nonce: [u8; 12] =
-            unhex("000000090000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
         let cipher = ChaCha20::new(&key, &nonce);
         let block = cipher.block(1);
         let expected = unhex(
@@ -117,8 +111,7 @@ mod tests {
     #[test]
     fn rfc8439_encrypt_vector() {
         let key: [u8; 32] = core::array::from_fn(|i| i as u8);
-        let nonce: [u8; 12] =
-            unhex("000000000000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could \
 offer you only one tip for the future, sunscreen would be it."
             .to_vec();

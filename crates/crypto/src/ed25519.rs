@@ -272,9 +272,7 @@ impl SigningKey {
 
     /// The corresponding verifying (public) key.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey {
-            bytes: self.public,
-        }
+        VerifyingKey { bytes: self.public }
     }
 
     /// Signs `message`, returning the 64-byte signature `R || S`.

@@ -116,7 +116,13 @@ impl Fe {
     pub fn add(&self, rhs: &Fe) -> Fe {
         let a = &self.0;
         let b = &rhs.0;
-        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
     }
 
     /// Computes `self - rhs` by adding `2p` first so limbs never go

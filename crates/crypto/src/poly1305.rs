@@ -220,16 +220,12 @@ mod tests {
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_vector() {
-        let key: [u8; 32] = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
-        assert_eq!(
-            tag.to_vec(),
-            unhex("a8061dc1305136c6c22b8baf0c0127a9")
-        );
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
     }
 
     // RFC 8439 §A.3 test vector 2: all-zero key must give an all-zero tag.

@@ -350,9 +350,7 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
         let data_end = i
             .checked_add(size)
             .and_then(|e| e.checked_add(2))
-            .ok_or_else(|| {
-                ParseError::Malformed(format!("chunk size overflows: {size_str}"))
-            })?;
+            .ok_or_else(|| ParseError::Malformed(format!("chunk size overflows: {size_str}")))?;
         if buf.len() < data_end {
             return Err(ParseError::Incomplete);
         }
@@ -509,10 +507,7 @@ fffffffffffffffe\r\nxx";
     fn huge_headers_rejected() {
         let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
         buf.extend(std::iter::repeat_n(b'a', 70 * 1024));
-        assert!(matches!(
-            parse_request(&buf),
-            Err(ParseError::Malformed(_))
-        ));
+        assert!(matches!(parse_request(&buf), Err(ParseError::Malformed(_))));
     }
 
     #[test]

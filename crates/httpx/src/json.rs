@@ -58,12 +58,7 @@ impl Json {
 
     /// Builds an object from pairs.
     pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Builds a string value.
@@ -343,8 +338,7 @@ impl JsonParser {
                                                 ParseError::Malformed("bad \\u escape".into())
                                             })?;
                                     }
-                                    let c =
-                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(c)
                                 } else {
                                     None
@@ -357,9 +351,7 @@ impl JsonParser {
                             })?);
                         }
                         other => {
-                            return Err(ParseError::Malformed(format!(
-                                "unknown escape \\{other}"
-                            )))
+                            return Err(ParseError::Malformed(format!("unknown escape \\{other}")))
                         }
                     }
                 }
@@ -403,7 +395,10 @@ mod tests {
         let j = Json::object([
             ("file", Json::str("a.txt")),
             ("size", Json::num(1234)),
-            ("blocks", Json::Array(vec![Json::str("h1"), Json::str("h2")])),
+            (
+                "blocks",
+                Json::Array(vec![Json::str("h1"), Json::str("h2")]),
+            ),
             ("deleted", Json::Bool(false)),
             ("meta", Json::Null),
         ]);
@@ -428,7 +423,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["{", "[1,", r#"{"a" 1}"#, "tru", "01x", "\"unterminated", "{} extra"] {
+        for bad in [
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{} extra",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad}");
         }
     }

@@ -13,13 +13,17 @@
 //!   `portable-lthreads` feature or on other architectures);
 //! - [`slots`]: the per-application-thread request slots of Fig. 4;
 //! - [`runtime`]: the `S × T` worker/task topology of Fig. 3, with
-//!   busy-wait and dedicated-poller wait modes.
+//!   busy-wait and dedicated-poller wait modes;
+//! - [`pool`]: an M:N job pool (coroutines over carrier threads) the
+//!   event-driven serve loops run application handlers on.
 
 pub mod context;
 pub mod coro;
+pub mod pool;
 pub mod runtime;
 pub mod slots;
 
 pub use coro::{Coroutine, Resume, Yielder};
+pub use pool::{JobPool, PoolConfig};
 pub use runtime::{AsyncRuntime, RuntimeConfig, WaitMode};
 pub use slots::OcallPort;

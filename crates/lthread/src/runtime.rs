@@ -437,7 +437,9 @@ mod tests {
     #[test]
     fn sync_path_still_available() {
         let rt = runtime(WaitMode::BusyWait);
-        let n = rt.sync_ecall("probe", |state, _| state.lock().len()).unwrap();
+        let n = rt
+            .sync_ecall("probe", |state, _| state.lock().len())
+            .unwrap();
         assert_eq!(n, 0);
         assert_eq!(rt.enclave().services().stats().snapshot().ecalls, 1);
         rt.shutdown();

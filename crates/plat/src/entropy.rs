@@ -87,7 +87,10 @@ fn fill_from_syscall(buf: &mut [u8]) -> Result<(), ()> {
     Ok(())
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 fn fill_from_syscall(_buf: &mut [u8]) -> Result<(), ()> {
     Err(())
 }
@@ -106,7 +109,10 @@ mod tests {
         assert_ne!(a, [0u8; 32]);
     }
 
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     #[test]
     fn syscall_path_works() {
         let mut a = [0u8; 64];

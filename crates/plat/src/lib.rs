@@ -20,10 +20,15 @@
 //! - [`failpoint`] — deterministic fault injection (the `fail-rs`
 //!   surface): named sites, per-test scoped fault scenarios, torn
 //!   writes and simulated crashes for crash-consistency testing.
+//! - [`reactor`] — epoll-backed readiness multiplexer with an
+//!   `eventfd` waker (the `mio` surface), via direct syscalls.
+//! - [`timer`] — hashed deadline wheel for per-session timeouts.
 
 pub mod channel;
 pub mod check;
 pub mod entropy;
 pub mod failpoint;
+pub mod reactor;
 pub mod sync;
+pub mod timer;
 pub mod tmp;

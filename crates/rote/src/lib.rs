@@ -169,12 +169,10 @@ impl CounterNode {
                 if target <= cur {
                     break;
                 }
-                match self.value.compare_exchange(
-                    cur,
-                    target,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                ) {
+                match self
+                    .value
+                    .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+                {
                     Ok(_) => break,
                     Err(now) => cur = now,
                 }
@@ -288,11 +286,7 @@ pub struct Cluster {
 /// Serves one node's requests; exits when the cluster drops its
 /// sender. Delivery runs through the `rote::node::deliver` failpoint
 /// so tests can drop or delay individual messages.
-fn worker_loop(
-    node: Arc<CounterNode>,
-    counter_id: Vec<u8>,
-    rx: channel::Receiver<Request>,
-) {
+fn worker_loop(node: Arc<CounterNode>, counter_id: Vec<u8>, rx: channel::Receiver<Request>) {
     loop {
         let req = match rx.recv_timeout(Duration::from_millis(25)) {
             Ok(r) => r,
@@ -313,7 +307,11 @@ fn worker_loop(
                 let _ = reply.send(ack);
             }
             Request::Read { reply } => {
-                let ack = if dropped { None } else { node.read(&counter_id) };
+                let ack = if dropped {
+                    None
+                } else {
+                    node.read(&counter_id)
+                };
                 let _ = reply.send(ack);
             }
         }
@@ -354,7 +352,9 @@ impl Cluster {
     /// would time out before any node could answer).
     pub fn with_config(cfg: ClusterConfig, counter_id: &[u8]) -> Result<Cluster, RoteError> {
         if cfg.deadline.is_zero() {
-            return Err(RoteError::BadConfig("round deadline must be non-zero".into()));
+            return Err(RoteError::BadConfig(
+                "round deadline must be non-zero".into(),
+            ));
         }
         let n = 3 * cfg.f + 1;
         let nodes: Vec<Arc<CounterNode>> = (0..n)
@@ -596,8 +596,7 @@ impl Cluster {
     /// across all retries; [`RoteError::Transport`] when the recovery
     /// path itself fails (fault injection).
     pub fn recover(&self) -> Result<u64, RoteError> {
-        plat::failpoint::check("rote::recover")
-            .map_err(|e| RoteError::Transport(e.to_string()))?;
+        plat::failpoint::check("rote::recover").map_err(|e| RoteError::Transport(e.to_string()))?;
         let acks = self.with_retries(|c| c.read_round())?;
         let mut values: Vec<u64> = acks.iter().map(|a| a.value).collect();
         values.sort_unstable_by(|a, b| b.cmp(a));
@@ -713,7 +712,10 @@ mod tests {
         c.increment().unwrap();
         let elapsed = start.elapsed();
         // Concurrent fan-out: one node latency, not quorum * latency.
-        assert!(elapsed >= Duration::from_millis(20), "latency is still paid");
+        assert!(
+            elapsed >= Duration::from_millis(20),
+            "latency is still paid"
+        );
         assert!(
             elapsed < Duration::from_millis(60),
             "3 node latencies paid sequentially ({elapsed:?}): fan-out is not concurrent"

@@ -26,7 +26,10 @@ fn dropped_node_messages_within_f_are_tolerated() {
     let (v, acks) = c.increment().unwrap();
     assert_eq!(v, 1);
     assert!(acks.len() >= c.quorum());
-    assert!(s.hits("rote::node::deliver") >= 4, "fan-out reached every node");
+    assert!(
+        s.hits("rote::node::deliver") >= 4,
+        "fan-out reached every node"
+    );
 }
 
 #[test]

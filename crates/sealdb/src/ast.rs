@@ -366,9 +366,10 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Function { name, args, .. } => {
-                matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "TOTAL"
-                    | "GROUP_CONCAT")
-                    || args.iter().any(Expr::contains_aggregate)
+                matches!(
+                    name.as_str(),
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "TOTAL" | "GROUP_CONCAT"
+                ) || args.iter().any(Expr::contains_aggregate)
             }
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Binary { left, right, .. } => {
@@ -404,7 +405,9 @@ impl Expr {
     pub fn display_name(&self) -> String {
         match self {
             Expr::Column { name, .. } => name.clone(),
-            Expr::Function { name, args, star, .. } => {
+            Expr::Function {
+                name, args, star, ..
+            } => {
                 if *star {
                     format!("{}(*)", name)
                 } else if let Some(first) = args.first() {

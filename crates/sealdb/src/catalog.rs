@@ -259,9 +259,11 @@ impl Catalog {
 
     /// Whether an index with this name exists on any table.
     pub fn index_exists(&self, name: &str) -> bool {
-        self.tables
-            .values()
-            .any(|t| t.indexes.iter().any(|ix| ix.name.eq_ignore_ascii_case(name)))
+        self.tables.values().any(|t| {
+            t.indexes
+                .iter()
+                .any(|ix| ix.name.eq_ignore_ascii_case(name))
+        })
     }
 
     /// Creates a view.
@@ -331,11 +333,8 @@ impl Catalog {
 
     /// Iterates over views in name order: `(name, query)`.
     pub fn views_sorted(&self) -> Vec<(&str, &Select)> {
-        let mut v: Vec<(&str, &Select)> = self
-            .views
-            .values()
-            .map(|(n, q)| (n.as_str(), q))
-            .collect();
+        let mut v: Vec<(&str, &Select)> =
+            self.views.values().map(|(n, q)| (n.as_str(), q)).collect();
         v.sort_by_key(|(n, _)| *n);
         v
     }

@@ -365,7 +365,8 @@ impl Database {
         let t = self.catalog.table_mut(table).expect("checked above");
         let before = t.rows.len();
         let mut it = keep.iter();
-        t.rows.retain(|_| *it.next().expect("keep mask matches rows"));
+        t.rows
+            .retain(|_| *it.next().expect("keep mask matches rows"));
         let removed = before - t.rows.len();
         if removed > 0 {
             // Deletion shifts row positions; rebuild.
@@ -401,9 +402,8 @@ impl Database {
             let set_indices: Vec<usize> = sets
                 .iter()
                 .map(|(n, _)| {
-                    t.column_index(n).ok_or_else(|| {
-                        DbError::schema(format!("table {table} has no column {n}"))
-                    })
+                    t.column_index(n)
+                        .ok_or_else(|| DbError::schema(format!("table {table} has no column {n}")))
                 })
                 .collect::<Result<_>>()?;
             let ctx = Ctx::with_planner(&self.catalog, params, self.planner);
@@ -508,8 +508,7 @@ impl Database {
                         if v.full_dirty {
                             break;
                         }
-                        let binds: Vec<Value> =
-                            bind_idx.iter().map(|&i| row[i].clone()).collect();
+                        let binds: Vec<Value> = bind_idx.iter().map(|&i| row[i].clone()).collect();
                         let ctx = Ctx::with_planner(&self.catalog, &binds, self.planner);
                         let hits = exec_select(&ctx, &sel, None)?;
                         for hit in hits.data {
@@ -699,11 +698,8 @@ impl Database {
         // Matview backing rows are derived data: dump their schema so
         // recovery keeps the definition, but skip the rows — the next
         // registration reseeds them from the recovered base tables.
-        let backing: std::collections::HashSet<&str> = self
-            .matviews
-            .iter()
-            .map(|v| v.spec.name.as_str())
-            .collect();
+        let backing: std::collections::HashSet<&str> =
+            self.matviews.iter().map(|v| v.spec.name.as_str()).collect();
         let mut records: Vec<(String, Vec<Value>)> = Vec::new();
         for t in self.catalog.tables_sorted() {
             let cols: Vec<String> = t
@@ -721,7 +717,10 @@ impl Database {
                     s
                 })
                 .collect();
-            records.push((format!("CREATE TABLE {}({})", t.name, cols.join(", ")), vec![]));
+            records.push((
+                format!("CREATE TABLE {}({})", t.name, cols.join(", ")),
+                vec![],
+            ));
             if backing.contains(t.name.as_str()) {
                 for (ix_name, col_name) in t.indexes_sorted() {
                     records.push((
@@ -739,13 +738,19 @@ impl Database {
                 ));
             }
             for (ix_name, col_name) in t.indexes_sorted() {
-                records.push((format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name), vec![]));
+                records.push((
+                    format!("CREATE INDEX {ix_name} ON {}({col_name})", t.name),
+                    vec![],
+                ));
             }
         }
         for (name, query) in self.catalog.views_sorted() {
             // Views are re-created from their stored AST via a dump of
             // the original text; regenerate a canonical form.
-            records.push((format!("CREATE VIEW {name} AS {}", render_select(query)), vec![]));
+            records.push((
+                format!("CREATE VIEW {name} AS {}", render_select(query)),
+                vec![],
+            ));
         }
         journal.rewrite(&records)?;
         db_metrics().compactions.inc();

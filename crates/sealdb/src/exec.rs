@@ -151,9 +151,7 @@ fn exec_subquery(ctx: &Ctx<'_>, query: &Select, env: &Env<'_>) -> Result<Rc<Rows
         return Ok(Rc::clone(hit));
     }
     let rows = Rc::new(exec_select(ctx, query, Some(env))?);
-    ctx.memo
-        .borrow_mut()
-        .insert((id, key), Rc::clone(&rows));
+    ctx.memo.borrow_mut().insert((id, key), Rc::clone(&rows));
     Ok(rows)
 }
 
@@ -205,14 +203,8 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
         .projections
         .iter()
         .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-        || sel
-            .having
-            .as_ref()
-            .is_some_and(|h| h.contains_aggregate())
-        || sel
-            .order_by
-            .iter()
-            .any(|o| o.expr.contains_aggregate());
+        || sel.having.as_ref().is_some_and(|h| h.contains_aggregate())
+        || sel.order_by.iter().any(|o| o.expr.contains_aggregate());
     let grouped = !sel.group_by.is_empty() || has_aggregates;
 
     // Output column names.
@@ -309,10 +301,7 @@ pub fn exec_select(ctx: &Ctx<'_>, sel: &Select, outer: Option<&Env<'_>>) -> Resu
     if sel.distinct {
         let mut seen = std::collections::HashSet::new();
         results.retain(|(vals, _)| {
-            let key: String = vals
-                .iter()
-                .map(|v| v.group_key() + "\x1f")
-                .collect();
+            let key: String = vals.iter().map(|v| v.group_key() + "\x1f").collect();
             seen.insert(key)
         });
     }
@@ -567,11 +556,7 @@ fn build_from(ctx: &Ctx<'_>, from: &FromClause, outer: Option<&Env<'_>>) -> Resu
     Ok(acc)
 }
 
-fn resolve_table_ref(
-    ctx: &Ctx<'_>,
-    tref: &TableRef,
-    outer: Option<&Env<'_>>,
-) -> Result<Rows> {
+fn resolve_table_ref(ctx: &Ctx<'_>, tref: &TableRef, outer: Option<&Env<'_>>) -> Result<Rows> {
     match tref {
         TableRef::Named { name, alias } => {
             let label = alias.clone().unwrap_or_else(|| name.clone());
@@ -848,12 +833,7 @@ pub struct AggCtx<'a> {
 }
 
 /// Evaluates `expr` in `env`; aggregates draw from `agg` when present.
-pub fn eval(
-    ctx: &Ctx<'_>,
-    expr: &Expr,
-    env: &Env<'_>,
-    agg: Option<&AggCtx<'_>>,
-) -> Result<Value> {
+pub fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, agg: Option<&AggCtx<'_>>) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Param(i) => ctx
@@ -861,15 +841,14 @@ pub fn eval(
             .get(*i)
             .cloned()
             .ok_or_else(|| DbError::exec(format!("missing bind parameter {}", i + 1))),
-        Expr::Column { table, name } => env
-            .lookup(table.as_deref(), name)
-            .cloned()
-            .ok_or_else(|| {
+        Expr::Column { table, name } => {
+            env.lookup(table.as_deref(), name).cloned().ok_or_else(|| {
                 DbError::schema(match table {
                     Some(t) => format!("no such column: {t}.{name}"),
                     None => format!("no such column: {name}"),
                 })
-            }),
+            })
+        }
         Expr::Unary { op, expr } => {
             let v = eval(ctx, expr, env, agg)?;
             match op {
@@ -1076,7 +1055,9 @@ fn eval_binary(
                         BinOp::Le => ord != Ordering::Greater,
                         BinOp::Gt => ord == Ordering::Greater,
                         BinOp::Ge => ord != Ordering::Less,
-                        _ => return Err(DbError::exec("non-comparison operator on comparison path")),
+                        _ => {
+                            return Err(DbError::exec("non-comparison operator on comparison path"))
+                        }
                     };
                     Value::Integer(b as i64)
                 }
@@ -1269,16 +1250,9 @@ fn eval_function(
             .to_string(),
         )),
         "HEX" => Ok(match vals.first() {
-            Some(Value::Blob(b)) => {
-                Value::Text(b.iter().map(|x| format!("{x:02X}")).collect())
-            }
+            Some(Value::Blob(b)) => Value::Text(b.iter().map(|x| format!("{x:02X}")).collect()),
             Some(Value::Null) | None => Value::Text(String::new()),
-            Some(v) => Value::Text(
-                v.to_string()
-                    .bytes()
-                    .map(|x| format!("{x:02X}"))
-                    .collect(),
-            ),
+            Some(v) => Value::Text(v.to_string().bytes().map(|x| format!("{x:02X}")).collect()),
         }),
         _ => Err(DbError::exec(format!("no such function: {name}"))),
     }

@@ -342,7 +342,10 @@ fn rewrite_temp_path(path: &Path, generation: u64) -> PathBuf {
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "journal".to_string());
-    path.with_file_name(format!("{name}.compact-{}-{generation}", std::process::id()))
+    path.with_file_name(format!(
+        "{name}.compact-{}-{generation}",
+        std::process::id()
+    ))
 }
 
 /// Removes leftover `*.compact-*` temp files from a crashed rewrite.
@@ -512,8 +515,11 @@ mod tests {
     fn roundtrip() {
         let path = tmp("rt");
         let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
-        j.append("INSERT INTO t VALUES (?, ?)", &[Value::Integer(1), Value::Text("x".into())])
-            .unwrap();
+        j.append(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(1), Value::Text("x".into())],
+        )
+        .unwrap();
         j.append("DELETE FROM t", &[]).unwrap();
         let entries = j.replay().unwrap();
         assert_eq!(entries.len(), 2);
@@ -546,7 +552,8 @@ mod tests {
     fn survives_reopen() {
         let path = tmp("reopen");
         {
-            let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
+            let mut j =
+                Journal::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
             j.append("CREATE TABLE t(a)", &[]).unwrap();
         }
         let mut j = Journal::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();

@@ -107,7 +107,9 @@ impl Parser {
         match self.next() {
             Some(Token::Word(w)) => Ok(w),
             Some(Token::QuotedIdent(w)) => Ok(w),
-            other => Err(DbError::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -157,7 +159,9 @@ impl Parser {
             } else if self.eat_kw("INDEX") {
                 "index"
             } else {
-                return Err(DbError::parse("DROP must be followed by TABLE, VIEW or INDEX"));
+                return Err(DbError::parse(
+                    "DROP must be followed by TABLE, VIEW or INDEX",
+                ));
             };
             let if_exists = if self.eat_kw("IF") {
                 self.expect_kw("EXISTS")?;
@@ -486,10 +490,7 @@ impl Parser {
                     table,
                     on,
                 });
-            } else if self.peek_kw("JOIN")
-                || self.peek_kw("INNER")
-                || self.peek_kw("CROSS")
-            {
+            } else if self.peek_kw("JOIN") || self.peek_kw("INNER") || self.peek_kw("CROSS") {
                 let _ = self.eat_kw("INNER");
                 let _ = self.eat_kw("CROSS");
                 self.expect_kw("JOIN")?;
@@ -862,11 +863,57 @@ impl Parser {
 
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS",
-        "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "LIKE", "JOIN", "INNER", "LEFT",
-        "OUTER", "CROSS", "NATURAL", "ON", "UNION", "EXCEPT", "INTERSECT", "DISTINCT", "ALL",
-        "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "CREATE", "TABLE", "VIEW", "DROP",
-        "IF", "EXISTS", "PRIMARY", "KEY", "DESC", "ASC", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "BETWEEN",
+        "LIKE",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "OUTER",
+        "CROSS",
+        "NATURAL",
+        "ON",
+        "UNION",
+        "EXCEPT",
+        "INTERSECT",
+        "DISTINCT",
+        "ALL",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "CREATE",
+        "TABLE",
+        "VIEW",
+        "DROP",
+        "IF",
+        "EXISTS",
+        "PRIMARY",
+        "KEY",
+        "DESC",
+        "ASC",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
     ];
     RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
 }
@@ -877,8 +924,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let s = parse_one("SELECT a, b AS bee FROM t WHERE a > 3 ORDER BY b DESC LIMIT 10")
-            .unwrap();
+        let s =
+            parse_one("SELECT a, b AS bee FROM t WHERE a > 3 ORDER BY b DESC LIMIT 10").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(sel.projections.len(), 2);
         assert!(sel.filter.is_some());
@@ -898,10 +945,7 @@ mod tests {
         let Stmt::Select(sel) = s else { panic!() };
         assert!(matches!(
             sel.filter,
-            Some(Expr::Binary {
-                op: BinOp::Ne,
-                ..
-            })
+            Some(Expr::Binary { op: BinOp::Ne, .. })
         ));
     }
 
@@ -952,7 +996,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmts.len(), 2);
-        let Stmt::Delete { filter: Some(f), .. } = &stmts[1] else {
+        let Stmt::Delete {
+            filter: Some(f), ..
+        } = &stmts[1]
+        else {
             panic!()
         };
         assert!(matches!(f, Expr::InSubquery { negated: true, .. }));
@@ -966,7 +1013,12 @@ mod tests {
                 cid TEXT, type TEXT)",
         )
         .unwrap();
-        let Stmt::CreateTable { columns, if_not_exists, .. } = s else {
+        let Stmt::CreateTable {
+            columns,
+            if_not_exists,
+            ..
+        } = s
+        else {
             panic!()
         };
         assert!(if_not_exists);
@@ -978,7 +1030,9 @@ mod tests {
     #[test]
     fn parses_insert_with_params() {
         let s = parse_one("INSERT INTO t(a, b) VALUES (?, ?), (?, 4)").unwrap();
-        let Stmt::Insert { rows, columns, .. } = s else { panic!() };
+        let Stmt::Insert { rows, columns, .. } = s else {
+            panic!()
+        };
         assert_eq!(columns.unwrap().len(), 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], Expr::Param(0));
@@ -997,8 +1051,7 @@ mod tests {
 
     #[test]
     fn parses_case_expression() {
-        let s =
-            parse_one("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").unwrap();
+        let s = parse_one("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         let SelectItem::Expr { expr, .. } = &sel.projections[0] else {
             panic!()
@@ -1041,7 +1094,9 @@ mod tests {
     #[test]
     fn update_statement() {
         let s = parse_one("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
-        let Stmt::Update { sets, filter, .. } = s else { panic!() };
+        let Stmt::Update { sets, filter, .. } = s else {
+            panic!()
+        };
         assert_eq!(sets.len(), 2);
         assert!(filter.is_some());
     }

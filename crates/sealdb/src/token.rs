@@ -162,9 +162,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 if j == i {
                     // `c` was a Latin-1 reinterpretation of a lead
                     // byte whose actual char is not identifier-like.
-                    return Err(DbError::parse(format!(
-                        "unexpected character at byte {i}"
-                    )));
+                    return Err(DbError::parse(format!("unexpected character at byte {i}")));
                 }
                 out.push(Token::Word(sql[i..j].to_string()));
                 i = j;

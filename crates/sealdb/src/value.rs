@@ -250,15 +250,15 @@ mod tests {
 
     #[test]
     fn text_affinity_stringifies() {
-        assert_eq!(Affinity::Text.apply(Value::Integer(7)), Value::Text("7".into()));
+        assert_eq!(
+            Affinity::Text.apply(Value::Integer(7)),
+            Value::Text("7".into())
+        );
     }
 
     #[test]
     fn cross_type_ordering() {
-        assert_eq!(
-            Value::Null.total_cmp(&Value::Integer(0)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Null.total_cmp(&Value::Integer(0)), Ordering::Less);
         assert_eq!(
             Value::Integer(5).total_cmp(&Value::Text("a".into())),
             Ordering::Less

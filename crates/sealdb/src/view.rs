@@ -158,7 +158,13 @@ impl MatView {
 pub(crate) fn backing_column_name(raw: &str, used: &[String]) -> String {
     let mut s: String = raw
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.as_bytes()[0].is_ascii_digit() {
         s.insert(0, 'c');

@@ -89,7 +89,12 @@ fn torn_snapshot_write_leaves_live_journal_intact() {
     assert_eq!(row_count(&db), 10);
     // No *.compact-* litter survives the reopen.
     let parent = path.path().parent().unwrap();
-    let name = path.path().file_name().unwrap().to_string_lossy().into_owned();
+    let name = path
+        .path()
+        .file_name()
+        .unwrap()
+        .to_string_lossy()
+        .into_owned();
     for e in std::fs::read_dir(parent).unwrap().flatten() {
         assert!(
             !e.file_name()
@@ -112,7 +117,10 @@ fn torn_append_is_salvaged_on_reopen() {
         // The next journal append persists only 9 bytes of its frame.
         s.set("sealdb::journal::append", FaultSpec::partial_write(9));
         assert!(db
-            .execute_with("INSERT INTO t VALUES (?, ?)", &[Value::Integer(99), Value::Null])
+            .execute_with(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Integer(99), Value::Null]
+            )
             .is_err());
     }
     s.reset();
@@ -131,8 +139,11 @@ fn repeated_compaction_generations_survive_crashes() {
     {
         let mut db = seeded_db(&path, 8);
         db.compact().unwrap(); // generation 1, clean
-        db.execute_with("INSERT INTO t VALUES (?, ?)", &[Value::Integer(100), Value::Null])
-            .unwrap();
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(100), Value::Null],
+        )
+        .unwrap();
         db.sync_journal().unwrap();
         s.set("sealdb::compact::rename", FaultSpec::crash());
         assert!(db.compact().is_err()); // generation 2, crashes
@@ -155,8 +166,11 @@ fn writes_after_failed_dir_sync_survive_restart() {
         let mut db = seeded_db(&path, 4);
         s.set("sealdb::compact::sync_dir", FaultSpec::error().times(1));
         assert!(db.compact().is_err());
-        db.execute_with("INSERT INTO t VALUES (?, ?)", &[Value::Integer(4), Value::Null])
-            .unwrap();
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Integer(4), Value::Null],
+        )
+        .unwrap();
         db.sync_journal().unwrap();
     }
     s.reset();

@@ -7,10 +7,8 @@ use libseal_sealdb::{Database, Value};
 
 fn git_db() -> Database {
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)")
+        .unwrap();
     db.execute("CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)")
         .unwrap();
     // The paper's auxiliary view (§6.2), verbatim.
@@ -153,7 +151,9 @@ fn git_trimming_queries_work() {
         )
         .unwrap();
     assert_eq!(r.rows_affected, 1); // Only (1, main, c1) removed.
-    let left = db.query("SELECT branch, cid FROM updates ORDER BY branch", &[]).unwrap();
+    let left = db
+        .query("SELECT branch, cid FROM updates ORDER BY branch", &[])
+        .unwrap();
     assert_eq!(left.rows.len(), 2);
     assert_eq!(left.rows[0][1], Value::Text("d1".into()));
     assert_eq!(left.rows[1][1], Value::Text("c2".into()));
@@ -183,10 +183,8 @@ fn multi_repo_isolation() {
 fn aggregates_and_group_by() {
     let mut db = Database::new();
     db.execute("CREATE TABLE s(grp TEXT, v INTEGER)").unwrap();
-    db.execute(
-        "INSERT INTO s VALUES ('a', 1), ('a', 2), ('b', 5), ('b', NULL), ('c', 10)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO s VALUES ('a', 1), ('a', 2), ('b', 5), ('b', NULL), ('c', 10)")
+        .unwrap();
     let r = db
         .query(
             "SELECT grp, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v)
@@ -205,7 +203,8 @@ fn aggregates_and_group_by() {
 fn count_distinct() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(x INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1), (1), (2), (NULL)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (1), (2), (NULL)")
+        .unwrap();
     let r = db.query("SELECT COUNT(DISTINCT x) FROM t", &[]).unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Integer(2));
 }
@@ -214,7 +213,8 @@ fn count_distinct() {
 fn having_filters_groups() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(g TEXT, v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',1)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',1)")
+        .unwrap();
     let r = db
         .query("SELECT g FROM t GROUP BY g HAVING COUNT(*) > 1", &[])
         .unwrap();
@@ -226,7 +226,8 @@ fn having_filters_groups() {
 fn order_by_desc_and_limit_offset() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (3),(1),(4),(1),(5),(9),(2),(6)").unwrap();
+    db.execute("INSERT INTO t VALUES (3),(1),(4),(1),(5),(9),(2),(6)")
+        .unwrap();
     let r = db
         .query("SELECT v FROM t ORDER BY v DESC LIMIT 3 OFFSET 1", &[])
         .unwrap();
@@ -264,11 +265,17 @@ fn exists_and_not_exists() {
     db.execute("CREATE TABLE t(v INTEGER)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     let r = db
-        .query("SELECT 'yes' WHERE EXISTS (SELECT 1 FROM t WHERE v = 1)", &[])
+        .query(
+            "SELECT 'yes' WHERE EXISTS (SELECT 1 FROM t WHERE v = 1)",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     let r = db
-        .query("SELECT 'yes' WHERE NOT EXISTS (SELECT 1 FROM t WHERE v = 2)", &[])
+        .query(
+            "SELECT 'yes' WHERE NOT EXISTS (SELECT 1 FROM t WHERE v = 2)",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
 }
@@ -304,7 +311,9 @@ fn null_three_valued_logic() {
     // NOT IN with NULL in the subquery result yields no rows.
     db.execute("CREATE TABLE u(w INTEGER)").unwrap();
     db.execute("INSERT INTO u VALUES (1), (NULL)").unwrap();
-    let r = db.query("SELECT v FROM t WHERE v NOT IN (SELECT w FROM u)", &[]).unwrap();
+    let r = db
+        .query("SELECT v FROM t WHERE v NOT IN (SELECT w FROM u)", &[])
+        .unwrap();
     assert!(r.is_empty());
 }
 
@@ -376,7 +385,8 @@ fn case_expressions() {
 fn subquery_in_from_clause() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(g TEXT, v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',7)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('a',2),('b',7)")
+        .unwrap();
     let r = db
         .query(
             "SELECT MAX(total) FROM (SELECT g, SUM(v) AS total FROM t GROUP BY g) sums",
@@ -391,8 +401,7 @@ fn persistence_roundtrip() {
     use libseal_sealdb::{PlainCodec, SyncPolicy};
     let path = plat::tmp::TempPath::new("sealdb-e2e", "db");
     {
-        let mut db =
-            Database::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::EveryRecord).unwrap();
         db.execute("CREATE TABLE t(a INTEGER, b TEXT)").unwrap();
         db.execute_with(
             "INSERT INTO t VALUES (?, ?)",
@@ -438,8 +447,10 @@ fn view_over_view_queries() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(v INTEGER)").unwrap();
     db.execute("INSERT INTO t VALUES (1),(2),(3),(4)").unwrap();
-    db.execute("CREATE VIEW evens AS SELECT v FROM t WHERE v % 2 = 0").unwrap();
-    db.execute("CREATE VIEW big_evens AS SELECT v FROM evens WHERE v > 2").unwrap();
+    db.execute("CREATE VIEW evens AS SELECT v FROM t WHERE v % 2 = 0")
+        .unwrap();
+    db.execute("CREATE VIEW big_evens AS SELECT v FROM evens WHERE v > 2")
+        .unwrap();
     let r = db.query("SELECT v FROM big_evens", &[]).unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Integer(4));
@@ -452,7 +463,9 @@ fn errors_are_reported() {
     db.execute("CREATE TABLE t(a INTEGER)").unwrap();
     assert!(db.query("SELECT nope FROM t", &[]).is_err());
     assert!(db.execute("CREATE TABLE t(a INTEGER)").is_err());
-    assert!(db.execute("CREATE TABLE IF NOT EXISTS t(a INTEGER)").is_ok());
+    assert!(db
+        .execute("CREATE TABLE IF NOT EXISTS t(a INTEGER)")
+        .is_ok());
     assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err());
     assert!(db.execute_with("INSERT INTO t VALUES (?)", &[]).is_err());
 }
@@ -471,8 +484,11 @@ fn affinity_applied_on_insert() {
 fn distinct_dedupes() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t(v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1),(1),(2),(2),(2)").unwrap();
-    let r = db.query("SELECT DISTINCT v FROM t ORDER BY v", &[]).unwrap();
+    db.execute("INSERT INTO t VALUES (1),(1),(2),(2),(2)")
+        .unwrap();
+    let r = db
+        .query("SELECT DISTINCT v FROM t ORDER BY v", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
 
@@ -494,7 +510,9 @@ fn like_patterns() {
         .query("SELECT s FROM t WHERE s LIKE 'refs/%' ORDER BY s", &[])
         .unwrap();
     assert_eq!(r.rows.len(), 2);
-    let r = db.query("SELECT s FROM t WHERE s NOT LIKE 'refs/%'", &[]).unwrap();
+    let r = db
+        .query("SELECT s FROM t WHERE s NOT LIKE 'refs/%'", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -512,7 +530,8 @@ fn index_ddl_and_dml_maintenance() {
     assert_eq!(db.catalog().table("t").unwrap().index_names(), vec!["ix_a"]);
     // Duplicate name rejected, IF NOT EXISTS tolerated.
     assert!(db.execute("CREATE INDEX ix_a ON t(b)").is_err());
-    db.execute("CREATE INDEX IF NOT EXISTS ix_a ON t(b)").unwrap();
+    db.execute("CREATE INDEX IF NOT EXISTS ix_a ON t(b)")
+        .unwrap();
 
     for i in 0..50 {
         db.execute_with(
@@ -522,12 +541,17 @@ fn index_ddl_and_dml_maintenance() {
         .unwrap();
     }
     assert_indexes_consistent(&db);
-    let r = db.query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(3)]).unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(3)])
+        .unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
 
     db.execute("DELETE FROM t WHERE a = 3").unwrap();
     assert_indexes_consistent(&db);
-    assert!(db.query("SELECT * FROM t WHERE a = 3", &[]).unwrap().is_empty());
+    assert!(db
+        .query("SELECT * FROM t WHERE a = 3", &[])
+        .unwrap()
+        .is_empty());
 
     db.execute("UPDATE t SET a = 3 WHERE a = 4").unwrap();
     assert_indexes_consistent(&db);
@@ -560,7 +584,9 @@ fn indexes_survive_journal_replay() {
     let db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Never).unwrap();
     assert_eq!(db.catalog().table("t").unwrap().index_names(), vec!["ix_a"]);
     assert_indexes_consistent(&db);
-    let r = db.query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(2)]).unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM t WHERE a = ?", &[Value::Integer(2)])
+        .unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Integer(8));
 }
 
@@ -573,7 +599,8 @@ fn compaction_preserves_indexes() {
         db.execute("CREATE TABLE t(a INTEGER)").unwrap();
         db.execute("CREATE INDEX ix_a ON t(a)").unwrap();
         for i in 0..60 {
-            db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i % 4)]).unwrap();
+            db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i % 4)])
+                .unwrap();
         }
         db.execute("DELETE FROM t WHERE a = 0").unwrap();
         db.compact().unwrap();
@@ -591,8 +618,10 @@ fn planner_toggle_equivalence_on_git_workload() {
     let build = |planner: bool| {
         let mut db = git_db();
         db.set_planner_enabled(planner);
-        db.execute("CREATE INDEX ix_u_repo ON updates(repo)").unwrap();
-        db.execute("CREATE INDEX ix_a_repo ON advertisements(repo)").unwrap();
+        db.execute("CREATE INDEX ix_u_repo ON updates(repo)")
+            .unwrap();
+        db.execute("CREATE INDEX ix_a_repo ON advertisements(repo)")
+            .unwrap();
         for i in 0..30i64 {
             let repo = if i % 2 == 0 { "r1" } else { "r2" };
             push(&mut db, i, repo, "main", &format!("{i:040x}"), "update");

@@ -30,8 +30,7 @@ fn spec() -> MatViewSpec {
                 table: "recv".into(),
                 partition_col: None,
                 rescan: Some(RescanRule {
-                    sql: "SELECT s.time FROM sent s WHERE s.doc = ?1 AND s.content = ?2"
-                        .into(),
+                    sql: "SELECT s.time FROM sent s WHERE s.doc = ?1 AND s.content = ?2".into(),
                     bind_cols: vec!["doc".into(), "content".into()],
                 }),
             },
@@ -44,8 +43,10 @@ fn schema(db: &mut Database) {
         .unwrap();
     db.execute("CREATE TABLE recv(time INTEGER, doc TEXT, content TEXT)")
         .unwrap();
-    db.execute("CREATE INDEX idx_sent_doc ON sent(doc)").unwrap();
-    db.execute("CREATE INDEX idx_recv_doc ON recv(doc)").unwrap();
+    db.execute("CREATE INDEX idx_sent_doc ON sent(doc)")
+        .unwrap();
+    db.execute("CREATE INDEX idx_recv_doc ON recv(doc)")
+        .unwrap();
 }
 
 fn send(db: &mut Database, time: i64, doc: &str, content: &str) {
@@ -202,8 +203,7 @@ plat::prop! {
 fn reopen_reseeds_views_from_recovered_base_tables() {
     let path = TempPath::new("matview_reopen", "db");
     {
-        let mut db =
-            Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
         schema(&mut db);
         db.register_matview(spec()).unwrap();
         send(&mut db, 1, "a", "x");
@@ -217,7 +217,13 @@ fn reopen_reseeds_views_from_recovered_base_tables() {
     // but its derived rows were never journaled.
     let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
     assert!(db.catalog().table("mv_unsound").is_some());
-    assert_eq!(db.query("SELECT * FROM mv_unsound", &[]).unwrap().rows.len(), 0);
+    assert_eq!(
+        db.query("SELECT * FROM mv_unsound", &[])
+            .unwrap()
+            .rows
+            .len(),
+        0
+    );
     // Re-registration (what the audit layer does on open) reseeds.
     db.register_matview(spec()).unwrap();
     assert_view_matches_full(&db);
@@ -231,8 +237,7 @@ fn reopen_reseeds_views_from_recovered_base_tables() {
 fn compaction_drops_derived_rows_but_keeps_definitions() {
     let path = TempPath::new("matview_compact", "db");
     {
-        let mut db =
-            Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
+        let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
         schema(&mut db);
         send(&mut db, 1, "a", "x");
         db.register_matview(spec()).unwrap();
@@ -242,7 +247,13 @@ fn compaction_drops_derived_rows_but_keeps_definitions() {
     }
     let mut db = Database::open(&path, Box::new(PlainCodec), SyncPolicy::Manual).unwrap();
     assert!(db.catalog().table("mv_unsound").is_some());
-    assert_eq!(db.query("SELECT * FROM mv_unsound", &[]).unwrap().rows.len(), 0);
+    assert_eq!(
+        db.query("SELECT * FROM mv_unsound", &[])
+            .unwrap()
+            .rows
+            .len(),
+        0
+    );
     db.register_matview(spec()).unwrap();
     assert_eq!(
         pairs(&db, "SELECT time, doc FROM mv_unsound"),

@@ -98,7 +98,10 @@ fn random_dml(g: &mut Gen, p: &mut Pair) {
             let vals = [small_value(g), small_value(g), small_value(g)];
             p.exec(&format!("INSERT INTO {t} VALUES (?, ?, ?)"), &vals);
         }
-        1 => p.exec(&format!("DELETE FROM {t} WHERE c{c} = ?"), &[small_value(g)]),
+        1 => p.exec(
+            &format!("DELETE FROM {t} WHERE c{c} = ?"),
+            &[small_value(g)],
+        ),
         _ => {
             let set = g.index(3);
             p.exec(

@@ -40,7 +40,8 @@ fn natural_join_without_shared_columns_is_cross() {
 #[test]
 fn order_by_output_alias_and_position() {
     let mut db = db_with("CREATE TABLE t(a INTEGER, b INTEGER);");
-    db.execute("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)")
+        .unwrap();
     let r = db
         .query("SELECT a, b AS bee FROM t ORDER BY bee", &[])
         .unwrap();
@@ -52,7 +53,8 @@ fn order_by_output_alias_and_position() {
 #[test]
 fn order_by_column_not_in_projection() {
     let mut db = db_with("CREATE TABLE t(a INTEGER, b INTEGER);");
-    db.execute("INSERT INTO t VALUES (1, 3), (2, 1), (3, 2)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 3), (2, 1), (3, 2)")
+        .unwrap();
     let r = db.query("SELECT a FROM t ORDER BY b", &[]).unwrap();
     let got: Vec<&Value> = r.rows.iter().map(|row| &row[0]).collect();
     assert_eq!(
@@ -64,9 +66,13 @@ fn order_by_column_not_in_projection() {
 #[test]
 fn group_by_expression() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
-    db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+        .unwrap();
     let r = db
-        .query("SELECT v % 2, COUNT(*) FROM t GROUP BY v % 2 ORDER BY 1", &[])
+        .query(
+            "SELECT v % 2, COUNT(*) FROM t GROUP BY v % 2 ORDER BY 1",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 2);
     assert_eq!(r.rows[0][1], Value::Integer(2)); // evens
@@ -77,7 +83,10 @@ fn group_by_expression() {
 fn aggregates_over_empty_table() {
     let db = db_with("CREATE TABLE t(v INTEGER);");
     let r = db
-        .query("SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t", &[])
+        .query(
+            "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Integer(0));
@@ -92,9 +101,13 @@ fn aggregates_over_empty_table() {
 fn having_without_group_by() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
     db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
-    let r = db.query("SELECT SUM(v) FROM t HAVING SUM(v) > 2", &[]).unwrap();
+    let r = db
+        .query("SELECT SUM(v) FROM t HAVING SUM(v) > 2", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
-    let r = db.query("SELECT SUM(v) FROM t HAVING SUM(v) > 5", &[]).unwrap();
+    let r = db
+        .query("SELECT SUM(v) FROM t HAVING SUM(v) > 5", &[])
+        .unwrap();
     assert!(r.rows.is_empty());
 }
 
@@ -102,12 +115,21 @@ fn having_without_group_by() {
 fn between_and_not_between() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
     db.execute("INSERT INTO t VALUES (1), (5), (10)").unwrap();
-    let r = db.query("SELECT v FROM t WHERE v BETWEEN 2 AND 9", &[]).unwrap();
+    let r = db
+        .query("SELECT v FROM t WHERE v BETWEEN 2 AND 9", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
-    let r = db.query("SELECT v FROM t WHERE v NOT BETWEEN 2 AND 9 ORDER BY v", &[]).unwrap();
+    let r = db
+        .query(
+            "SELECT v FROM t WHERE v NOT BETWEEN 2 AND 9 ORDER BY v",
+            &[],
+        )
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
     // Bounds are inclusive.
-    let r = db.query("SELECT v FROM t WHERE v BETWEEN 1 AND 5", &[]).unwrap();
+    let r = db
+        .query("SELECT v FROM t WHERE v BETWEEN 1 AND 5", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
 
@@ -115,7 +137,12 @@ fn between_and_not_between() {
 fn in_list_with_expressions() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
     db.execute("INSERT INTO t VALUES (2), (4), (6)").unwrap();
-    let r = db.query("SELECT v FROM t WHERE v IN (1 + 1, 10, 3 * 2) ORDER BY v", &[]).unwrap();
+    let r = db
+        .query(
+            "SELECT v FROM t WHERE v IN (1 + 1, 10, 3 * 2) ORDER BY v",
+            &[],
+        )
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
 
@@ -132,17 +159,17 @@ fn scalar_subquery_empty_is_null() {
 #[test]
 fn nested_correlated_subqueries() {
     // Two levels of correlation, as in the paper's branchcnt view.
-    let mut db = db_with(
-        "CREATE TABLE ev(t INTEGER, k TEXT, v INTEGER);",
-    );
-    for (t, k, v) in [(1, "a", 10), (2, "a", 20), (3, "b", 5), (4, "a", 30), (5, "b", 7)] {
+    let mut db = db_with("CREATE TABLE ev(t INTEGER, k TEXT, v INTEGER);");
+    for (t, k, v) in [
+        (1, "a", 10),
+        (2, "a", 20),
+        (3, "b", 5),
+        (4, "a", 30),
+        (5, "b", 7),
+    ] {
         db.execute_with(
             "INSERT INTO ev VALUES (?, ?, ?)",
-            &[
-                Value::Integer(t),
-                Value::Text(k.into()),
-                Value::Integer(v),
-            ],
+            &[Value::Integer(t), Value::Text(k.into()), Value::Integer(v)],
         )
         .unwrap();
     }
@@ -160,7 +187,8 @@ fn nested_correlated_subqueries() {
 #[test]
 fn update_with_correlated_subquery_filter() {
     let mut db = db_with("CREATE TABLE t(id INTEGER, v INTEGER); CREATE TABLE m(id INTEGER);");
-    db.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)")
+        .unwrap();
     db.execute("INSERT INTO m VALUES (1), (3)").unwrap();
     let r = db
         .execute("UPDATE t SET v = 9 WHERE id IN (SELECT id FROM m)")
@@ -196,13 +224,19 @@ fn text_comparison_and_concat_affinities() {
 fn limit_zero_and_offset_beyond_end() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
     db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
-    assert!(db.query("SELECT v FROM t LIMIT 0", &[]).unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT v FROM t LIMIT 0", &[])
+        .unwrap()
+        .rows
+        .is_empty());
     assert!(db
         .query("SELECT v FROM t LIMIT 5 OFFSET 10", &[])
         .unwrap()
         .rows
         .is_empty());
-    let r = db.query("SELECT v FROM t ORDER BY v LIMIT 1, 2", &[]).unwrap();
+    let r = db
+        .query("SELECT v FROM t ORDER BY v LIMIT 1, 2", &[])
+        .unwrap();
     assert_eq!(r.rows.len(), 2); // MySQL-style offset, count
     assert_eq!(r.rows[0][0], Value::Integer(2));
 }
@@ -210,7 +244,8 @@ fn limit_zero_and_offset_beyond_end() {
 #[test]
 fn distinct_with_nulls() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
-    db.execute("INSERT INTO t VALUES (NULL), (NULL), (1)").unwrap();
+    db.execute("INSERT INTO t VALUES (NULL), (NULL), (1)")
+        .unwrap();
     let r = db.query("SELECT DISTINCT v FROM t", &[]).unwrap();
     assert_eq!(r.rows.len(), 2, "NULLs group together under DISTINCT");
 }
@@ -220,16 +255,15 @@ fn case_without_else_yields_null() {
     let db = db_with("CREATE TABLE t(v INTEGER);");
     let _ = db;
     let mut db = Database::new();
-    let r = db
-        .execute("SELECT CASE WHEN 1 = 2 THEN 'x' END")
-        .unwrap();
+    let r = db.execute("SELECT CASE WHEN 1 = 2 THEN 'x' END").unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Null);
 }
 
 #[test]
 fn quoted_identifiers_roundtrip() {
     let mut db = Database::new();
-    db.execute(r#"CREATE TABLE "my table"("a col" INTEGER)"#).unwrap();
+    db.execute(r#"CREATE TABLE "my table"("a col" INTEGER)"#)
+        .unwrap();
     db.execute(r#"INSERT INTO "my table" VALUES (7)"#).unwrap();
     let r = db.query(r#"SELECT "a col" FROM "my table""#, &[]).unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::Integer(7));
@@ -238,7 +272,8 @@ fn quoted_identifiers_roundtrip() {
 #[test]
 fn view_columns_usable_in_predicates() {
     let mut db = db_with("CREATE TABLE t(g TEXT, v INTEGER);");
-    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)")
+        .unwrap();
     db.execute("CREATE VIEW sums AS SELECT g, SUM(v) AS total FROM t GROUP BY g")
         .unwrap();
     let r = db
@@ -250,7 +285,8 @@ fn view_columns_usable_in_predicates() {
 #[test]
 fn self_join_with_aliases() {
     let mut db = db_with("CREATE TABLE t(id INTEGER, parent INTEGER);");
-    db.execute("INSERT INTO t VALUES (1, 0), (2, 1), (3, 1), (4, 2)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 0), (2, 1), (3, 1), (4, 2)")
+        .unwrap();
     let r = db
         .query(
             "SELECT child.id, parent.id FROM t child JOIN t parent
@@ -267,7 +303,8 @@ fn self_join_with_aliases() {
 fn exists_short_circuits_with_limit() {
     let mut db = db_with("CREATE TABLE t(v INTEGER);");
     for i in 0..50 {
-        db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i)]).unwrap();
+        db.execute_with("INSERT INTO t VALUES (?)", &[Value::Integer(i)])
+            .unwrap();
     }
     let r = db
         .query(

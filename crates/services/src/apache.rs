@@ -1,13 +1,22 @@
-//! An Apache-like threaded web server terminating STLS.
+//! An Apache-like web server terminating STLS.
 //!
-//! A fixed pool of worker threads serves whole connections from an
-//! accept queue; each worker owns one async-ecall slot when the TLS
-//! mode is a LibSEAL instance with the §4.3 runtime. Routers plug the
-//! application in: static content for the TLS micro-benchmarks
-//! (Fig. 7a, Tabs 2-4), the Git/ownCloud backends for Fig. 5, or a
-//! reverse proxy (the paper's large-scale Git deployment, §6.4).
+//! Two serving models, selected by [`ApacheConfig::event_loop`]:
+//!
+//! - **Event-driven (default)**: one epoll reactor multiplexes every
+//!   connection, ready audited sessions are drained through a single
+//!   batched enclave transition per sweep, and handlers run on an
+//!   lthread job pool (see [`crate::event`]).
+//! - **Threaded** (the paper's model): a fixed pool of worker threads
+//!   serves whole connections from an accept queue; each worker owns
+//!   one async-ecall slot when the TLS mode is a LibSEAL instance with
+//!   the §4.3 runtime.
+//!
+//! Routers plug the application in: static content for the TLS
+//! micro-benchmarks (Fig. 7a, Tabs 2-4), the Git/ownCloud backends for
+//! Fig. 5, or a reverse proxy (the paper's large-scale Git deployment,
+//! §6.4).
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -179,13 +188,23 @@ fn apache_metrics() -> &'static ApacheMetrics {
 /// First path segment, sanitised to a metric-name-safe `[a-z0-9_]`
 /// label and truncated to [`ROUTE_LABEL_MAX`] characters.
 fn route_label(path: &str) -> String {
-    let seg = path.trim_start_matches('/').split(['/', '?']).next().unwrap_or("");
+    let seg = path
+        .trim_start_matches('/')
+        .split(['/', '?'])
+        .next()
+        .unwrap_or("");
     if seg.is_empty() {
         return "root".to_string();
     }
     seg.chars()
         .take(ROUTE_LABEL_MAX)
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -213,14 +232,100 @@ fn bump_route(path: &str) {
     counter.inc();
 }
 
-/// Server configuration.
+/// Server configuration (builder).
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use libseal_services::apache::{ApacheConfig, StaticContentRouter};
+/// # fn demo(tls: libseal_services::TlsMode) -> ApacheConfig {
+/// ApacheConfig::new(tls, Arc::new(StaticContentRouter))
+///     .workers(8)
+///     .event_loop(false) // paper-faithful thread-per-connection
+/// # }
+/// ```
 pub struct ApacheConfig {
-    /// TLS termination mode.
-    pub tls: TlsMode,
-    /// Worker threads (application threads `A` in §4.3 terms).
-    pub workers: usize,
-    /// The application.
-    pub router: Arc<dyn Router>,
+    pub(crate) tls: TlsMode,
+    pub(crate) workers: usize,
+    pub(crate) router: Arc<dyn Router>,
+    pub(crate) event_loop: bool,
+    pub(crate) idle_timeout: std::time::Duration,
+}
+
+impl ApacheConfig {
+    /// A configuration with the default worker count (4), the
+    /// event-driven core enabled and a 60 s idle-session timeout.
+    pub fn new(tls: TlsMode, router: Arc<dyn Router>) -> ApacheConfig {
+        ApacheConfig {
+            tls,
+            workers: 4,
+            router,
+            event_loop: true,
+            idle_timeout: std::time::Duration::from_secs(60),
+        }
+    }
+
+    /// Worker threads: connection workers in threaded mode, job-pool
+    /// carriers (application threads `A` in §4.3 terms) in event mode.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> ApacheConfig {
+        self.workers = n;
+        self
+    }
+
+    /// Selects the event-driven core (default) or, with `false`, the
+    /// paper's thread-per-connection serving model. Event mode falls
+    /// back to threaded where readiness polling is unsupported.
+    #[must_use]
+    pub fn event_loop(mut self, on: bool) -> ApacheConfig {
+        self.event_loop = on;
+        self
+    }
+
+    /// Event mode only: idle connections are evicted after this long
+    /// without traffic.
+    #[must_use]
+    pub fn idle_timeout(mut self, d: std::time::Duration) -> ApacheConfig {
+        self.idle_timeout = d;
+        self
+    }
+}
+
+/// The Apache personality of the shared event loop: route via the
+/// configured [`Router`], report into the same metrics as the
+/// threaded path.
+struct ApacheApp {
+    router: Arc<dyn Router>,
+    served: Arc<AtomicU64>,
+}
+
+impl crate::event::App for ApacheApp {
+    type Conn = ();
+
+    fn open_conn(&self) {}
+
+    fn handle(&self, _conn: &mut (), req: &Request) -> Response {
+        self.router.handle(req)
+    }
+
+    fn span_name(&self) -> &'static str {
+        "apache_request"
+    }
+
+    fn on_request(&self, path: &str, started: std::time::Instant) {
+        let m = apache_metrics();
+        m.requests.inc();
+        m.request_ns.record_duration(started.elapsed());
+        bump_route(path);
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_malformed(&self) {
+        apache_metrics().malformed_requests.inc();
+    }
+
+    fn on_accept_error(&self) {
+        apache_metrics().accept_errors.inc();
+    }
 }
 
 /// A running server instance.
@@ -229,6 +334,8 @@ pub struct ApacheServer {
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
+    /// Present in event mode: interrupts the parked reactor on stop.
+    waker: Option<plat::reactor::Waker>,
 }
 
 impl ApacheServer {
@@ -244,6 +351,30 @@ impl ApacheServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
 
+        if config.event_loop && plat::reactor::supported() {
+            let app = Arc::new(ApacheApp {
+                router: Arc::clone(&config.router),
+                served: Arc::clone(&requests_served),
+            });
+            let handle = crate::event::serve(
+                listener,
+                crate::event::EventConfig {
+                    tls: config.tls.clone(),
+                    workers: config.workers,
+                    idle_timeout: config.idle_timeout,
+                },
+                app,
+                Arc::clone(&shutdown),
+            )?;
+            return Ok(ApacheServer {
+                addr,
+                shutdown,
+                handles: vec![handle.join],
+                requests_served,
+                waker: Some(handle.waker),
+            });
+        }
+
         let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
 
@@ -255,7 +386,9 @@ impl ApacheServer {
                     .name("apache-accept".into())
                     .spawn(move || {
                         while !shutdown.load(Ordering::Acquire) {
-                            match listener.accept() {
+                            match plat::failpoint::check("services::accept")
+                                .and_then(|()| listener.accept())
+                            {
                                 Ok((sock, _)) => {
                                     let _ = sock.set_nodelay(true);
                                     if tx.send(sock).is_err() {
@@ -319,6 +452,7 @@ impl ApacheServer {
             shutdown,
             handles,
             requests_served,
+            waker: None,
         })
     }
 
@@ -340,6 +474,9 @@ impl ApacheServer {
     /// Stops the server and joins its threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -349,6 +486,9 @@ impl ApacheServer {
 impl Drop for ApacheServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -391,7 +531,8 @@ fn serve_established(
             break;
         }
         flush(session, sock)?;
-        let n = sock.read(&mut buf)?;
+        // EINTR is a transient condition, not a handshake failure.
+        let n = crate::event::read_retry(sock, &mut buf)?;
         if n == 0 {
             return Ok(());
         }
@@ -426,7 +567,9 @@ fn serve_established(
                 ReadOutcome::Data(d) => plain.extend_from_slice(&d),
                 ReadOutcome::WantRead => {
                     flush(session, sock)?;
-                    let n = match sock.read(&mut buf) {
+                    // Retry EINTR; only real transport errors (and the
+                    // 30 s socket timeout) end the connection.
+                    let n = match crate::event::read_retry(sock, &mut buf) {
                         Ok(n) => n,
                         Err(_) => return Ok(()),
                     };

@@ -112,7 +112,10 @@ impl DropboxServer {
             }
             accepted += 1;
         }
-        Json::object([("ok", Json::Bool(true)), ("accepted", Json::num(accepted as f64))])
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("accepted", Json::num(accepted as f64)),
+        ])
     }
 
     fn list(&self, account: &str) -> Json {
@@ -176,7 +179,10 @@ impl Router for Arc<DropboxServer> {
         let out = match req.path() {
             "/dropbox/commit_batch" => {
                 let empty: Vec<Json> = Vec::new();
-                let commits = body.get("commits").and_then(Json::as_array).unwrap_or(&empty);
+                let commits = body
+                    .get("commits")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&empty);
                 self.commit_batch(account, commits)
             }
             "/dropbox/list" => self.list(account),
@@ -205,9 +211,7 @@ impl FileWorkload {
     }
 
     fn block_hash(&self, n: u64) -> String {
-        let h = libseal_crypto::sha2::Sha256::digest(
-            format!("{}:{}", self.account, n).as_bytes(),
-        );
+        let h = libseal_crypto::sha2::Sha256::digest(format!("{}:{}", self.account, n).as_bytes());
         h.iter().map(|b| format!("{b:02x}")).collect()
     }
 
@@ -220,11 +224,7 @@ impl FileWorkload {
             return Request::new(
                 "POST",
                 "/dropbox/list",
-                format!(
-                    r#"{{"account":"{}","host":"{}"}}"#,
-                    self.account, self.host
-                )
-                .into_bytes(),
+                format!(r#"{{"account":"{}","host":"{}"}}"#, self.account, self.host).into_bytes(),
             );
         }
         let (file, size): (String, i64) = if n.is_multiple_of(7) && n > 7 {

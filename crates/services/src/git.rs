@@ -89,8 +89,7 @@ impl GitBackend {
         let mut out = String::new();
         for line in body.lines() {
             let mut parts = line.split_whitespace();
-            let (Some(_old), Some(new), Some(refname)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(_old), Some(new), Some(refname)) = (parts.next(), parts.next(), parts.next())
             else {
                 continue;
             };

@@ -6,10 +6,17 @@
 //! equivalents that terminate STLS either natively or through a
 //! [`libseal::LibSeal`] instance:
 //!
-//! - [`apache::ApacheServer`] — a threaded web server with pluggable
-//!   routers (static content, Git, ownCloud, reverse proxy);
+//! - [`apache::ApacheServer`] — a web server with pluggable routers
+//!   (static content, Git, ownCloud, reverse proxy);
 //! - [`squid::SquidProxy`] — a TLS-terminating forward proxy with two
 //!   TLS legs (client↔proxy, proxy↔origin);
+//!
+//! Both servers default to an event-driven core (an epoll reactor
+//! multiplexing all connections, handlers on an lthread job pool, and
+//! ready audited sessions drained through one batched enclave
+//! transition per sweep); `event_loop(false)` on their config builders
+//! selects the paper-faithful thread-per-connection mode instead.
+//! The remaining modules:
 //! - [`git`] — an in-memory Git backend speaking the smart-HTTP-like
 //!   dialect the Git SSM parses, with teleport/rollback/hide-ref
 //!   attack injection and a synthetic commit-history generator;
@@ -24,6 +31,7 @@
 pub mod apache;
 pub mod client;
 pub mod dropbox;
+pub(crate) mod event;
 pub mod git;
 pub mod owncloud;
 pub mod squid;

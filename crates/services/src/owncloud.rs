@@ -134,9 +134,7 @@ impl OwnCloudServer {
         let mut sent = Vec::new();
         for (seq, content) in d.ops[cursor.min(pre_len)..pre_len].iter() {
             match &attack {
-                OwnCloudAttack::DropUpdate { doc: ad, seq: aseq }
-                    if ad == doc && aseq == seq =>
-                {
+                OwnCloudAttack::DropUpdate { doc: ad, seq: aseq } if ad == doc && aseq == seq => {
                     continue; // Lost edit.
                 }
                 OwnCloudAttack::TamperUpdate {
@@ -344,8 +342,7 @@ mod tests {
             let req = Request::new(
                 "POST",
                 "/owncloud/leave",
-                format!(r#"{{"doc":"d","client":"a","snapshot":"{v}","seq":{seq}}}"#)
-                    .into_bytes(),
+                format!(r#"{{"doc":"d","client":"a","snapshot":"{v}","seq":{seq}}}"#).into_bytes(),
             );
             s.handle(&req);
         }

@@ -7,13 +7,13 @@
 //! is forwarded verbatim and every response relayed back, so the Squid
 //! figure's two-handshake overhead is reproduced.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use libseal_crypto::ed25519::VerifyingKey;
-use libseal_httpx::http::parse_request;
+use libseal_httpx::http::{parse_request, Response};
 use libseal_tlsx::ssl::ReadOutcome;
 
 use crate::client::HttpsClient;
@@ -24,6 +24,8 @@ use crate::Result;
 struct SquidMetrics {
     requests: libseal_telemetry::Counter,
     request_ns: libseal_telemetry::Histogram,
+    accept_errors: libseal_telemetry::Counter,
+    malformed_requests: libseal_telemetry::Counter,
 }
 
 fn squid_metrics() -> &'static SquidMetrics {
@@ -31,19 +33,127 @@ fn squid_metrics() -> &'static SquidMetrics {
     M.get_or_init(|| SquidMetrics {
         requests: libseal_telemetry::counter("services_squid_requests_total"),
         request_ns: libseal_telemetry::histogram("services_squid_request_ns"),
+        accept_errors: libseal_telemetry::counter("services_squid_accept_errors_total"),
+        malformed_requests: libseal_telemetry::counter("services_squid_malformed_requests_total"),
     })
 }
 
-/// Proxy configuration.
+/// Proxy configuration (builder).
 pub struct SquidConfig {
-    /// TLS termination towards clients.
-    pub tls: TlsMode,
-    /// Worker threads.
-    pub workers: usize,
-    /// Origin server address.
-    pub upstream: SocketAddr,
-    /// CA roots trusted for the origin connection.
-    pub upstream_roots: Vec<VerifyingKey>,
+    pub(crate) tls: TlsMode,
+    pub(crate) workers: usize,
+    pub(crate) upstream: SocketAddr,
+    pub(crate) upstream_roots: Vec<VerifyingKey>,
+    pub(crate) event_loop: bool,
+    pub(crate) idle_timeout: std::time::Duration,
+}
+
+impl SquidConfig {
+    /// A configuration with the default worker count (4), the
+    /// event-driven core enabled and a 60 s idle-session timeout.
+    /// `upstream` is the origin server; `upstream_roots` the CA roots
+    /// trusted for its certificate.
+    pub fn new(
+        tls: TlsMode,
+        upstream: SocketAddr,
+        upstream_roots: Vec<VerifyingKey>,
+    ) -> SquidConfig {
+        SquidConfig {
+            tls,
+            workers: 4,
+            upstream,
+            upstream_roots,
+            event_loop: true,
+            idle_timeout: std::time::Duration::from_secs(60),
+        }
+    }
+
+    /// Worker threads: connection workers in threaded mode, job-pool
+    /// carriers in event mode.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> SquidConfig {
+        self.workers = n;
+        self
+    }
+
+    /// Selects the event-driven core (default) or, with `false`, the
+    /// paper's thread-per-connection serving model. Event mode falls
+    /// back to threaded where readiness polling is unsupported.
+    #[must_use]
+    pub fn event_loop(mut self, on: bool) -> SquidConfig {
+        self.event_loop = on;
+        self
+    }
+
+    /// Event mode only: idle connections are evicted after this long
+    /// without traffic.
+    #[must_use]
+    pub fn idle_timeout(mut self, d: std::time::Duration) -> SquidConfig {
+        self.idle_timeout = d;
+        self
+    }
+}
+
+/// The Squid personality of the shared event loop. The upstream leg
+/// is per client connection (as Squid tunnels), opened lazily on the
+/// first request *inside the worker job* — the origin handshake must
+/// never block the reactor.
+struct SquidApp {
+    upstream: SocketAddr,
+    roots: Vec<VerifyingKey>,
+    proxied: Arc<AtomicU64>,
+}
+
+impl crate::event::App for SquidApp {
+    type Conn = Option<crate::client::PersistentConnection>;
+
+    fn open_conn(&self) -> Self::Conn {
+        None
+    }
+
+    fn handle(&self, conn: &mut Self::Conn, req: &libseal_httpx::http::Request) -> Response {
+        if conn.is_none() {
+            match HttpsClient::new(self.upstream, self.roots.clone()).connect() {
+                Ok(c) => *conn = Some(c),
+                Err(_) => return Response::new(502, b"bad gateway".to_vec()),
+            }
+        }
+        match conn.as_mut().expect("origin leg just opened").request(req) {
+            Ok(rsp) => rsp,
+            Err(_) => {
+                // The origin leg died; drop it so the next request
+                // redials instead of failing forever.
+                *conn = None;
+                Response::new(502, b"bad gateway".to_vec())
+            }
+        }
+    }
+
+    fn close_conn(&self, conn: &mut Self::Conn) {
+        if let Some(mut origin) = conn.take() {
+            origin.close();
+        }
+    }
+
+    fn span_name(&self) -> &'static str {
+        "squid_request"
+    }
+
+    fn on_request(&self, _path: &str, started: std::time::Instant) {
+        squid_metrics().requests.inc();
+        squid_metrics()
+            .request_ns
+            .record_duration(started.elapsed());
+        self.proxied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_malformed(&self) {
+        squid_metrics().malformed_requests.inc();
+    }
+
+    fn on_accept_error(&self) {
+        squid_metrics().accept_errors.inc();
+    }
 }
 
 /// A running proxy.
@@ -52,6 +162,8 @@ pub struct SquidProxy {
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
     requests_proxied: Arc<AtomicU64>,
+    /// Present in event mode: interrupts the parked reactor on stop.
+    waker: Option<plat::reactor::Waker>,
 }
 
 impl SquidProxy {
@@ -66,6 +178,32 @@ impl SquidProxy {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_proxied = Arc::new(AtomicU64::new(0));
+
+        if config.event_loop && plat::reactor::supported() {
+            let app = Arc::new(SquidApp {
+                upstream: config.upstream,
+                roots: config.upstream_roots.clone(),
+                proxied: Arc::clone(&requests_proxied),
+            });
+            let handle = crate::event::serve(
+                listener,
+                crate::event::EventConfig {
+                    tls: config.tls.clone(),
+                    workers: config.workers,
+                    idle_timeout: config.idle_timeout,
+                },
+                app,
+                Arc::clone(&shutdown),
+            )?;
+            return Ok(SquidProxy {
+                addr,
+                shutdown,
+                handles: vec![handle.join],
+                requests_proxied,
+                waker: Some(handle.waker),
+            });
+        }
+
         let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
 
@@ -76,7 +214,9 @@ impl SquidProxy {
                     .name("squid-accept".into())
                     .spawn(move || {
                         while !shutdown.load(Ordering::Acquire) {
-                            match listener.accept() {
+                            match plat::failpoint::check("services::accept")
+                                .and_then(|()| listener.accept())
+                            {
                                 Ok((sock, _)) => {
                                     let _ = sock.set_nodelay(true);
                                     if tx.send(sock).is_err() {
@@ -86,7 +226,16 @@ impl SquidProxy {
                                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                     std::thread::sleep(std::time::Duration::from_micros(200));
                                 }
-                                Err(_) => break,
+                                Err(_) => {
+                                    // Transient accept failures
+                                    // (ECONNABORTED, EMFILE, EINTR)
+                                    // must not silence the proxy for
+                                    // the rest of its lifetime: count,
+                                    // back off briefly, retry.
+                                    // Shutdown is the only exit.
+                                    squid_metrics().accept_errors.inc();
+                                    std::thread::sleep(std::time::Duration::from_millis(5));
+                                }
                             }
                         }
                     })
@@ -126,6 +275,7 @@ impl SquidProxy {
             shutdown,
             handles,
             requests_proxied,
+            waker: None,
         })
     }
 
@@ -147,6 +297,9 @@ impl SquidProxy {
     /// Stops the proxy.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -156,6 +309,9 @@ impl SquidProxy {
 impl Drop for SquidProxy {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -197,7 +353,8 @@ fn proxy_established(
             break;
         }
         flush(session, sock)?;
-        let n = sock.read(&mut buf)?;
+        // EINTR is a transient condition, not a handshake failure.
+        let n = crate::event::read_retry(sock, &mut buf)?;
         if n == 0 {
             return Ok(());
         }
@@ -221,7 +378,9 @@ fn proxy_established(
                 ReadOutcome::Data(d) => plain.extend_from_slice(&d),
                 ReadOutcome::WantRead => {
                     flush(session, sock)?;
-                    let n = match sock.read(&mut buf) {
+                    // Retry EINTR; only real transport errors (and the
+                    // 30 s socket timeout) end the connection.
+                    let n = match crate::event::read_retry(sock, &mut buf) {
                         Ok(n) => n,
                         Err(_) => return Ok(()),
                     };
@@ -246,7 +405,9 @@ fn proxy_established(
             flush(session, sock)?;
         }
         squid_metrics().requests.inc();
-        squid_metrics().request_ns.record_duration(started.elapsed());
+        squid_metrics()
+            .request_ns
+            .record_duration(started.elapsed());
         proxied.fetch_add(1, Ordering::Relaxed);
         if close {
             origin_conn.close();

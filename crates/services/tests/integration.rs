@@ -52,11 +52,9 @@ fn libseal_for(
 fn static_content_through_libseal() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, None);
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(ls),
-        workers: 2,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
     let rsp = client
@@ -72,17 +70,19 @@ fn static_content_through_libseal() {
 fn keep_alive_connections_work() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, None);
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(ls),
-        workers: 2,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
     let mut conn = client.connect().unwrap();
     for i in 1..=5 {
         let rsp = conn
-            .request(&Request::new("GET", &format!("/content/{}", i * 10), Vec::new()))
+            .request(&Request::new(
+                "GET",
+                &format!("/content/{}", i * 10),
+                Vec::new(),
+            ))
             .unwrap();
         assert_eq!(rsp.body.len(), i * 10);
     }
@@ -96,18 +96,19 @@ fn git_attacks_detected_end_to_end() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
     let backend = Arc::new(GitBackend::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        router: Arc::new(Arc::clone(&backend)),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            Arc::new(Arc::clone(&backend)),
+        )
+        .workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
 
     // Honest phase: push two branches, fetch, check → ok.
-    let push = |body: &str| {
-        Request::new("POST", "/repo/p/git-receive-pack", body.as_bytes().to_vec())
-    };
+    let push =
+        |body: &str| Request::new("POST", "/repo/p/git-receive-pack", body.as_bytes().to_vec());
     client
         .request(&push("0 c1 refs/heads/main\n0 d1 refs/heads/dev\n"))
         .unwrap();
@@ -150,11 +151,13 @@ fn git_history_replay_stays_clean() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
     let backend = Arc::new(GitBackend::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        router: Arc::new(Arc::clone(&backend)),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            Arc::new(Arc::clone(&backend)),
+        )
+        .workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
     let mut generator = HistoryGenerator::new("commons-validator", 4, 1);
@@ -179,11 +182,9 @@ fn owncloud_lost_edit_detected_end_to_end() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(OwnCloudModule)));
     let oc = Arc::new(OwnCloudServer::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        router: Arc::new(Arc::clone(&oc)),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(Arc::clone(&ls)), Arc::new(Arc::clone(&oc))).workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
 
@@ -229,24 +230,28 @@ fn dropbox_through_squid_detects_corruption() {
     // Origin: the Dropbox metadata server behind its own TLS identity.
     let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]);
     let origin = Arc::new(DropboxServer::new());
-    let origin_server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: ocert,
-            key: okey,
-        },
-        workers: 2,
-        router: Arc::new(Arc::clone(&origin)),
-    })
+    let origin_server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: ocert,
+                key: okey,
+            },
+            Arc::new(Arc::clone(&origin)),
+        )
+        .workers(2),
+    )
     .unwrap();
 
     // The Squid proxy terminates client TLS through LibSEAL.
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(DropboxModule)));
-    let proxy = SquidProxy::start(SquidConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        upstream: origin_server.addr(),
-        upstream_roots: vec![ca.root_key()],
-    })
+    let proxy = SquidProxy::start(
+        SquidConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            origin_server.addr(),
+            vec![ca.root_key()],
+        )
+        .workers(2),
+    )
     .unwrap();
 
     let client = HttpsClient::new(proxy.addr(), roots);
@@ -293,14 +298,16 @@ fn wan_latency_floor_applies() {
     let ca = ca();
     let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]);
     let origin = Arc::new(DropboxServer::with_wan_latency(Duration::from_millis(30)));
-    let origin_server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: ocert,
-            key: okey,
-        },
-        workers: 2,
-        router: Arc::new(origin),
-    })
+    let origin_server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: ocert,
+                key: okey,
+            },
+            Arc::new(origin),
+        )
+        .workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(origin_server.addr(), vec![ca.root_key()]);
     let t0 = std::time::Instant::now();
@@ -319,19 +326,20 @@ fn wan_latency_floor_applies() {
 fn malformed_request_gets_400_and_close() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 1,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            Arc::new(StaticContentRouter),
+        )
+        .workers(1),
+    )
     .unwrap();
 
     // Speak TLS by hand so we can ship provably-not-HTTP bytes.
     let sock = std::net::TcpStream::connect(server.addr()).unwrap();
     sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let cfg = libseal_tlsx::ssl::SslConfig::client(roots.clone());
-    let mut tls =
-        libseal_tlsx::stream::SslStream::handshake(cfg, [0x5a; 64], sock).unwrap();
+    let mut tls = libseal_tlsx::stream::SslStream::handshake(cfg, [0x5a; 64], sock).unwrap();
     tls.write_all(b"NOT-A-REQUEST\r\n\r\n").unwrap();
     let mut buf = Vec::new();
     let rsp = loop {
@@ -366,11 +374,9 @@ fn malformed_request_gets_400_and_close() {
 fn many_concurrent_clients() {
     let ca = ca();
     let (ls, roots) = libseal_for(&ca, None);
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(ls),
-        workers: 4,
-        router: Arc::new(StaticContentRouter),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(4),
+    )
     .unwrap();
     let addr = server.addr();
     let mut handles = Vec::new();
@@ -401,26 +407,30 @@ fn reverse_proxy_deployment_for_git() {
     // The backend Git server (its own TLS identity, unaudited).
     let (bkey, bcert) = ca.issue_identity("git-backend", &[0x41; 32]);
     let backend = Arc::new(GitBackend::new());
-    let backend_server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native {
-            cert: bcert,
-            key: bkey,
-        },
-        workers: 2,
-        router: Arc::new(Arc::clone(&backend)),
-    })
+    let backend_server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: bcert,
+                key: bkey,
+            },
+            Arc::new(Arc::clone(&backend)),
+        )
+        .workers(2),
+    )
     .unwrap();
 
     // The audited front end.
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
-    let front = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        router: Arc::new(libseal_services::apache::ReverseProxyRouter::new(
-            backend_server.addr(),
-            vec![ca.root_key()],
-        )),
-    })
+    let front = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            Arc::new(libseal_services::apache::ReverseProxyRouter::new(
+                backend_server.addr(),
+                vec![ca.root_key()],
+            )),
+        )
+        .workers(2),
+    )
     .unwrap();
 
     let client = HttpsClient::new(front.addr(), roots);

@@ -29,11 +29,13 @@ fn metrics_endpoint_covers_every_wired_crate() {
     )
     .unwrap();
     let backend = Arc::new(GitBackend::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&ls)),
-        workers: 2,
-        router: Arc::new(MetricsRouter::wrapping(Arc::new(Arc::clone(&backend)))),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&ls)),
+            Arc::new(MetricsRouter::wrapping(Arc::new(Arc::clone(&backend)))),
+        )
+        .workers(2),
+    )
     .unwrap();
     let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
 

@@ -93,8 +93,7 @@ impl AttestationService {
     ///
     /// [`SgxError::AttestationFailure`] on any mismatch.
     pub fn verify(&self, quote: &Quote, expected_measurement: Option<&[u8; 32]>) -> Result<()> {
-        let payload =
-            Quote::signed_payload(&quote.measurement, &quote.signer, &quote.report_data);
+        let payload = Quote::signed_payload(&quote.measurement, &quote.signer, &quote.report_data);
         self.root
             .verify(&payload, &quote.signature)
             .map_err(|_| SgxError::AttestationFailure)?;
@@ -135,10 +134,7 @@ mod tests {
         let rogue = QuotingEnclave::new(&[0x22; 32]);
         let ias = AttestationService::new(qe.root_key());
         let quote = rogue.quote(e.services(), &[0u8; 64]);
-        assert_eq!(
-            ias.verify(&quote, None),
-            Err(SgxError::AttestationFailure)
-        );
+        assert_eq!(ias.verify(&quote, None), Err(SgxError::AttestationFailure));
     }
 
     #[test]

@@ -106,10 +106,7 @@ mod tests {
         for _ in 0..3 {
             c.increment().unwrap();
         }
-        assert!(matches!(
-            c.increment(),
-            Err(SgxError::CounterFailure(_))
-        ));
+        assert!(matches!(c.increment(), Err(SgxError::CounterFailure(_))));
     }
 
     #[test]

@@ -121,12 +121,7 @@ impl EnclaveServices {
     ///
     /// [`SgxError::SealingFailure`] if the blob was tampered with or was
     /// sealed by a different identity.
-    pub fn unseal_data(
-        &self,
-        policy: SealingPolicy,
-        aad: &[u8],
-        sealed: &[u8],
-    ) -> Result<Vec<u8>> {
+    pub fn unseal_data(&self, policy: SealingPolicy, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>> {
         let key = self.seal_key(policy);
         seal::unseal_with_key(&key, aad, sealed).ok_or(SgxError::SealingFailure)
     }
@@ -318,15 +313,37 @@ impl<T> Enclave<T> {
     /// # Errors
     ///
     /// [`SgxError::OutOfTcs`] when no TCS slot frees up.
-    pub fn ecall<R>(
+    pub fn ecall<R>(&self, name: CallId, f: impl FnOnce(&T, &EnclaveServices) -> R) -> Result<R> {
+        let threads = self.services.enter()?;
+        let cycles = self.services.model.transition_cycles(threads);
+        self.services.model.charge_cycles(cycles);
+        self.services.stats.record_ecall(name, cycles);
+        let r = f(&self.state, &self.services);
+        self.services.exit();
+        Ok(r)
+    }
+
+    /// Executes `f` inside the enclave as a *batched* ecall serving
+    /// `items` units of work (sessions, log entries, …) in one
+    /// transition — the `seal_batch`/`verify_batch` shape, exposed as
+    /// a first-class entry point for the event-driven service core.
+    /// One transition is charged regardless of `items`; the batch is
+    /// priced in telemetry (`sgxsim_batch_ecalls_total` /
+    /// `sgxsim_batch_items_total`) so gates can measure amortisation.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::OutOfTcs`] when no TCS slot frees up.
+    pub fn ecall_batch<R>(
         &self,
         name: CallId,
+        items: u64,
         f: impl FnOnce(&T, &EnclaveServices) -> R,
     ) -> Result<R> {
         let threads = self.services.enter()?;
         let cycles = self.services.model.transition_cycles(threads);
         self.services.model.charge_cycles(cycles);
-        self.services.stats.record_ecall(name, cycles);
+        self.services.stats.record_batch_ecall(name, cycles, items);
         let r = f(&self.state, &self.services);
         self.services.exit();
         Ok(r)
@@ -420,6 +437,19 @@ mod tests {
     }
 
     #[test]
+    fn batch_ecall_charges_one_transition_for_many_items() {
+        let e = test_enclave();
+        e.ecall_batch("tls_batch", 64, |s, _| *s.lock() += 64)
+            .unwrap();
+        let snap = e.services().stats().snapshot();
+        assert_eq!(snap.ecalls, 1, "one transition");
+        assert_eq!(snap.batch_ecalls, 1);
+        assert_eq!(snap.batch_items, 64);
+        assert_eq!(snap.by_name["tls_batch"], 1);
+        assert_eq!(e.ecall("bump", |s, _| *s.lock()).unwrap(), 64);
+    }
+
+    #[test]
     fn async_call_counts_separately() {
         let e = test_enclave();
         let _entry = e.enter_persistent().unwrap();
@@ -466,10 +496,14 @@ mod tests {
         e.ecall("bump", |_, sv| {
             let sealed = sv.seal_data(SealingPolicy::MrSigner, b"log", b"secret payload");
             assert_ne!(&sealed[..], b"secret payload");
-            let opened = sv.unseal_data(SealingPolicy::MrSigner, b"log", &sealed).unwrap();
+            let opened = sv
+                .unseal_data(SealingPolicy::MrSigner, b"log", &sealed)
+                .unwrap();
             assert_eq!(opened, b"secret payload");
             // Wrong AAD must fail.
-            assert!(sv.unseal_data(SealingPolicy::MrSigner, b"oth", &sealed).is_err());
+            assert!(sv
+                .unseal_data(SealingPolicy::MrSigner, b"oth", &sealed)
+                .is_err());
         })
         .unwrap();
     }

@@ -82,8 +82,7 @@ impl EpcState {
         }
         // Probability of a touched page being swapped out approximates
         // the overflow fraction of the working set.
-        let overflow_fraction =
-            (resident - model.epc_limit_bytes) as f64 / resident.max(1) as f64;
+        let overflow_fraction = (resident - model.epc_limit_bytes) as f64 / resident.max(1) as f64;
         let pages_touched = bytes.div_ceil(PAGE);
         let swaps = (pages_touched as f64 * overflow_fraction).ceil() as u64;
         if swaps > 0 {

@@ -85,8 +85,7 @@ impl MemoryPool {
     pub fn alloc(self: &Arc<Self>, services: &EnclaveServices) -> PoolBlock {
         if self.enabled {
             if let Some(block) = self.free.lock().pop() {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return PoolBlock {
                     data: Some(block),
                     pool: Arc::clone(self),

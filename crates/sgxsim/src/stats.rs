@@ -18,6 +18,8 @@ struct GlobalCounters {
     ocalls: Counter,
     async_ecalls: Counter,
     async_ocalls: Counter,
+    batch_ecalls: Counter,
+    batch_items: Counter,
     cycles_charged: Counter,
     epc_page_swaps: Counter,
 }
@@ -29,6 +31,8 @@ fn globals() -> &'static GlobalCounters {
         ocalls: libseal_telemetry::counter("sgxsim_ocalls_total"),
         async_ecalls: libseal_telemetry::counter("sgxsim_async_ecalls_total"),
         async_ocalls: libseal_telemetry::counter("sgxsim_async_ocalls_total"),
+        batch_ecalls: libseal_telemetry::counter("sgxsim_batch_ecalls_total"),
+        batch_items: libseal_telemetry::counter("sgxsim_batch_items_total"),
         cycles_charged: libseal_telemetry::counter("sgxsim_cycles_charged_total"),
         epc_page_swaps: libseal_telemetry::counter("sgxsim_epc_page_swaps_total"),
     })
@@ -44,6 +48,8 @@ pub struct TransitionStats {
     ocalls: Counter,
     async_ecalls: Counter,
     async_ocalls: Counter,
+    batch_ecalls: Counter,
+    batch_items: Counter,
     cycles_charged: Counter,
     epc_page_swaps: Counter,
     by_name: Mutex<HashMap<&'static str, u64>>,
@@ -91,6 +97,26 @@ impl TransitionStats {
         libseal_telemetry::charge_boundary_cycles(handoff_cycles);
     }
 
+    /// Records one *batched* ecall carrying `items` units of work —
+    /// a single transition amortised across many sessions (mirrors
+    /// `seal_batch`/`verify_batch` and the paper's §4.3 motivation:
+    /// fewer crossings per byte served). Counted as one ecall plus
+    /// batch pricing, so transitions-per-request gates can divide
+    /// `batch_items` by `batch_ecalls` to see the amortisation.
+    pub fn record_batch_ecall(&self, name: &'static str, cycles: u64, items: u64) {
+        self.ecalls.inc();
+        self.batch_ecalls.inc();
+        self.batch_items.add(items);
+        self.cycles_charged.add(cycles);
+        let g = globals();
+        g.ecalls.inc();
+        g.batch_ecalls.inc();
+        g.batch_items.add(items);
+        g.cycles_charged.add(cycles);
+        libseal_telemetry::charge_boundary_cycles(cycles);
+        *self.by_name.lock().entry(name).or_insert(0) += 1;
+    }
+
     /// Records `n` EPC page swaps.
     pub fn record_page_swaps(&self, n: u64) {
         self.epc_page_swaps.add(n);
@@ -104,6 +130,8 @@ impl TransitionStats {
             ocalls: self.ocalls.get(),
             async_ecalls: self.async_ecalls.get(),
             async_ocalls: self.async_ocalls.get(),
+            batch_ecalls: self.batch_ecalls.get(),
+            batch_items: self.batch_items.get(),
             cycles_charged: self.cycles_charged.get(),
             epc_page_swaps: self.epc_page_swaps.get(),
             by_name: self.by_name.lock().clone(),
@@ -117,6 +145,8 @@ impl TransitionStats {
         self.ocalls.reset();
         self.async_ecalls.reset();
         self.async_ocalls.reset();
+        self.batch_ecalls.reset();
+        self.batch_items.reset();
         self.cycles_charged.reset();
         self.epc_page_swaps.reset();
         self.by_name.lock().clear();
@@ -134,6 +164,10 @@ pub struct StatsSnapshot {
     pub async_ecalls: u64,
     /// Asynchronous ocall handoffs.
     pub async_ocalls: u64,
+    /// Batched ecalls (each also counted in `ecalls`).
+    pub batch_ecalls: u64,
+    /// Work items carried by batched ecalls.
+    pub batch_items: u64,
     /// Total cycles charged by the cost model.
     pub cycles_charged: u64,
     /// EPC pages swapped to/from unprotected memory.

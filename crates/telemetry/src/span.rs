@@ -151,8 +151,7 @@ impl Drop for Span {
         let Some((hist, journal)) = self.active.take() else {
             return;
         };
-        let boundary_cycles =
-            OPEN_SPANS.with(|stack| stack.borrow_mut().pop().unwrap_or(0));
+        let boundary_cycles = OPEN_SPANS.with(|stack| stack.borrow_mut().pop().unwrap_or(0));
         let duration = self.start.elapsed();
         hist.record_duration(duration);
         journal.push(SpanEvent {

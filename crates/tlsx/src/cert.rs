@@ -73,20 +73,26 @@ impl Certificate {
             *i += n;
             Ok(s)
         };
-        let slen = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        // Network-supplied bytes: every fixed-width field converts
+        // through a typed error, never an unwrap.
+        fn arr<const N: usize>(s: &[u8]) -> Result<[u8; N]> {
+            s.try_into()
+                .map_err(|_| TlsError::Protocol("certificate field truncated".into()))
+        }
+        let slen = u32::from_le_bytes(arr(take(&mut i, 4)?)?) as usize;
         if slen > 4096 {
             return Err(TlsError::Protocol("subject too long".into()));
         }
         let subject = String::from_utf8(take(&mut i, slen)?.to_vec())
             .map_err(|_| TlsError::Protocol("subject not UTF-8".into()))?;
-        let pubkey: [u8; 32] = take(&mut i, 32)?.try_into().unwrap();
-        let ilen = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        let pubkey: [u8; 32] = arr(take(&mut i, 32)?)?;
+        let ilen = u32::from_le_bytes(arr(take(&mut i, 4)?)?) as usize;
         if ilen > 4096 {
             return Err(TlsError::Protocol("issuer too long".into()));
         }
         let issuer = String::from_utf8(take(&mut i, ilen)?.to_vec())
             .map_err(|_| TlsError::Protocol("issuer not UTF-8".into()))?;
-        let signature: [u8; 64] = take(&mut i, 64)?.try_into().unwrap();
+        let signature: [u8; 64] = arr(take(&mut i, 64)?)?;
         if i != buf.len() {
             return Err(TlsError::Protocol("trailing certificate bytes".into()));
         }

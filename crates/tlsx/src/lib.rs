@@ -28,7 +28,7 @@ pub mod stream;
 
 pub use cert::{Certificate, CertificateAuthority};
 pub use ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
-pub use stream::SslStream;
+pub use stream::{NbRead, NbSslStream, NbStatus, SslStream, WireBuf};
 
 /// Errors from the STLS protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,9 @@ pub enum TlsError {
     Closed,
     /// Operation needs more input bytes (non-blocking would-block).
     WantRead,
+    /// Output is blocked on the transport accepting more bytes; the
+    /// unsent ciphertext stays buffered and resumes on the next call.
+    WantWrite,
     /// An underlying I/O error (blocking wrapper only).
     Io(String),
 }
@@ -55,6 +58,7 @@ impl std::fmt::Display for TlsError {
             TlsError::Decrypt => write!(f, "record decryption failed"),
             TlsError::Closed => write!(f, "connection closed"),
             TlsError::WantRead => write!(f, "need more input"),
+            TlsError::WantWrite => write!(f, "output blocked on transport"),
             TlsError::Io(m) => write!(f, "io error: {m}"),
         }
     }

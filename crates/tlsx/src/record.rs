@@ -195,7 +195,10 @@ mod tests {
         let sealed = tx.seal(ContentType::AppData, b"once");
         rx.open(ContentType::AppData, &sealed).unwrap();
         // Replaying the same ciphertext fails: the nonce has moved on.
-        assert_eq!(rx.open(ContentType::AppData, &sealed), Err(TlsError::Decrypt));
+        assert_eq!(
+            rx.open(ContentType::AppData, &sealed),
+            Err(TlsError::Decrypt)
+        );
     }
 
     #[test]

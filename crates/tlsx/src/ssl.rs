@@ -318,15 +318,13 @@ impl Ssl {
                     self.in_buf.drain(..used);
                     match rec.ctype {
                         ContentType::AppData => {
-                            let keys =
-                                self.read_keys.as_mut().expect("established has keys");
+                            let keys = self.read_keys.as_mut().expect("established has keys");
                             let plain = keys.open(ContentType::AppData, &rec.payload)?;
                             tlsx_metrics().records_opened.inc();
                             self.plain_in.extend_from_slice(&plain);
                         }
                         ContentType::Alert => {
-                            let keys =
-                                self.read_keys.as_mut().expect("established has keys");
+                            let keys = self.read_keys.as_mut().expect("established has keys");
                             let plain = keys.open(ContentType::Alert, &rec.payload)?;
                             tlsx_metrics().records_opened.inc();
                             if plain.first() == Some(&0) {
@@ -336,9 +334,7 @@ impl Ssl {
                             return Err(TlsError::Protocol("fatal alert".into()));
                         }
                         ContentType::Handshake => {
-                            return Err(TlsError::Protocol(
-                                "unexpected handshake record".into(),
-                            ))
+                            return Err(TlsError::Protocol("unexpected handshake record".into()))
                         }
                     }
                 }
@@ -370,9 +366,7 @@ impl Ssl {
             return Ok(None);
         };
         if rec.ctype != ContentType::Handshake {
-            return Err(TlsError::Protocol(
-                "expected handshake record".into(),
-            ));
+            return Err(TlsError::Protocol("expected handshake record".into()));
         }
         self.in_buf.drain(..used);
         // Encrypted after keys are installed.
@@ -473,17 +467,23 @@ impl Ssl {
         p
     }
 
+    /// Extracts the 32-byte X25519 share leading a hello body.
+    /// Network-supplied, so a short body is a typed protocol error.
+    fn key_share(body: &[u8]) -> Result<[u8; 32]> {
+        body.get(..32)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| TlsError::Protocol("hello body shorter than key share".into()))
+    }
+
     fn process_handshake_message(&mut self, t: u8, body: &[u8]) -> Result<()> {
         match (self.config.role, self.state, t) {
             (Role::Server, HandshakeState::AwaitClientHello, MSG_CLIENT_HELLO) => {
                 self.info(INFO_HANDSHAKE_START, 0);
-                if body.len() < 32 {
-                    return Err(TlsError::Protocol("short ClientHello".into()));
-                }
+                let peer_share = Self::key_share(body)
+                    .map_err(|_| TlsError::Protocol("short ClientHello".into()))?;
                 // Append the peer's message to the transcript exactly
                 // as received.
                 self.append_peer_transcript(t, body);
-                let peer_share: [u8; 32] = body[..32].try_into().unwrap();
 
                 // ServerHello with our share.
                 let my_share = x25519::public_key(&self.kx_priv);
@@ -515,11 +515,9 @@ impl Ssl {
                 Ok(())
             }
             (Role::Client, HandshakeState::AwaitServerFlight, MSG_SERVER_HELLO) => {
-                if body.len() < 32 {
-                    return Err(TlsError::Protocol("short ServerHello".into()));
-                }
+                let peer_share = Self::key_share(body)
+                    .map_err(|_| TlsError::Protocol("short ServerHello".into()))?;
                 self.append_peer_transcript(t, body);
-                let peer_share: [u8; 32] = body[..32].try_into().unwrap();
                 self.derive_keys(&peer_share);
                 Ok(())
             }
@@ -696,8 +694,10 @@ mod tests {
     fn full_handshake_and_data() {
         let ca = test_ca();
         let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (mut client, mut server) =
-            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let (mut client, mut server) = handshake_pair(
+            SslConfig::client(vec![ca.root_key()]),
+            SslConfig::server(cert, key),
+        );
         assert!(client.is_established());
         assert!(server.is_established());
 
@@ -799,8 +799,10 @@ mod tests {
     fn tampered_record_fails() {
         let ca = test_ca();
         let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (mut client, mut server) =
-            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let (mut client, mut server) = handshake_pair(
+            SslConfig::client(vec![ca.root_key()]),
+            SslConfig::server(cert, key),
+        );
         client.ssl_write(b"sensitive").unwrap();
         let mut wire = client.take_output();
         let n = wire.len();
@@ -813,8 +815,10 @@ mod tests {
     fn close_notify_roundtrip() {
         let ca = test_ca();
         let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (mut client, mut server) =
-            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let (mut client, mut server) = handshake_pair(
+            SslConfig::client(vec![ca.root_key()]),
+            SslConfig::server(cert, key),
+        );
         client.send_close();
         let wire = client.take_output();
         server.provide_input(&wire);
@@ -825,8 +829,10 @@ mod tests {
     fn large_transfer_chunks_records() {
         let ca = test_ca();
         let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (mut client, mut server) =
-            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let (mut client, mut server) = handshake_pair(
+            SslConfig::client(vec![ca.root_key()]),
+            SslConfig::server(cert, key),
+        );
         let big: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
         client.ssl_write(&big).unwrap();
         let wire = client.take_output();
@@ -867,8 +873,10 @@ mod tests {
     fn ex_data_storage() {
         let ca = test_ca();
         let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (mut client, _server) =
-            handshake_pair(SslConfig::client(vec![ca.root_key()]), SslConfig::server(cert, key));
+        let (mut client, _server) = handshake_pair(
+            SslConfig::client(vec![ca.root_key()]),
+            SslConfig::server(cert, key),
+        );
         client.ex_data.insert(1, b"request-ptr".to_vec());
         assert_eq!(client.ex_data.get(&1).unwrap(), b"request-ptr");
     }

@@ -1,15 +1,138 @@
-//! Blocking stream wrapper: STLS over any `Read + Write` transport.
+//! Stream wrappers: STLS over any `Read + Write` transport.
+//!
+//! Two drivers share the sans-IO [`Ssl`] state machine:
+//!
+//! - [`SslStream`] — the blocking wrapper servers and clients have
+//!   always used. Partial writes are buffered in a [`WireBuf`], so a
+//!   socket that turns non-blocking (or times out mid-record) yields
+//!   [`TlsError::WantWrite`] with the unsent ciphertext retained — the
+//!   next `write_all`/`flush_pending` resumes instead of re-encrypting.
+//! - [`NbSslStream`] — the non-blocking driver for readiness-based
+//!   serving (`plat::reactor`): `handshake`/`read`/`write` are
+//!   resumable state machines returning [`NbStatus::WantRead`] /
+//!   [`NbStatus::WantWrite`] instead of blocking.
+//!
+//! Both retry `ErrorKind::Interrupted` (EINTR) everywhere; a signal
+//! delivery must never tear down a session.
 
-use std::io::{Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::sync::Arc;
 
 use crate::ssl::{ReadOutcome, Ssl, SslConfig};
 use crate::{Result, TlsError};
 
+/// Outcome of a [`WireBuf::flush_to`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Everything buffered reached the transport.
+    Done,
+    /// The transport would block; unsent bytes remain buffered.
+    WantWrite,
+}
+
+/// Ciphertext awaiting transmission, resumable across partial writes.
+///
+/// A non-blocking socket can accept half a TLS record and then return
+/// `WouldBlock`; re-encrypting on retry would corrupt the record
+/// stream (sequence-number nonces). This buffer owns the wire bytes
+/// until the kernel takes them, retrying EINTR and compacting lazily.
+#[derive(Default)]
+pub struct WireBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WireBuf {
+    /// An empty buffer.
+    pub fn new() -> WireBuf {
+        WireBuf::default()
+    }
+
+    /// Queues `bytes` behind whatever is still unsent.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        // Compact before growing so pos never drifts unboundedly.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unsent byte count.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when nothing awaits transmission.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Writes as much as the transport accepts. EINTR is retried;
+    /// `WouldBlock` returns [`FlushOutcome::WantWrite`] with the
+    /// remainder kept for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors other than EINTR/WouldBlock.
+    pub fn flush_to(&mut self, w: &mut impl Write) -> io::Result<FlushOutcome> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "transport accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(FlushOutcome::WantWrite),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        loop {
+            match w.flush() {
+                Ok(()) => return Ok(FlushOutcome::Done),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Bytes are with the OS; nothing left for us to hold.
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(FlushOutcome::Done),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// EINTR-safe read: retries `Interrupted`, maps `WouldBlock` to
+/// `Ok(None)`, and returns `Ok(Some(0))` on EOF.
+///
+/// # Errors
+///
+/// Transport errors other than EINTR/WouldBlock.
+pub fn read_wire(r: &mut impl Read, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    loop {
+        match r.read(buf) {
+            Ok(n) => return Ok(Some(n)),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn io_err(e: io::Error) -> TlsError {
+    TlsError::Io(e.to_string())
+}
+
 /// A blocking STLS connection over `S` (typically a `TcpStream`).
 pub struct SslStream<S: Read + Write> {
     ssl: Ssl,
     stream: S,
+    pending: WireBuf,
 }
 
 impl<S: Read + Write> SslStream<S> {
@@ -20,29 +143,47 @@ impl<S: Read + Write> SslStream<S> {
     /// Handshake failures and transport I/O errors.
     pub fn handshake(config: Arc<SslConfig>, entropy: [u8; 64], mut stream: S) -> Result<Self> {
         let mut ssl = Ssl::new(config, entropy);
+        let mut pending = WireBuf::new();
         loop {
             if ssl.do_handshake()? {
                 break;
             }
-            flush_output(&mut ssl, &mut stream)?;
+            flush_output(&mut ssl, &mut pending, &mut stream)?;
             if ssl.is_established() {
                 break;
             }
             read_some(&mut ssl, &mut stream)?;
         }
         // Send any trailing flight (e.g. the client Finished).
-        flush_output(&mut ssl, &mut stream)?;
-        Ok(SslStream { ssl, stream })
+        flush_output(&mut ssl, &mut pending, &mut stream)?;
+        Ok(SslStream {
+            ssl,
+            stream,
+            pending,
+        })
     }
 
-    /// Encrypts and sends `data`.
+    /// Encrypts and sends `data`. If an earlier call left unsent
+    /// ciphertext (see [`TlsError::WantWrite`]), that is flushed
+    /// first; `data` is encrypted exactly once either way.
     ///
     /// # Errors
     ///
-    /// Protocol or transport failures.
+    /// Protocol or transport failures; [`TlsError::WantWrite`] when
+    /// the transport would block (ciphertext retained for resume).
     pub fn write_all(&mut self, data: &[u8]) -> Result<()> {
         self.ssl.ssl_write(data)?;
-        flush_output(&mut self.ssl, &mut self.stream)
+        flush_output(&mut self.ssl, &mut self.pending, &mut self.stream)
+    }
+
+    /// Retries transmission of ciphertext a previous call could not
+    /// fully send.
+    ///
+    /// # Errors
+    ///
+    /// As [`SslStream::write_all`].
+    pub fn flush_pending(&mut self) -> Result<()> {
+        flush_output(&mut self.ssl, &mut self.pending, &mut self.stream)
     }
 
     /// Receives and decrypts the next chunk of application data.
@@ -56,7 +197,7 @@ impl<S: Read + Write> SslStream<S> {
                 ReadOutcome::Data(d) => return Ok(d),
                 ReadOutcome::Closed => return Err(TlsError::Closed),
                 ReadOutcome::WantRead => {
-                    flush_output(&mut self.ssl, &mut self.stream)?;
+                    flush_output(&mut self.ssl, &mut self.pending, &mut self.stream)?;
                     read_some(&mut self.ssl, &mut self.stream)?;
                 }
             }
@@ -68,7 +209,11 @@ impl<S: Read + Write> SslStream<S> {
     /// # Errors
     ///
     /// As [`SslStream::read_some`].
-    pub fn read_until(&mut self, buf: &mut Vec<u8>, mut pred: impl FnMut(&[u8]) -> bool) -> Result<()> {
+    pub fn read_until(
+        &mut self,
+        buf: &mut Vec<u8>,
+        mut pred: impl FnMut(&[u8]) -> bool,
+    ) -> Result<()> {
         while !pred(buf) {
             let chunk = self.read_some()?;
             buf.extend_from_slice(&chunk);
@@ -79,7 +224,7 @@ impl<S: Read + Write> SslStream<S> {
     /// Sends close_notify and flushes.
     pub fn close(&mut self) {
         self.ssl.send_close();
-        let _ = flush_output(&mut self.ssl, &mut self.stream);
+        let _ = flush_output(&mut self.ssl, &mut self.pending, &mut self.stream);
     }
 
     /// The inner protocol state.
@@ -98,27 +243,249 @@ impl<S: Read + Write> SslStream<S> {
     }
 }
 
-fn flush_output<S: Read + Write>(ssl: &mut Ssl, stream: &mut S) -> Result<()> {
-    let out = ssl.take_output();
-    if !out.is_empty() {
-        stream
-            .write_all(&out)
-            .map_err(|e| TlsError::Io(e.to_string()))?;
-        stream.flush().map_err(|e| TlsError::Io(e.to_string()))?;
+fn flush_output<S: Read + Write>(
+    ssl: &mut Ssl,
+    pending: &mut WireBuf,
+    stream: &mut S,
+) -> Result<()> {
+    pending.push(&ssl.take_output());
+    if pending.is_empty() {
+        return Ok(());
     }
-    Ok(())
+    match pending.flush_to(stream).map_err(io_err)? {
+        FlushOutcome::Done => Ok(()),
+        FlushOutcome::WantWrite => Err(TlsError::WantWrite),
+    }
 }
 
 fn read_some<S: Read + Write>(ssl: &mut Ssl, stream: &mut S) -> Result<()> {
     let mut buf = [0u8; 16 * 1024];
-    let n = stream
-        .read(&mut buf)
-        .map_err(|e| TlsError::Io(e.to_string()))?;
-    if n == 0 {
-        return Err(TlsError::Closed);
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(TlsError::Closed),
+            Ok(n) => {
+                ssl.provide_input(&buf[..n]);
+                return Ok(());
+            }
+            // A signal interrupted the read; the session is fine.
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // On a blocking socket WouldBlock means the read timeout
+            // elapsed — surface it, don't spin.
+            Err(e) => return Err(io_err(e)),
+        }
     }
-    ssl.provide_input(&buf[..n]);
-    Ok(())
+}
+
+/// Result of a non-blocking state-machine step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NbStatus {
+    /// The operation completed.
+    Ready,
+    /// Blocked until the transport becomes readable.
+    WantRead,
+    /// Blocked until the transport becomes writable.
+    WantWrite,
+}
+
+/// Result of a non-blocking read step.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NbRead {
+    /// Decrypted application bytes.
+    Data(Vec<u8>),
+    /// No complete record yet; wait for readability.
+    WantRead,
+    /// Ciphertext output is blocked; wait for writability.
+    WantWrite,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Non-blocking STLS driver over a non-blocking transport.
+///
+/// Every method is a resumable state machine: call it, and when it
+/// reports [`NbStatus::WantRead`] / [`NbStatus::WantWrite`], wait for
+/// the corresponding readiness (e.g. via `plat::reactor`) and call it
+/// again. Unsent ciphertext — including a partially-written record —
+/// is carried in an internal [`WireBuf`] across calls.
+pub struct NbSslStream<S: Read + Write> {
+    ssl: Ssl,
+    stream: S,
+    out: WireBuf,
+    peer_eof: bool,
+}
+
+impl<S: Read + Write> NbSslStream<S> {
+    /// Wraps a transport already in non-blocking mode. No bytes are
+    /// exchanged until [`handshake`] is driven.
+    ///
+    /// [`handshake`]: NbSslStream::handshake
+    pub fn new(config: Arc<SslConfig>, entropy: [u8; 64], stream: S) -> Self {
+        NbSslStream {
+            ssl: Ssl::new(config, entropy),
+            stream,
+            out: WireBuf::new(),
+            peer_eof: false,
+        }
+    }
+
+    /// Advances the handshake as far as current readiness allows.
+    /// Returns [`NbStatus::Ready`] once established (with the final
+    /// flight flushed).
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures, transport errors, [`TlsError::Closed`] on
+    /// EOF mid-handshake.
+    pub fn handshake(&mut self) -> Result<NbStatus> {
+        loop {
+            let done = self.ssl.do_handshake()?;
+            if self.flush_wire()? == FlushOutcome::WantWrite {
+                return Ok(NbStatus::WantWrite);
+            }
+            if done || self.ssl.is_established() {
+                // One more pass: the flight queued by the finishing
+                // do_handshake (client Finished) must go out.
+                if self.flush_wire()? == FlushOutcome::WantWrite {
+                    return Ok(NbStatus::WantWrite);
+                }
+                return Ok(NbStatus::Ready);
+            }
+            if !self.fill_input()? {
+                if self.peer_eof {
+                    return Err(TlsError::Closed);
+                }
+                return Ok(NbStatus::WantRead);
+            }
+        }
+    }
+
+    /// True once the handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.ssl.is_established()
+    }
+
+    /// Attempts to decrypt the next chunk of application data,
+    /// reading whatever the transport has available.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    pub fn read(&mut self) -> Result<NbRead> {
+        if !self.ssl.is_established() {
+            match self.handshake()? {
+                NbStatus::Ready => {}
+                NbStatus::WantRead => return Ok(NbRead::WantRead),
+                NbStatus::WantWrite => return Ok(NbRead::WantWrite),
+            }
+        }
+        loop {
+            match self.ssl.ssl_read()? {
+                ReadOutcome::Data(d) => return Ok(NbRead::Data(d)),
+                ReadOutcome::Closed => return Ok(NbRead::Closed),
+                ReadOutcome::WantRead => {
+                    // Responses the state machine queued (e.g. its
+                    // half of a close) should not rot in the buffer.
+                    if self.flush_wire()? == FlushOutcome::WantWrite {
+                        return Ok(NbRead::WantWrite);
+                    }
+                    if !self.fill_input()? {
+                        if self.peer_eof {
+                            return Ok(NbRead::Closed);
+                        }
+                        return Ok(NbRead::WantRead);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encrypts `data` (exactly once) and sends as much as the
+    /// transport accepts; [`NbStatus::WantWrite`] means ciphertext
+    /// remains buffered — resume with [`flush`] or the next `write`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures.
+    ///
+    /// [`flush`]: NbSslStream::flush
+    pub fn write(&mut self, data: &[u8]) -> Result<NbStatus> {
+        if !self.ssl.is_established() {
+            let st = self.handshake()?;
+            if st != NbStatus::Ready {
+                return Ok(st);
+            }
+        }
+        self.ssl.ssl_write(data)?;
+        self.flush()
+    }
+
+    /// Pushes buffered ciphertext toward the transport.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn flush(&mut self) -> Result<NbStatus> {
+        match self.flush_wire()? {
+            FlushOutcome::Done => Ok(NbStatus::Ready),
+            FlushOutcome::WantWrite => Ok(NbStatus::WantWrite),
+        }
+    }
+
+    /// Unsent ciphertext bytes currently buffered.
+    pub fn pending_output(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Queues close_notify and attempts to flush it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn close(&mut self) -> Result<NbStatus> {
+        self.ssl.send_close();
+        self.flush()
+    }
+
+    /// The inner protocol state.
+    pub fn ssl(&self) -> &Ssl {
+        &self.ssl
+    }
+
+    /// The underlying transport.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    fn flush_wire(&mut self) -> Result<FlushOutcome> {
+        self.out.push(&self.ssl.take_output());
+        if self.out.is_empty() {
+            return Ok(FlushOutcome::Done);
+        }
+        self.out.flush_to(&mut self.stream).map_err(io_err)
+    }
+
+    /// Reads everything currently available, feeding the state
+    /// machine. Returns true when any bytes arrived.
+    fn fill_input(&mut self) -> Result<bool> {
+        let mut any = false;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match read_wire(&mut self.stream, &mut buf).map_err(io_err)? {
+                Some(0) => {
+                    self.peer_eof = true;
+                    return Ok(any);
+                }
+                Some(n) => {
+                    self.ssl.provide_input(&buf[..n]);
+                    any = true;
+                    if n < buf.len() {
+                        return Ok(any);
+                    }
+                }
+                None => return Ok(any),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +548,125 @@ mod tests {
         }
         assert_eq!(got, expected);
         handle.join().unwrap();
+    }
+
+    /// A transport that fails reads/writes with EINTR on a schedule:
+    /// the wrappers must ride through every one of them.
+    struct Flaky<S> {
+        inner: S,
+        countdown: u32,
+        every: u32,
+    }
+
+    impl<S> Flaky<S> {
+        fn new(inner: S, every: u32) -> Self {
+            Flaky {
+                inner,
+                countdown: every,
+                every,
+            }
+        }
+
+        fn interrupt_now(&mut self) -> bool {
+            if self.countdown == 0 {
+                self.countdown = self.every;
+                true
+            } else {
+                self.countdown -= 1;
+                false
+            }
+        }
+    }
+
+    impl<S: Read> Read for Flaky<S> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_now() {
+                return Err(io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            self.inner.read(buf)
+        }
+    }
+
+    impl<S: Write> Write for Flaky<S> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.interrupt_now() {
+                return Err(io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            // Partial writes too: at most 7 bytes per call.
+            let n = buf.len().min(7);
+            self.inner.write(&buf[..n])
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            if self.interrupt_now() {
+                return Err(io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn eintr_and_partial_writes_are_survived() {
+        let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server_cfg = SslConfig::server(cert, key);
+        let handle = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let flaky = Flaky::new(sock, 2);
+            let mut tls = SslStream::handshake(server_cfg, [9u8; 64], flaky).unwrap();
+            let mut req = Vec::new();
+            tls.read_until(&mut req, |b| b.len() >= 1000).unwrap();
+            tls.write_all(&req).unwrap();
+        });
+
+        let client_cfg = SslConfig::client(vec![ca.root_key()]);
+        let sock = TcpStream::connect(addr).unwrap();
+        let flaky = Flaky::new(sock, 3);
+        let mut tls = SslStream::handshake(client_cfg, [7u8; 64], flaky).unwrap();
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 241) as u8).collect();
+        tls.write_all(&payload).unwrap();
+        let mut got = Vec::new();
+        tls.read_until(&mut got, |b| b.len() >= 1000).unwrap();
+        assert_eq!(got, payload);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wirebuf_resumes_after_partial_write() {
+        struct OneByte {
+            taken: Vec<u8>,
+            budget: usize,
+        }
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::new(ErrorKind::WouldBlock, "full"));
+                }
+                self.budget -= 1;
+                self.taken.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut w = WireBuf::new();
+        w.push(b"hello world");
+        let mut sink = OneByte {
+            taken: Vec::new(),
+            budget: 4,
+        };
+        assert_eq!(w.flush_to(&mut sink).unwrap(), FlushOutcome::WantWrite);
+        assert_eq!(w.len(), 7);
+        // More data queued behind the unsent remainder keeps order.
+        w.push(b"!");
+        sink.budget = 100;
+        assert_eq!(w.flush_to(&mut sink).unwrap(), FlushOutcome::Done);
+        assert_eq!(sink.taken, b"hello world!");
+        assert!(w.is_empty());
     }
 }

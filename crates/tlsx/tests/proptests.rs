@@ -2,7 +2,7 @@
 //! `plat::check` harness; same properties and case counts as the
 //! original proptest suite).
 
-use libseal_tlsx::cert::CertificateAuthority;
+use libseal_tlsx::cert::{Certificate, CertificateAuthority};
 use libseal_tlsx::record::{frame, parse, ContentType, RecordKeys};
 use libseal_tlsx::ssl::{ReadOutcome, Ssl, SslConfig};
 
@@ -119,5 +119,91 @@ plat::prop! {
         if let Ok(ReadOutcome::Data(d)) = server.ssl_read() {
             assert_eq!(d, payload);
         }
+    }
+
+    // sealdb-style no-panic fuzz, extended to wire decoding: network
+    // bytes must produce typed errors, never a panic inside the
+    // enclave (an unwind there is an availability violation the audit
+    // log cannot record).
+
+    fn cert_decode_never_panics(g) {
+        let bytes = match g.usize_in(0..3) {
+            0 => g.bytes(0..300),
+            1 => {
+                // Mutated valid certificate: reaches past the length
+                // guards into the field parsing.
+                let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
+                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]);
+                let mut b = cert.encode();
+                for _ in 0..g.usize_in(1..5) {
+                    let idx = g.index(b.len());
+                    b[idx] = b[idx].wrapping_add(1 + g.usize_in(0..255) as u8);
+                }
+                b
+            }
+            _ => {
+                // Truncations of a valid certificate at every prefix.
+                let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
+                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]);
+                let b = cert.encode();
+                b[..g.index(b.len() + 1)].to_vec()
+            }
+        };
+        // Must return Ok or a typed TlsError — never panic.
+        let _ = Certificate::decode(&bytes);
+    }
+
+    fn handshake_decode_never_panics_on_garbage(g) {
+        use libseal_tlsx::record::{frame, ContentType};
+        let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let mut peer = if g.usize_in(0..2) == 0 {
+            Ssl::new(SslConfig::server(cert, key), [2u8; 64])
+        } else {
+            let mut c = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+            let _ = c.do_handshake();
+            let _ = c.take_output();
+            c
+        };
+        // Garbage framed as handshake records reaches the message
+        // parser (incl. the short-ClientHello/ServerHello paths the
+        // key-share extraction guards); raw noise exercises record
+        // parsing itself.
+        for _ in 0..g.usize_in(1..4) {
+            let noise = match g.usize_in(0..3) {
+                0 => g.bytes(0..80),
+                1 => {
+                    // Correctly-framed handshake message (type + 3-byte
+                    // big-endian length) with an arbitrary body.
+                    let mut msg = vec![g.usize_in(1..8) as u8];
+                    let body = g.bytes(0..40);
+                    msg.extend_from_slice(&(body.len() as u32).to_be_bytes()[1..4]);
+                    msg.extend_from_slice(&body);
+                    frame(ContentType::Handshake, &msg)
+                }
+                _ => frame(ContentType::Handshake, &g.bytes(0..60)),
+            };
+            peer.provide_input(&noise);
+            let _ = peer.do_handshake();
+            let _ = peer.ssl_read();
+            let _ = peer.take_output();
+        }
+    }
+
+    fn handshake_truncated_flights_never_panic(g) {
+        // A real server flight truncated at an arbitrary byte: the
+        // client must error or starve (WantRead), never panic.
+        let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
+        let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
+        client.do_handshake().unwrap();
+        server.provide_input(&client.take_output());
+        let _ = server.do_handshake();
+        let flight = server.take_output();
+        let cut = g.index(flight.len() + 1);
+        client.provide_input(&flight[..cut]);
+        let _ = client.do_handshake();
+        let _ = client.ssl_read();
     }
 }

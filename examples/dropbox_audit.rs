@@ -25,11 +25,16 @@ fn main() {
     // The (uninstrumentable) Dropbox origin.
     let (okey, ocert) = ca.issue_identity("dropbox-origin", &[3u8; 32]);
     let origin = Arc::new(DropboxServer::new());
-    let origin_server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::Native { cert: ocert, key: okey },
-        workers: 2,
-        router: Arc::new(Arc::clone(&origin)),
-    })
+    let origin_server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native {
+                cert: ocert,
+                key: okey,
+            },
+            Arc::new(Arc::clone(&origin)),
+        )
+        .workers(2),
+    )
     .expect("origin");
 
     // The audited proxy in front of it.
@@ -40,12 +45,14 @@ fn main() {
         .check_interval(0)
         .build();
     let libseal = LibSeal::new(config).expect("libseal");
-    let proxy = SquidProxy::start(SquidConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&libseal)),
-        workers: 2,
-        upstream: origin_server.addr(),
-        upstream_roots: vec![ca.root_key()],
-    })
+    let proxy = SquidProxy::start(
+        SquidConfig::new(
+            TlsMode::LibSeal(Arc::clone(&libseal)),
+            origin_server.addr(),
+            vec![ca.root_key()],
+        )
+        .workers(2),
+    )
     .expect("proxy");
     println!("dropbox origin on https://{}", origin_server.addr());
     println!("audited proxy  on https://{}", proxy.addr());
@@ -88,7 +95,10 @@ fn main() {
     let outcome = libseal.check_now(0).expect("check");
     println!("invariant check after attacks:");
     for report in &outcome.reports {
-        println!("  {:<30} violations: {}", report.invariant, report.violations);
+        println!(
+            "  {:<30} violations: {}",
+            report.invariant, report.violations
+        );
     }
     assert!(outcome
         .reports

@@ -29,17 +29,26 @@ fn main() {
     let libseal = LibSeal::new(config).expect("libseal");
 
     let backend = Arc::new(GitBackend::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&libseal)),
-        workers: 2,
-        router: Arc::new(Arc::clone(&backend)),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&libseal)),
+            Arc::new(Arc::clone(&backend)),
+        )
+        .workers(2),
+    )
     .expect("server");
-    println!("git service (audited by LibSEAL) on https://{}", server.addr());
+    println!(
+        "git service (audited by LibSEAL) on https://{}",
+        server.addr()
+    );
 
     let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
     let push = |body: &str| {
-        let req = Request::new("POST", "/repo/demo/git-receive-pack", body.as_bytes().to_vec());
+        let req = Request::new(
+            "POST",
+            "/repo/demo/git-receive-pack",
+            body.as_bytes().to_vec(),
+        );
         client.request(&req).expect("push")
     };
     let fetch_checked = || {
@@ -53,10 +62,14 @@ fn main() {
     };
 
     // Honest operation.
-    push("0 1111111111111111111111111111111111111111 refs/heads/main\n\
-          0 2222222222222222222222222222222222222222 refs/heads/dev\n");
-    push("1111111111111111111111111111111111111111 \
-          3333333333333333333333333333333333333333 refs/heads/main\n");
+    push(
+        "0 1111111111111111111111111111111111111111 refs/heads/main\n\
+          0 2222222222222222222222222222222222222222 refs/heads/dev\n",
+    );
+    push(
+        "1111111111111111111111111111111111111111 \
+          3333333333333333333333333333333333333333 refs/heads/main\n",
+    );
     let rsp = fetch_checked();
     println!(
         "honest fetch        -> Libseal-Check-Result: {}",

@@ -28,11 +28,13 @@ fn main() {
     let libseal = LibSeal::new(config).expect("libseal");
 
     let oc = Arc::new(OwnCloudServer::new());
-    let server = ApacheServer::start(ApacheConfig {
-        tls: TlsMode::LibSeal(Arc::clone(&libseal)),
-        workers: 2,
-        router: Arc::new(Arc::clone(&oc)),
-    })
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(Arc::clone(&libseal)),
+            Arc::new(Arc::clone(&oc)),
+        )
+        .workers(2),
+    )
     .expect("server");
     println!("ownCloud documents (audited) on https://{}", server.addr());
 
@@ -55,16 +57,19 @@ fn main() {
         doc: "paper".into(),
         seq: 1,
     });
-    let rsp = post("/owncloud/sync", r#"{"doc":"paper","client":"bob","ops":[]}"#.into());
-    println!(
-        "bob receives: {}",
-        String::from_utf8_lossy(&rsp.body)
+    let rsp = post(
+        "/owncloud/sync",
+        r#"{"doc":"paper","client":"bob","ops":[]}"#.into(),
     );
+    println!("bob receives: {}", String::from_utf8_lossy(&rsp.body));
 
     let outcome = libseal.check_now(0).expect("check");
     println!("\ninvariant check after lost edit:");
     for report in &outcome.reports {
-        println!("  {:<32} violations: {}", report.invariant, report.violations);
+        println!(
+            "  {:<32} violations: {}",
+            report.invariant, report.violations
+        );
     }
     assert!(outcome
         .reports
@@ -80,15 +85,24 @@ fn main() {
     );
     post(
         "/owncloud/leave",
-        r#"{"doc":"paper","client":"alice","snapshot":"v2: Introduction. Motivation.","seq":2}"#.into(),
+        r#"{"doc":"paper","client":"alice","snapshot":"v2: Introduction. Motivation.","seq":2}"#
+            .into(),
     );
-    oc.set_attack(OwnCloudAttack::StaleSnapshot { doc: "paper".into() });
-    post("/owncloud/join", r#"{"doc":"paper","client":"carol"}"#.into());
+    oc.set_attack(OwnCloudAttack::StaleSnapshot {
+        doc: "paper".into(),
+    });
+    post(
+        "/owncloud/join",
+        r#"{"doc":"paper","client":"carol"}"#.into(),
+    );
 
     let outcome = libseal.check_now(0).expect("check");
     println!("\ninvariant check after stale snapshot:");
     for report in &outcome.reports {
-        println!("  {:<32} violations: {}", report.invariant, report.violations);
+        println!(
+            "  {:<32} violations: {}",
+            report.invariant, report.violations
+        );
     }
     assert!(outcome
         .reports

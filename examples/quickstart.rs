@@ -33,7 +33,10 @@ fn main() {
         .check_interval(0) // we check explicitly below
         .build();
     let libseal = LibSeal::new(config).expect("libseal init");
-    println!("LibSEAL enclave measurement: {}", hex(&libseal.measurement()));
+    println!(
+        "LibSEAL enclave measurement: {}",
+        hex(&libseal.measurement())
+    );
 
     // 3. Feed audited request/response pairs into the log, as the TLS
     //    termination path would.
@@ -49,11 +52,19 @@ fn main() {
 
     // The client pushes two commits to main...
     log(
-        Request::new("POST", "/repo/demo/git-receive-pack", b"0 c1 refs/heads/main\n".to_vec()),
+        Request::new(
+            "POST",
+            "/repo/demo/git-receive-pack",
+            b"0 c1 refs/heads/main\n".to_vec(),
+        ),
         Response::new(200, b"ok\n".to_vec()),
     );
     log(
-        Request::new("POST", "/repo/demo/git-receive-pack", b"c1 c2 refs/heads/main\n".to_vec()),
+        Request::new(
+            "POST",
+            "/repo/demo/git-receive-pack",
+            b"c1 c2 refs/heads/main\n".to_vec(),
+        ),
         Response::new(200, b"ok\n".to_vec()),
     );
     println!("pushed c1, then c2 to refs/heads/main");
@@ -74,10 +85,16 @@ fn main() {
     let outcome = libseal.check_now(0).expect("check");
     println!("\ninvariant check results:");
     for report in &outcome.reports {
-        println!("  {:<20} violations: {}", report.invariant, report.violations);
+        println!(
+            "  {:<20} violations: {}",
+            report.invariant, report.violations
+        );
     }
     assert_eq!(outcome.total_violations(), 1);
-    println!("in-band header would read: Libseal-Check-Result: {}", outcome.header_value());
+    println!(
+        "in-band header would read: Libseal-Check-Result: {}",
+        outcome.header_value()
+    );
 
     // 6. The log itself is tamper-evident.
     libseal.verify_log(0).expect("log verifies");

@@ -77,7 +77,9 @@ fn main() {
     append_update(&ls, "c1");
     append_update(&ls, "c2");
     ls.with_log(0, |log| {
-        log.db_mut().execute("DELETE FROM updates WHERE cid = 'c2'").unwrap();
+        log.db_mut()
+            .execute("DELETE FROM updates WHERE cid = 'c2'")
+            .unwrap();
     })
     .unwrap();
     match ls.verify_log(0) {
@@ -90,9 +92,7 @@ fn main() {
     append_update(&ls, "c1");
     ls.with_log(0, |log| {
         log.db_mut()
-            .execute(
-                "INSERT INTO updates VALUES (99, 'repo', 'refs/heads/main', 'EVIL', 'update')",
-            )
+            .execute("INSERT INTO updates VALUES (99, 'repo', 'refs/heads/main', 'EVIL', 'update')")
             .unwrap();
     })
     .unwrap();

@@ -16,7 +16,10 @@ fn manifests() -> Vec<PathBuf> {
             found.push(manifest);
         }
     }
-    assert!(found.len() >= 11, "expected every crate manifest, got {found:?}");
+    assert!(
+        found.len() >= 11,
+        "expected every crate manifest, got {found:?}"
+    );
     found
 }
 
