@@ -48,3 +48,11 @@ cargo run --release -p libseal-bench --bin event_loop_gate
 # and the background verifier pool must drain with its lag gauge and
 # alarm counter live in /metrics.
 cargo run --release -p libseal-bench --bin check_scaling_gate
+
+# Hostile-network hardening: a deterministic chaos matrix (resets,
+# truncation, short reads, delays at every phase, both serving modes)
+# must leave the server serving and the audit chain verifiable; at 2x
+# the connection cap the excess must be refused fast while established
+# connections keep p99 within budget; and a graceful drain under load
+# must answer the in-flight request within its deadline.
+cargo run --release -p libseal-bench --bin overload_chaos_gate

@@ -123,6 +123,7 @@ fn transitions_per_request(id: &BenchIdentity, event: bool) -> f64 {
         clients: 8,
         duration: bench_secs(),
         persistent: true,
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| {
         Request::new("GET", "/content/256", Vec::new())

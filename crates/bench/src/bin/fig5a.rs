@@ -83,6 +83,7 @@ fn run_point(
         clients,
         duration: bench_secs(),
         persistent: true,
+        ..LoadGenerator::default()
     }
     .run(&client, git_request);
     server.stop();

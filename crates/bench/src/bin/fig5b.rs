@@ -77,6 +77,7 @@ fn run_point(
         clients,
         duration: bench_secs(),
         persistent: true,
+        ..LoadGenerator::default()
     }
     .run(&client, edit_request);
     server.stop();

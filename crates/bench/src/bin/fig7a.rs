@@ -35,6 +35,7 @@ fn run_point(id: &BenchIdentity, config: BenchConfig, size: usize, workers: usiz
         clients: workers * 2,
         duration: bench_secs(),
         persistent: false, // new TLS connection per request (worst case)
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| Request::new("GET", &path, Vec::new()));
     server.stop();

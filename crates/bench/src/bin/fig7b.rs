@@ -58,6 +58,7 @@ fn run_point(id: &BenchIdentity, libseal: bool, clients: usize, workers: usize) 
         clients,
         duration: bench_secs(),
         persistent: false, // fresh client connection => two handshakes
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| {
         Request::new("GET", "/content/1024", Vec::new())

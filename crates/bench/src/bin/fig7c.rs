@@ -48,6 +48,7 @@ fn apache_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
         clients: cores * 2,
         duration: bench_secs(),
         persistent: false,
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| {
         Request::new("GET", "/content/1024", Vec::new())
@@ -95,6 +96,7 @@ fn squid_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
         clients: cores * 2,
         duration: bench_secs(),
         persistent: false,
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| {
         Request::new("GET", "/content/1024", Vec::new())

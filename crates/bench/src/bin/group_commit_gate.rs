@@ -94,6 +94,7 @@ fn run_point(id: &BenchIdentity, clients: usize, workers: usize) -> Point {
         clients,
         duration: bench_secs(),
         persistent: true,
+        ..LoadGenerator::default()
     }
     .run(&client, push_request);
     server.stop();

@@ -29,6 +29,7 @@ fn run_point(id: &BenchIdentity, size: usize, workers: usize, sync_calls: bool) 
         clients: workers * 2,
         duration: bench_secs(),
         persistent: false,
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| Request::new("GET", &path, Vec::new()));
     server.stop();

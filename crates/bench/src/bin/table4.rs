@@ -44,6 +44,7 @@ fn main() {
                 clients: workers * 2,
                 duration: bench_secs(),
                 persistent: false,
+                ..LoadGenerator::default()
             }
             .run(&client, |_, _| {
                 Request::new("GET", "/content/1024", Vec::new())

@@ -263,6 +263,19 @@ impl CommitQueue {
         s.staged - s.resolved
     }
 
+    /// Drain barrier for graceful shutdown: blocks until every staged
+    /// ticket has resolved (durably sealed or failed). Unlike
+    /// [`CommitQueue::await_durable`] it needs no ticket of its own,
+    /// so a teardown path can wait out strangers' batches. Terminates
+    /// even after [`CommitQueue::shutdown`]: the sealer drains pending
+    /// batches before exiting.
+    pub fn quiesce(&self) {
+        let mut s = self.state.lock();
+        while s.staged > s.resolved {
+            s = self.done.wait(s);
+        }
+    }
+
     /// Stops accepting tickets and wakes everyone; the sealer drains
     /// what is pending, then [`CommitQueue::next_batch`] returns
     /// [`None`].

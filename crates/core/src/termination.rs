@@ -437,7 +437,10 @@ pub struct SessionOutcome {
 fn queue_audit_requests(max_message_buffer: usize, s: &mut Session, data: &[u8]) -> Result<()> {
     s.req_buf.extend_from_slice(data);
     loop {
-        match http::parse_request(&s.req_buf) {
+        // Unlimited parser bounds: the serving edge already enforced
+        // its HTTP limits before these bytes were admitted; the audit
+        // pipeline's own memory bound is `max_message_buffer` below.
+        match http::parse_request_limited(&s.req_buf, &http::Limits::unlimited()) {
             Ok((req, used)) => {
                 let check = req.headers.get("Libseal-Check").is_some();
                 let raw: Vec<u8> = s.req_buf.drain(..used).collect();
@@ -506,7 +509,8 @@ fn write_session(
             return Ok(());
         }
         loop {
-            let (mut response, used) = match http::parse_response(&s.rsp_buf) {
+            let (mut response, used) =
+                match http::parse_response_limited(&s.rsp_buf, &http::Limits::unlimited()) {
                 Ok(r) => r,
                 Err(libseal_httpx::ParseError::Incomplete) => break,
                 Err(_) => {
@@ -1293,6 +1297,41 @@ impl LibSeal {
             astate.log.seal()?;
             astate.log.verify()
         })?
+    }
+
+    /// Graceful drain: parks until every in-flight group-commit
+    /// ticket has resolved, seals anything still staged to durable,
+    /// and drains the background verifier. Unlike `Drop`, the
+    /// instance stays fully usable afterwards — services call this
+    /// after they stop accepting traffic, before tearing the enclave
+    /// down, so no audited response ever outlives its durable log
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Seal or background-verification failures; the log state itself
+    /// is still consistent (staged entries remain in the chain).
+    pub fn drain(&self, slot: usize) -> Result<()> {
+        if let Some(q) = &self.commit {
+            q.quiesce();
+        }
+        if self.audited {
+            self.call(slot, "verify_log", move |t, _, _ctx| -> Result<()> {
+                let audit = t.audit.as_ref().ok_or(LibSealError::AuditingDisabled)?;
+                let mut astate = audit.lock();
+                astate.log.seal()?;
+                astate.log.flush()
+            })??;
+        }
+        self.verifier_barrier()
+    }
+
+    /// Pending audit work: unresolved group-commit tickets plus due
+    /// checks the background verifier has not drained. Services use
+    /// this as the backpressure signal to pause accepting new
+    /// connections while the audit plane is saturated.
+    pub fn audit_backlog(&self) -> u64 {
+        self.commit.as_ref().map_or(0, |q| q.depth()) + self.verifier_lag()
     }
 
     /// Log statistics: (entries, in-memory bytes, journal bytes).

@@ -178,12 +178,63 @@ fn reason_for(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Parser limits against hostile peers: bounds on what a single
+/// message may make the server buffer before the parser gives a typed
+/// rejection ([`ParseError::HeadTooLarge`] / [`TooManyHeaders`] /
+/// [`BodyTooLarge`]) instead of [`ParseError::Incomplete`].
+///
+/// [`TooManyHeaders`]: ParseError::TooManyHeaders
+/// [`BodyTooLarge`]: ParseError::BodyTooLarge
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest header section (start line + headers + CRLFCRLF).
+    pub max_head_bytes: usize,
+    /// Most header lines in one message.
+    pub max_headers: usize,
+    /// Largest body, declared (Content-Length) or accumulated
+    /// (chunked).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 64 * 1024,
+            max_headers: 128,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl Limits {
+    /// No bounds at all: every limit error becomes `Incomplete`
+    /// again. For observers of already-admitted traffic (the audit
+    /// pipeline), which must parse whatever the serving edge accepted
+    /// and enforce their own memory bound instead.
+    pub const fn unlimited() -> Limits {
+        Limits {
+            max_head_bytes: usize::MAX,
+            max_headers: usize::MAX,
+            max_body_bytes: usize::MAX,
+        }
+    }
+}
+
+/// Whether `buf` holds a complete header section (the CRLFCRLF
+/// delimiter has arrived). Lets servers distinguish a peer still
+/// sending headers from one streaming a body, without parsing.
+pub fn head_complete(buf: &[u8]) -> bool {
+    find_double_crlf(buf).is_some()
 }
 
 /// Attempts to parse one request from the front of `buf`; on success
@@ -194,7 +245,16 @@ fn reason_for(status: u16) -> &'static str {
 /// [`ParseError::Incomplete`] until a full message is buffered;
 /// [`ParseError::Malformed`] when the bytes can never become one.
 pub fn parse_request(buf: &[u8]) -> Result<(Request, usize)> {
-    let (head_end, line, headers) = parse_head(buf)?;
+    parse_request_limited(buf, &Limits::default())
+}
+
+/// [`parse_request`] with explicit [`Limits`].
+///
+/// # Errors
+///
+/// As [`parse_request`], plus the typed limit rejections.
+pub fn parse_request_limited(buf: &[u8], limits: &Limits) -> Result<(Request, usize)> {
+    let (head_end, line, headers) = parse_head(buf, limits)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -208,7 +268,7 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize)> {
     if !version.starts_with("HTTP/") {
         return Err(ParseError::Malformed(format!("bad version: {version}")));
     }
-    let (body, consumed) = parse_body(&headers, buf, head_end)?;
+    let (body, consumed) = parse_body(&headers, buf, head_end, limits)?;
     Ok((
         Request {
             method: method.to_string(),
@@ -227,7 +287,16 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize)> {
 ///
 /// As [`parse_request`].
 pub fn parse_response(buf: &[u8]) -> Result<(Response, usize)> {
-    let (head_end, line, headers) = parse_head(buf)?;
+    parse_response_limited(buf, &Limits::default())
+}
+
+/// [`parse_response`] with explicit [`Limits`].
+///
+/// # Errors
+///
+/// As [`parse_response`], plus the typed limit rejections.
+pub fn parse_response_limited(buf: &[u8], limits: &Limits) -> Result<(Response, usize)> {
+    let (head_end, line, headers) = parse_head(buf, limits)?;
     let mut parts = line.splitn(3, ' ');
     let version = parts
         .next()
@@ -237,7 +306,7 @@ pub fn parse_response(buf: &[u8]) -> Result<(Response, usize)> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ParseError::Malformed("missing status".into()))?;
     let reason = parts.next().unwrap_or("").to_string();
-    let (body, consumed) = parse_body(&headers, buf, head_end)?;
+    let (body, consumed) = parse_body(&headers, buf, head_end, limits)?;
     Ok((
         Response {
             version: version.to_string(),
@@ -251,13 +320,20 @@ pub fn parse_response(buf: &[u8]) -> Result<(Response, usize)> {
 }
 
 /// Parses the head: returns (offset past CRLFCRLF, start line, headers).
-fn parse_head(buf: &[u8]) -> Result<(usize, String, HeaderMap)> {
+fn parse_head(buf: &[u8], limits: &Limits) -> Result<(usize, String, HeaderMap)> {
     let Some(head_end) = find_double_crlf(buf) else {
-        if buf.len() > 64 * 1024 {
-            return Err(ParseError::Malformed("header section too large".into()));
+        if buf.len() > limits.max_head_bytes {
+            return Err(ParseError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
         }
         return Err(ParseError::Incomplete);
     };
+    if head_end > limits.max_head_bytes {
+        return Err(ParseError::HeadTooLarge {
+            limit: limits.max_head_bytes,
+        });
+    }
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| ParseError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
@@ -273,6 +349,11 @@ fn parse_head(buf: &[u8]) -> Result<(usize, String, HeaderMap)> {
         if line.is_empty() {
             continue;
         }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| ParseError::Malformed(format!("bad header line: {line}")))?;
@@ -286,12 +367,17 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
 }
 
 /// Extracts the body given the headers; returns (body, total consumed).
-fn parse_body(headers: &HeaderMap, buf: &[u8], body_start: usize) -> Result<(Vec<u8>, usize)> {
+fn parse_body(
+    headers: &HeaderMap,
+    buf: &[u8],
+    body_start: usize,
+    limits: &Limits,
+) -> Result<(Vec<u8>, usize)> {
     if headers
         .get("Transfer-Encoding")
         .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
     {
-        let (body, used) = decode_chunked(&buf[body_start..])?;
+        let (body, used) = decode_chunked_limited(&buf[body_start..], limits.max_body_bytes)?;
         return Ok((body, body_start + used));
     }
     let len: usize = match headers.get("Content-Length") {
@@ -301,6 +387,14 @@ fn parse_body(headers: &HeaderMap, buf: &[u8], body_start: usize) -> Result<(Vec
             .map_err(|_| ParseError::Malformed("bad Content-Length".into()))?,
         None => 0,
     };
+    // Reject an oversized declaration before buffering a single body
+    // byte: waiting for `Incomplete` to resolve would grow the
+    // caller's buffer to the declared size first.
+    if len > limits.max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+        });
+    }
     // `body_start + len` wraps for attacker-supplied lengths near
     // usize::MAX, which would turn the bounds check below into a
     // panic on slicing.
@@ -314,7 +408,14 @@ fn parse_body(headers: &HeaderMap, buf: &[u8], body_start: usize) -> Result<(Vec
 }
 
 /// Decodes a chunked body; returns (bytes, consumed).
+#[cfg(test)]
 fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
+    decode_chunked_limited(buf, Limits::default().max_body_bytes)
+}
+
+/// Decodes a chunked body, rejecting once the accumulated output
+/// would exceed `max_body`; returns (bytes, consumed).
+fn decode_chunked_limited(buf: &[u8], max_body: usize) -> Result<(Vec<u8>, usize)> {
     let mut out = Vec::new();
     let mut i = 0usize;
     loop {
@@ -351,6 +452,12 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
             .checked_add(size)
             .and_then(|e| e.checked_add(2))
             .ok_or_else(|| ParseError::Malformed(format!("chunk size overflows: {size_str}")))?;
+        // The declared chunk sizes bound the output even before the
+        // data arrives — an endless chunk stream must not keep the
+        // caller buffering forever.
+        if out.len().saturating_add(size) > max_body {
+            return Err(ParseError::BodyTooLarge { limit: max_body });
+        }
         if buf.len() < data_end {
             return Err(ParseError::Incomplete);
         }
@@ -470,15 +577,24 @@ fffffffffffffffe\r\nxx";
     #[test]
     fn content_length_overflow_is_malformed() {
         // 2^64 - 1 parses into a usize but `body_start + len` overflows.
+        // Under default limits the size cap fires first (BodyTooLarge);
+        // with limits off the overflow guard must still hold.
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\nx";
         assert!(matches!(
             parse_request(raw).unwrap_err(),
+            ParseError::BodyTooLarge { .. }
+        ));
+        assert!(matches!(
+            parse_request_limited(raw, &Limits::unlimited()).unwrap_err(),
             ParseError::Malformed(_)
         ));
-        // A huge-but-addable length is not an overflow: the buffer is just
-        // short, so the caller should keep reading.
+        // A huge-but-addable length is not an overflow: without a body
+        // cap the buffer is just short, so the caller keeps reading.
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\nx";
-        assert_eq!(parse_request(raw).unwrap_err(), ParseError::Incomplete);
+        assert_eq!(
+            parse_request_limited(raw, &Limits::unlimited()).unwrap_err(),
+            ParseError::Incomplete
+        );
     }
 
     #[test]
@@ -507,7 +623,79 @@ fffffffffffffffe\r\nxx";
     fn huge_headers_rejected() {
         let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
         buf.extend(std::iter::repeat_n(b'a', 70 * 1024));
-        assert!(matches!(parse_request(&buf), Err(ParseError::Malformed(_))));
+        let err = parse_request(&buf).unwrap_err();
+        assert!(matches!(err, ParseError::HeadTooLarge { .. }));
+        assert_eq!(err.close_status(), 431);
+    }
+
+    #[test]
+    fn complete_but_oversized_head_rejected() {
+        // The delimiter is present, but the head itself busts the
+        // limit — must still be 431, not a parse.
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let mut buf = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', 128));
+        buf.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            parse_request_limited(&buf, &limits),
+            Err(ParseError::HeadTooLarge { limit: 64 })
+        ));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let limits = Limits {
+            max_headers: 4,
+            ..Limits::default()
+        };
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..8 {
+            buf.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        let err = parse_request_limited(&buf, &limits).unwrap_err();
+        assert!(matches!(err, ParseError::TooManyHeaders { limit: 4 }));
+        assert_eq!(err.close_status(), 431);
+        // Within the limit, the same message parses.
+        let ok = Limits::default();
+        assert!(parse_request_limited(&buf, &ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_declared_body_rejected_before_buffering() {
+        let limits = Limits {
+            max_body_bytes: 1024,
+            ..Limits::default()
+        };
+        // Only the head has arrived; the declaration alone must
+        // reject, not Incomplete into an attacker-sized buffer.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n";
+        let err = parse_request_limited(raw, &limits).unwrap_err();
+        assert!(matches!(err, ParseError::BodyTooLarge { limit: 1024 }));
+        assert_eq!(err.close_status(), 413);
+    }
+
+    #[test]
+    fn oversized_chunked_body_rejected() {
+        let limits = Limits {
+            max_body_bytes: 8,
+            ..Limits::default()
+        };
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        assert!(matches!(
+            parse_response_limited(raw, &limits),
+            Err(ParseError::BodyTooLarge { limit: 8 })
+        ));
+    }
+
+    #[test]
+    fn head_complete_tracks_delimiter() {
+        assert!(!head_complete(b"GET / HTTP/1.1\r\nHost: x\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
     }
 
     #[test]

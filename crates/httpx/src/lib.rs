@@ -11,7 +11,10 @@
 pub mod http;
 pub mod json;
 
-pub use http::{parse_request, parse_response, HeaderMap, Request, Response};
+pub use http::{
+    parse_request, parse_request_limited, parse_response, parse_response_limited, HeaderMap,
+    Limits, Request, Response,
+};
 pub use json::Json;
 
 /// Errors from protocol parsing.
@@ -21,6 +24,34 @@ pub enum ParseError {
     Incomplete,
     /// The bytes cannot be a valid message.
     Malformed(String),
+    /// The header section exceeds the configured byte limit (431).
+    HeadTooLarge {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// More header lines than the configured limit (431).
+    TooManyHeaders {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The declared or accumulated body exceeds the byte limit (413).
+    BodyTooLarge {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+}
+
+impl ParseError {
+    /// The HTTP status a server should answer with before closing the
+    /// connection. [`ParseError::Incomplete`] is not an error state —
+    /// callers keep reading instead — but maps to 400 for totality.
+    pub fn close_status(&self) -> u16 {
+        match self {
+            ParseError::Incomplete | ParseError::Malformed(_) => 400,
+            ParseError::HeadTooLarge { .. } | ParseError::TooManyHeaders { .. } => 431,
+            ParseError::BodyTooLarge { .. } => 413,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -28,6 +59,13 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::Incomplete => write!(f, "incomplete message"),
             ParseError::Malformed(m) => write!(f, "malformed message: {m}"),
+            ParseError::HeadTooLarge { limit } => {
+                write!(f, "header section exceeds {limit} bytes")
+            }
+            ParseError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header lines")
+            }
+            ParseError::BodyTooLarge { limit } => write!(f, "body exceeds {limit} bytes"),
         }
     }
 }

@@ -77,7 +77,7 @@ plat::prop! {
                 assert!(used <= cut);
                 assert_eq!(parsed.method, "POST");
             }
-            Err(ParseError::Malformed(_)) => panic!("prefix misparsed"),
+            Err(e) => panic!("prefix misparsed: {e}"),
         }
     }
 

@@ -23,8 +23,12 @@
 //! - [`reactor`] — epoll-backed readiness multiplexer with an
 //!   `eventfd` waker (the `mio` surface), via direct syscalls.
 //! - [`timer`] — hashed deadline wheel for per-session timeouts.
+//! - [`chaos`] — deterministic fault-injecting stream wrapper (short
+//!   reads/writes, stalls, resets, truncation, delays) for
+//!   hostile-network testing.
 
 pub mod channel;
+pub mod chaos;
 pub mod check;
 pub mod entropy;
 pub mod failpoint;

@@ -18,12 +18,15 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use libseal_httpx::http::{parse_request, Request, Response};
+use libseal_httpx::http::{parse_request_limited, Limits, Request, Response};
+use libseal_httpx::ParseError;
 use libseal_tlsx::ssl::ReadOutcome;
 
+use crate::event::PhaseTimeouts;
 use crate::tlsadapter::{TlsMode, TlsSession};
 use crate::Result;
 
@@ -248,19 +251,28 @@ pub struct ApacheConfig {
     pub(crate) workers: usize,
     pub(crate) router: Arc<dyn Router>,
     pub(crate) event_loop: bool,
-    pub(crate) idle_timeout: std::time::Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) timeouts: PhaseTimeouts,
+    pub(crate) max_connections: usize,
+    pub(crate) drain_timeout: Duration,
+    pub(crate) limits: Limits,
 }
 
 impl ApacheConfig {
     /// A configuration with the default worker count (4), the
-    /// event-driven core enabled and a 60 s idle-session timeout.
+    /// event-driven core enabled, a 60 s idle-session timeout, no
+    /// connection cap, default phase deadlines and a 5 s drain bound.
     pub fn new(tls: TlsMode, router: Arc<dyn Router>) -> ApacheConfig {
         ApacheConfig {
             tls,
             workers: 4,
             router,
             event_loop: true,
-            idle_timeout: std::time::Duration::from_secs(60),
+            idle_timeout: Duration::from_secs(60),
+            timeouts: PhaseTimeouts::default(),
+            max_connections: usize::MAX,
+            drain_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
         }
     }
 
@@ -284,8 +296,66 @@ impl ApacheConfig {
     /// Event mode only: idle connections are evicted after this long
     /// without traffic.
     #[must_use]
-    pub fn idle_timeout(mut self, d: std::time::Duration) -> ApacheConfig {
+    pub fn idle_timeout(mut self, d: Duration) -> ApacheConfig {
         self.idle_timeout = d;
+        self
+    }
+
+    /// Most concurrent connections; accepts beyond the cap are shed
+    /// (refused fast) instead of queued. Default: unlimited.
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> ApacheConfig {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Deadline for a client to finish its TLS handshake (default
+    /// 10 s); expiry evicts the connection.
+    #[must_use]
+    pub fn handshake_timeout(mut self, d: Duration) -> ApacheConfig {
+        self.timeouts.handshake = d;
+        self
+    }
+
+    /// Deadline to finish a request's header section once its first
+    /// byte arrived (default 10 s). The deadline is per phase, not
+    /// per byte: trickling headers does not extend it.
+    #[must_use]
+    pub fn header_timeout(mut self, d: Duration) -> ApacheConfig {
+        self.timeouts.header = d;
+        self
+    }
+
+    /// Deadline to finish a request body once the head completed
+    /// (default 30 s).
+    #[must_use]
+    pub fn body_timeout(mut self, d: Duration) -> ApacheConfig {
+        self.timeouts.body = d;
+        self
+    }
+
+    /// Deadline for a peer to drain a queued response (default 30 s);
+    /// a stuck reader is evicted, not held forever.
+    #[must_use]
+    pub fn write_timeout(mut self, d: Duration) -> ApacheConfig {
+        self.timeouts.write = d;
+        self
+    }
+
+    /// Bound on the graceful drain in [`ApacheServer::stop`]: how
+    /// long in-flight requests get to deliver before teardown cuts
+    /// stragglers off (default 5 s).
+    #[must_use]
+    pub fn drain_timeout(mut self, d: Duration) -> ApacheConfig {
+        self.drain_timeout = d;
+        self
+    }
+
+    /// HTTP parser limits (head bytes, header count, body bytes);
+    /// breaching them answers 431/413 and closes the connection.
+    #[must_use]
+    pub fn http_limits(mut self, limits: Limits) -> ApacheConfig {
+        self.limits = limits;
         self
     }
 }
@@ -332,10 +402,15 @@ impl crate::event::App for ApacheApp {
 pub struct ApacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain request ([`ApacheServer::stop`]): stop
+    /// accepting, deliver in-flight responses, then exit.
+    draining: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
     /// Present in event mode: interrupts the parked reactor on stop.
     waker: Option<plat::reactor::Waker>,
+    /// Kept to seal pending audit batches to durable after drain.
+    tls: TlsMode,
 }
 
 impl ApacheServer {
@@ -349,6 +424,7 @@ impl ApacheServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
 
         if config.event_loop && plat::reactor::supported() {
@@ -362,35 +438,61 @@ impl ApacheServer {
                     tls: config.tls.clone(),
                     workers: config.workers,
                     idle_timeout: config.idle_timeout,
+                    timeouts: config.timeouts,
+                    max_connections: config.max_connections,
+                    drain_timeout: config.drain_timeout,
+                    limits: config.limits,
                 },
                 app,
                 Arc::clone(&shutdown),
+                Arc::clone(&draining),
             )?;
             return Ok(ApacheServer {
                 addr,
                 shutdown,
+                draining,
                 handles: vec![handle.join],
                 requests_served,
                 waker: Some(handle.waker),
+                tls: config.tls,
             });
         }
 
         let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
+        // Live connections (queued + being served): the threaded
+        // cap's admission counter.
+        let live = Arc::new(AtomicUsize::new(0));
 
         // Accept loop.
         {
             let shutdown = Arc::clone(&shutdown);
+            let draining = Arc::clone(&draining);
+            let live = Arc::clone(&live);
+            let cap = config.max_connections;
             handles.push(
                 std::thread::Builder::new()
                     .name("apache-accept".into())
                     .spawn(move || {
-                        while !shutdown.load(Ordering::Acquire) {
+                        while !shutdown.load(Ordering::Acquire) && !draining.load(Ordering::Acquire)
+                        {
                             match plat::failpoint::check("services::accept")
                                 .and_then(|()| listener.accept())
                             {
                                 Ok((sock, _)) => {
+                                    if live.load(Ordering::Acquire) >= cap {
+                                        // Shed: refuse fast instead of
+                                        // queueing work no worker will
+                                        // reach in time.
+                                        libseal_telemetry::counter(
+                                            "services_threaded_sheds_total",
+                                        )
+                                        .inc();
+                                        drop(sock);
+                                        continue;
+                                    }
                                     let _ = sock.set_nodelay(true);
+                                    live.fetch_add(1, Ordering::AcqRel);
                                     if tx.send(sock).is_err() {
                                         break;
                                     }
@@ -422,12 +524,21 @@ impl ApacheServer {
             let tls = config.tls.clone();
             let router = Arc::clone(&config.router);
             let shutdown = Arc::clone(&shutdown);
+            let draining = Arc::clone(&draining);
             let served = Arc::clone(&requests_served);
+            let live = Arc::clone(&live);
+            let timeouts = config.timeouts;
+            let limits = config.limits;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("apache-worker-{worker}"))
                     .spawn(move || {
-                        while !shutdown.load(Ordering::Acquire) {
+                        let halt =
+                            || shutdown.load(Ordering::Acquire) || draining.load(Ordering::Acquire);
+                        loop {
+                            if halt() {
+                                break;
+                            }
                             match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                                 Ok(sock) => {
                                     let _ = serve_connection(
@@ -436,7 +547,11 @@ impl ApacheServer {
                                         worker,
                                         router.as_ref(),
                                         &served,
+                                        &halt,
+                                        &timeouts,
+                                        &limits,
                                     );
+                                    live.fetch_sub(1, Ordering::AcqRel);
                                 }
                                 Err(plat::channel::RecvTimeoutError::Timeout) => {}
                                 Err(_) => break,
@@ -450,9 +565,11 @@ impl ApacheServer {
         Ok(ApacheServer {
             addr,
             shutdown,
+            draining,
             handles,
             requests_served,
             waker: None,
+            tls: config.tls,
         })
     }
 
@@ -481,6 +598,25 @@ impl ApacheServer {
             let _ = h.join();
         }
     }
+
+    /// Gracefully drains the server: stop accepting, deliver in-flight
+    /// responses (bounded by the configured drain deadline in event
+    /// mode), then seal pending audit batches to durable storage.
+    pub fn drain(mut self) {
+        self.draining.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Every delivered response already awaited group-commit
+        // durability on its write path; this catches batches still
+        // staged when the last worker exited.
+        if let TlsMode::LibSeal(ls) = &self.tls {
+            let _ = ls.drain(0);
+        }
+    }
 }
 
 impl Drop for ApacheServer {
@@ -496,21 +632,27 @@ impl Drop for ApacheServer {
 }
 
 /// Serves one connection until close/EOF.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut sock: TcpStream,
     tls: &TlsMode,
     worker: usize,
     router: &dyn Router,
     served: &AtomicU64,
+    halt: &dyn Fn() -> bool,
+    timeouts: &PhaseTimeouts,
+    limits: &Limits,
 ) -> Result<()> {
-    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    // Short socket-level tick so the blocking read loop can observe
+    // halt/drain requests and phase deadlines between reads.
+    sock.set_read_timeout(Some(crate::event::THREAD_READ_TICK))?;
     // A slow-reading client must not wedge the worker on a blocked
     // write either.
-    sock.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    sock.set_write_timeout(Some(timeouts.write))?;
     let mut session = tls.open_session(worker)?;
     // Always release the (enclave) session state, whatever path exits
     // the connection loop.
-    let result = serve_established(&mut session, &mut sock, router, served);
+    let result = serve_established(&mut session, &mut sock, router, served, halt, timeouts, limits);
     session.close();
     let _ = flush(&mut session, &mut sock);
     result
@@ -521,18 +663,29 @@ fn serve_established(
     sock: &mut TcpStream,
     router: &dyn Router,
     served: &AtomicU64,
+    halt: &dyn Fn() -> bool,
+    timeouts: &PhaseTimeouts,
+    limits: &Limits,
 ) -> Result<()> {
     let mut buf = [0u8; 16 * 1024];
 
-    // Handshake.
+    // Handshake, bounded: a client that connects and trickles (or
+    // never sends) handshake bytes is evicted at the deadline instead
+    // of pinning the worker.
+    let hs_deadline = Instant::now() + timeouts.handshake;
     loop {
         flush(session, sock)?;
         if session.do_handshake()? {
             break;
         }
         flush(session, sock)?;
-        // EINTR is a transient condition, not a handshake failure.
-        let n = crate::event::read_retry(sock, &mut buf)?;
+        let n = match crate::event::read_deadline(sock, &mut buf, hs_deadline, halt) {
+            Ok(n) => n,
+            Err(_) => {
+                libseal_telemetry::counter("services_threaded_handshake_timeouts_total").inc();
+                return Ok(());
+            }
+        };
         if n == 0 {
             return Ok(());
         }
@@ -543,21 +696,37 @@ fn serve_established(
     // Request loop (keep-alive).
     let mut plain = Vec::new();
     loop {
-        // Accumulate one full request.
+        // Accumulate one full request. The whole head must land within
+        // the header deadline and the whole body within the body
+        // deadline: the deadlines are per phase, not per read, so
+        // trickling bytes does not extend them (slowloris).
+        let mut deadline = Instant::now() + timeouts.header;
+        let mut in_body = false;
         let req = loop {
-            match parse_request(&plain) {
+            match parse_request_limited(&plain, limits) {
                 Ok((req, used)) => {
                     plain.drain(..used);
                     break req;
                 }
-                Err(libseal_httpx::ParseError::Incomplete) => {}
-                Err(_) => {
-                    // Provably not HTTP: more bytes can never fix it,
-                    // so spinning in the read loop until the 30 s
-                    // socket timeout would only tie up the worker.
-                    // Answer 400 and close the connection.
-                    apache_metrics().malformed_requests.inc();
-                    let rsp = Response::new(400, b"bad request".to_vec());
+                Err(ParseError::Incomplete) => {
+                    if !in_body && libseal_httpx::http::head_complete(&plain) {
+                        in_body = true;
+                        deadline = Instant::now() + timeouts.body;
+                    }
+                }
+                Err(e) => {
+                    // Provably unservable: a malformed line (400), an
+                    // oversized head (431) or an oversized declared
+                    // body (413). More bytes can never fix it, so
+                    // answer with the typed status and close.
+                    let status = e.close_status();
+                    if status == 400 {
+                        apache_metrics().malformed_requests.inc();
+                    } else {
+                        libseal_telemetry::counter("services_threaded_limit_rejections_total")
+                            .inc();
+                    }
+                    let rsp = Response::new(status, b"request rejected".to_vec());
                     session.ssl_write(&rsp.to_bytes())?;
                     flush(session, sock)?;
                     return Ok(());
@@ -567,11 +736,24 @@ fn serve_established(
                 ReadOutcome::Data(d) => plain.extend_from_slice(&d),
                 ReadOutcome::WantRead => {
                     flush(session, sock)?;
-                    // Retry EINTR; only real transport errors (and the
-                    // 30 s socket timeout) end the connection.
-                    let n = match crate::event::read_retry(sock, &mut buf) {
+                    // Retry EINTR; deadline expiry, halt and real
+                    // transport errors end the connection.
+                    let n = match crate::event::read_deadline(sock, &mut buf, deadline, halt) {
                         Ok(n) => n,
-                        Err(_) => return Ok(()),
+                        Err(_) => {
+                            // Only count evictions of a started
+                            // request; an idle keep-alive expiring at
+                            // the header deadline is routine.
+                            if !plain.is_empty() {
+                                libseal_telemetry::counter(if in_body {
+                                    "services_threaded_body_timeouts_total"
+                                } else {
+                                    "services_threaded_header_timeouts_total"
+                                })
+                                .inc();
+                            }
+                            return Ok(());
+                        }
                     };
                     if n == 0 {
                         return Ok(());
@@ -602,7 +784,10 @@ fn serve_established(
         m.request_ns.record_duration(started.elapsed());
         bump_route(req.path());
         served.fetch_add(1, Ordering::Relaxed);
-        if close {
+        // A drain request lands between requests: the response above
+        // was delivered (and is durable), so closing here loses
+        // nothing.
+        if close || halt() {
             return Ok(());
         }
     }

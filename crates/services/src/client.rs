@@ -18,6 +18,7 @@ use crate::{Result, ServiceError};
 struct ClientMetrics {
     requests: Counter,
     errors: Counter,
+    sheds: Counter,
     request_ns: Histogram,
 }
 
@@ -26,6 +27,7 @@ fn client_metrics() -> &'static ClientMetrics {
     M.get_or_init(|| ClientMetrics {
         requests: libseal_telemetry::counter("services_client_requests_total"),
         errors: libseal_telemetry::counter("services_client_errors_total"),
+        sheds: libseal_telemetry::counter("services_client_sheds_total"),
         request_ns: libseal_telemetry::histogram("services_client_request_ns"),
     })
 }
@@ -118,6 +120,11 @@ pub struct LoadStats {
     pub requests: u64,
     /// Errors observed.
     pub errors: u64,
+    /// Load-shed refusals observed (connection refused/reset by an
+    /// overloaded server, or an explicit 503). Counted separately from
+    /// `errors`: shedding is the server working as designed, not a
+    /// fault.
+    pub shed: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Mean latency.
@@ -126,6 +133,8 @@ pub struct LoadStats {
     pub p50_latency: Duration,
     /// 95th percentile latency.
     pub p95_latency: Duration,
+    /// 99th percentile latency.
+    pub p99_latency: Duration,
 }
 
 impl LoadStats {
@@ -144,6 +153,52 @@ pub struct LoadGenerator {
     pub duration: Duration,
     /// Reuse connections (persistent) or reconnect per request.
     pub persistent: bool,
+    /// Base pause after a load-shed refusal before reconnecting, with
+    /// deterministic per-thread jitter (so a shed fleet does not
+    /// stampede back in lockstep). `None` retries immediately.
+    pub shed_backoff: Option<Duration>,
+}
+
+impl Default for LoadGenerator {
+    fn default() -> LoadGenerator {
+        LoadGenerator {
+            clients: 1,
+            duration: Duration::from_secs(1),
+            persistent: true,
+            shed_backoff: None,
+        }
+    }
+}
+
+/// How one request attempt ended.
+enum Attempt {
+    Ok(Duration),
+    Shed,
+    Err,
+}
+
+/// Distinguishes a deliberate refusal by an overloaded server from a
+/// genuine fault. Refused/reset/aborted transport errors and explicit
+/// 503 responses are sheds.
+fn classify(result: &Result<Response>, latency: Duration) -> Attempt {
+    match result {
+        Ok(rsp) if rsp.status == 503 => Attempt::Shed,
+        Ok(_) => Attempt::Ok(latency),
+        Err(ServiceError::Io(e)) => match e.kind() {
+            std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => Attempt::Shed,
+            _ => Attempt::Err,
+        },
+        Err(ServiceError::Tls(TlsError::Closed)) => Attempt::Shed,
+        Err(ServiceError::Tls(TlsError::Io(m)))
+            if m.contains("refused") || m.contains("reset") || m.contains("aborted") =>
+        {
+            Attempt::Shed
+        }
+        Err(_) => Attempt::Err,
+    }
 }
 
 impl LoadGenerator {
@@ -166,6 +221,7 @@ impl LoadGenerator {
         // scope LoadStats to this run only.
         let run_hist = Histogram::new();
         let run_errors = Counter::new();
+        let run_sheds = Counter::new();
         let make_request = &make_request;
         let start = Instant::now();
 
@@ -175,6 +231,7 @@ impl LoadGenerator {
                 let stop = Arc::clone(&stop);
                 let run_hist = run_hist.clone();
                 let run_errors = run_errors.clone();
+                let run_sheds = run_sheds.clone();
                 handles.push(scope.spawn(move || {
                     let mut i = 0u64;
                     let mut conn = if self.persistent {
@@ -185,31 +242,57 @@ impl LoadGenerator {
                     while !stop.load(Ordering::Acquire) {
                         let req = make_request(c, i);
                         let t0 = Instant::now();
-                        let ok = if self.persistent {
+                        let result = if self.persistent {
                             match conn.as_mut() {
-                                Some(pc) => match pc.request(&req) {
-                                    Ok(_) => true,
-                                    Err(_) => {
-                                        conn = client.connect().ok();
-                                        false
+                                Some(pc) => {
+                                    let r = pc.request(&req);
+                                    if r.is_err() {
+                                        conn = None;
                                     }
-                                },
-                                None => {
-                                    conn = client.connect().ok();
-                                    false
+                                    r
                                 }
+                                None => match client.connect() {
+                                    Ok(mut pc) => {
+                                        let r = pc.request(&req);
+                                        if r.is_ok() {
+                                            conn = Some(pc);
+                                        }
+                                        r
+                                    }
+                                    Err(e) => Err(e),
+                                },
                             }
                         } else {
-                            client.request(&req).is_ok()
+                            client.request(&req)
                         };
-                        if ok {
-                            let lat = t0.elapsed();
-                            run_hist.record_duration(lat);
-                            client_metrics().request_ns.record_duration(lat);
-                            client_metrics().requests.inc();
-                        } else {
-                            run_errors.inc();
-                            client_metrics().errors.inc();
+                        match classify(&result, t0.elapsed()) {
+                            Attempt::Ok(lat) => {
+                                run_hist.record_duration(lat);
+                                client_metrics().request_ns.record_duration(lat);
+                                client_metrics().requests.inc();
+                            }
+                            Attempt::Shed => {
+                                run_sheds.inc();
+                                client_metrics().sheds.inc();
+                                if let Some(base) = self.shed_backoff {
+                                    // Deterministic jitter (thread id
+                                    // and attempt index), 100-200 % of
+                                    // the base: spreads the fleet's
+                                    // retries without a shared RNG.
+                                    let spread = (c as u64)
+                                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                        .wrapping_add(i)
+                                        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                                        >> 32;
+                                    let jitter =
+                                        base.mul_f64((spread % 1000) as f64 / 1000.0);
+                                    std::thread::sleep(base + jitter);
+                                }
+                            }
+                            Attempt::Err => {
+                                run_errors.inc();
+                                client_metrics().errors.inc();
+                            }
                         }
                         i += 1;
                     }
@@ -235,10 +318,12 @@ impl LoadGenerator {
         LoadStats {
             requests: snap.count(),
             errors: run_errors.get(),
+            shed: run_sheds.get(),
             elapsed,
             mean_latency: snap.mean_duration(),
             p50_latency: snap.percentile_duration(0.5),
             p95_latency: snap.percentile_duration(0.95),
+            p99_latency: snap.percentile_duration(0.99),
         }
     }
 }

@@ -39,7 +39,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use libseal::{LibSeal, SessionInput};
-use libseal_httpx::http::{parse_request, Request, Response};
+use libseal_httpx::http::{head_complete, parse_request_limited, Limits, Request, Response};
 use libseal_httpx::ParseError;
 use libseal_lthread::{JobPool, PoolConfig};
 use libseal_tlsx::ssl::{ReadOutcome, Role, Ssl, SslConfig};
@@ -59,6 +59,11 @@ const ACCEPT_BACKOFF: Duration = Duration::from_millis(5);
 /// Upper bound on one reactor park, so shutdown and timer churn stay
 /// responsive even without wake-ups.
 const MAX_PARK: Duration = Duration::from_millis(50);
+/// Pending audit work (unresolved group-commit tickets + verifier
+/// lag) above which the listener pauses instead of admitting more
+/// connections: admission control must kick in while the audit plane
+/// is saturated, not after memory fills with unserviceable sessions.
+const AUDIT_BACKLOG_PAUSE: u64 = 256;
 
 /// What a service plugs into the shared event loop.
 ///
@@ -103,6 +108,59 @@ pub(crate) struct EventConfig {
     pub workers: usize,
     /// Idle connections are evicted after this long without traffic.
     pub idle_timeout: Duration,
+    /// Phase deadlines (see [`Phase`]): a connection that stays in a
+    /// phase past its deadline is evicted with a per-phase counter.
+    pub timeouts: PhaseTimeouts,
+    /// Most concurrent connections; excess accepts are refused
+    /// immediately (load shedding) rather than queued.
+    pub max_connections: usize,
+    /// Bound on the graceful-drain wait once `draining` flips.
+    pub drain_timeout: Duration,
+    /// HTTP parser limits for per-session buffer caps (431/413).
+    pub limits: Limits,
+}
+
+/// Per-phase eviction deadlines for the event core.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PhaseTimeouts {
+    /// Accept → TLS establishment.
+    pub handshake: Duration,
+    /// First decrypted request byte → complete header section.
+    pub header: Duration,
+    /// Complete head → complete body.
+    pub body: Duration,
+    /// Response queued → wire buffer drained.
+    pub write: Duration,
+}
+
+impl Default for PhaseTimeouts {
+    fn default() -> PhaseTimeouts {
+        PhaseTimeouts {
+            handshake: Duration::from_secs(10),
+            header: Duration::from_secs(10),
+            body: Duration::from_secs(30),
+            write: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Connection lifecycle phase, each with its own deadline. Deadlines
+/// are *per phase*, not per byte: a slowloris trickling one header
+/// byte per second never pushes its header deadline out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// TLS handshake in progress.
+    Handshake,
+    /// Reading a request head.
+    Head,
+    /// Head complete; reading the body.
+    Body,
+    /// Unflushed response bytes waiting on the socket.
+    Write,
+    /// Established, no partial request, nothing to write.
+    Idle,
+    /// A handler owns the connection; never evicted by deadline.
+    Busy,
 }
 
 /// A running event loop.
@@ -237,10 +295,26 @@ struct Conn<C> {
     dead: bool,
     /// Writable interest is currently registered.
     want_write: bool,
+    /// The TLS handshake has completed (native: the state machine
+    /// says so; audited: the last pump reported it).
+    established: bool,
+    /// Phase whose deadline is currently armed on the wheel.
+    phase: Phase,
 }
 
 fn open_conn_gauge() -> libseal_telemetry::Gauge {
     libseal_telemetry::gauge("services_event_open_connections")
+}
+
+/// Eviction counter for a phase-deadline expiry.
+fn phase_timeout_counter(phase: Phase) -> libseal_telemetry::Counter {
+    libseal_telemetry::counter(match phase {
+        Phase::Handshake => "services_event_handshake_timeouts_total",
+        Phase::Head => "services_event_header_timeouts_total",
+        Phase::Body => "services_event_body_timeouts_total",
+        Phase::Write => "services_event_write_timeouts_total",
+        Phase::Idle | Phase::Busy => "services_event_idle_evictions_total",
+    })
 }
 
 /// Starts the reactor for `listener`. Fails fast (before any thread
@@ -251,6 +325,7 @@ pub(crate) fn serve<A: App>(
     cfg: EventConfig,
     app: Arc<A>,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 ) -> io::Result<EventHandle> {
     listener.set_nonblocking(true)?;
     let reactor = Reactor::new()?;
@@ -305,11 +380,17 @@ pub(crate) fn serve<A: App>(
         seal,
         native_cfg,
         idle: cfg.idle_timeout,
+        timeouts: cfg.timeouts,
+        max_connections: cfg.max_connections,
+        drain_timeout: cfg.drain_timeout,
+        limits: cfg.limits,
         pool,
         done_tx,
         done_rx,
         waker: waker.clone(),
         shutdown,
+        draining,
+        drain_deadline: None,
     };
     let join = std::thread::Builder::new()
         .name("event-reactor".into())
@@ -330,17 +411,47 @@ struct Loop<A: App> {
     seal: Option<Seal>,
     native_cfg: Option<Arc<SslConfig>>,
     idle: Duration,
+    timeouts: PhaseTimeouts,
+    max_connections: usize,
+    drain_timeout: Duration,
+    limits: Limits,
     pool: JobPool,
     done_tx: Sender<Completion<A::Conn>>,
     done_rx: Receiver<Completion<A::Conn>>,
     waker: Waker,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain request: stop accepting, deliver in-flight
+    /// responses, then exit.
+    draining: Arc<AtomicBool>,
+    /// Set when the drain began; the loop exits at this instant even
+    /// if stragglers remain.
+    drain_deadline: Option<Instant>,
 }
 
 impl<A: App> Loop<A> {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::with_capacity(1024);
         while !self.shutdown.load(Ordering::Acquire) {
+            if self.draining.load(Ordering::Acquire) && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            if let Some(deadline) = self.drain_deadline {
+                // Reap connections that finished their in-flight work;
+                // exit once none remain (or the deadline cuts off
+                // stragglers — a stuck peer must not hold shutdown).
+                let done: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy && c.wire.is_empty())
+                    .map(|(&t, _)| t)
+                    .collect();
+                for t in done {
+                    self.teardown(t);
+                }
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    break;
+                }
+            }
             let timeout = match self.wheel.next_deadline() {
                 Some(d) => d.saturating_duration_since(Instant::now()).min(MAX_PARK),
                 None => MAX_PARK,
@@ -386,21 +497,25 @@ impl<A: App> Loop<A> {
                 self.complete(c);
             }
 
-            // Phase 5: deadlines — idle eviction and accept resume.
+            // Phase 5: deadlines — phase-deadline eviction and accept
+            // resume.
             for token in self.wheel.expired(Instant::now()) {
                 if token == ACCEPT_RESUME {
                     self.resume_accept();
                     continue;
                 }
-                let Some(conn) = self.conns.get(&token) else {
+                let Some(conn) = self.conns.get_mut(&token) else {
                     continue;
                 };
                 if conn.busy {
-                    // A request is running; not idle. Re-arm.
-                    self.reschedule(token);
+                    // A request is running; not stuck on the peer.
+                    // Force a fresh deadline for whatever phase the
+                    // completion lands in.
+                    conn.phase = Phase::Busy;
+                    self.wheel.schedule(token, Instant::now() + self.idle);
                     continue;
                 }
-                libseal_telemetry::counter("services_event_idle_evictions_total").inc();
+                phase_timeout_counter(conn.phase).inc();
                 self.teardown(token);
             }
         }
@@ -413,14 +528,64 @@ impl<A: App> Loop<A> {
         }
     }
 
+    /// Enters graceful drain: the listener goes quiet, connections
+    /// with no in-flight work are torn down immediately, and the rest
+    /// get until [`EventConfig::drain_timeout`] to deliver their
+    /// responses. Workers' group-commit barriers already ran by the
+    /// time a completion reaches the reactor, so every delivered
+    /// response is durable.
+    fn begin_drain(&mut self) {
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+        if !self.accept_paused {
+            let _ = self.reactor.deregister(&self.listener);
+        }
+        self.accept_paused = true;
+        self.wheel.cancel(ACCEPT_RESUME);
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy && c.wire.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in idle {
+            self.teardown(t);
+        }
+    }
+
     /// Drains the accept queue. A failed accept pauses the listener
     /// for [`ACCEPT_BACKOFF`] instead of spinning on a level-triggered
     /// error, then retries until shutdown — transient failures
     /// (EMFILE, ECONNABORTED) must not kill the server.
     fn accept(&mut self) {
         loop {
+            // Admission control first: above the connection cap, or
+            // with the audit plane saturated, admitting more sessions
+            // only converts load into memory. At the cap each queued
+            // accept is refused fast (the client sees a reset — its
+            // cue to back off); under audit backpressure the listener
+            // pauses and the backlog queues instead.
+            if self.seal.as_ref().is_some_and(|s| {
+                self.conns.len() < self.max_connections
+                    && s.ls.audit_backlog() > AUDIT_BACKLOG_PAUSE
+            }) {
+                libseal_telemetry::counter("services_event_backpressure_pauses_total").inc();
+                let _ = self.reactor.deregister(&self.listener);
+                self.accept_paused = true;
+                self.wheel
+                    .schedule(ACCEPT_RESUME, Instant::now() + ACCEPT_BACKOFF);
+                break;
+            }
             match plat::failpoint::check("services::accept").and_then(|()| self.listener.accept()) {
                 Ok((sock, _)) => {
+                    if self.drain_deadline.is_some() {
+                        // Draining: refuse by dropping the socket.
+                        continue;
+                    }
+                    if self.conns.len() >= self.max_connections {
+                        libseal_telemetry::counter("services_event_sheds_total").inc();
+                        drop(sock);
+                        continue;
+                    }
                     let _ = sock.set_nodelay(true);
                     if sock.set_nonblocking(true).is_err() {
                         continue;
@@ -442,7 +607,7 @@ impl<A: App> Loop<A> {
     }
 
     fn resume_accept(&mut self) {
-        if !self.accept_paused {
+        if !self.accept_paused || self.drain_deadline.is_some() {
             return;
         }
         self.accept_paused = false;
@@ -504,10 +669,13 @@ impl<A: App> Loop<A> {
                 peer_closed: false,
                 dead: false,
                 want_write: false,
+                established: false,
+                phase: Phase::Handshake,
             },
         );
         open_conn_gauge().add(1);
-        self.reschedule(token);
+        self.wheel
+            .schedule(token, Instant::now() + self.timeouts.handshake);
     }
 
     /// Reads everything the socket has. Native sessions advance their
@@ -565,6 +733,9 @@ impl<A: App> Loop<A> {
                     // they reach the wire even on teardown.
                     conn.wire.push(&o.output);
                     conn.plain.extend_from_slice(&o.data);
+                    if o.established {
+                        conn.established = true;
+                    }
                     if o.closed {
                         conn.peer_closed = true;
                     }
@@ -601,24 +772,53 @@ impl<A: App> Loop<A> {
     /// hands it to the pool. At most one request per connection is in
     /// flight; pipelined bytes wait in `plain` until the completion.
     fn try_dispatch(&mut self, token: u64) {
+        if self.drain_deadline.is_some() {
+            // Draining: no new requests, only in-flight deliveries.
+            return;
+        }
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         if conn.plain.is_empty() {
             return;
         }
-        match parse_request(&conn.plain) {
+        match parse_request_limited(&conn.plain, &self.limits) {
             Ok((req, used)) => {
                 conn.plain.drain(..used);
                 self.spawn_job(token, req);
             }
-            Err(ParseError::Incomplete) => {}
-            Err(_) => {
-                // Provably not HTTP: no further bytes can fix it.
-                self.app.on_malformed();
+            Err(ParseError::Incomplete) => {
+                // Belt-and-braces buffer cap for streams the parser
+                // keeps waiting on (e.g. a chunked body whose size
+                // line never terminates): no single message may make
+                // us buffer more than head + body limits.
+                let cap = self
+                    .limits
+                    .max_head_bytes
+                    .saturating_add(self.limits.max_body_bytes);
+                if conn.plain.len() > cap {
+                    libseal_telemetry::counter("services_event_limit_rejections_total").inc();
+                    conn.plain.clear();
+                    conn.plain.shrink_to_fit();
+                    conn.close_after_flush = true;
+                    let rsp = Response::new(413, b"request rejected".to_vec());
+                    self.encrypt_now(token, &rsp.to_bytes());
+                }
+            }
+            Err(e) => {
+                // Provably not HTTP (400), or past a buffer cap
+                // (431/413): no further bytes can fix either, and the
+                // limit cases must stop buffering *now*.
+                let status = e.close_status();
+                if status == 400 {
+                    self.app.on_malformed();
+                } else {
+                    libseal_telemetry::counter("services_event_limit_rejections_total").inc();
+                }
                 conn.plain.clear();
+                conn.plain.shrink_to_fit();
                 conn.close_after_flush = true;
-                let rsp = Response::new(400, b"bad request".to_vec());
+                let rsp = Response::new(status, b"request rejected".to_vec());
                 self.encrypt_now(token, &rsp.to_bytes());
             }
         }
@@ -738,7 +938,9 @@ impl<A: App> Loop<A> {
             }
             Done::Fail => conn.dead = true,
         }
-        if c.close {
+        if c.close || self.drain_deadline.is_some() {
+            // `Connection: close`, or draining — this response is the
+            // connection's last either way.
             conn.close_after_flush = true;
         }
         if !conn.dead && !conn.close_after_flush && !conn.peer_closed {
@@ -780,9 +982,42 @@ impl<A: App> Loop<A> {
         }
     }
 
+    /// Re-arms the connection's deadline for its current phase. The
+    /// deadline only moves when the phase *changes* (or on idle
+    /// activity): progress within a phase — one more header byte, one
+    /// more flushed chunk — never extends it, which is what defeats
+    /// slowloris-style trickling.
     fn reschedule(&mut self, token: u64) {
-        if self.conns.contains_key(&token) {
-            self.wheel.schedule(token, Instant::now() + self.idle);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let phase = if conn.busy {
+            Phase::Busy
+        } else if !conn.established {
+            Phase::Handshake
+        } else if !conn.wire.is_empty() {
+            Phase::Write
+        } else if conn.plain.is_empty() {
+            Phase::Idle
+        } else if head_complete(&conn.plain) {
+            Phase::Body
+        } else {
+            Phase::Head
+        };
+        let timeout = match phase {
+            Phase::Handshake => self.timeouts.handshake,
+            Phase::Head => self.timeouts.header,
+            Phase::Body => self.timeouts.body,
+            Phase::Write => self.timeouts.write,
+            Phase::Idle | Phase::Busy => self.idle,
+        };
+        if phase != conn.phase {
+            conn.phase = phase;
+            self.wheel.schedule(token, Instant::now() + timeout);
+        } else if matches!(phase, Phase::Idle | Phase::Busy) {
+            // Idle deadlines are inactivity timers: activity renews
+            // them. (Busy re-arms so the wheel keeps a live entry.)
+            self.wheel.schedule(token, Instant::now() + timeout);
         }
     }
 
@@ -845,6 +1080,7 @@ fn pump_native<C>(conn: &mut Conn<C>, input: &[u8]) {
         return;
     }
     if ssl.is_established() {
+        conn.established = true;
         loop {
             match ssl.ssl_read() {
                 Ok(ReadOutcome::Data(d)) => conn.plain.extend_from_slice(&d),
@@ -864,12 +1100,40 @@ fn pump_native<C>(conn: &mut Conn<C>, input: &[u8]) {
     conn.wire.push(&out);
 }
 
-/// EINTR-safe socket read for the *threaded* serve loops: a signal
-/// delivery mid-read is transient, not end-of-stream.
-pub(crate) fn read_retry(sock: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+/// Socket read-timeout tick for the threaded serve loops: short
+/// enough that a worker blocked on a quiet peer notices shutdown or
+/// drain within about a second.
+pub(crate) const THREAD_READ_TICK: Duration = Duration::from_secs(1);
+
+/// Deadline-bounded read for the *threaded* serve loops. The socket's
+/// read timeout is [`THREAD_READ_TICK`], so each timed-out tick
+/// re-checks the stop predicate (shutdown or drain) and the overall
+/// `deadline` — a peer that stops sending can wedge a worker for at
+/// most one phase deadline, and shutdown is honoured between ticks.
+///
+/// Returns `TimedOut` when the deadline passes or `stop` fires.
+pub(crate) fn read_deadline(
+    sock: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<usize> {
     loop {
         match sock.read(buf) {
             Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop() || Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "read deadline elapsed",
+                    ));
+                }
+            }
             r => return r,
         }
     }

@@ -9,14 +9,17 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use libseal_crypto::ed25519::VerifyingKey;
-use libseal_httpx::http::{parse_request, Response};
+use libseal_httpx::http::{parse_request_limited, Limits, Response};
+use libseal_httpx::ParseError;
 use libseal_tlsx::ssl::ReadOutcome;
 
 use crate::client::HttpsClient;
+use crate::event::PhaseTimeouts;
 use crate::tlsadapter::{TlsMode, TlsSession};
 use crate::Result;
 
@@ -46,6 +49,10 @@ pub struct SquidConfig {
     pub(crate) upstream_roots: Vec<VerifyingKey>,
     pub(crate) event_loop: bool,
     pub(crate) idle_timeout: std::time::Duration,
+    pub(crate) timeouts: PhaseTimeouts,
+    pub(crate) max_connections: usize,
+    pub(crate) drain_timeout: Duration,
+    pub(crate) limits: Limits,
 }
 
 impl SquidConfig {
@@ -65,6 +72,10 @@ impl SquidConfig {
             upstream_roots,
             event_loop: true,
             idle_timeout: std::time::Duration::from_secs(60),
+            timeouts: PhaseTimeouts::default(),
+            max_connections: usize::MAX,
+            drain_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
         }
     }
 
@@ -90,6 +101,60 @@ impl SquidConfig {
     #[must_use]
     pub fn idle_timeout(mut self, d: std::time::Duration) -> SquidConfig {
         self.idle_timeout = d;
+        self
+    }
+
+    /// Concurrent-connection cap: connections beyond it are refused
+    /// immediately (shed) instead of queueing behind saturated
+    /// workers. Defaults to unlimited.
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> SquidConfig {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Deadline for completing the TLS handshake.
+    #[must_use]
+    pub fn handshake_timeout(mut self, d: Duration) -> SquidConfig {
+        self.timeouts.handshake = d;
+        self
+    }
+
+    /// Deadline for receiving a complete request head.
+    #[must_use]
+    pub fn header_timeout(mut self, d: Duration) -> SquidConfig {
+        self.timeouts.header = d;
+        self
+    }
+
+    /// Deadline for receiving a complete request body.
+    #[must_use]
+    pub fn body_timeout(mut self, d: Duration) -> SquidConfig {
+        self.timeouts.body = d;
+        self
+    }
+
+    /// Deadline for draining a response to a slow-reading client.
+    #[must_use]
+    pub fn write_timeout(mut self, d: Duration) -> SquidConfig {
+        self.timeouts.write = d;
+        self
+    }
+
+    /// Bound on how long a graceful drain waits for in-flight
+    /// requests before tearing the rest down.
+    #[must_use]
+    pub fn drain_timeout(mut self, d: Duration) -> SquidConfig {
+        self.drain_timeout = d;
+        self
+    }
+
+    /// Request-size limits (head bytes, header count, body bytes).
+    /// Oversized requests are rejected with 431/413 and the
+    /// connection closed.
+    #[must_use]
+    pub fn http_limits(mut self, limits: Limits) -> SquidConfig {
+        self.limits = limits;
         self
     }
 }
@@ -160,10 +225,15 @@ impl crate::event::App for SquidApp {
 pub struct SquidProxy {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain request ([`SquidProxy::drain`]): stop accepting,
+    /// deliver in-flight responses, then exit.
+    draining: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
     requests_proxied: Arc<AtomicU64>,
     /// Present in event mode: interrupts the parked reactor on stop.
     waker: Option<plat::reactor::Waker>,
+    /// Kept to seal pending audit batches to durable after drain.
+    tls: TlsMode,
 }
 
 impl SquidProxy {
@@ -177,6 +247,7 @@ impl SquidProxy {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let requests_proxied = Arc::new(AtomicU64::new(0));
 
         if config.event_loop && plat::reactor::supported() {
@@ -191,34 +262,57 @@ impl SquidProxy {
                     tls: config.tls.clone(),
                     workers: config.workers,
                     idle_timeout: config.idle_timeout,
+                    timeouts: config.timeouts,
+                    max_connections: config.max_connections,
+                    drain_timeout: config.drain_timeout,
+                    limits: config.limits,
                 },
                 app,
                 Arc::clone(&shutdown),
+                Arc::clone(&draining),
             )?;
             return Ok(SquidProxy {
                 addr,
                 shutdown,
+                draining,
                 handles: vec![handle.join],
                 requests_proxied,
                 waker: Some(handle.waker),
+                tls: config.tls,
             });
         }
 
         let (tx, rx) = plat::channel::unbounded::<TcpStream>();
         let mut handles = Vec::new();
+        // Live connections (queued + being served): the threaded
+        // cap's admission counter.
+        let live = Arc::new(AtomicUsize::new(0));
 
         {
             let shutdown = Arc::clone(&shutdown);
+            let draining = Arc::clone(&draining);
+            let live = Arc::clone(&live);
+            let cap = config.max_connections;
             handles.push(
                 std::thread::Builder::new()
                     .name("squid-accept".into())
                     .spawn(move || {
-                        while !shutdown.load(Ordering::Acquire) {
+                        while !shutdown.load(Ordering::Acquire) && !draining.load(Ordering::Acquire)
+                        {
                             match plat::failpoint::check("services::accept")
                                 .and_then(|()| listener.accept())
                             {
                                 Ok((sock, _)) => {
+                                    if live.load(Ordering::Acquire) >= cap {
+                                        libseal_telemetry::counter(
+                                            "services_threaded_sheds_total",
+                                        )
+                                        .inc();
+                                        drop(sock);
+                                        continue;
+                                    }
                                     let _ = sock.set_nodelay(true);
+                                    live.fetch_add(1, Ordering::AcqRel);
                                     if tx.send(sock).is_err() {
                                         break;
                                     }
@@ -247,19 +341,30 @@ impl SquidProxy {
             let rx = rx.clone();
             let tls = config.tls.clone();
             let shutdown = Arc::clone(&shutdown);
+            let draining = Arc::clone(&draining);
             let proxied = Arc::clone(&requests_proxied);
+            let live = Arc::clone(&live);
             let upstream = config.upstream;
             let roots = config.upstream_roots.clone();
+            let timeouts = config.timeouts;
+            let limits = config.limits;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("squid-worker-{worker}"))
                     .spawn(move || {
-                        while !shutdown.load(Ordering::Acquire) {
+                        let halt =
+                            || shutdown.load(Ordering::Acquire) || draining.load(Ordering::Acquire);
+                        loop {
+                            if halt() {
+                                break;
+                            }
                             match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                                 Ok(sock) => {
                                     let _ = proxy_connection(
-                                        sock, &tls, worker, upstream, &roots, &proxied,
+                                        sock, &tls, worker, upstream, &roots, &proxied, &halt,
+                                        &timeouts, &limits,
                                     );
+                                    live.fetch_sub(1, Ordering::AcqRel);
                                 }
                                 Err(plat::channel::RecvTimeoutError::Timeout) => {}
                                 Err(_) => break,
@@ -273,9 +378,11 @@ impl SquidProxy {
         Ok(SquidProxy {
             addr,
             shutdown,
+            draining,
             handles,
             requests_proxied,
             waker: None,
+            tls: config.tls,
         })
     }
 
@@ -304,6 +411,22 @@ impl SquidProxy {
             let _ = h.join();
         }
     }
+
+    /// Gracefully drains the proxy: stop accepting, deliver in-flight
+    /// responses (bounded by the configured drain deadline in event
+    /// mode), then seal pending audit batches to durable storage.
+    pub fn drain(mut self) {
+        self.draining.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let TlsMode::LibSeal(ls) = &self.tls {
+            let _ = ls.drain(0);
+        }
+    }
 }
 
 impl Drop for SquidProxy {
@@ -318,6 +441,7 @@ impl Drop for SquidProxy {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn proxy_connection(
     mut sock: TcpStream,
     tls: &TlsMode,
@@ -325,36 +449,62 @@ fn proxy_connection(
     upstream: SocketAddr,
     roots: &[VerifyingKey],
     proxied: &AtomicU64,
+    halt: &dyn Fn() -> bool,
+    timeouts: &PhaseTimeouts,
+    limits: &Limits,
 ) -> Result<()> {
-    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    // Short socket-level tick so the blocking read loop can observe
+    // halt/drain requests and phase deadlines between reads.
+    sock.set_read_timeout(Some(crate::event::THREAD_READ_TICK))?;
     // A slow-reading client must not wedge the worker on a blocked
     // write either.
-    sock.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    sock.set_write_timeout(Some(timeouts.write))?;
     let mut session = tls.open_session(worker)?;
-    let result = proxy_established(&mut session, &mut sock, upstream, roots, proxied);
+    let result = proxy_established(
+        &mut session,
+        &mut sock,
+        upstream,
+        roots,
+        proxied,
+        halt,
+        timeouts,
+        limits,
+    );
     session.close();
     let _ = flush(&mut session, &mut sock);
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn proxy_established(
     session: &mut TlsSession,
     sock: &mut TcpStream,
     upstream: SocketAddr,
     roots: &[VerifyingKey],
     proxied: &AtomicU64,
+    halt: &dyn Fn() -> bool,
+    timeouts: &PhaseTimeouts,
+    limits: &Limits,
 ) -> Result<()> {
     let mut buf = [0u8; 16 * 1024];
 
-    // Client-side handshake.
+    // Client-side handshake, bounded: a client that connects and
+    // trickles (or never sends) handshake bytes is evicted at the
+    // deadline instead of pinning the worker.
+    let hs_deadline = Instant::now() + timeouts.handshake;
     loop {
         flush(session, sock)?;
         if session.do_handshake()? {
             break;
         }
         flush(session, sock)?;
-        // EINTR is a transient condition, not a handshake failure.
-        let n = crate::event::read_retry(sock, &mut buf)?;
+        let n = match crate::event::read_deadline(sock, &mut buf, hs_deadline, halt) {
+            Ok(n) => n,
+            Err(_) => {
+                libseal_telemetry::counter("services_threaded_handshake_timeouts_total").inc();
+                return Ok(());
+            }
+        };
         if n == 0 {
             return Ok(());
         }
@@ -369,20 +519,61 @@ fn proxy_established(
 
     let mut plain = Vec::new();
     loop {
+        // Per-phase deadlines: the whole head within the header
+        // deadline, the whole body within the body deadline.
+        let mut deadline = Instant::now() + timeouts.header;
+        let mut in_body = false;
         let req = loop {
-            if let Ok((req, used)) = parse_request(&plain) {
-                plain.drain(..used);
-                break req;
+            match parse_request_limited(&plain, limits) {
+                Ok((req, used)) => {
+                    plain.drain(..used);
+                    break req;
+                }
+                Err(ParseError::Incomplete) => {
+                    if !in_body && libseal_httpx::http::head_complete(&plain) {
+                        in_body = true;
+                        deadline = Instant::now() + timeouts.body;
+                    }
+                }
+                Err(e) => {
+                    // Provably unservable (malformed, oversized head,
+                    // oversized body): previously these bytes
+                    // accumulated in `plain` forever. Answer with the
+                    // typed status and close.
+                    let status = e.close_status();
+                    if status == 400 {
+                        squid_metrics().malformed_requests.inc();
+                    } else {
+                        libseal_telemetry::counter("services_threaded_limit_rejections_total")
+                            .inc();
+                    }
+                    let rsp = Response::new(status, b"request rejected".to_vec());
+                    session.ssl_write(&rsp.to_bytes())?;
+                    flush(session, sock)?;
+                    origin_conn.close();
+                    return Ok(());
+                }
             }
             match session.ssl_read()? {
                 ReadOutcome::Data(d) => plain.extend_from_slice(&d),
                 ReadOutcome::WantRead => {
                     flush(session, sock)?;
-                    // Retry EINTR; only real transport errors (and the
-                    // 30 s socket timeout) end the connection.
-                    let n = match crate::event::read_retry(sock, &mut buf) {
+                    // Retry EINTR; deadline expiry, halt and real
+                    // transport errors end the connection.
+                    let n = match crate::event::read_deadline(sock, &mut buf, deadline, halt) {
                         Ok(n) => n,
-                        Err(_) => return Ok(()),
+                        Err(_) => {
+                            if !plain.is_empty() {
+                                libseal_telemetry::counter(if in_body {
+                                    "services_threaded_body_timeouts_total"
+                                } else {
+                                    "services_threaded_header_timeouts_total"
+                                })
+                                .inc();
+                            }
+                            origin_conn.close();
+                            return Ok(());
+                        }
                     };
                     if n == 0 {
                         return Ok(());
@@ -409,7 +600,7 @@ fn proxy_established(
             .request_ns
             .record_duration(started.elapsed());
         proxied.fetch_add(1, Ordering::Relaxed);
-        if close {
+        if close || halt() {
             origin_conn.close();
             return Ok(());
         }

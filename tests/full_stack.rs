@@ -92,6 +92,7 @@ fn load_generator_measures_throughput() {
         clients: 4,
         duration: Duration::from_millis(800),
         persistent: true,
+        ..LoadGenerator::default()
     }
     .run(&client, |_, _| {
         Request::new("GET", "/content/64", Vec::new())
