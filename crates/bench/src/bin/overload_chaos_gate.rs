@@ -107,7 +107,7 @@ fn chaos_gate(id: &BenchIdentity) -> Result<(), String> {
         let ls = instance(id);
         let server = ApacheServer::start(
             ApacheConfig::new(
-                TlsMode::LibSeal(Arc::clone(&ls)),
+                TlsMode::LibSeal(ls.clone()),
                 Arc::new(StaticContentRouter),
             )
             .workers(2)
@@ -152,7 +152,7 @@ fn overload_gate(id: &BenchIdentity) -> Result<(), String> {
     let ls = instance(id);
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(StaticContentRouter),
         )
         .workers(4)
@@ -253,7 +253,7 @@ fn drain_gate(id: &BenchIdentity) -> Result<(), String> {
     let drain_timeout = Duration::from_secs(5);
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(StaticContentRouter),
         )
         .workers(2)

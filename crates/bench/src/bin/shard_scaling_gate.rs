@@ -1,0 +1,197 @@
+//! CI gate: the sharded audit plane must actually scale the audit
+//! pipeline. One audited Git server is driven by a closed loop of
+//! persistent HTTPS clients with a deliberately slow ROTE counter
+//! round (4 ms) and small commit batches, so the per-shard sealer
+//! pipeline — not TLS or the service — is the throughput ceiling.
+//! With one shard every append in the process funnels through one
+//! sealer; with four shards the fleet runs four independent sealers,
+//! so audited throughput must scale.
+//!
+//! The gate fails unless:
+//!
+//!   1. 4 shards achieve ≥ 2.8× the 1-shard audited throughput under
+//!      identical load, with the whole fleet (epoch-checkpoint chain
+//!      included) verifying clean after drain, and
+//!   2. a 2-shard disk-backed fleet survives a mid-load shard
+//!      restart: service continues, the restarted shard recovers its
+//!      journal, and the fleet verifies clean after drain.
+//!
+//! ```sh
+//! cargo run --release -p libseal-bench --bin shard_scaling_gate
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use libseal::plane::AuditPlane;
+use libseal::{GitModule, GuardConfig, LibSealConfig, LogBacking, ShardedPlane};
+use libseal_bench::*;
+use libseal_httpx::http::Request;
+use libseal_services::apache::{ApacheConfig, ApacheServer};
+use libseal_services::git::GitBackend;
+use libseal_services::{HttpsClient, LoadGenerator, Service, TlsMode};
+use libseal_sgxsim::cost::CostModel;
+
+/// Simulated ROTE counter round per seal: slow enough that the
+/// sealer pipeline is unambiguously the bottleneck shards multiply.
+const ROTE_LATENCY: Duration = Duration::from_micros(4000);
+/// Commit batch cap: keeps the per-shard ceiling near
+/// `max_batch / ROTE_LATENCY` appends per second.
+const MAX_BATCH: usize = 4;
+/// Required speedup of 4 shards over 1.
+const MIN_SPEEDUP: f64 = 2.8;
+/// Closed-loop clients and server workers.
+const CLIENTS: usize = 48;
+
+fn plane_config(id: &BenchIdentity, shards: usize, backing: LogBacking) -> LibSealConfig {
+    LibSealConfig::builder(id.cert.clone(), id.key.clone())
+        // Isolate the seal pipeline: no simulated transition tax.
+        .cost_model(CostModel::free())
+        .check_interval(0)
+        .guard(GuardConfig::Rote {
+            f: 1,
+            latency: ROTE_LATENCY,
+        })
+        .group_commit(MAX_BATCH, Duration::ZERO)
+        .tcs_count(64)
+        .backing(backing)
+        .ssm(Arc::new(GitModule))
+        .shards(shards)
+        .epoch_interval(256)
+        .build()
+}
+
+/// Per-client Git push stream: every request is a logged pair.
+fn push_request(client: usize, i: u64) -> Request {
+    let branch = format!("refs/heads/b{}", i % 4);
+    let cid: String = libseal_crypto::sha2::Sha256::digest(format!("{client}:{i}").as_bytes())
+        .iter()
+        .take(20)
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    Request::new(
+        "POST",
+        &format!("/repo/repo-{client}/git-receive-pack"),
+        format!("old {cid} {branch}\n").into_bytes(),
+    )
+}
+
+fn start_server(plane: Arc<dyn AuditPlane>) -> ApacheServer {
+    ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::LibSeal(plane),
+            Arc::new(Arc::new(GitBackend::new())),
+        )
+        .workers(CLIENTS)
+        .event_loop(false),
+    )
+    .expect("server")
+}
+
+/// One scaling point: serve the closed loop, drain, verify the fleet
+/// through the retained plane handle, return audited throughput.
+fn run_point(id: &BenchIdentity, shards: usize) -> f64 {
+    let plane =
+        libseal::plane::build_plane(plane_config(id, shards, LogBacking::Memory)).expect("plane");
+    assert_eq!(plane.shards(), shards);
+    let server = start_server(plane.clone());
+    let client = HttpsClient::new(server.addr(), id.roots());
+    let stats = LoadGenerator {
+        clients: CLIENTS,
+        duration: bench_secs(),
+        persistent: true,
+        ..LoadGenerator::default()
+    }
+    .run(&client, push_request);
+    server.drain();
+    assert!(stats.requests > 0, "load generator completed no requests");
+    plane
+        .verify_log(0)
+        .expect("fleet verification after drain");
+    stats.throughput()
+}
+
+/// Mid-load shard restart on a disk-backed 2-shard fleet: the
+/// restarted shard must recover its journal, service must continue,
+/// and the fleet must verify clean after drain.
+fn restart_trial(id: &BenchIdentity) -> Result<(), String> {
+    let base = bench_log_path(BenchConfig::Disk);
+    let plane = ShardedPlane::open(plane_config(id, 2, LogBacking::Disk(base.clone())))
+        .expect("sharded plane");
+    let server = start_server(plane.clone());
+    let addr = server.addr();
+    let roots = id.roots();
+
+    let load = std::thread::spawn(move || {
+        let client = HttpsClient::new(addr, roots);
+        LoadGenerator {
+            clients: 8,
+            duration: Duration::from_millis(1500),
+            persistent: true,
+            ..LoadGenerator::default()
+        }
+        .run(&client, push_request)
+    });
+
+    std::thread::sleep(Duration::from_millis(400));
+    let served_before = server.served();
+    plane
+        .restart_shard(1)
+        .map_err(|e| format!("shard restart failed: {e}"))?;
+    let stats = load.join().expect("load thread");
+    let served_after = server.served();
+    server.drain();
+
+    // Cleanup the temp journals regardless of verdict.
+    let verdict = (|| {
+        if stats.requests == 0 {
+            return Err("no requests completed during the restart trial".into());
+        }
+        if served_after <= served_before {
+            return Err(format!(
+                "service stalled across the restart ({served_before} -> {served_after})"
+            ));
+        }
+        plane
+            .verify_fleet(0)
+            .map_err(|e| format!("fleet verification after restart: {e}"))
+    })();
+    for suffix in ["shard0", "shard1", "manifest"] {
+        let _ = std::fs::remove_file(format!("{}.{suffix}", base.display()));
+    }
+    verdict
+}
+
+fn main() {
+    let id = BenchIdentity::new();
+    let t1 = run_point(&id, 1);
+    let t4 = run_point(&id, 4);
+    let speedup = t4 / t1.max(1e-9);
+
+    print_table(
+        "shard-scaling gate: audited Git push throughput (ROTE round 4 ms, batch cap 4)",
+        &["shards", "req/s"],
+        &[
+            vec!["1".into(), rate(t1)],
+            vec!["4".into(), rate(t4)],
+        ],
+    );
+    println!("speedup {speedup:.1}x (need ≥ {MIN_SPEEDUP}x)");
+
+    let mut failed = false;
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: 4-shard speedup {speedup:.2}x < {MIN_SPEEDUP}x");
+        failed = true;
+    }
+    match restart_trial(&id) {
+        Ok(()) => println!("restart trial: shard 1 restarted mid-load, fleet verified clean"),
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("shard-scaling gate passed");
+}

@@ -62,6 +62,7 @@ fn could_be_http_response(buf: &[u8]) -> bool {
 }
 
 /// Rollback-protection choice.
+#[derive(Clone)]
 pub enum GuardConfig {
     /// No rollback protection (baselines).
     None,
@@ -82,6 +83,10 @@ pub enum GuardConfig {
 /// Constructed exclusively through [`LibSealConfig::builder`]; the
 /// fields are crate-private so every knob flows through the fluent
 /// builder and defaults stay in one place.
+///
+/// `Clone` exists so [`crate::plane::ShardedPlane`] can stamp out one
+/// derived configuration per shard from a single template.
+#[derive(Clone)]
 pub struct LibSealConfig {
     /// The service's TLS certificate.
     pub(crate) cert: Certificate,
@@ -121,6 +126,14 @@ pub struct LibSealConfig {
     /// Background verifier tuning; `None` runs due checks inline on
     /// the request path.
     pub(crate) verifier: Option<VerifierConfig>,
+    /// Audit-plane shard count; values above 1 make
+    /// [`LibSealConfigBuilder::build_plane`] provision a
+    /// [`crate::plane::ShardedPlane`] instead of a single enclave.
+    pub(crate) shards: usize,
+    /// Audited responses between fleet epoch checkpoints (sharded
+    /// planes only; 0 restricts checkpoints to drains and explicit
+    /// requests).
+    pub(crate) epoch_interval: u64,
 }
 
 impl LibSealConfig {
@@ -153,6 +166,8 @@ impl LibSealConfig {
                 max_message_buffer: MAX_MESSAGE_BUFFER,
                 group_commit: Some(GroupCommitConfig::default()),
                 verifier: Some(VerifierConfig::default()),
+                shards: 1,
+                epoch_interval: 1024,
             },
         }
     }
@@ -278,9 +293,45 @@ impl LibSealConfigBuilder {
         self
     }
 
+    /// Audit-plane shard count. `1` (the default) keeps the paper's
+    /// single-enclave model; larger values shard the audit plane
+    /// across that many enclaves behind one
+    /// [`crate::plane::AuditPlane`], with sessions routed by
+    /// consistent hashing and per-shard chains cross-linked into
+    /// signed epoch checkpoints. Only
+    /// [`LibSealConfigBuilder::build_plane`] acts on this knob;
+    /// [`LibSeal::new`] always builds one enclave.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Audited responses between fleet epoch checkpoints on a sharded
+    /// plane (0 limits checkpoints to drains and explicit requests).
+    pub fn epoch_interval(mut self, responses: u64) -> Self {
+        self.config.epoch_interval = responses;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> LibSealConfig {
         self.config
+    }
+
+    /// Finalises the configuration and provisions the audit plane it
+    /// describes: a single [`LibSeal`] enclave for `shards(1)`, a
+    /// [`crate::plane::ShardedPlane`] fleet otherwise. Services hold
+    /// the returned [`crate::plane::AuditPlane`] and never learn
+    /// which it is.
+    ///
+    /// # Errors
+    ///
+    /// [`LibSealError::Config`] on contradictory knobs (`shards(n>1)`
+    /// with group commit disabled: a sharded plane exists to multiply
+    /// sealer pipelines, so building one around per-pair sealing is
+    /// certainly a mistake), or any enclave provisioning failure.
+    pub fn build_plane(self) -> Result<Arc<dyn crate::plane::AuditPlane>> {
+        crate::plane::build_plane(self.config)
     }
 }
 

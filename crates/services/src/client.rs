@@ -135,6 +135,12 @@ pub struct LoadStats {
     pub p95_latency: Duration,
     /// 99th percentile latency.
     pub p99_latency: Duration,
+    /// Connection ids established during the run, one per TLS
+    /// connection: `client_index << 32 | per-client connection
+    /// sequence`. Shard-routing tests hash these the way a server
+    /// derives session affinity to assert the consistent-hash
+    /// distribution.
+    pub conn_ids: Vec<u64>,
 }
 
 impl LoadStats {
@@ -222,6 +228,8 @@ impl LoadGenerator {
         let run_hist = Histogram::new();
         let run_errors = Counter::new();
         let run_sheds = Counter::new();
+        let conn_ids = std::sync::Mutex::new(Vec::new());
+        let conn_ids = &conn_ids;
         let make_request = &make_request;
         let start = Instant::now();
 
@@ -234,8 +242,22 @@ impl LoadGenerator {
                 let run_sheds = run_sheds.clone();
                 handles.push(scope.spawn(move || {
                     let mut i = 0u64;
+                    // Per-client connection sequence; a new id is
+                    // recorded for every connection actually
+                    // established (initial, reconnect, or one per
+                    // request when non-persistent).
+                    let mut conn_seq = 0u64;
+                    let note_conn = |seq: &mut u64| {
+                        let id = ((c as u64) << 32) | *seq;
+                        *seq += 1;
+                        conn_ids.lock().expect("conn id lock").push(id);
+                    };
                     let mut conn = if self.persistent {
-                        client.connect().ok()
+                        let conn = client.connect().ok();
+                        if conn.is_some() {
+                            note_conn(&mut conn_seq);
+                        }
+                        conn
                     } else {
                         None
                     };
@@ -253,6 +275,7 @@ impl LoadGenerator {
                                 }
                                 None => match client.connect() {
                                     Ok(mut pc) => {
+                                        note_conn(&mut conn_seq);
                                         let r = pc.request(&req);
                                         if r.is_ok() {
                                             conn = Some(pc);
@@ -263,7 +286,11 @@ impl LoadGenerator {
                                 },
                             }
                         } else {
-                            client.request(&req)
+                            let r = client.request(&req);
+                            if r.is_ok() {
+                                note_conn(&mut conn_seq);
+                            }
+                            r
                         };
                         match classify(&result, t0.elapsed()) {
                             Attempt::Ok(lat) => {
@@ -315,6 +342,7 @@ impl LoadGenerator {
 
         let elapsed = start.elapsed();
         let snap = run_hist.snapshot();
+        let conn_ids = conn_ids.lock().expect("conn id lock").split_off(0);
         LoadStats {
             requests: snap.count(),
             errors: run_errors.get(),
@@ -324,6 +352,7 @@ impl LoadGenerator {
             p50_latency: snap.percentile_duration(0.5),
             p95_latency: snap.percentile_duration(0.95),
             p99_latency: snap.percentile_duration(0.99),
+            conn_ids,
         }
     }
 }

@@ -38,7 +38,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use libseal::{LibSeal, SessionInput};
+use libseal::plane::AuditPlane;
+use libseal::SessionInput;
 use libseal_httpx::http::{head_complete, parse_request_limited, Limits, Request, Response};
 use libseal_httpx::ParseError;
 use libseal_lthread::{JobPool, PoolConfig};
@@ -221,17 +222,17 @@ impl Drop for SlotGuard {
     }
 }
 
-/// A LibSEAL instance plus the slot discipline for calling it.
+/// The audit plane plus the slot discipline for calling it.
 #[derive(Clone)]
 struct Seal {
-    ls: Arc<LibSeal>,
+    ls: Arc<dyn AuditPlane>,
     slots: Arc<SlotPool>,
 }
 
 impl Seal {
-    fn new_session(&self) -> libseal::Result<u64> {
+    fn new_session(&self, affinity: u64) -> libseal::Result<u64> {
         let g = self.slots.acquire();
-        self.ls.new_session(g.idx)
+        self.ls.open_session(g.idx, affinity)
     }
 
     fn close_session(&self, sid: u64) {
@@ -627,8 +628,12 @@ impl<A: App> Loop<A> {
     }
 
     fn admit(&mut self, sock: TcpStream) {
+        // The token doubles as the connection's shard affinity, so it
+        // is assigned before the session opens.
+        let token = self.next_token;
+        self.next_token += 1;
         let tls = match (&self.seal, &self.native_cfg) {
-            (Some(seal), _) => match seal.new_session() {
+            (Some(seal), _) => match seal.new_session(token) {
                 Ok(sid) => ConnTls::Seal(sid),
                 Err(_) => return,
             },
@@ -639,8 +644,6 @@ impl<A: App> Loop<A> {
             }
             (None, None) => unreachable!("one TLS mode is always configured"),
         };
-        let token = self.next_token;
-        self.next_token += 1;
         if self
             .reactor
             .register(&sock, token, Interest::READABLE)

@@ -337,6 +337,9 @@ impl SquidProxy {
             );
         }
 
+        // Shared connection counter: each accepted connection gets a
+        // stable id the audit plane hashes for shard routing.
+        let conn_seq = Arc::new(AtomicU64::new(1));
         for worker in 0..config.workers.max(1) {
             let rx = rx.clone();
             let tls = config.tls.clone();
@@ -344,6 +347,7 @@ impl SquidProxy {
             let draining = Arc::clone(&draining);
             let proxied = Arc::clone(&requests_proxied);
             let live = Arc::clone(&live);
+            let conn_seq = Arc::clone(&conn_seq);
             let upstream = config.upstream;
             let roots = config.upstream_roots.clone();
             let timeouts = config.timeouts;
@@ -360,9 +364,10 @@ impl SquidProxy {
                             }
                             match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                                 Ok(sock) => {
+                                    let conn_id = conn_seq.fetch_add(1, Ordering::Relaxed);
                                     let _ = proxy_connection(
-                                        sock, &tls, worker, upstream, &roots, &proxied, &halt,
-                                        &timeouts, &limits,
+                                        sock, &tls, worker, conn_id, upstream, &roots, &proxied,
+                                        &halt, &timeouts, &limits,
                                     );
                                     live.fetch_sub(1, Ordering::AcqRel);
                                 }
@@ -446,6 +451,7 @@ fn proxy_connection(
     mut sock: TcpStream,
     tls: &TlsMode,
     worker: usize,
+    conn_id: u64,
     upstream: SocketAddr,
     roots: &[VerifyingKey],
     proxied: &AtomicU64,
@@ -459,7 +465,7 @@ fn proxy_connection(
     // A slow-reading client must not wedge the worker on a blocked
     // write either.
     sock.set_write_timeout(Some(timeouts.write))?;
-    let mut session = tls.open_session(worker)?;
+    let mut session = tls.open_session(worker, conn_id)?;
     let result = proxy_established(
         &mut session,
         &mut sock,

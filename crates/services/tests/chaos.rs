@@ -91,7 +91,7 @@ fn chaos_matrix_leaves_server_healthy() {
             .build();
         let ls = LibSeal::new(cfg).unwrap();
         let server = ApacheServer::start(
-            ApacheConfig::new(TlsMode::LibSeal(Arc::clone(&ls)), Arc::new(StaticContentRouter))
+            ApacheConfig::new(TlsMode::LibSeal(ls.clone()), Arc::new(StaticContentRouter))
                 .workers(2)
                 .event_loop(event)
                 // Tight deadlines so truncated/stalled chaotic

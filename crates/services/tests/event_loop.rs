@@ -78,7 +78,7 @@ fn libseal_sessions_batch_through_one_reactor() {
     let (ls, roots) = libseal_tls(&ca, Some(Arc::new(GitModule)));
     let backend = Arc::new(GitBackend::new());
     let server = ApacheServer::start(
-        ApacheConfig::new(TlsMode::LibSeal(Arc::clone(&ls)), Arc::new(backend)).workers(2),
+        ApacheConfig::new(TlsMode::LibSeal(ls.clone()), Arc::new(backend)).workers(2),
     )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);

@@ -298,7 +298,7 @@ fn drain_under_load_keeps_chain_verifiable() {
         let backend = Arc::new(GitBackend::new());
         let server = ApacheServer::start(
             ApacheConfig::new(
-                TlsMode::LibSeal(Arc::clone(&ls)),
+                TlsMode::LibSeal(ls.clone()),
                 Arc::new(DelayRouter {
                     delay: Duration::from_millis(150),
                     busy: false,

@@ -98,7 +98,7 @@ fn git_attacks_detected_end_to_end() {
     let backend = Arc::new(GitBackend::new());
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(Arc::clone(&backend)),
         )
         .workers(2),
@@ -153,7 +153,7 @@ fn git_history_replay_stays_clean() {
     let backend = Arc::new(GitBackend::new());
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(Arc::clone(&backend)),
         )
         .workers(2),
@@ -183,7 +183,7 @@ fn owncloud_lost_edit_detected_end_to_end() {
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(OwnCloudModule)));
     let oc = Arc::new(OwnCloudServer::new());
     let server = ApacheServer::start(
-        ApacheConfig::new(TlsMode::LibSeal(Arc::clone(&ls)), Arc::new(Arc::clone(&oc))).workers(2),
+        ApacheConfig::new(TlsMode::LibSeal(ls.clone()), Arc::new(Arc::clone(&oc))).workers(2),
     )
     .unwrap();
     let client = HttpsClient::new(server.addr(), roots);
@@ -246,7 +246,7 @@ fn dropbox_through_squid_detects_corruption() {
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(DropboxModule)));
     let proxy = SquidProxy::start(
         SquidConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             origin_server.addr(),
             vec![ca.root_key()],
         )
@@ -328,7 +328,7 @@ fn malformed_request_gets_400_and_close() {
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(StaticContentRouter),
         )
         .workers(1),
@@ -423,7 +423,7 @@ fn reverse_proxy_deployment_for_git() {
     let (ls, roots) = libseal_for(&ca, Some(Arc::new(GitModule)));
     let front = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(libseal_services::apache::ReverseProxyRouter::new(
                 backend_server.addr(),
                 vec![ca.root_key()],

@@ -31,7 +31,7 @@ fn metrics_endpoint_covers_every_wired_crate() {
     let backend = Arc::new(GitBackend::new());
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(MetricsRouter::wrapping(Arc::new(Arc::clone(&backend)))),
         )
         .workers(2),

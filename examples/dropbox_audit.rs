@@ -47,7 +47,7 @@ fn main() {
     let libseal = LibSeal::new(config).expect("libseal");
     let proxy = SquidProxy::start(
         SquidConfig::new(
-            TlsMode::LibSeal(Arc::clone(&libseal)),
+            TlsMode::LibSeal(libseal.clone()),
             origin_server.addr(),
             vec![ca.root_key()],
         )

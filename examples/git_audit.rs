@@ -31,7 +31,7 @@ fn main() {
     let backend = Arc::new(GitBackend::new());
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&libseal)),
+            TlsMode::LibSeal(libseal.clone()),
             Arc::new(Arc::clone(&backend)),
         )
         .workers(2),

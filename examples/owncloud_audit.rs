@@ -30,7 +30,7 @@ fn main() {
     let oc = Arc::new(OwnCloudServer::new());
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&libseal)),
+            TlsMode::LibSeal(libseal.clone()),
             Arc::new(Arc::clone(&oc)),
         )
         .workers(2),

@@ -35,7 +35,7 @@ fn sealed_persistent_log_full_cycle() {
         let backend = Arc::new(GitBackend::new());
         let server = ApacheServer::start(
             ApacheConfig::new(
-                TlsMode::LibSeal(Arc::clone(&ls)),
+                TlsMode::LibSeal(ls.clone()),
                 Arc::new(Arc::clone(&backend)),
             )
             .workers(2),
@@ -154,7 +154,7 @@ fn transitions_are_observable_end_to_end() {
     let ls = LibSeal::new(cfg).unwrap();
     let server = ApacheServer::start(
         ApacheConfig::new(
-            TlsMode::LibSeal(Arc::clone(&ls)),
+            TlsMode::LibSeal(ls.clone()),
             Arc::new(libseal_services::StaticContentRouter),
         )
         .workers(1),
