@@ -47,6 +47,8 @@ use std::time::Duration;
 use libseal_crypto::ed25519::{SigningKey, VerifyingKey};
 use libseal_crypto::sha2::Sha256;
 use libseal_sealdb::Value;
+use libseal_sgxsim::enclave::EnclaveBuilder;
+use libseal_sgxsim::seal::SealingPolicy;
 use libseal_tlsx::ssl::ReadOutcome;
 use plat::sync::{Mutex, RwLock};
 
@@ -58,8 +60,10 @@ use crate::{AuditLog, LibSealError, Result};
 /// Bits of a plane session id carrying the shard id.
 const SHARD_BITS: u32 = 10;
 /// Bits carrying the shard's restart generation (stale sids from
-/// before a restart must not alias fresh sessions).
-const GEN_BITS: u32 = 6;
+/// before a restart must not alias fresh sessions). Generations are
+/// persisted in the fleet manifest and never wrap: a shard that has
+/// exhausted them refuses further restarts.
+const GEN_BITS: u32 = 14;
 /// Maximum shard id (exclusive).
 const MAX_SHARDS: u32 = 1 << SHARD_BITS;
 /// Virtual nodes per shard on the hash ring; enough that four shards
@@ -645,12 +649,13 @@ impl ShardedPlane {
                 "a sharded plane requires an SSM: there is no audit log to shard otherwise".into(),
             ));
         }
-        // Deterministic plane identity: configured seed, else the
-        // service certificate (matching LibSeal's own derivation
-        // base), domain-separated from every log signer.
-        let base = config
-            .log_signer_seed
-            .unwrap_or_else(|| Sha256::digest(&config.cert.pubkey));
+        // Deterministic plane identity: configured seed, else a
+        // secret derived in-enclave from the MRSIGNER seal key — the
+        // same secret LibSeal's own log signer falls back to. Never
+        // public material (e.g. the certificate): anyone holding it
+        // could recompute the checkpoint and shard signing keys and
+        // forge the whole fleet record.
+        let base = config.log_signer_seed.unwrap_or_else(plane_seal_secret);
         let mut seed_input = Vec::with_capacity(14 + 32);
         seed_input.extend_from_slice(b"libseal-plane:");
         seed_input.extend_from_slice(&base);
@@ -665,18 +670,20 @@ impl ShardedPlane {
         };
         let members = match manifest.as_deref().filter(|p| p.exists()) {
             Some(path) => parse_manifest(path)?,
-            None => (0..config.shards.max(1) as u32).map(|i| (i, true)).collect(),
+            None => (0..config.shards.max(1) as u32)
+                .map(|i| (i, true, 0))
+                .collect(),
         };
 
         let mut shards = BTreeMap::new();
-        for &(id, routable) in &members {
+        for &(id, routable, gen) in &members {
             let seal = build_shard(&config, &plane_seed, id)?;
             shards.insert(
                 id,
                 Shard {
                     seal,
                     routable,
-                    gen: 0,
+                    gen,
                     opened: AtomicU64::new(0),
                 },
             );
@@ -797,6 +804,26 @@ impl ShardedPlane {
     ///
     /// Unknown shard, teardown timeout, or reprovisioning failure.
     pub fn restart_shard(&self, id: u32) -> Result<()> {
+        // Hold the epoch lock for the whole restart: an interval
+        // checkpoint racing this window would otherwise cut an epoch
+        // without the shard (it is out of the map while its enclave
+        // drains), shrinking coverage and turning every later
+        // verification into a false MissingShard verdict.
+        let _epoch = self.next_epoch.lock();
+        {
+            let shards = self.shards.read();
+            let shard = shards
+                .get(&id)
+                .ok_or_else(|| LibSealError::Config(format!("no such shard: {id}")))?;
+            // Generations are encoded in session ids and persisted in
+            // the manifest; wrapping one would let a stale sid alias a
+            // fresh session, so refuse instead.
+            if shard.gen + 1 >= (1 << GEN_BITS) {
+                return Err(LibSealError::Config(format!(
+                    "shard {id} restart generations exhausted"
+                )));
+            }
+        }
         let old = self
             .shards
             .write()
@@ -838,11 +865,14 @@ impl ShardedPlane {
             Shard {
                 seal: fresh,
                 routable,
-                gen: (gen + 1) % (1 << GEN_BITS),
+                gen: gen + 1,
                 opened: AtomicU64::new(0),
             },
         );
-        Ok(())
+        // Persist the bumped generation: a plane reopen must not
+        // reset it, or sids minted before the restart would pass the
+        // generation check again.
+        self.write_manifest()
     }
 
     /// Cuts an epoch checkpoint now: snapshots every shard's chain
@@ -978,8 +1008,9 @@ impl ShardedPlane {
         let mut body = String::from("libseal-fleet-v1\n");
         for (&id, s) in self.shards.read().iter() {
             body.push_str(&format!(
-                "shard {id} {}\n",
-                if s.routable { 1 } else { 0 }
+                "shard {id} {} {}\n",
+                if s.routable { 1 } else { 0 },
+                s.gen,
             ));
         }
         let tmp = path.with_extension("manifest.tmp");
@@ -1004,7 +1035,12 @@ impl ShardedPlane {
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            let _ = self.checkpoint_now(slot);
+            if self.checkpoint_now(slot).is_err() {
+                // A persistently failing checkpoint append would
+                // silently freeze coverage; count it so operators see
+                // the stall before drain does.
+                libseal_telemetry::counter("core_plane_checkpoint_failures_total").inc();
+            }
             self.checkpointing.store(false, Ordering::Release);
         }
     }
@@ -1079,6 +1115,10 @@ impl AuditPlane for ShardedPlane {
     fn ssl_write(&self, slot: usize, sid: u64, data: &[u8]) -> Result<()> {
         let (seal, local) = self.resolve(sid)?;
         seal.ssl_write(slot, local, data)?;
+        // Release the shard handle before pacing: note_responses may
+        // block on the epoch lock, which a concurrent restart holds
+        // while waiting for exactly these handles to drain.
+        drop(seal);
         self.note_responses(slot, 1);
         Ok(())
     }
@@ -1086,6 +1126,7 @@ impl AuditPlane for ShardedPlane {
     fn ssl_write_take(&self, slot: usize, sid: u64, data: &[u8]) -> Result<Vec<u8>> {
         let (seal, local) = self.resolve(sid)?;
         let out = seal.ssl_write_take(slot, local, data)?;
+        drop(seal);
         self.note_responses(slot, 1);
         Ok(out)
     }
@@ -1093,7 +1134,6 @@ impl AuditPlane for ShardedPlane {
     fn pump_batch(&self, slot: usize, items: Vec<SessionInput>) -> Result<Vec<SessionOutcome>> {
         // Partition the batch per shard: one enclave crossing per
         // shard touched, outcomes reassembled under plane sids.
-        let total = items.len() as u64;
         let mut per_shard = BTreeMap::new();
         let mut outcomes = Vec::with_capacity(items.len());
         for item in items {
@@ -1133,7 +1173,9 @@ impl AuditPlane for ShardedPlane {
                 outcomes.push(o);
             }
         }
-        self.note_responses(slot, total);
+        // No epoch pacing here: pumps only advance handshakes and
+        // reads. Audited responses are counted where they are
+        // written — ssl_write / ssl_write_take.
         Ok(outcomes)
     }
 
@@ -1185,6 +1227,20 @@ impl AuditPlane for ShardedPlane {
     }
 }
 
+/// The plane's secret seed base when no explicit `log_signer_seed`
+/// is configured: the MRSIGNER seal key, read inside a freshly
+/// measured enclave exactly as `LibSeal` derives its own log-signer
+/// fallback. Bound to the platform secret, so nothing derivable from
+/// public material (certificate, measurements) reveals the
+/// checkpoint or per-shard signing keys.
+fn plane_seal_secret() -> [u8; 32] {
+    let mut secret = [0u8; 32];
+    EnclaveBuilder::new(b"libseal-plane-v1").build(|sv| {
+        secret = sv.seal_key(SealingPolicy::MrSigner);
+    });
+    secret
+}
+
 /// Provisions one shard's enclave from the plane template: suffixed
 /// journal path, domain-separated log-signing seed, and (shard 0
 /// only) the checkpoint table spliced into the audited schema.
@@ -1210,9 +1266,10 @@ fn shard_path(base: &std::path::Path, id: u32) -> PathBuf {
     PathBuf::from(format!("{}.shard{id}", base.display()))
 }
 
-/// Parses the fleet manifest: `shard <id> <routable>` lines under a
-/// `libseal-fleet-v1` header.
-fn parse_manifest(path: &std::path::Path) -> Result<Vec<(u32, bool)>> {
+/// Parses the fleet manifest: `shard <id> <routable> [gen]` lines
+/// under a `libseal-fleet-v1` header (the generation column was
+/// added later; absent means 0).
+fn parse_manifest(path: &std::path::Path) -> Result<Vec<(u32, bool, u64)>> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| LibSealError::Log(format!("fleet manifest: {e}")))?;
     let mut lines = body.lines();
@@ -1234,7 +1291,18 @@ fn parse_manifest(path: &std::path::Path) -> Result<Vec<(u32, bool)>> {
         let id: u32 = id
             .parse()
             .map_err(|_| LibSealError::Config(format!("bad manifest shard id: {id}")))?;
-        members.push((id, routable == "1"));
+        let gen: u64 = match parts.next() {
+            None => 0,
+            Some(g) => g.parse().map_err(|_| {
+                LibSealError::Config(format!("bad manifest shard generation: {g}"))
+            })?,
+        };
+        if gen >= (1 << GEN_BITS) {
+            return Err(LibSealError::Config(format!(
+                "manifest shard {id} generation {gen} out of range"
+            )));
+        }
+        members.push((id, routable == "1", gen));
     }
     if members.is_empty() {
         return Err(LibSealError::Config("empty fleet manifest".into()));

@@ -435,6 +435,132 @@ fn plane_restart_resumes_from_the_manifest() {
 }
 
 #[test]
+fn plane_keys_are_not_derivable_from_the_certificate() {
+    // The plane seed must come from secret material. Re-run the
+    // (removed) public derivation — Sha256(cert.pubkey) under the
+    // plane's domain separation — and assert it does NOT yield the
+    // checkpoint-verifying key, i.e. holding the service certificate
+    // is not enough to forge epoch checkpoints.
+    let ca = CertificateAuthority::new("CA", &[1u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let pubkey = cert.pubkey;
+    let plane = ShardedPlane::open(
+        LibSealConfig::builder(cert, key)
+            .ssm(Arc::new(EventsSsm))
+            .check_interval(0)
+            .cost_model(CostModel::free())
+            .shards(2)
+            .epoch_interval(0)
+            .build(),
+    )
+    .expect("provision");
+    let mut forged_input = Vec::new();
+    forged_input.extend_from_slice(b"libseal-plane:");
+    forged_input.extend_from_slice(&libseal_crypto::sha2::Sha256::digest(&pubkey));
+    let forged_seed = libseal_crypto::sha2::Sha256::digest(&forged_input);
+    let forged = SigningKey::from_seed(&forged_seed).verifying_key();
+    assert_ne!(
+        forged.as_bytes(),
+        plane.verifying_key().as_bytes(),
+        "plane checkpoint key must not be derivable from the public certificate"
+    );
+}
+
+/// Opens sessions until one lands on `shard`, returning its plane
+/// sid.
+fn open_session_on(plane: &ShardedPlane, shard: u32) -> u64 {
+    let count_on = |p: &ShardedPlane| {
+        p.session_counts()
+            .iter()
+            .find(|&&(id, _)| id == shard)
+            .map_or(0, |&(_, n)| n)
+    };
+    for affinity in 0..10_000u64 {
+        let before = count_on(plane);
+        let sid = plane.open_session(0, affinity).expect("open session");
+        if count_on(plane) > before {
+            return sid;
+        }
+        plane.close_session(0, sid).expect("close session");
+    }
+    panic!("no affinity routed to shard {shard}");
+}
+
+#[test]
+fn stale_generations_stay_dead_across_plane_reopen() {
+    let base = TempPath::new("libseal-fleet-gen", "log");
+    let cfg = || fleet_config(LogBacking::Disk(base.to_path_buf()), 2);
+    let stale_sid = {
+        let plane = ShardedPlane::open(cfg()).expect("provision");
+        append_events(&plane, 1, 2);
+        plane.checkpoint_now(0).expect("checkpoint");
+        let sid = open_session_on(&plane, 1);
+        // Restart bumps the generation: the pinned session dies.
+        plane.restart_shard(1).expect("restart");
+        assert!(
+            matches!(
+                plane.close_session(0, sid),
+                Err(LibSealError::NoSuchSession(_))
+            ),
+            "sid from before the restart must be stale"
+        );
+        plane.drain(0).expect("drain");
+        sid
+    };
+    // Reopen from the manifest: the bumped generation must have been
+    // persisted, so the pre-restart sid still cannot alias a fresh
+    // session on the reprovisioned shard.
+    let plane = ShardedPlane::open(cfg()).expect("reopen");
+    assert!(
+        matches!(
+            plane.close_session(0, stale_sid),
+            Err(LibSealError::NoSuchSession(_))
+        ),
+        "plane reopen must not resurrect pre-restart generations"
+    );
+    // Fresh sessions on the restarted shard route and resolve.
+    let fresh = open_session_on(&plane, 1);
+    plane.close_session(0, fresh).expect("fresh session resolves");
+    drop(plane);
+    cleanup_fleet(&base);
+}
+
+#[test]
+fn checkpoints_racing_a_restart_never_shrink_coverage() {
+    // A checkpoint cut while a shard is mid-restart must not drop the
+    // shard from coverage (which would be a permanent false
+    // MissingShard verdict). Hammer checkpoint_now from another
+    // thread across several restarts and require a clean fleet.
+    let base = TempPath::new("libseal-fleet-race", "log");
+    let plane = ShardedPlane::open(fleet_config(LogBacking::Disk(base.to_path_buf()), 2))
+        .expect("provision");
+    append_events(&plane, 0, 2);
+    append_events(&plane, 1, 2);
+    plane.checkpoint_now(0).expect("checkpoint");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let checkpointer = {
+        let plane = Arc::clone(&plane);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                plane.checkpoint_now(0).expect("racing checkpoint");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    for _ in 0..5 {
+        plane.restart_shard(1).expect("restart under checkpoint load");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    checkpointer.join().expect("checkpointer");
+    plane
+        .verify_fleet(0)
+        .expect("coverage must survive restarts racing checkpoints");
+    drop(plane);
+    cleanup_fleet(&base);
+}
+
+#[test]
 fn shard_join_and_retire_rebalance_only_new_sessions() {
     let plane = ShardedPlane::open(fleet_config(LogBacking::Memory, 2)).expect("provision");
     append_events(&plane, 0, 1);
