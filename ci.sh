@@ -65,3 +65,11 @@ cargo run --release -p libseal-bench --bin overload_chaos_gate
 # and a 2-shard disk-backed fleet must survive a mid-load shard
 # restart with the restarted shard recovering its journal.
 cargo run --release -p libseal-bench --bin shard_scaling_gate
+
+# Attestation must be load-bearing: an attested apache+squid fleet
+# (quotes pinned on both legs) must serve a load run with zero errors
+# and verify clean, a wrong-MRENCLAVE server must be rejected by every
+# client during the handshake (zero requests served), and the attested
+# handshake may cost at most 15% extra median latency over a plain
+# CA-verified one.
+cargo run --release -p libseal-bench --bin attestation_gate

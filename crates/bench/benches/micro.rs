@@ -113,7 +113,7 @@ fn bench_crypto() {
 
 fn handshake_pair() -> (Ssl, Ssl) {
     let ca = CertificateAuthority::new("BenchCA", &[0x42; 32]);
-    let (key, cert) = ca.issue_identity("bench", &[0x43; 32]);
+    let (key, cert) = ca.issue_identity("bench", &[0x43; 32]).unwrap();
     let client_cfg = SslConfig::client(vec![ca.root_key()]);
     let server_cfg = SslConfig::server(cert, key);
     let mut client = Ssl::new(client_cfg, [1u8; 64]);

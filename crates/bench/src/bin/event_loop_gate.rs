@@ -57,7 +57,7 @@ fn capacity_gate(id: &BenchIdentity) -> Result<(), String> {
         ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
 
     let mut parked = Vec::with_capacity(MIN_IDLE_SESSIONS);
     for i in 0..MIN_IDLE_SESSIONS {
@@ -118,7 +118,7 @@ fn transitions_per_request(id: &BenchIdentity, event: bool) -> f64 {
             .event_loop(event),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients: 8,
         duration: bench_secs(),

@@ -72,7 +72,7 @@ fn run_point(
             .event_loop(false),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients,
         duration: bench_secs(),

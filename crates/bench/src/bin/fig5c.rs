@@ -70,13 +70,13 @@ fn run_config(
         )),
     };
     let proxy = SquidProxy::start(
-        SquidConfig::new(tls, origin_server.addr(), id.roots())
+        SquidConfig::new(tls, origin_server.addr(), id.roots(), "localhost")
             .workers(2)
             .event_loop(false),
     )
     .expect("proxy");
 
-    let client = HttpsClient::new(proxy.addr(), id.roots());
+    let client = HttpsClient::new(proxy.addr(), id.roots(), "localhost");
     let mut conn = client.connect().expect("connect");
     let mut commit_lat = Vec::new();
     let mut list_lat = Vec::new();

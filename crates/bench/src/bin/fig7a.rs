@@ -29,7 +29,7 @@ fn run_point(id: &BenchIdentity, config: BenchConfig, size: usize, workers: usiz
             .event_loop(false),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let path = format!("/content/{size}");
     let stats = LoadGenerator {
         clients: workers * 2,

@@ -47,13 +47,13 @@ fn run_point(id: &BenchIdentity, libseal: bool, clients: usize, workers: usize) 
         }
     };
     let proxy = SquidProxy::start(
-        SquidConfig::new(tls, origin.addr(), id.roots())
+        SquidConfig::new(tls, origin.addr(), id.roots(), "localhost")
             .workers(workers)
             .event_loop(false),
     )
     .expect("proxy");
 
-    let client = HttpsClient::new(proxy.addr(), id.roots());
+    let client = HttpsClient::new(proxy.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients,
         duration: bench_secs(),

@@ -43,7 +43,7 @@ fn apache_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
             .event_loop(false),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients: cores * 2,
         duration: bench_secs(),
@@ -86,12 +86,12 @@ fn squid_point(id: &BenchIdentity, libseal: bool, cores: usize) -> f64 {
         }
     };
     let proxy = SquidProxy::start(
-        SquidConfig::new(tls, origin.addr(), id.roots())
+        SquidConfig::new(tls, origin.addr(), id.roots(), "localhost")
             .workers(cores)
             .event_loop(false),
     )
     .expect("proxy");
-    let client = HttpsClient::new(proxy.addr(), id.roots());
+    let client = HttpsClient::new(proxy.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients: cores * 2,
         duration: bench_secs(),

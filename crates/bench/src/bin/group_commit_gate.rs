@@ -89,7 +89,7 @@ fn run_point(id: &BenchIdentity, clients: usize, workers: usize) -> Point {
             .workers(workers),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients,
         duration: bench_secs(),

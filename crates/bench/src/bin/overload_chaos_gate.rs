@@ -124,7 +124,7 @@ fn chaos_gate(id: &BenchIdentity) -> Result<(), String> {
             chaotic_attempt(id, server.addr(), cfg);
         }
 
-        let client = HttpsClient::new(server.addr(), id.roots());
+        let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
         for i in 0..5 {
             let rsp = client
                 .request(&Request::new("GET", "/content/128", Vec::new()))
@@ -159,7 +159,7 @@ fn overload_gate(id: &BenchIdentity) -> Result<(), String> {
         .max_connections(CAP),
     )
     .map_err(|e| format!("server start: {e}"))?;
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
 
     // Fill the cap with established connections.
     let mut held = Vec::with_capacity(CAP);
@@ -199,7 +199,7 @@ fn overload_gate(id: &BenchIdentity) -> Result<(), String> {
     let addr = server.addr();
     let roots = id.roots();
     let stampede = std::thread::spawn(move || {
-        let excess = HttpsClient::new(addr, roots);
+        let excess = HttpsClient::new(addr, roots, "localhost");
         LoadGenerator {
             clients: CAP,
             duration: Duration::from_secs(2),
@@ -261,7 +261,7 @@ fn drain_gate(id: &BenchIdentity) -> Result<(), String> {
     )
     .map_err(|e| format!("server start: {e}"))?;
     let addr = server.addr();
-    let client = HttpsClient::new(addr, id.roots());
+    let client = HttpsClient::new(addr, id.roots(), "localhost");
     for i in 0..8 {
         client
             .request(&Request::new("GET", "/content/64", Vec::new()))
@@ -269,7 +269,7 @@ fn drain_gate(id: &BenchIdentity) -> Result<(), String> {
     }
     let roots = id.roots();
     let inflight = std::thread::spawn(move || {
-        let client = HttpsClient::new(addr, roots);
+        let client = HttpsClient::new(addr, roots, "localhost");
         client.request(&Request::new("GET", "/content/128", Vec::new()))
     });
     std::thread::sleep(Duration::from_millis(30));

@@ -95,7 +95,7 @@ fn run_point(id: &BenchIdentity, shards: usize) -> f64 {
         libseal::plane::build_plane(plane_config(id, shards, LogBacking::Memory)).expect("plane");
     assert_eq!(plane.shards(), shards);
     let server = start_server(plane.clone());
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let stats = LoadGenerator {
         clients: CLIENTS,
         duration: bench_secs(),
@@ -123,7 +123,7 @@ fn restart_trial(id: &BenchIdentity) -> Result<(), String> {
     let roots = id.roots();
 
     let load = std::thread::spawn(move || {
-        let client = HttpsClient::new(addr, roots);
+        let client = HttpsClient::new(addr, roots, "localhost");
         LoadGenerator {
             clients: 8,
             duration: Duration::from_millis(1500),

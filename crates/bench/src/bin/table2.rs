@@ -23,7 +23,7 @@ fn run_point(id: &BenchIdentity, size: usize, workers: usize, sync_calls: bool) 
             .event_loop(false),
     )
     .expect("server");
-    let client = HttpsClient::new(server.addr(), id.roots());
+    let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
     let path = format!("/content/{size}");
     let stats = LoadGenerator {
         clients: workers * 2,

@@ -38,7 +38,7 @@ fn main() {
                 .event_loop(false),
         )
         .expect("server");
-        let client = HttpsClient::new(server.addr(), id.roots());
+        let client = HttpsClient::new(server.addr(), id.roots(), "localhost");
         let (stats, cpu) = with_cpu_percent(|| {
             LoadGenerator {
                 clients: workers * 2,

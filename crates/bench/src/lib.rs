@@ -35,7 +35,7 @@ impl BenchIdentity {
     /// Deterministic identity for reproducible runs.
     pub fn new() -> Self {
         let ca = CertificateAuthority::new("BenchCA", &[0x42; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[0x43; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[0x43; 32]).unwrap();
         BenchIdentity { ca, cert, key }
     }
 

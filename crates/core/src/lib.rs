@@ -47,13 +47,13 @@ pub use check::{CheckOutcome, CheckReport, Checker};
 pub use commit::{CommitQueue, GroupCommitConfig, Sealer};
 pub use log::{AuditLog, CommitMode, LogBacking, TableSpec};
 pub use plane::{AuditPlane, CheckpointRow, FleetVerifyError, ShardedPlane};
-pub use provision::CertProvisioner;
+pub use provision::{CertProvisioner, IdentityIssuer};
 pub use ssm::{
     DropboxModule, GitModule, Invariant, MessagingModule, OwnCloudModule, ServiceModule,
 };
 pub use termination::{
-    GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, SessionInput, SessionOutcome,
-    ShadowSsl,
+    AttestedIdentity, GuardConfig, LibSeal, LibSealConfig, LibSealConfigBuilder, SessionInput,
+    SessionOutcome, ShadowSsl,
 };
 pub use verifier::{Verifier, VerifierConfig, VerifierQueue};
 

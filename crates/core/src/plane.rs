@@ -189,6 +189,16 @@ pub trait AuditPlane: Send + Sync {
     /// [`LibSealError::Tampered`] on any integrity violation.
     fn verify_log(&self, slot: usize) -> Result<()>;
 
+    /// The TLS certificates this plane's enclaves present, one per
+    /// shard. With an attested identity configured, each carries that
+    /// shard's quote as a certificate extension (RA-TLS).
+    fn certificates(&self) -> Vec<libseal_tlsx::cert::Certificate>;
+
+    /// The distinct enclave measurements behind this plane — what a
+    /// client pins in its `AttestationPolicy`. All shards run the same
+    /// code, so a sharded plane normally reports a single entry.
+    fn measurements(&self) -> Vec<[u8; 32]>;
+
     /// The telemetry registry this plane reports into.
     fn telemetry(&self) -> &'static libseal_telemetry::Registry;
 }
@@ -240,6 +250,14 @@ impl AuditPlane for LibSeal {
 
     fn is_audited(&self) -> bool {
         LibSeal::is_audited(self)
+    }
+
+    fn certificates(&self) -> Vec<libseal_tlsx::cert::Certificate> {
+        vec![self.certificate().clone()]
+    }
+
+    fn measurements(&self) -> Vec<[u8; 32]> {
+        vec![self.measurement()]
     }
 
     fn async_slots(&self) -> Option<usize> {
@@ -1189,6 +1207,28 @@ impl AuditPlane for ShardedPlane {
 
     fn is_audited(&self) -> bool {
         true
+    }
+
+    fn certificates(&self) -> Vec<libseal_tlsx::cert::Certificate> {
+        self.shards
+            .read()
+            .values()
+            .map(|s| s.seal.certificate().clone())
+            .collect()
+    }
+
+    fn measurements(&self) -> Vec<[u8; 32]> {
+        // Every shard runs the same code; dedup so clients pin one
+        // measurement, but report stragglers if a mixed fleet appears.
+        let mut ms: Vec<[u8; 32]> = self
+            .shards
+            .read()
+            .values()
+            .map(|s| s.seal.measurement())
+            .collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
     }
 
     fn async_slots(&self) -> Option<usize> {

@@ -33,7 +33,7 @@ use libseal_sgxsim::enclave::{Enclave, EnclaveBuilder, EnclaveServices};
 use libseal_sgxsim::pool::MemoryPool;
 use libseal_sgxsim::seal::SealingPolicy;
 use libseal_sgxsim::stats::StatsSnapshot;
-use libseal_tlsx::cert::Certificate;
+use libseal_tlsx::cert::{Certificate, CertificateAuthority};
 use libseal_tlsx::ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
 use plat::sync::{Mutex, RwLock};
 
@@ -134,6 +134,22 @@ pub struct LibSealConfig {
     /// planes only; 0 restricts checkpoints to drains and explicit
     /// requests).
     pub(crate) epoch_interval: u64,
+    /// When set, the configured `cert`/`key` are placeholders: the
+    /// enclave generates its TLS keypair inside at build time and the
+    /// issuer mints an attested certificate bound to it (RA-TLS).
+    pub(crate) attest: Option<AttestedIdentity>,
+}
+
+/// An attested-identity request: who signs the certificate + quote,
+/// and the subject name the minted certificate carries.
+///
+/// Cloning shares the issuer, so a sharded plane stamps one of these
+/// per shard and every shard mints its own in-enclave keypair under
+/// the same roots.
+#[derive(Clone)]
+pub struct AttestedIdentity {
+    pub(crate) issuer: Arc<crate::provision::IdentityIssuer>,
+    pub(crate) subject: String,
 }
 
 impl LibSealConfig {
@@ -168,8 +184,31 @@ impl LibSealConfig {
                 verifier: Some(VerifierConfig::default()),
                 shards: 1,
                 epoch_interval: 1024,
+                attest: None,
             },
         }
+    }
+
+    /// Starts a configuration whose TLS identity is minted at build
+    /// time: the enclave generates its keypair inside and `issuer`
+    /// issues a certificate for `subject` carrying a quote that
+    /// commits to the public key (RA-TLS; see [`crate::provision`]).
+    pub fn attested(
+        issuer: Arc<crate::provision::IdentityIssuer>,
+        subject: &str,
+    ) -> LibSealConfigBuilder {
+        // Placeholder identity, replaced during LibSeal::build once
+        // the in-enclave keypair exists.
+        let placeholder_ca = CertificateAuthority::new("attested-placeholder", &[0u8; 32]);
+        let (key, cert) = placeholder_ca
+            .issue_identity("attested-placeholder", &[0u8; 32])
+            .expect("placeholder identity");
+        let mut builder = LibSealConfig::builder(cert, key);
+        builder.config.attest = Some(AttestedIdentity {
+            issuer,
+            subject: subject.to_string(),
+        });
+        builder
     }
 }
 
@@ -313,6 +352,22 @@ impl LibSealConfigBuilder {
         self
     }
 
+    /// Replaces the configured TLS identity with one minted at build
+    /// time: the enclave generates its keypair inside and `issuer`
+    /// issues an attested certificate for `subject`
+    /// (see [`LibSealConfig::attested`]).
+    pub fn attested_identity(
+        mut self,
+        issuer: Arc<crate::provision::IdentityIssuer>,
+        subject: &str,
+    ) -> Self {
+        self.config.attest = Some(AttestedIdentity {
+            issuer,
+            subject: subject.to_string(),
+        });
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> LibSealConfig {
         self.config
@@ -360,7 +415,10 @@ struct AuditState {
 
 /// The trusted (in-enclave) state of a LibSEAL instance.
 pub struct Trusted {
-    ssl_config: Arc<SslConfig>,
+    /// Session TLS configuration. Write-locked exactly once, by the
+    /// `install_cert` ecall that delivers the attested certificate
+    /// minted for the in-enclave keypair; read on every new session.
+    ssl_config: RwLock<Arc<SslConfig>>,
     max_message_buffer: usize,
     sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
     next_sid: AtomicU64,
@@ -776,6 +834,10 @@ impl LibSeal {
             "seal_batch",
             "verify_batch",
             "tls_batch",
+            // Declared unconditionally: the measurement covers the
+            // interface list, so attested and plain builds of the same
+            // SSM must not fork their MRENCLAVE over this ecall.
+            "install_cert",
         ] {
             builder = builder.declare_interface(name);
         }
@@ -799,17 +861,35 @@ impl LibSeal {
         };
         let verify_for_trusted = verify.clone();
 
-        // Build failures inside the init closure are carried out.
+        // Build failures inside the init closure are carried out, and
+        // so is the public key of the keypair generated in-enclave for
+        // an attested identity (the private half never leaves).
         let mut init_err: Option<LibSealError> = None;
+        let mut minted_pubkey: Option<[u8; 32]> = None;
         let enclave = builder.build(|services| {
-            let ssl_config = Arc::new(SslConfig {
+            let (tls_cert, tls_key) = match &config.attest {
+                Some(_) => {
+                    // RA-TLS phase one: generate the TLS keypair inside
+                    // the enclave. The certificate arrives later via
+                    // the `install_cert` ecall, once the issuer has
+                    // quoted this enclave over the public key.
+                    let mut seed = [0u8; 32];
+                    services.fill_random(&mut seed);
+                    let key = SigningKey::from_seed(&seed);
+                    minted_pubkey = Some(*key.verifying_key().as_bytes());
+                    (None, Some(key))
+                }
+                None => (Some(config.cert.clone()), Some(config.key.clone())),
+            };
+            let ssl_config = RwLock::new(Arc::new(SslConfig {
                 role: Role::Server,
-                cert: Some(config.cert.clone()),
-                key: Some(config.key.clone()),
+                cert: tls_cert,
+                key: tls_key,
                 ca_roots: config.ca_roots.clone(),
                 verify_peer: config.verify_clients,
                 expected_subject: None,
-            });
+                attestation: None,
+            }));
             let audit = match &config.ssm {
                 None => None,
                 Some(ssm) => {
@@ -888,6 +968,25 @@ impl LibSeal {
             return Err(e);
         }
         let enclave = Arc::new(enclave);
+        // RA-TLS phase two: quote the built enclave over the public
+        // key it generated, mint the attested certificate outside, and
+        // install it next to the in-enclave private key.
+        let cert = match (&config.attest, minted_pubkey) {
+            (Some(att), Some(pubkey)) => {
+                let minted = att.issuer.mint(&att.subject, &pubkey, enclave.services())?;
+                let installed = minted.clone();
+                enclave
+                    .ecall("install_cert", move |t: &Trusted, _| {
+                        let mut cfg = t.ssl_config.write();
+                        let mut fresh = (**cfg).clone();
+                        fresh.cert = Some(installed);
+                        *cfg = Arc::new(fresh);
+                    })
+                    .map_err(|e| LibSealError::Log(e.to_string()))?;
+                minted
+            }
+            _ => cert,
+        };
         // The dedicated sealer: one enclave transition per batch makes
         // the whole batch durable — one counter bind, one head
         // signature (AuditLog::seal) and one fsync (flush).
@@ -993,7 +1092,7 @@ impl LibSeal {
         let sid = self.call(slot, "new_session", |t, sv, _ctx| {
             let mut entropy = [0u8; 64];
             sv.fill_random(&mut entropy);
-            let mut ssl = Ssl::new(Arc::clone(&t.ssl_config), entropy);
+            let mut ssl = Ssl::new(Arc::clone(&t.ssl_config.read()), entropy);
             // Install the secure-callback trampoline: the outside
             // callback is reached only through an accounted ocall
             // (§4.1, "Secure callbacks").

@@ -298,7 +298,7 @@ impl ServiceModule for EventsSsm {
 
 fn fleet_config(backing: LogBacking, shards: usize) -> LibSealConfig {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     LibSealConfig::builder(cert, key)
         .ssm(Arc::new(EventsSsm))
         .backing(backing)
@@ -442,7 +442,7 @@ fn plane_keys_are_not_derivable_from_the_certificate() {
     // checkpoint-verifying key, i.e. holding the service certificate
     // is not enough to forge epoch checkpoints.
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let pubkey = cert.pubkey;
     let plane = ShardedPlane::open(
         LibSealConfig::builder(cert, key)

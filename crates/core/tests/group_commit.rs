@@ -59,7 +59,7 @@ fn concurrent_appends_verify_with_a_gap_free_chain() {
     const APPENDS: usize = 25;
     let path = TempPath::new("libseal-gc-stress", "log");
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .ssm(Arc::new(GitModule))

@@ -22,7 +22,7 @@ struct Rig {
 
 fn rig(n: usize, audited: bool) -> Rig {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let mut builder = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .backing(LogBacking::Memory)

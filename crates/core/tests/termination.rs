@@ -19,7 +19,7 @@ struct TestRig {
 
 fn rig(audited: bool) -> TestRig {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let mut builder = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .backing(LogBacking::Memory)
@@ -267,7 +267,7 @@ fn shadow_has_no_key_material() {
 fn persistent_log_survives_restart_and_verifies() {
     let dir = plat::tmp::TempPath::new("libseal-e2e", "log");
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     {
         let cfg = LibSealConfig::builder(cert.clone(), key.clone())
             .ssm(Arc::new(GitModule))
@@ -317,7 +317,7 @@ fn persistent_log_survives_restart_and_verifies() {
 fn secure_callback_fires_via_ocall() {
     use std::sync::atomic::{AtomicU32, Ordering};
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -367,7 +367,7 @@ fn secure_callback_fires_via_ocall() {
 fn async_runtime_serves_sessions() {
     use libseal_lthread::{RuntimeConfig, WaitMode};
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -414,8 +414,8 @@ fn client_certificates_identify_users() {
     // enclave knows WHO sent each request; a provider cannot fabricate
     // client actions without a client key.
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (skey, scert) = ca.issue_identity("svc.test", &[2u8; 32]);
-    let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]);
+    let (skey, scert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
+    let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(scert, skey)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -432,6 +432,7 @@ fn client_certificates_identify_users() {
         ca_roots: vec![ca.root_key()],
         verify_peer: true,
         expected_subject: None,
+        attestation: None,
     });
     let mut client = Ssl::new(client_cfg, [3u8; 64]);
     client.do_handshake().unwrap();
@@ -487,7 +488,7 @@ fn client_certificates_identify_users() {
 #[test]
 fn check_interval_triggers_automatically() {
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -545,7 +546,7 @@ fn inline_checks_still_work_without_the_verifier() {
     // no_async_verify: due checks run on the request path, exactly the
     // pre-pool behaviour — no barrier needed before inspecting.
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -606,7 +607,7 @@ fn garbage_streams_cannot_exhaust_enclave_memory() {
     // Incomplete-forever case. Use a small configured cap so the test
     // is fast.
     let ca = CertificateAuthority::new("CA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.test", &[2u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())

@@ -83,17 +83,30 @@ impl Router for DelayRouter {
 /// in reverse-proxy mode, linked against LibSEAL, logging all traffic
 /// and forwarding to backend servers.
 pub struct ReverseProxyRouter {
-    upstream: std::net::SocketAddr,
-    roots: Vec<libseal_crypto::ed25519::VerifyingKey>,
+    origin: crate::client::HttpsClient,
 }
 
 impl ReverseProxyRouter {
-    /// Creates a reverse proxy towards `upstream`, trusting `roots`.
+    /// Creates a reverse proxy towards `upstream`, trusting `roots`
+    /// for a certificate naming `upstream_subject`.
     pub fn new(
         upstream: std::net::SocketAddr,
         roots: Vec<libseal_crypto::ed25519::VerifyingKey>,
+        upstream_subject: &str,
     ) -> Self {
-        ReverseProxyRouter { upstream, roots }
+        ReverseProxyRouter {
+            origin: crate::client::HttpsClient::new(upstream, roots, upstream_subject),
+        }
+    }
+
+    /// Requires the origin certificate to pass `policy` (RA-TLS).
+    #[must_use]
+    pub fn attestation(
+        mut self,
+        policy: std::sync::Arc<libseal_tlsx::attest::AttestationPolicy>,
+    ) -> Self {
+        self.origin = self.origin.attestation(policy);
+        self
     }
 }
 
@@ -101,8 +114,7 @@ impl Router for ReverseProxyRouter {
     fn handle(&self, req: &Request) -> Response {
         // One upstream connection per request keeps the router
         // stateless; a production proxy would pool connections.
-        let client = crate::client::HttpsClient::new(self.upstream, self.roots.clone());
-        match client.request(req) {
+        match self.origin.request(req) {
             Ok(rsp) => rsp,
             Err(e) => Response::new(502, format!("upstream error: {e}").into_bytes()),
         }

@@ -9,7 +9,8 @@ use libseal_crypto::ed25519::VerifyingKey;
 use libseal_crypto::SystemRng;
 use libseal_httpx::http::{parse_response, Request, Response};
 use libseal_telemetry::{Counter, Histogram};
-use libseal_tlsx::ssl::SslConfig;
+use libseal_tlsx::attest::AttestationPolicy;
+use libseal_tlsx::ssl::{Role, SslConfig};
 use libseal_tlsx::stream::SslStream;
 use libseal_tlsx::TlsError;
 
@@ -33,15 +34,42 @@ fn client_metrics() -> &'static ClientMetrics {
 }
 
 /// A client issuing HTTPS requests over STLS.
+#[derive(Clone)]
 pub struct HttpsClient {
     addr: SocketAddr,
     ca_roots: Vec<VerifyingKey>,
+    expected_subject: String,
+    attestation: Option<Arc<AttestationPolicy>>,
 }
 
 impl HttpsClient {
-    /// Creates a client for `addr` trusting `ca_roots`.
-    pub fn new(addr: SocketAddr, ca_roots: Vec<VerifyingKey>) -> Self {
-        HttpsClient { addr, ca_roots }
+    /// Creates a client for `addr` trusting `ca_roots` and requiring
+    /// the server certificate to name `expected_subject`. Without the
+    /// pin, ANY certificate under the CA passes — a valid cert for a
+    /// different host would be accepted.
+    pub fn new(addr: SocketAddr, ca_roots: Vec<VerifyingKey>, expected_subject: &str) -> Self {
+        HttpsClient {
+            addr,
+            ca_roots,
+            expected_subject: expected_subject.to_string(),
+            attestation: None,
+        }
+    }
+
+    /// Additionally requires the server certificate to pass `policy`
+    /// (RA-TLS): the embedded enclave quote must verify and commit to
+    /// the certificate key before the handshake completes.
+    #[must_use]
+    pub fn attestation(mut self, policy: Arc<AttestationPolicy>) -> Self {
+        self.attestation = Some(policy);
+        self
+    }
+
+    /// Drops any attestation requirement (CA + subject checks only).
+    #[must_use]
+    pub fn no_attestation(mut self) -> Self {
+        self.attestation = None;
+        self
     }
 
     /// One-shot request on a fresh connection (the paper's
@@ -66,7 +94,15 @@ impl HttpsClient {
         let sock = TcpStream::connect(self.addr)?;
         sock.set_nodelay(true)?;
         sock.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let cfg = SslConfig::client(self.ca_roots.clone());
+        let cfg = Arc::new(SslConfig {
+            role: Role::Client,
+            cert: None,
+            key: None,
+            ca_roots: self.ca_roots.clone(),
+            verify_peer: true,
+            expected_subject: Some(self.expected_subject.clone()),
+            attestation: self.attestation.clone(),
+        });
         let mut entropy = [0u8; 64];
         SystemRng::new().fill(&mut entropy);
         let tls = SslStream::handshake(cfg, entropy, sock)?;

@@ -355,6 +355,7 @@ pub(crate) fn serve<A: App>(
                 ca_roots: Vec::new(),
                 verify_peer: false,
                 expected_subject: None,
+                attestation: None,
             })),
         ),
     };

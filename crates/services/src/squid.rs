@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use libseal_crypto::ed25519::VerifyingKey;
 use libseal_httpx::http::{parse_request_limited, Limits, Response};
 use libseal_httpx::ParseError;
+use libseal_tlsx::attest::AttestationPolicy;
 use libseal_tlsx::ssl::ReadOutcome;
 
 use crate::client::HttpsClient;
@@ -47,6 +48,8 @@ pub struct SquidConfig {
     pub(crate) workers: usize,
     pub(crate) upstream: SocketAddr,
     pub(crate) upstream_roots: Vec<VerifyingKey>,
+    pub(crate) upstream_subject: String,
+    pub(crate) upstream_attestation: Option<Arc<AttestationPolicy>>,
     pub(crate) event_loop: bool,
     pub(crate) idle_timeout: std::time::Duration,
     pub(crate) timeouts: PhaseTimeouts,
@@ -59,17 +62,22 @@ impl SquidConfig {
     /// A configuration with the default worker count (4), the
     /// event-driven core enabled and a 60 s idle-session timeout.
     /// `upstream` is the origin server; `upstream_roots` the CA roots
-    /// trusted for its certificate.
+    /// trusted for its certificate, which must name
+    /// `upstream_subject` (the proxy's upstream leg pins the subject —
+    /// a valid certificate for some other host is rejected).
     pub fn new(
         tls: TlsMode,
         upstream: SocketAddr,
         upstream_roots: Vec<VerifyingKey>,
+        upstream_subject: &str,
     ) -> SquidConfig {
         SquidConfig {
             tls,
             workers: 4,
             upstream,
             upstream_roots,
+            upstream_subject: upstream_subject.to_string(),
+            upstream_attestation: None,
             event_loop: true,
             idle_timeout: std::time::Duration::from_secs(60),
             timeouts: PhaseTimeouts::default(),
@@ -157,6 +165,36 @@ impl SquidConfig {
         self.limits = limits;
         self
     }
+
+    /// Requires the origin certificate to pass `policy` (RA-TLS) on
+    /// the upstream leg: the embedded enclave quote must verify and
+    /// commit to the certificate key before any request is forwarded.
+    #[must_use]
+    pub fn attestation(mut self, policy: Arc<AttestationPolicy>) -> SquidConfig {
+        self.upstream_attestation = Some(policy);
+        self
+    }
+
+    /// Drops any upstream attestation requirement (CA + subject
+    /// checks only).
+    #[must_use]
+    pub fn no_attestation(mut self) -> SquidConfig {
+        self.upstream_attestation = None;
+        self
+    }
+
+    /// The upstream-leg client this configuration describes.
+    fn origin_client(&self) -> HttpsClient {
+        let client = HttpsClient::new(
+            self.upstream,
+            self.upstream_roots.clone(),
+            &self.upstream_subject,
+        );
+        match &self.upstream_attestation {
+            Some(policy) => client.attestation(Arc::clone(policy)),
+            None => client,
+        }
+    }
 }
 
 /// The Squid personality of the shared event loop. The upstream leg
@@ -164,8 +202,7 @@ impl SquidConfig {
 /// first request *inside the worker job* — the origin handshake must
 /// never block the reactor.
 struct SquidApp {
-    upstream: SocketAddr,
-    roots: Vec<VerifyingKey>,
+    origin: HttpsClient,
     proxied: Arc<AtomicU64>,
 }
 
@@ -178,7 +215,7 @@ impl crate::event::App for SquidApp {
 
     fn handle(&self, conn: &mut Self::Conn, req: &libseal_httpx::http::Request) -> Response {
         if conn.is_none() {
-            match HttpsClient::new(self.upstream, self.roots.clone()).connect() {
+            match self.origin.connect() {
                 Ok(c) => *conn = Some(c),
                 Err(_) => return Response::new(502, b"bad gateway".to_vec()),
             }
@@ -252,8 +289,7 @@ impl SquidProxy {
 
         if config.event_loop && plat::reactor::supported() {
             let app = Arc::new(SquidApp {
-                upstream: config.upstream,
-                roots: config.upstream_roots.clone(),
+                origin: config.origin_client(),
                 proxied: Arc::clone(&requests_proxied),
             });
             let handle = crate::event::serve(
@@ -348,8 +384,7 @@ impl SquidProxy {
             let proxied = Arc::clone(&requests_proxied);
             let live = Arc::clone(&live);
             let conn_seq = Arc::clone(&conn_seq);
-            let upstream = config.upstream;
-            let roots = config.upstream_roots.clone();
+            let origin = config.origin_client();
             let timeouts = config.timeouts;
             let limits = config.limits;
             handles.push(
@@ -366,8 +401,8 @@ impl SquidProxy {
                                 Ok(sock) => {
                                     let conn_id = conn_seq.fetch_add(1, Ordering::Relaxed);
                                     let _ = proxy_connection(
-                                        sock, &tls, worker, conn_id, upstream, &roots, &proxied,
-                                        &halt, &timeouts, &limits,
+                                        sock, &tls, worker, conn_id, &origin, &proxied, &halt,
+                                        &timeouts, &limits,
                                     );
                                     live.fetch_sub(1, Ordering::AcqRel);
                                 }
@@ -452,8 +487,7 @@ fn proxy_connection(
     tls: &TlsMode,
     worker: usize,
     conn_id: u64,
-    upstream: SocketAddr,
-    roots: &[VerifyingKey],
+    origin: &HttpsClient,
     proxied: &AtomicU64,
     halt: &dyn Fn() -> bool,
     timeouts: &PhaseTimeouts,
@@ -469,8 +503,7 @@ fn proxy_connection(
     let result = proxy_established(
         &mut session,
         &mut sock,
-        upstream,
-        roots,
+        origin,
         proxied,
         halt,
         timeouts,
@@ -485,8 +518,7 @@ fn proxy_connection(
 fn proxy_established(
     session: &mut TlsSession,
     sock: &mut TcpStream,
-    upstream: SocketAddr,
-    roots: &[VerifyingKey],
+    origin: &HttpsClient,
     proxied: &AtomicU64,
     halt: &dyn Fn() -> bool,
     timeouts: &PhaseTimeouts,
@@ -520,7 +552,6 @@ fn proxy_established(
 
     // The second TLS leg: one upstream connection per client
     // connection (as Squid does for tunnelled traffic).
-    let origin = HttpsClient::new(upstream, roots.to_vec());
     let mut origin_conn = origin.connect()?;
 
     let mut plain = Vec::new();

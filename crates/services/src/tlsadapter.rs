@@ -59,6 +59,7 @@ impl TlsMode {
                     ca_roots: Vec::new(),
                     verify_peer: false,
                     expected_subject: None,
+                    attestation: None,
                 });
                 let mut entropy = [0u8; 64];
                 SystemRng::new().fill(&mut entropy);

@@ -29,12 +29,12 @@ fn ca() -> CertificateAuthority {
 }
 
 fn native_tls(ca: &CertificateAuthority) -> (TlsMode, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]).unwrap();
     (TlsMode::Native { cert, key }, vec![ca.root_key()])
 }
 
 fn libseal_tls(ca: &CertificateAuthority) -> (Arc<LibSeal>, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     let ls = LibSeal::new(
         LibSealConfig::builder(cert, key)
             .cost_model(CostModel::free())
@@ -81,7 +81,7 @@ fn squid_threaded_accept_errors_do_not_kill_listener() {
     // straight after start — before any client connects.
     let (ls, roots) = libseal_tls(&ca);
     let proxy = SquidProxy::start(
-        SquidConfig::new(TlsMode::LibSeal(ls), origin.addr(), origin_roots)
+        SquidConfig::new(TlsMode::LibSeal(ls), origin.addr(), origin_roots, "localhost")
             .workers(1)
             .event_loop(false),
     )
@@ -89,7 +89,7 @@ fn squid_threaded_accept_errors_do_not_kill_listener() {
     await_hits(&scenario, 3);
 
     // The listener survived: a real request still proxies through.
-    let client = HttpsClient::new(proxy.addr(), roots);
+    let client = HttpsClient::new(proxy.addr(), roots, "localhost");
     let rsp = client
         .request(&Request::new("GET", "/content/256", Vec::new()))
         .unwrap();
@@ -127,7 +127,7 @@ fn apache_event_accept_errors_back_off_and_recover() {
     // Each connection attempt makes the listener readable; the first
     // two accept sweeps fault and deregister the listener for 5 ms,
     // but the TCP backlog holds the connection until resume.
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     for _ in 0..3 {
         let rsp = client
             .request(&Request::new("GET", "/content/128", Vec::new()))

@@ -83,7 +83,7 @@ fn chaos_matrix_leaves_server_healthy() {
             continue;
         }
         let ca = CertificateAuthority::new("ChaosCA", &[0x66; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[0x31; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[0x31; 32]).unwrap();
         let cfg = LibSealConfig::builder(cert, key)
             .ssm(Arc::new(GitModule))
             .cost_model(CostModel::free())
@@ -109,7 +109,7 @@ fn chaos_matrix_leaves_server_healthy() {
 
         // After the whole matrix the server still serves clean
         // clients...
-        let client = HttpsClient::new(server.addr(), roots);
+        let client = HttpsClient::new(server.addr(), roots, "localhost");
         for _ in 0..3 {
             let rsp = client
                 .request(&Request::new("GET", "/content/128", Vec::new()))
@@ -133,7 +133,7 @@ fn concurrent_chaos_and_clean_traffic() {
             continue;
         }
         let ca = CertificateAuthority::new("ChaosCA2", &[0x67; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[0x32; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[0x32; 32]).unwrap();
         let (tls, roots) = {
             let cfg = LibSealConfig::builder(cert, key)
                 .ssm(Arc::new(GitModule))
@@ -172,7 +172,7 @@ fn concurrent_chaos_and_clean_traffic() {
             }
             let clean_roots = roots.clone();
             scope.spawn(move || {
-                let client = HttpsClient::new(addr, clean_roots);
+                let client = HttpsClient::new(addr, clean_roots, "localhost");
                 let mut completed = 0u32;
                 for _ in 0..10 {
                     if let Ok(rsp) = client.request(&Request::new("GET", "/content/64", Vec::new()))

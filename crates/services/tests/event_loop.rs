@@ -24,7 +24,7 @@ fn ca() -> CertificateAuthority {
 }
 
 fn native_tls(ca: &CertificateAuthority) -> (TlsMode, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]).unwrap();
     (TlsMode::Native { cert, key }, vec![ca.root_key()])
 }
 
@@ -32,7 +32,7 @@ fn libseal_tls(
     ca: &CertificateAuthority,
     ssm: Option<Arc<dyn libseal::ServiceModule>>,
 ) -> (Arc<LibSeal>, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     let mut builder = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .check_interval(0);
@@ -52,7 +52,7 @@ fn native_keep_alive_roundtrips() {
     let server =
         ApacheServer::start(ApacheConfig::new(tls, Arc::new(StaticContentRouter)).workers(2))
             .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let mut conn = client.connect().unwrap();
     for i in 1..=8 {
         let rsp = conn
@@ -81,7 +81,7 @@ fn libseal_sessions_batch_through_one_reactor() {
         ApacheConfig::new(TlsMode::LibSeal(ls.clone()), Arc::new(backend)).workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
 
     // Several persistent clients interleaving audited pushes: every
     // request decrypts inside the enclave via the batched pump.
@@ -160,7 +160,7 @@ fn idle_sessions_are_evicted() {
             .idle_timeout(Duration::from_millis(100)),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let mut conn = client.connect().unwrap();
     let rsp = conn
         .request(&Request::new("GET", "/content/16", Vec::new()))
@@ -192,7 +192,7 @@ fn many_idle_sessions_survive_active_load() {
     let server =
         ApacheServer::start(ApacheConfig::new(tls, Arc::new(StaticContentRouter)).workers(2))
             .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
 
     // Register a crowd of established-but-idle sessions.
     let mut idle: Vec<_> = (0..IDLE)
@@ -271,7 +271,7 @@ fn malformed_bytes_get_400_and_metric() {
     assert!(malformed.get() > before);
 
     // The listener is unharmed: a fresh, well-formed request works.
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let rsp = client
         .request(&Request::new("GET", "/content/64", Vec::new()))
         .unwrap();
@@ -292,11 +292,11 @@ fn squid_event_mode_proxies_to_origin() {
 
     let (ls, roots) = libseal_tls(&ca, None);
     let proxy = SquidProxy::start(
-        SquidConfig::new(TlsMode::LibSeal(ls), origin.addr(), origin_roots).workers(2),
+        SquidConfig::new(TlsMode::LibSeal(ls), origin.addr(), origin_roots, "localhost").workers(2),
     )
     .unwrap();
 
-    let client = HttpsClient::new(proxy.addr(), roots);
+    let client = HttpsClient::new(proxy.addr(), roots, "localhost");
     let mut conn = client.connect().unwrap();
     for i in 1..=5 {
         let rsp = conn

@@ -25,7 +25,7 @@ fn ca() -> CertificateAuthority {
 }
 
 fn native_tls(ca: &CertificateAuthority) -> (TlsMode, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x33; 32]).unwrap();
     (TlsMode::Native { cert, key }, vec![ca.root_key()])
 }
 
@@ -89,7 +89,7 @@ fn slowloris_handshake_is_evicted() {
         );
 
         // The server must still serve well-behaved clients.
-        let client = HttpsClient::new(server.addr(), roots);
+        let client = HttpsClient::new(server.addr(), roots, "localhost");
         let rsp = client
             .request(&Request::new("GET", "/content/16", Vec::new()))
             .unwrap();
@@ -135,7 +135,7 @@ fn slowloris_headers_are_evicted() {
             "eviction took far longer than the phase deadline (event={event})"
         );
 
-        let client = HttpsClient::new(server.addr(), roots);
+        let client = HttpsClient::new(server.addr(), roots, "localhost");
         let rsp = client
             .request(&Request::new("GET", "/content/16", Vec::new()))
             .unwrap();
@@ -209,7 +209,7 @@ fn oversized_requests_get_typed_rejections() {
         assert_eq!(status, Some(413), "oversized body (event={event})");
 
         // In-budget requests still work.
-        let client = HttpsClient::new(server.addr(), roots);
+        let client = HttpsClient::new(server.addr(), roots, "localhost");
         let rsp = client
             .request(&Request::new("GET", "/content/16", Vec::new()))
             .unwrap();
@@ -242,7 +242,7 @@ fn connection_cap_sheds_excess() {
             "services_threaded_sheds_total"
         };
         let before = counter(sheds);
-        let client = HttpsClient::new(server.addr(), roots);
+        let client = HttpsClient::new(server.addr(), roots, "localhost");
 
         let mut held: Vec<_> = (0..2).map(|_| client.connect().unwrap()).collect();
         // Give the reactor a beat to register both sessions.
@@ -284,7 +284,7 @@ fn drain_under_load_keeps_chain_verifiable() {
         return;
     }
     let ca = ca();
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     let path = plat::tmp::TempPath::new("hostile-drain", "log");
 
     {
@@ -313,7 +313,7 @@ fn drain_under_load_keeps_chain_verifiable() {
         let roots = vec![ca.root_key()];
 
         // Seed some completed, audited traffic.
-        let client = HttpsClient::new(addr, roots.clone());
+        let client = HttpsClient::new(addr, roots.clone(), "localhost");
         let mut generator = HistoryGenerator::new("repo", 2, 4);
         for _ in 0..6 {
             let req = HistoryGenerator::to_request(&generator.next_op());
@@ -323,7 +323,7 @@ fn drain_under_load_keeps_chain_verifiable() {
 
         // Fire a slow request, then drain while it is in flight.
         let inflight = std::thread::spawn(move || {
-            let client = HttpsClient::new(addr, roots);
+            let client = HttpsClient::new(addr, roots, "localhost");
             client.request(&slow_req)
         });
         std::thread::sleep(Duration::from_millis(60));
@@ -377,7 +377,7 @@ fn threaded_drain_delivers_inflight() {
     .unwrap();
     let addr = server.addr();
     let inflight = std::thread::spawn(move || {
-        let client = HttpsClient::new(addr, roots);
+        let client = HttpsClient::new(addr, roots, "localhost");
         client.request(&Request::new("GET", "/content/48", Vec::new()))
     });
     std::thread::sleep(Duration::from_millis(60));

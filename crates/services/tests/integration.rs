@@ -38,7 +38,7 @@ fn libseal_for(
     ca: &CertificateAuthority,
     ssm: Option<Arc<dyn libseal::ServiceModule>>,
 ) -> (Arc<LibSeal>, Vec<VerifyingKey>) {
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     let mut builder = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .check_interval(0);
@@ -56,13 +56,53 @@ fn static_content_through_libseal() {
         ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let rsp = client
         .request(&Request::new("GET", "/content/1024", Vec::new()))
         .unwrap();
     assert_eq!(rsp.status, 200);
     assert_eq!(rsp.body.len(), 1024);
     await_served(&server, 1);
+    server.stop();
+}
+
+#[test]
+fn wrong_host_certificate_rejected_despite_valid_ca() {
+    // Regression: HttpsClient used to skip the expected-subject pin,
+    // accepting ANY certificate under the trusted CA. A valid cert for
+    // a different host must fail the handshake.
+    let ca = ca();
+    let (key, cert) = ca.issue_identity("other-host.example", &[0x23; 32]).unwrap();
+    let server = ApacheServer::start(
+        ApacheConfig::new(
+            TlsMode::Native { cert, key },
+            Arc::new(StaticContentRouter),
+        )
+        .workers(1),
+    )
+    .unwrap();
+
+    // Pinned to the host we meant to reach: rejected.
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
+    let err = client
+        .request(&Request::new("GET", "/content/16", Vec::new()))
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            libseal_services::ServiceError::Tls(libseal_tlsx::TlsError::Verification(m))
+                if m.contains("subject mismatch")
+        ),
+        "expected subject-mismatch verification failure, got {err:?}"
+    );
+    assert_eq!(server.requests_served(), 0);
+
+    // Pinned to the name the certificate actually carries: accepted.
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "other-host.example");
+    let rsp = client
+        .request(&Request::new("GET", "/content/16", Vec::new()))
+        .unwrap();
+    assert_eq!(rsp.status, 200);
     server.stop();
 }
 
@@ -74,7 +114,7 @@ fn keep_alive_connections_work() {
         ApacheConfig::new(TlsMode::LibSeal(ls), Arc::new(StaticContentRouter)).workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let mut conn = client.connect().unwrap();
     for i in 1..=5 {
         let rsp = conn
@@ -104,7 +144,7 @@ fn git_attacks_detected_end_to_end() {
         .workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
 
     // Honest phase: push two branches, fetch, check → ok.
     let push =
@@ -159,7 +199,7 @@ fn git_history_replay_stays_clean() {
         .workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let mut generator = HistoryGenerator::new("commons-validator", 4, 1);
     let mut conn = client.connect().unwrap();
     for _ in 0..60 {
@@ -186,7 +226,7 @@ fn owncloud_lost_edit_detected_end_to_end() {
         ApacheConfig::new(TlsMode::LibSeal(ls.clone()), Arc::new(Arc::clone(&oc))).workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
 
     let join = |who: &str| {
         Request::new(
@@ -228,7 +268,7 @@ fn owncloud_lost_edit_detected_end_to_end() {
 fn dropbox_through_squid_detects_corruption() {
     let ca = ca();
     // Origin: the Dropbox metadata server behind its own TLS identity.
-    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]);
+    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]).unwrap();
     let origin = Arc::new(DropboxServer::new());
     let origin_server = ApacheServer::start(
         ApacheConfig::new(
@@ -249,12 +289,13 @@ fn dropbox_through_squid_detects_corruption() {
             TlsMode::LibSeal(ls.clone()),
             origin_server.addr(),
             vec![ca.root_key()],
+            "dropbox-origin",
         )
         .workers(2),
     )
     .unwrap();
 
-    let client = HttpsClient::new(proxy.addr(), roots);
+    let client = HttpsClient::new(proxy.addr(), roots, "localhost");
     let mut conn = client.connect().unwrap();
     let mut workload = FileWorkload::new("acct", "host1");
     for _ in 0..12 {
@@ -296,7 +337,7 @@ fn dropbox_through_squid_detects_corruption() {
 #[test]
 fn wan_latency_floor_applies() {
     let ca = ca();
-    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]);
+    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[0x31; 32]).unwrap();
     let origin = Arc::new(DropboxServer::with_wan_latency(Duration::from_millis(30)));
     let origin_server = ApacheServer::start(
         ApacheConfig::new(
@@ -309,7 +350,7 @@ fn wan_latency_floor_applies() {
         .workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(origin_server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(origin_server.addr(), vec![ca.root_key()], "dropbox-origin");
     let t0 = std::time::Instant::now();
     client
         .request(&Request::new(
@@ -361,7 +402,7 @@ fn malformed_request_gets_400_and_close() {
 
     // A well-formed request on a fresh connection still works, and the
     // audit log stayed consistent.
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let rsp = client
         .request(&Request::new("GET", "/content/64", Vec::new()))
         .unwrap();
@@ -383,7 +424,7 @@ fn many_concurrent_clients() {
     for _ in 0..8 {
         let roots = roots.clone();
         handles.push(std::thread::spawn(move || {
-            let client = HttpsClient::new(addr, roots);
+            let client = HttpsClient::new(addr, roots, "localhost");
             for _ in 0..5 {
                 let rsp = client
                     .request(&Request::new("GET", "/content/256", Vec::new()))
@@ -405,7 +446,7 @@ fn reverse_proxy_deployment_for_git() {
     // all traffic and forwards to Git backend servers.
     let ca = ca();
     // The backend Git server (its own TLS identity, unaudited).
-    let (bkey, bcert) = ca.issue_identity("git-backend", &[0x41; 32]);
+    let (bkey, bcert) = ca.issue_identity("git-backend", &[0x41; 32]).unwrap();
     let backend = Arc::new(GitBackend::new());
     let backend_server = ApacheServer::start(
         ApacheConfig::new(
@@ -427,13 +468,14 @@ fn reverse_proxy_deployment_for_git() {
             Arc::new(libseal_services::apache::ReverseProxyRouter::new(
                 backend_server.addr(),
                 vec![ca.root_key()],
+                "git-backend",
             )),
         )
         .workers(2),
     )
     .unwrap();
 
-    let client = HttpsClient::new(front.addr(), roots);
+    let client = HttpsClient::new(front.addr(), roots, "localhost");
     client
         .request(&Request::new(
             "POST",

@@ -17,7 +17,7 @@ use libseal_services::{HttpsClient, TlsMode};
 #[test]
 fn metrics_endpoint_covers_every_wired_crate() {
     let ca = CertificateAuthority::new("TestRootCA", &[0x77; 32]);
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     // The default guard is a ROTE quorum, so appends exercise the
     // rote crate as well.
     let ls = LibSeal::new(
@@ -37,7 +37,7 @@ fn metrics_endpoint_covers_every_wired_crate() {
         .workers(2),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
 
     // Audited traffic: each push crosses the simulated enclave
     // boundary, appends to the sealed log (sealdb + rote), and the

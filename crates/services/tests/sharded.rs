@@ -27,7 +27,7 @@ fn plane_builder(
     ca: &CertificateAuthority,
     shards: usize,
 ) -> libseal::LibSealConfigBuilder {
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .check_interval(0)
@@ -60,7 +60,7 @@ fn builder_rejects_shards_without_group_commit() {
 #[test]
 fn builder_rejects_shards_without_an_ssm() {
     let ca = ca();
-    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[0x21; 32]).unwrap();
     let err = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .shards(2)
@@ -164,7 +164,7 @@ fn serve_and_verify(event_loop: bool) {
         .event_loop(event_loop),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     for i in 0..5 {
         let rsp = client.request(&push("p", i)).unwrap();
         assert_eq!(rsp.status, 200);
@@ -205,7 +205,7 @@ fn sharded_fleet_serves_and_verifies_after_drain() {
         .event_loop(false),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), roots);
+    let client = HttpsClient::new(server.addr(), roots, "localhost");
     let stats = LoadGenerator {
         clients: 4,
         duration: Duration::from_millis(400),
@@ -236,7 +236,7 @@ fn sharded_fleet_serves_and_verifies_after_drain() {
 
 fn drive<S: Service>(config: S::Config, roots: Vec<VerifyingKey>, req: &Request) {
     let svc = S::start(config).unwrap();
-    let client = HttpsClient::new(svc.local_addr(), roots);
+    let client = HttpsClient::new(svc.local_addr(), roots, "localhost");
     let rsp = client.request(req).unwrap();
     assert_eq!(rsp.status, 200);
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -268,7 +268,7 @@ fn service_trait_drives_apache_and_squid() {
     plane.verify_log(0).unwrap();
 
     // Squid in front of a native origin, audited client leg.
-    let (okey, ocert) = ca.issue_identity("localhost", &[0x33; 32]);
+    let (okey, ocert) = ca.issue_identity("localhost", &[0x33; 32]).unwrap();
     let origin = ApacheServer::start(
         ApacheConfig::new(
             TlsMode::Native {
@@ -287,6 +287,7 @@ fn service_trait_drives_apache_and_squid() {
             TlsMode::LibSeal(plane.clone()),
             origin.addr(),
             vec![ca.root_key()],
+            "localhost",
         )
         .workers(2)
         .event_loop(false),

@@ -26,17 +26,26 @@ pub struct Quote {
     pub signer: [u8; 32],
     /// Caller-chosen data bound into the quote (e.g. a TLS key hash).
     pub report_data: [u8; 64],
+    /// When the quote was produced (unix milliseconds), signed along
+    /// with the identity so verifiers can enforce a freshness TTL.
+    pub issued_at_ms: u64,
     /// Signature by the quoting enclave.
     pub signature: [u8; 64],
 }
 
 impl Quote {
-    fn signed_payload(measurement: &[u8; 32], signer: &[u8; 32], report: &[u8; 64]) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(32 + 32 + 64 + 16);
-        buf.extend_from_slice(b"sgxsim-quote-v1:");
+    fn signed_payload(
+        measurement: &[u8; 32],
+        signer: &[u8; 32],
+        report: &[u8; 64],
+        issued_at_ms: u64,
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + 32 + 64 + 8 + 16);
+        buf.extend_from_slice(b"sgxsim-quote-v2:");
         buf.extend_from_slice(measurement);
         buf.extend_from_slice(signer);
         buf.extend_from_slice(report);
+        buf.extend_from_slice(&issued_at_ms.to_le_bytes());
         buf
     }
 }
@@ -61,15 +70,32 @@ impl QuotingEnclave {
     }
 
     /// Produces a quote over a local enclave's identity and
-    /// caller-chosen `report_data`.
+    /// caller-chosen `report_data`, stamped with the current time.
     pub fn quote(&self, services: &EnclaveServices, report_data: &[u8; 64]) -> Quote {
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.quote_at(services, report_data, now_ms)
+    }
+
+    /// Produces a quote with an explicit issuance timestamp (unix
+    /// milliseconds) — the hook freshness/staleness tests use to mint
+    /// old quotes deterministically.
+    pub fn quote_at(
+        &self,
+        services: &EnclaveServices,
+        report_data: &[u8; 64],
+        issued_at_ms: u64,
+    ) -> Quote {
         let measurement = *services.measurement();
         let signer = *services.signer().as_bytes();
-        let payload = Quote::signed_payload(&measurement, &signer, report_data);
+        let payload = Quote::signed_payload(&measurement, &signer, report_data, issued_at_ms);
         Quote {
             measurement,
             signer,
             report_data: *report_data,
+            issued_at_ms,
             signature: self.key.sign(&payload),
         }
     }
@@ -93,7 +119,12 @@ impl AttestationService {
     ///
     /// [`SgxError::AttestationFailure`] on any mismatch.
     pub fn verify(&self, quote: &Quote, expected_measurement: Option<&[u8; 32]>) -> Result<()> {
-        let payload = Quote::signed_payload(&quote.measurement, &quote.signer, &quote.report_data);
+        let payload = Quote::signed_payload(
+            &quote.measurement,
+            &quote.signer,
+            &quote.report_data,
+            quote.issued_at_ms,
+        );
         self.root
             .verify(&payload, &quote.signature)
             .map_err(|_| SgxError::AttestationFailure)?;
@@ -161,6 +192,20 @@ mod tests {
         let ias = AttestationService::new(qe.root_key());
         let quote = qe.quote(e.services(), &[0u8; 64]);
         assert!(ias.verify(&quote, Some(other.measurement())).is_err());
+    }
+
+    #[test]
+    fn timestamp_is_bound() {
+        let e = EnclaveBuilder::new(b"libseal")
+            .cost_model(CostModel::free())
+            .build(|_| ());
+        let qe = QuotingEnclave::new(&[0x11; 32]);
+        let ias = AttestationService::new(qe.root_key());
+        let mut quote = qe.quote_at(e.services(), &[7u8; 64], 1_000);
+        ias.verify(&quote, None).unwrap();
+        // Re-dating a signed quote must break the signature.
+        quote.issued_at_ms = 2_000;
+        assert!(ias.verify(&quote, None).is_err());
     }
 
     #[test]

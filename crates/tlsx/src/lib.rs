@@ -21,12 +21,14 @@
 //! [`stream::SslStream`] wraps a `TcpStream` (or any `Read + Write`)
 //! for ordinary blocking servers and clients.
 
+pub mod attest;
 pub mod cert;
 pub mod record;
 pub mod ssl;
 pub mod stream;
 
-pub use cert::{Certificate, CertificateAuthority};
+pub use attest::{AttestationError, AttestationExtension, AttestationPolicy};
+pub use cert::{Certificate, CertificateAuthority, Extension};
 pub use ssl::{HandshakeState, ReadOutcome, Role, Ssl, SslConfig};
 pub use stream::{NbRead, NbSslStream, NbStatus, SslStream, WireBuf};
 
@@ -37,6 +39,10 @@ pub enum TlsError {
     Protocol(String),
     /// A certificate or signature failed verification.
     Verification(String),
+    /// The peer's certificate failed attestation-policy evaluation
+    /// (RA-TLS): the quote is missing, unverifiable, stale, names the
+    /// wrong enclave, or does not commit to the certificate key.
+    Attestation(AttestationError),
     /// Record decryption failed (tampering or key mismatch).
     Decrypt,
     /// The connection was closed by the peer.
@@ -55,6 +61,7 @@ impl std::fmt::Display for TlsError {
         match self {
             TlsError::Protocol(m) => write!(f, "protocol error: {m}"),
             TlsError::Verification(m) => write!(f, "verification failure: {m}"),
+            TlsError::Attestation(e) => write!(f, "attestation failure: {e}"),
             TlsError::Decrypt => write!(f, "record decryption failed"),
             TlsError::Closed => write!(f, "connection closed"),
             TlsError::WantRead => write!(f, "need more input"),

@@ -21,6 +21,7 @@ use libseal_crypto::hmac::HmacSha256;
 use libseal_crypto::sha2::Sha256;
 use libseal_crypto::{hkdf, x25519};
 
+use crate::attest::{self, AttestationError, AttestationPolicy, EXT_SGX_QUOTE};
 use crate::cert::Certificate;
 use crate::record::{self, ContentType, RecordKeys, MAX_RECORD};
 use crate::{Result, TlsError};
@@ -35,6 +36,7 @@ pub enum Role {
 }
 
 /// Shared configuration (the `SSL_CTX` analogue).
+#[derive(Clone)]
 pub struct SslConfig {
     /// Endpoint role.
     pub role: Role,
@@ -50,6 +52,10 @@ pub struct SslConfig {
     pub verify_peer: bool,
     /// Expected peer subject (clients; None = accept any).
     pub expected_subject: Option<String>,
+    /// RA-TLS policy (clients): the peer certificate must carry a
+    /// quote satisfying it, evaluated after CA/subject verification
+    /// and before Finished. `None` skips attestation.
+    pub attestation: Option<Arc<AttestationPolicy>>,
 }
 
 impl SslConfig {
@@ -62,6 +68,7 @@ impl SslConfig {
             ca_roots,
             verify_peer: true,
             expected_subject: None,
+            attestation: None,
         })
     }
 
@@ -74,6 +81,7 @@ impl SslConfig {
             ca_roots: Vec::new(),
             verify_peer: false,
             expected_subject: None,
+            attestation: None,
         })
     }
 }
@@ -163,6 +171,58 @@ fn tlsx_metrics() -> &'static TlsxMetrics {
     })
 }
 
+/// Stable telemetry label for a fatal handshake failure. The label set
+/// is closed (every arm returns a literal from this function), so the
+/// per-reason counters minted below have bounded cardinality by
+/// construction — no network input ever names a metric.
+fn handshake_failure_reason(e: &TlsError) -> &'static str {
+    match e {
+        TlsError::Attestation(a) => match a {
+            AttestationError::MissingQuote => "attestation_missing_quote",
+            AttestationError::MalformedQuote => "attestation_malformed_quote",
+            AttestationError::UnknownCriticalExtension(_) => "attestation_unknown_critical",
+            AttestationError::UntrustedRoot => "attestation_untrusted_root",
+            AttestationError::WrongMeasurement => "attestation_wrong_measurement",
+            AttestationError::WrongSigner => "attestation_wrong_signer",
+            AttestationError::StaleQuote => "attestation_stale_quote",
+            AttestationError::ReportDataMismatch => "attestation_report_data_mismatch",
+        },
+        TlsError::Verification(m) => {
+            // Verification messages are produced locally (never copied
+            // from the peer), so matching on them is stable.
+            if m.contains("subject mismatch") {
+                "subject_mismatch"
+            } else if m.contains("not signed by a trusted CA") {
+                "untrusted_ca"
+            } else if m.contains("CertVerify") {
+                "cert_verify"
+            } else if m.contains("Finished") {
+                "finished_mismatch"
+            } else if m.contains("client certificate required") {
+                "client_cert_missing"
+            } else {
+                "verification_other"
+            }
+        }
+        TlsError::Decrypt => "decrypt",
+        TlsError::Protocol(_) => "protocol",
+        TlsError::Closed | TlsError::WantRead | TlsError::WantWrite | TlsError::Io(_) => {
+            "transport"
+        }
+    }
+}
+
+/// Charges the per-reason handshake-rejection counter
+/// (`tlsx_verify_failures_total_<reason>`). Lives on the one choke
+/// point every handshake driver shares ([`Ssl::do_handshake`]), so
+/// blocking [`crate::stream::SslStream`], non-blocking
+/// [`crate::stream::NbSslStream`] and in-enclave sessions all charge
+/// it.
+fn note_handshake_failure(e: &TlsError) {
+    let reason = handshake_failure_reason(e);
+    libseal_telemetry::counter(&format!("tlsx_verify_failures_total_{reason}")).inc();
+}
+
 impl Ssl {
     /// Creates a connection; `entropy` supplies the ephemeral key and
     /// hello randomness (64 bytes).
@@ -246,7 +306,12 @@ impl Ssl {
     pub fn do_handshake(&mut self) -> Result<bool> {
         let start = *self.hs_start.get_or_insert_with(std::time::Instant::now);
         let r = self.do_handshake_inner();
-        if r.is_err() {
+        if let Err(e) = &r {
+            // Charge only on the transition into Failed, so a caller
+            // re-driving a dead session cannot inflate the counters.
+            if self.state != HandshakeState::Failed {
+                note_handshake_failure(e);
+            }
             self.state = HandshakeState::Failed;
         }
         if matches!(r, Ok(true)) && !self.hs_recorded {
@@ -543,6 +608,23 @@ impl Ssl {
                             )));
                         }
                     }
+                    // Criticality semantics hold even without a
+                    // policy: a certificate demanding understanding of
+                    // an extension we lack must not be trusted.
+                    if let Some(t) = cert.unknown_critical(&[EXT_SGX_QUOTE]) {
+                        return Err(TlsError::Attestation(
+                            AttestationError::UnknownCriticalExtension(t),
+                        ));
+                    }
+                    // RA-TLS policy evaluation: after CA and subject
+                    // checks, before our Finished ever leaves — a
+                    // failing quote aborts the handshake with no
+                    // application byte exchanged.
+                    if let Some(policy) = &self.config.attestation {
+                        policy
+                            .verify(&cert, attest::unix_now_ms())
+                            .map_err(TlsError::Attestation)?;
+                    }
                 }
                 self.peer_cert = Some(cert);
                 Ok(())
@@ -603,6 +685,11 @@ impl Ssl {
                 if !ok {
                     return Err(TlsError::Verification(
                         "client certificate not signed by a trusted CA".into(),
+                    ));
+                }
+                if let Some(t) = cert.unknown_critical(&[EXT_SGX_QUOTE]) {
+                    return Err(TlsError::Attestation(
+                        AttestationError::UnknownCriticalExtension(t),
                     ));
                 }
                 self.peer_cert = Some(cert);
@@ -693,7 +780,7 @@ mod tests {
     #[test]
     fn full_handshake_and_data() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let (mut client, mut server) = handshake_pair(
             SslConfig::client(vec![ca.root_key()]),
             SslConfig::server(cert, key),
@@ -722,7 +809,7 @@ mod tests {
     fn untrusted_server_cert_rejected() {
         let ca = test_ca();
         let rogue = CertificateAuthority::new("RogueCA", &[0x44; 32]);
-        let (key, cert) = rogue.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = rogue.issue_identity("server.test", &[4u8; 32]).unwrap();
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
         let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
         client.do_handshake().unwrap();
@@ -731,9 +818,9 @@ mod tests {
     }
 
     #[test]
-    fn subject_mismatch_rejected() {
+    fn subject_mismatch_rejected_and_counted() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("other.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("other.test", &[4u8; 32]).unwrap();
         let cfg = Arc::new(SslConfig {
             role: Role::Client,
             cert: None,
@@ -741,19 +828,27 @@ mod tests {
             ca_roots: vec![ca.root_key()],
             verify_peer: true,
             expected_subject: Some("server.test".into()),
+            attestation: None,
         });
         let mut client = Ssl::new(cfg, [1u8; 64]);
         let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
+        let before = libseal_telemetry::counter("tlsx_verify_failures_total_subject_mismatch").get();
         client.do_handshake().unwrap();
         pump(&mut client, &mut server);
         assert_eq!(client.state(), HandshakeState::Failed);
+        // Every rejection charges its per-reason counter at the shared
+        // do_handshake choke point.
+        assert!(
+            libseal_telemetry::counter("tlsx_verify_failures_total_subject_mismatch").get()
+                > before
+        );
     }
 
     #[test]
     fn client_auth_roundtrip() {
         let ca = test_ca();
-        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]);
-        let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]);
+        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
+        let (ckey, ccert) = ca.issue_identity("alice", &[5u8; 32]).unwrap();
         let server_cfg = Arc::new(SslConfig {
             role: Role::Server,
             cert: Some(scert),
@@ -761,6 +856,7 @@ mod tests {
             ca_roots: vec![ca.root_key()],
             verify_peer: true,
             expected_subject: None,
+            attestation: None,
         });
         let client_cfg = Arc::new(SslConfig {
             role: Role::Client,
@@ -769,6 +865,7 @@ mod tests {
             ca_roots: vec![ca.root_key()],
             verify_peer: true,
             expected_subject: None,
+            attestation: None,
         });
         let (client, server) = handshake_pair(client_cfg, server_cfg);
         assert!(client.is_established());
@@ -779,7 +876,7 @@ mod tests {
     #[test]
     fn client_auth_missing_cert_fails() {
         let ca = test_ca();
-        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (skey, scert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let server_cfg = Arc::new(SslConfig {
             role: Role::Server,
             cert: Some(scert),
@@ -787,6 +884,7 @@ mod tests {
             ca_roots: vec![ca.root_key()],
             verify_peer: true,
             expected_subject: None,
+            attestation: None,
         });
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
         let mut server = Ssl::new(server_cfg, [2u8; 64]);
@@ -798,7 +896,7 @@ mod tests {
     #[test]
     fn tampered_record_fails() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let (mut client, mut server) = handshake_pair(
             SslConfig::client(vec![ca.root_key()]),
             SslConfig::server(cert, key),
@@ -814,7 +912,7 @@ mod tests {
     #[test]
     fn close_notify_roundtrip() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let (mut client, mut server) = handshake_pair(
             SslConfig::client(vec![ca.root_key()]),
             SslConfig::server(cert, key),
@@ -828,7 +926,7 @@ mod tests {
     #[test]
     fn large_transfer_chunks_records() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let (mut client, mut server) = handshake_pair(
             SslConfig::client(vec![ca.root_key()]),
             SslConfig::server(cert, key),
@@ -855,7 +953,7 @@ mod tests {
     fn info_callback_fires() {
         use std::sync::atomic::{AtomicU32, Ordering};
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let hits = Arc::new(AtomicU32::new(0));
         let h = Arc::clone(&hits);
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
@@ -872,7 +970,7 @@ mod tests {
     #[test]
     fn ex_data_storage() {
         let ca = test_ca();
-        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("server.test", &[4u8; 32]).unwrap();
         let (mut client, _server) = handshake_pair(
             SslConfig::client(vec![ca.root_key()]),
             SslConfig::server(cert, key),

@@ -497,7 +497,7 @@ mod tests {
     #[test]
     fn tcp_echo_roundtrip() {
         let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]).unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
 
@@ -521,7 +521,7 @@ mod tests {
     #[test]
     fn large_payload_over_tcp() {
         let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]).unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
@@ -608,7 +608,7 @@ mod tests {
     #[test]
     fn eintr_and_partial_writes_are_survived() {
         let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
-        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]).unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
 

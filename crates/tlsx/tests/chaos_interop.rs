@@ -70,7 +70,7 @@ fn chaos_pair(
     NbSslStream<ChaosStream<Mem>>,
 ) {
     let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
-    let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]).unwrap();
     let (ct, st) = mem_pair();
     let client = NbSslStream::new(
         SslConfig::client(vec![ca.root_key()]),

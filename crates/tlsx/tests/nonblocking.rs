@@ -80,7 +80,7 @@ impl Write for Trickle {
 
 fn pair() -> (NbSslStream<Trickle>, NbSslStream<Trickle>) {
     let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
-    let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[4u8; 32]).unwrap();
     let (ct, st) = trickle_pair();
     let client = NbSslStream::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64], ct);
     let server = NbSslStream::new(SslConfig::server(cert, key), [2u8; 64], st);
@@ -214,6 +214,34 @@ fn bidirectional_interleaved_requests() {
         }
         assert_eq!(back, req);
     }
+}
+
+#[test]
+fn untrusted_ca_failure_counted_on_nonblocking_path() {
+    // The per-reason rejection counters live on the shared
+    // Ssl::do_handshake choke point, so the resumable non-blocking
+    // driver charges them too.
+    let ca = CertificateAuthority::new("RootCA", &[0x33; 32]);
+    let rogue = CertificateAuthority::new("RogueCA", &[0x44; 32]);
+    let (key, cert) = rogue.issue_identity("localhost", &[4u8; 32]).unwrap();
+    let (ct, st) = trickle_pair();
+    let mut client = NbSslStream::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64], ct);
+    let mut server = NbSslStream::new(SslConfig::server(cert, key), [2u8; 64], st);
+    let before = libseal_telemetry::counter("tlsx_verify_failures_total_untrusted_ca").get();
+    let mut failed = false;
+    for _ in 0..200_000 {
+        let _ = server.handshake();
+        match client.handshake() {
+            Ok(_) => {}
+            Err(TlsError::Verification(_)) => {
+                failed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(failed, "rogue-CA handshake must fail verification");
+    assert!(libseal_telemetry::counter("tlsx_verify_failures_total_untrusted_ca").get() > before);
 }
 
 #[test]

@@ -27,6 +27,33 @@ fn pump(a: &mut Ssl, b: &mut Ssl) {
 plat::prop! {
     #![cases(24)]
 
+    fn issue_enforces_name_bound_and_roundtrips(g) {
+        // Subject names at and around the decode cap: issuance must
+        // accept exactly the lengths decode can represent (satellite
+        // regression: `issue` used to mint certs longer than 4096
+        // bytes that `decode` then refused).
+        let len = g.usize_in(libseal_tlsx::cert::MAX_NAME_LEN - 8..libseal_tlsx::cert::MAX_NAME_LEN + 8);
+        let subject = "n".repeat(len);
+        let pubkey = g.byte_array::<32>();
+        let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
+        match ca.issue(&subject, &pubkey) {
+            Ok(cert) => {
+                assert!(len <= libseal_tlsx::cert::MAX_NAME_LEN);
+                let decoded = Certificate::decode(&cert.encode()).unwrap();
+                assert_eq!(decoded, cert);
+                decoded.verify(&ca.root_key()).unwrap();
+            }
+            Err(_) => assert!(len > libseal_tlsx::cert::MAX_NAME_LEN),
+        }
+        // The issuer name is bounded by the same cap.
+        let ca_name = "i".repeat(len);
+        let long_ca = CertificateAuthority::new(&ca_name, &[0x62; 32]);
+        assert_eq!(
+            long_ca.issue("svc", &pubkey).is_ok(),
+            len <= libseal_tlsx::cert::MAX_NAME_LEN
+        );
+    }
+
     fn record_frame_parse_roundtrip(g) {
         let payload = g.bytes(0..4000);
         let framed = frame(ContentType::AppData, &payload);
@@ -52,7 +79,7 @@ plat::prop! {
         let entropy_s = g.byte_array::<64>();
         let payload = g.bytes(1..60_000);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), entropy_c);
         let mut server = Ssl::new(SslConfig::server(cert, key), entropy_s);
         client.do_handshake().unwrap();
@@ -75,7 +102,7 @@ plat::prop! {
         let chunk = g.usize_in(1..97);
         let payload = g.bytes(1..3000);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
         let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
         client.do_handshake().unwrap();
@@ -102,7 +129,7 @@ plat::prop! {
     fn corrupted_wire_never_yields_wrong_plaintext(g) {
         let payload = g.bytes(1..500);
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
         let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
         client.do_handshake().unwrap();
@@ -133,7 +160,7 @@ plat::prop! {
                 // Mutated valid certificate: reaches past the length
                 // guards into the field parsing.
                 let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]);
+                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
                 let mut b = cert.encode();
                 for _ in 0..g.usize_in(1..5) {
                     let idx = g.index(b.len());
@@ -144,7 +171,7 @@ plat::prop! {
             _ => {
                 // Truncations of a valid certificate at every prefix.
                 let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]);
+                let (_, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
                 let b = cert.encode();
                 b[..g.index(b.len() + 1)].to_vec()
             }
@@ -156,7 +183,7 @@ plat::prop! {
     fn handshake_decode_never_panics_on_garbage(g) {
         use libseal_tlsx::record::{frame, ContentType};
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
         let mut peer = if g.usize_in(0..2) == 0 {
             Ssl::new(SslConfig::server(cert, key), [2u8; 64])
         } else {
@@ -194,7 +221,7 @@ plat::prop! {
         // A real server flight truncated at an arbitrary byte: the
         // client must error or starve (WantRead), never panic.
         let ca = CertificateAuthority::new("PropCA", &[0x61; 32]);
-        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]);
+        let (key, cert) = ca.issue_identity("prop", &[0x62; 32]).unwrap();
         let mut client = Ssl::new(SslConfig::client(vec![ca.root_key()]), [1u8; 64]);
         let mut server = Ssl::new(SslConfig::server(cert, key), [2u8; 64]);
         client.do_handshake().unwrap();

@@ -23,7 +23,7 @@ fn main() {
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
 
     // The (uninstrumentable) Dropbox origin.
-    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[3u8; 32]);
+    let (okey, ocert) = ca.issue_identity("dropbox-origin", &[3u8; 32]).unwrap();
     let origin = Arc::new(DropboxServer::new());
     let origin_server = ApacheServer::start(
         ApacheConfig::new(
@@ -38,7 +38,7 @@ fn main() {
     .expect("origin");
 
     // The audited proxy in front of it.
-    let (pkey, pcert) = ca.issue_identity("localhost", &[2u8; 32]);
+    let (pkey, pcert) = ca.issue_identity("localhost", &[2u8; 32]).unwrap();
     let config = LibSealConfig::builder(pcert, pkey)
         .ssm(Arc::new(DropboxModule))
         .cost_model(CostModel::free())
@@ -50,6 +50,7 @@ fn main() {
             TlsMode::LibSeal(libseal.clone()),
             origin_server.addr(),
             vec![ca.root_key()],
+            "dropbox-origin",
         )
         .workers(2),
     )
@@ -57,7 +58,7 @@ fn main() {
     println!("dropbox origin on https://{}", origin_server.addr());
     println!("audited proxy  on https://{}", proxy.addr());
 
-    let client = HttpsClient::new(proxy.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(proxy.addr(), vec![ca.root_key()], "localhost");
     let mut conn = client.connect().expect("connect");
     let mut post = |path: &str, body: &str| {
         conn.request(&Request::new("POST", path, body.as_bytes().to_vec()))

@@ -20,7 +20,7 @@ use libseal_tlsx::cert::CertificateAuthority;
 
 fn main() {
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]).unwrap();
     let config = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(GitModule))
         .cost_model(CostModel::free())
@@ -42,7 +42,7 @@ fn main() {
         server.addr()
     );
 
-    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
     let push = |body: &str| {
         let req = Request::new(
             "POST",

@@ -19,7 +19,7 @@ use libseal_tlsx::cert::CertificateAuthority;
 
 fn main() {
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[2u8; 32]).unwrap();
     let config = LibSealConfig::builder(cert, key)
         .ssm(Arc::new(OwnCloudModule))
         .cost_model(CostModel::free())
@@ -38,7 +38,7 @@ fn main() {
     .expect("server");
     println!("ownCloud documents (audited) on https://{}", server.addr());
 
-    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
     let post = |path: &str, body: String| {
         client
             .request(&Request::new("POST", path, body.into_bytes()))

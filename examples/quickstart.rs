@@ -23,7 +23,7 @@ fn main() {
     //    private key is released only to an attested enclave — see
     //    examples/tamper_evidence.rs).
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("git.example.com", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("git.example.com", &[2u8; 32]).unwrap();
 
     // 2. Build LibSEAL with the Git SSM. The cost model is disabled
     //    here; benchmarks enable it to simulate SGX overheads.

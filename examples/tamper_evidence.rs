@@ -17,7 +17,7 @@ use libseal_tlsx::cert::CertificateAuthority;
 
 fn new_instance(audited: bool) -> Arc<LibSeal> {
     let ca = CertificateAuthority::new("DemoCA", &[1u8; 32]);
-    let (key, cert) = ca.issue_identity("svc.example.com", &[2u8; 32]);
+    let (key, cert) = ca.issue_identity("svc.example.com", &[2u8; 32]).unwrap();
     let ssm: Option<Arc<dyn libseal::ServiceModule>> = if audited {
         Some(Arc::new(GitModule))
     } else {

@@ -20,7 +20,7 @@ fn ca() -> CertificateAuthority {
 #[test]
 fn sealed_persistent_log_full_cycle() {
     let ca = ca();
-    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]).unwrap();
     let path = plat::tmp::TempPath::new("fullstack", "log");
 
     // Phase 1: serve real traffic, persist the log.
@@ -41,7 +41,7 @@ fn sealed_persistent_log_full_cycle() {
             .workers(2),
         )
         .unwrap();
-        let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+        let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
         let mut generator = HistoryGenerator::new("repo", 3, 5);
         let mut conn = client.connect().unwrap();
         for _ in 0..30 {
@@ -74,7 +74,7 @@ fn sealed_persistent_log_full_cycle() {
 #[test]
 fn load_generator_measures_throughput() {
     let ca = ca();
-    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .build();
@@ -87,7 +87,7 @@ fn load_generator_measures_throughput() {
         .workers(4),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
     let stats = LoadGenerator {
         clients: 4,
         duration: Duration::from_millis(800),
@@ -109,7 +109,7 @@ fn cost_model_imposes_real_overhead() {
     // modelled configuration must be measurably slower.
     let ca = ca();
     let run = |model: CostModel| -> Duration {
-        let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+        let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]).unwrap();
         let cfg = LibSealConfig::builder(cert, key).cost_model(model).build();
         let ls = LibSeal::new(cfg).unwrap();
         let server = ApacheServer::start(
@@ -120,7 +120,7 @@ fn cost_model_imposes_real_overhead() {
             .workers(1),
         )
         .unwrap();
-        let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+        let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
         let t0 = std::time::Instant::now();
         let mut conn = client.connect().unwrap();
         for _ in 0..20 {
@@ -147,7 +147,7 @@ fn cost_model_imposes_real_overhead() {
 #[test]
 fn transitions_are_observable_end_to_end() {
     let ca = ca();
-    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]);
+    let (key, cert) = ca.issue_identity("localhost", &[9u8; 32]).unwrap();
     let cfg = LibSealConfig::builder(cert, key)
         .cost_model(CostModel::free())
         .build();
@@ -160,7 +160,7 @@ fn transitions_are_observable_end_to_end() {
         .workers(1),
     )
     .unwrap();
-    let client = HttpsClient::new(server.addr(), vec![ca.root_key()]);
+    let client = HttpsClient::new(server.addr(), vec![ca.root_key()], "localhost");
     client
         .request(&Request::new("GET", "/content/32", Vec::new()))
         .unwrap();
